@@ -1,0 +1,94 @@
+//! Host-only workloads used by the synchronization-overhead experiment
+//! (§7.3.1): `sleep 10` (the CPU is almost always idle, so the host is
+//! dominated by synchronization events) and a `dd`-style CPU burn (the host
+//! is always busy, so synchronization is amortized).
+
+use simbricks_base::SimTime;
+use simbricks_hostsim::{Application, OsServices};
+use simbricks_netstack::SocketEvent;
+
+const TOK_DONE: u64 = 1;
+const TOK_BURN: u64 = 2;
+
+/// `sleep <duration>`: does nothing until the timer fires.
+pub struct SleepLoad {
+    duration: SimTime,
+    finished: bool,
+}
+
+impl SleepLoad {
+    pub fn new(duration: SimTime) -> Self {
+        SleepLoad {
+            duration,
+            finished: false,
+        }
+    }
+}
+
+impl Application for SleepLoad {
+    fn start(&mut self, os: &mut OsServices) {
+        os.set_timer_in(self.duration, TOK_DONE);
+    }
+    fn on_socket_event(&mut self, _os: &mut OsServices, _ev: SocketEvent) {}
+    fn on_timer(&mut self, os: &mut OsServices, token: u64) {
+        if token == TOK_DONE {
+            self.finished = true;
+            os.finish();
+        }
+    }
+    fn report(&self) -> String {
+        format!("sleep done={}", self.finished)
+    }
+    fn done(&self) -> bool {
+        self.finished
+    }
+}
+
+/// `dd if=/dev/urandom`-style load: consumes CPU in back-to-back slices for
+/// the whole duration, generating a high event rate on the host.
+pub struct DdLoad {
+    duration: SimTime,
+    slice: SimTime,
+    elapsed: SimTime,
+    pub slices: u64,
+    finished: bool,
+}
+
+impl DdLoad {
+    pub fn new(duration: SimTime) -> Self {
+        DdLoad {
+            duration,
+            slice: SimTime::from_us(10),
+            elapsed: SimTime::ZERO,
+            slices: 0,
+            finished: false,
+        }
+    }
+}
+
+impl Application for DdLoad {
+    fn start(&mut self, os: &mut OsServices) {
+        os.set_timer_in(self.slice, TOK_BURN);
+    }
+    fn on_socket_event(&mut self, _os: &mut OsServices, _ev: SocketEvent) {}
+    fn on_timer(&mut self, os: &mut OsServices, token: u64) {
+        if token != TOK_BURN || self.finished {
+            return;
+        }
+        self.slices += 1;
+        self.elapsed += self.slice;
+        os.consume_cpu(self.slice);
+        if self.elapsed >= self.duration {
+            self.finished = true;
+            os.finish();
+        } else {
+            os.set_timer_in(self.slice, TOK_BURN);
+        }
+    }
+    fn report(&self) -> String {
+        format!("dd slices={} done={}", self.slices, self.finished)
+    }
+    fn done(&self) -> bool {
+        self.finished
+    }
+}

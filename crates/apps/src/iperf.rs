@@ -1,0 +1,286 @@
+//! iperf-style traffic generators (TCP stream and rate-paced UDP).
+
+use simbricks_base::time::SEC;
+use simbricks_base::SimTime;
+use simbricks_hostsim::{Application, OsServices};
+use simbricks_netstack::{SocketAddr, SocketEvent, SocketId};
+use simbricks_proto::Ipv4Addr;
+
+const TOK_SEND: u64 = 1;
+const TOK_STOP: u64 = 2;
+
+fn gbps(bytes: u64, duration: SimTime) -> f64 {
+    if duration == SimTime::ZERO {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / duration.as_secs_f64() / 1e9
+}
+
+/// TCP sink: accepts connections and counts received bytes.
+pub struct IperfTcpServer {
+    port: u16,
+    listener: Option<SocketId>,
+    pub bytes_received: u64,
+    first_byte: Option<SimTime>,
+    last_byte: SimTime,
+}
+
+impl IperfTcpServer {
+    pub fn new(port: u16) -> Self {
+        IperfTcpServer {
+            port,
+            listener: None,
+            bytes_received: 0,
+            first_byte: None,
+            last_byte: SimTime::ZERO,
+        }
+    }
+
+    /// Observed goodput in Gbit/s.
+    pub fn goodput_gbps(&self) -> f64 {
+        match self.first_byte {
+            Some(f) => gbps(self.bytes_received, self.last_byte - f),
+            None => 0.0,
+        }
+    }
+}
+
+impl Application for IperfTcpServer {
+    fn start(&mut self, os: &mut OsServices) {
+        self.listener = os.tcp_listen(self.port);
+    }
+
+    fn on_socket_event(&mut self, os: &mut OsServices, ev: SocketEvent) {
+        if let SocketEvent::DataAvailable(s) = ev {
+            let data = os.tcp_recv(s, usize::MAX);
+            if !data.is_empty() {
+                if self.first_byte.is_none() {
+                    self.first_byte = Some(os.now());
+                }
+                self.last_byte = os.now();
+                self.bytes_received += data.len() as u64;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _os: &mut OsServices, _token: u64) {}
+
+    fn report(&self) -> String {
+        format!(
+            "iperf-server rx_bytes={} goodput={:.3}Gbps",
+            self.bytes_received,
+            self.goodput_gbps()
+        )
+    }
+}
+
+/// TCP stream source: connects and sends as fast as the socket allows for a
+/// fixed duration.
+pub struct IperfTcpClient {
+    server: Ipv4Addr,
+    port: u16,
+    duration: SimTime,
+    chunk: Vec<u8>,
+    sock: Option<SocketId>,
+    started_at: SimTime,
+    pub bytes_sent: u64,
+    stopped: bool,
+}
+
+impl IperfTcpClient {
+    pub fn new(server: Ipv4Addr, port: u16, duration: SimTime) -> Self {
+        IperfTcpClient {
+            server,
+            port,
+            duration,
+            chunk: vec![0x42; 32 * 1024],
+            sock: None,
+            started_at: SimTime::ZERO,
+            bytes_sent: 0,
+            stopped: false,
+        }
+    }
+
+    pub fn throughput_gbps(&self) -> f64 {
+        gbps(self.bytes_sent, self.duration)
+    }
+
+    fn pump(&mut self, os: &mut OsServices) {
+        if self.stopped {
+            return;
+        }
+        let Some(s) = self.sock else { return };
+        loop {
+            let n = os.tcp_send(s, &self.chunk);
+            self.bytes_sent += n as u64;
+            if n < self.chunk.len() {
+                break;
+            }
+        }
+    }
+}
+
+impl Application for IperfTcpClient {
+    fn start(&mut self, os: &mut OsServices) {
+        self.started_at = os.now();
+        self.sock = Some(os.tcp_connect(self.server, self.port));
+        os.set_timer_in(self.duration, TOK_STOP);
+    }
+
+    fn on_socket_event(&mut self, os: &mut OsServices, ev: SocketEvent) {
+        match ev {
+            SocketEvent::Connected(_) | SocketEvent::SendSpace(_) => self.pump(os),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, os: &mut OsServices, token: u64) {
+        if token == TOK_STOP {
+            self.stopped = true;
+            if let Some(s) = self.sock {
+                os.tcp_close(s);
+            }
+            os.finish();
+        }
+    }
+
+    fn report(&self) -> String {
+        format!(
+            "iperf-client tx_bytes={} offered={:.3}Gbps",
+            self.bytes_sent,
+            self.throughput_gbps()
+        )
+    }
+
+    fn done(&self) -> bool {
+        self.stopped
+    }
+}
+
+/// Rate-paced UDP sender (iperf UDP mode).
+pub struct IperfUdpClient {
+    server: SocketAddr,
+    rate_bps: u64,
+    payload: usize,
+    duration: SimTime,
+    sock: Option<SocketId>,
+    interval: SimTime,
+    pub datagrams_sent: u64,
+    stopped: bool,
+}
+
+impl IperfUdpClient {
+    pub fn new(server: SocketAddr, rate_bps: u64, payload: usize, duration: SimTime) -> Self {
+        let interval = if rate_bps == 0 {
+            SimTime::MAX
+        } else {
+            SimTime::from_ps((payload as u128 * 8 * SEC as u128 / rate_bps as u128) as u64)
+        };
+        IperfUdpClient {
+            server,
+            rate_bps,
+            payload,
+            duration,
+            sock: None,
+            interval,
+            datagrams_sent: 0,
+            stopped: false,
+        }
+    }
+}
+
+impl Application for IperfUdpClient {
+    fn start(&mut self, os: &mut OsServices) {
+        self.sock = os.udp_bind(30000 + (self.server.port % 1000));
+        os.set_timer_in(SimTime::from_us(1), TOK_SEND);
+        os.set_timer_in(self.duration, TOK_STOP);
+    }
+
+    fn on_socket_event(&mut self, _os: &mut OsServices, _ev: SocketEvent) {}
+
+    fn on_timer(&mut self, os: &mut OsServices, token: u64) {
+        match token {
+            TOK_SEND if !self.stopped && self.rate_bps > 0 => {
+                if let Some(s) = self.sock {
+                    let payload = vec![0x55u8; self.payload];
+                    os.udp_send_to(s, self.server, &payload);
+                    self.datagrams_sent += 1;
+                }
+                os.set_timer_in(self.interval, TOK_SEND);
+            }
+            TOK_STOP => {
+                self.stopped = true;
+                os.finish();
+            }
+            _ => {}
+        }
+    }
+
+    fn report(&self) -> String {
+        format!("iperf-udp-client sent={}", self.datagrams_sent)
+    }
+
+    fn done(&self) -> bool {
+        self.stopped
+    }
+}
+
+/// UDP sink counting received datagrams and bytes.
+pub struct IperfUdpServer {
+    port: u16,
+    sock: Option<SocketId>,
+    pub datagrams: u64,
+    pub bytes: u64,
+    first: Option<SimTime>,
+    last: SimTime,
+}
+
+impl IperfUdpServer {
+    pub fn new(port: u16) -> Self {
+        IperfUdpServer {
+            port,
+            sock: None,
+            datagrams: 0,
+            bytes: 0,
+            first: None,
+            last: SimTime::ZERO,
+        }
+    }
+
+    pub fn goodput_gbps(&self) -> f64 {
+        match self.first {
+            Some(f) => gbps(self.bytes, self.last - f),
+            None => 0.0,
+        }
+    }
+}
+
+impl Application for IperfUdpServer {
+    fn start(&mut self, os: &mut OsServices) {
+        self.sock = os.udp_bind(self.port);
+    }
+
+    fn on_socket_event(&mut self, os: &mut OsServices, ev: SocketEvent) {
+        if let SocketEvent::DataAvailable(s) = ev {
+            while let Some((_, data)) = os.udp_recv_from(s) {
+                if self.first.is_none() {
+                    self.first = Some(os.now());
+                }
+                self.last = os.now();
+                self.datagrams += 1;
+                self.bytes += data.len() as u64;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _os: &mut OsServices, _token: u64) {}
+
+    fn report(&self) -> String {
+        format!(
+            "iperf-udp-server datagrams={} bytes={} goodput={:.3}Gbps",
+            self.datagrams,
+            self.bytes,
+            self.goodput_gbps()
+        )
+    }
+}

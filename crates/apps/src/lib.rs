@@ -1,0 +1,33 @@
+//! # simbricks-apps
+//!
+//! Guest applications used by the paper's evaluation workloads. They run
+//! unmodified on any of the host simulators (gem5-like, QEMU-timing-like,
+//! QEMU-KVM-like) via the [`simbricks_hostsim::Application`] interface:
+//!
+//! * [`iperf`] — TCP stream and rate-paced UDP traffic generators (Fig. 1,
+//!   Fig. 6, Fig. 7 workloads).
+//! * [`netperf`] — TCP_STREAM + TCP_RR throughput/latency benchmark
+//!   (Tab. 1 / Tab. 3 workloads).
+//! * [`memcache`] — a memcached-style key-value server and a memaslap-style
+//!   closed-loop client (Fig. 8 workload).
+//! * [`paxos`] — NOPaxos-style ordered-unreliable-multicast replication with
+//!   a switch or end-host sequencer, plus a leader-based Multi-Paxos
+//!   baseline (Fig. 10 workload).
+//! * [`hostload`] — host-only workloads (`sleep`, `dd`-style CPU burn) used
+//!   by the synchronization-overhead experiment (§7.3.1).
+//! * [`fio`] — fio-style block I/O workload for the NVMe storage host
+//!   (§7.2, PCIe interface generality).
+
+pub mod fio;
+pub mod hostload;
+pub mod iperf;
+pub mod memcache;
+pub mod netperf;
+pub mod paxos;
+
+pub use fio::{AccessPattern, FioConfig, FioWorkload};
+pub use hostload::{DdLoad, SleepLoad};
+pub use iperf::{IperfTcpClient, IperfTcpServer, IperfUdpClient, IperfUdpServer};
+pub use memcache::{MemaslapClient, MemcachedServer};
+pub use netperf::{NetperfClient, NetperfServer};
+pub use paxos::{PaxosClient, PaxosMode, Replica, SequencerHost};

@@ -1,0 +1,220 @@
+//! netperf-style benchmark: a TCP_STREAM throughput phase followed by a
+//! TCP_RR request/response latency phase (the workload of Tab. 1 / Tab. 3).
+
+use simbricks_base::SimTime;
+use simbricks_hostsim::{Application, OsServices};
+use simbricks_netstack::{SocketEvent, SocketId};
+use simbricks_proto::Ipv4Addr;
+
+const TOK_END_STREAM: u64 = 1;
+const TOK_END_RR: u64 = 2;
+
+/// netperf server: sinks stream data on one port and echoes 1-byte
+/// request/response transactions on another.
+pub struct NetperfServer {
+    stream_port: u16,
+    rr_port: u16,
+    rr_listener: Option<SocketId>,
+    pub stream_bytes: u64,
+    pub rr_transactions: u64,
+}
+
+impl NetperfServer {
+    pub fn new(stream_port: u16, rr_port: u16) -> Self {
+        NetperfServer {
+            stream_port,
+            rr_port,
+            rr_listener: None,
+            stream_bytes: 0,
+            rr_transactions: 0,
+        }
+    }
+}
+
+impl Application for NetperfServer {
+    fn start(&mut self, os: &mut OsServices) {
+        os.tcp_listen(self.stream_port);
+        self.rr_listener = os.tcp_listen(self.rr_port);
+    }
+
+    fn on_socket_event(&mut self, os: &mut OsServices, ev: SocketEvent) {
+        if let SocketEvent::DataAvailable(s) = ev {
+            let data = os.tcp_recv(s, usize::MAX);
+            if data.is_empty() {
+                return;
+            }
+            // Heuristic demux: RR requests are single bytes; echo them back.
+            if data.len() <= 4 {
+                self.rr_transactions += 1;
+                os.tcp_send(s, &data);
+            } else {
+                self.stream_bytes += data.len() as u64;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _os: &mut OsServices, _token: u64) {}
+
+    fn report(&self) -> String {
+        format!(
+            "netperf-server stream_bytes={} rr_transactions={}",
+            self.stream_bytes, self.rr_transactions
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Stream,
+    Rr,
+    Done,
+}
+
+/// netperf client: TCP_STREAM for `stream_duration`, then TCP_RR for
+/// `rr_duration`, reporting throughput and mean round-trip latency.
+pub struct NetperfClient {
+    server: Ipv4Addr,
+    stream_port: u16,
+    rr_port: u16,
+    stream_duration: SimTime,
+    rr_duration: SimTime,
+    chunk: Vec<u8>,
+    phase: Phase,
+    stream_sock: Option<SocketId>,
+    rr_sock: Option<SocketId>,
+    pub stream_bytes: u64,
+    rr_outstanding_since: Option<SimTime>,
+    pub rr_count: u64,
+    rr_latency_total: SimTime,
+}
+
+impl NetperfClient {
+    pub fn new(
+        server: Ipv4Addr,
+        stream_port: u16,
+        rr_port: u16,
+        stream_duration: SimTime,
+        rr_duration: SimTime,
+    ) -> Self {
+        NetperfClient {
+            server,
+            stream_port,
+            rr_port,
+            stream_duration,
+            rr_duration,
+            chunk: vec![0x42; 32 * 1024],
+            phase: Phase::Stream,
+            stream_sock: None,
+            rr_sock: None,
+            stream_bytes: 0,
+            rr_outstanding_since: None,
+            rr_count: 0,
+            rr_latency_total: SimTime::ZERO,
+        }
+    }
+
+    /// STREAM-phase throughput in Gbit/s.
+    pub fn throughput_gbps(&self) -> f64 {
+        if self.stream_duration == SimTime::ZERO {
+            return 0.0;
+        }
+        self.stream_bytes as f64 * 8.0 / self.stream_duration.as_secs_f64() / 1e9
+    }
+
+    /// Mean RR round-trip latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.rr_count == 0 {
+            return 0.0;
+        }
+        self.rr_latency_total.as_ps() as f64 / self.rr_count as f64 / 1e6
+    }
+
+    fn pump_stream(&mut self, os: &mut OsServices) {
+        if self.phase != Phase::Stream {
+            return;
+        }
+        let Some(s) = self.stream_sock else { return };
+        loop {
+            let n = os.tcp_send(s, &self.chunk);
+            self.stream_bytes += n as u64;
+            if n < self.chunk.len() {
+                break;
+            }
+        }
+    }
+
+    fn send_rr(&mut self, os: &mut OsServices) {
+        if self.phase != Phase::Rr {
+            return;
+        }
+        let Some(s) = self.rr_sock else { return };
+        os.tcp_send(s, &[0x52]);
+        self.rr_outstanding_since = Some(os.now());
+    }
+}
+
+impl Application for NetperfClient {
+    fn start(&mut self, os: &mut OsServices) {
+        self.stream_sock = Some(os.tcp_connect(self.server, self.stream_port));
+        os.set_timer_in(self.stream_duration, TOK_END_STREAM);
+    }
+
+    fn on_socket_event(&mut self, os: &mut OsServices, ev: SocketEvent) {
+        match (self.phase, ev) {
+            (Phase::Stream, SocketEvent::Connected(s)) if Some(s) == self.stream_sock => {
+                self.pump_stream(os)
+            }
+            (Phase::Stream, SocketEvent::SendSpace(s)) if Some(s) == self.stream_sock => {
+                self.pump_stream(os)
+            }
+            (Phase::Rr, SocketEvent::Connected(s)) if Some(s) == self.rr_sock => {
+                self.send_rr(os);
+            }
+            (Phase::Rr, SocketEvent::DataAvailable(s)) if Some(s) == self.rr_sock => {
+                let data = os.tcp_recv(s, usize::MAX);
+                if !data.is_empty() {
+                    if let Some(t0) = self.rr_outstanding_since.take() {
+                        self.rr_count += 1;
+                        self.rr_latency_total += os.now() - t0;
+                    }
+                    self.send_rr(os);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, os: &mut OsServices, token: u64) {
+        match token {
+            TOK_END_STREAM => {
+                if let Some(s) = self.stream_sock {
+                    os.tcp_close(s);
+                }
+                self.phase = Phase::Rr;
+                self.rr_sock = Some(os.tcp_connect(self.server, self.rr_port));
+                os.set_timer_in(self.rr_duration, TOK_END_RR);
+            }
+            TOK_END_RR => {
+                if let Some(s) = self.rr_sock {
+                    os.tcp_close(s);
+                }
+                self.phase = Phase::Done;
+                os.finish();
+            }
+            _ => {}
+        }
+    }
+
+    fn report(&self) -> String {
+        format!(
+            "netperf tput={:.3}Gbps rr_latency={:.1}us transactions={}",
+            self.throughput_gbps(),
+            self.mean_latency_us(),
+            self.rr_count
+        )
+    }
+
+    fn done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+}

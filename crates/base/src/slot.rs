@@ -1,0 +1,225 @@
+//! Fixed-size message slots.
+//!
+//! SimBricks queues (§5.2, §A.2 of the paper) are arrays of fixed-size,
+//! cache-line aligned message slots. The control byte of each slot encodes
+//! the current owner (producer or consumer) in its top bit and the message
+//! type in the remaining seven bits. Producer and consumer communicate only
+//! through this control byte plus the slot payload, so all cache-coherence
+//! traffic carries useful data.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::time::SimTime;
+
+/// Maximum payload carried by one message slot.
+///
+/// Sized so a jumbo Ethernet frame (the paper's 4000 B MTU dctcp experiment),
+/// a 4 KiB DMA burst, or an 8 KiB TSO super-segment DMA completion fits
+/// inline. Larger transfers must be split by the sender.
+pub const MAX_PAYLOAD: usize = 9216;
+
+/// Message type values `0..=127`. Type `0` is reserved for SYNC messages.
+pub type MsgType = u8;
+
+/// Reserved message type for synchronization messages (§5.5).
+pub const MSG_SYNC: MsgType = 0;
+
+/// Control-byte bit marking the slot as owned by the consumer (i.e. a message
+/// is ready to be read). When clear, the producer owns the slot.
+const OWNER_CONSUMER: u8 = 0x80;
+const TYPE_MASK: u8 = 0x7f;
+
+/// Message header stored inline in every slot.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C)]
+pub(crate) struct SlotHeader {
+    /// Receiver-side processing timestamp (send time plus link latency).
+    pub timestamp: u64,
+    /// Number of valid payload bytes.
+    pub len: u32,
+    _pad: u32,
+}
+
+/// One queue slot. Aligned to two cache lines to avoid false sharing between
+/// neighbouring slots' control bytes on typical 64 B cache line machines.
+#[repr(C, align(128))]
+pub(crate) struct Slot {
+    pub header: UnsafeCell<SlotHeader>,
+    pub payload: UnsafeCell<[u8; MAX_PAYLOAD]>,
+    /// Owner bit plus message type, written last by the producer with release
+    /// ordering and read first by the consumer with acquire ordering.
+    pub ctrl: AtomicU8,
+}
+
+// Safety: access to `header`/`payload` is serialized by the `ctrl` ownership
+// protocol (acquire/release on the control byte), exactly as described in
+// §A.2 of the paper.
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+impl Slot {
+    pub(crate) fn new() -> Self {
+        Slot {
+            header: UnsafeCell::new(SlotHeader::default()),
+            payload: UnsafeCell::new([0u8; MAX_PAYLOAD]),
+            ctrl: AtomicU8::new(0),
+        }
+    }
+
+    /// True if the consumer currently owns this slot (message ready).
+    #[inline]
+    pub(crate) fn consumer_owned(&self) -> bool {
+        self.ctrl.load(Ordering::Acquire) & OWNER_CONSUMER != 0
+    }
+
+    /// True if the producer currently owns this slot (free for writing).
+    #[inline]
+    pub(crate) fn producer_owned(&self) -> bool {
+        self.ctrl.load(Ordering::Acquire) & OWNER_CONSUMER == 0
+    }
+
+    /// Publish a message: store type and flip ownership to the consumer.
+    /// Must only be called by the producer while it owns the slot.
+    #[inline]
+    pub(crate) fn publish(&self, ty: MsgType) {
+        debug_assert!(ty & OWNER_CONSUMER == 0, "message type must fit in 7 bits");
+        self.ctrl
+            .store(OWNER_CONSUMER | (ty & TYPE_MASK), Ordering::Release);
+    }
+
+    /// Read the message type. Must only be called by the consumer while it
+    /// owns the slot.
+    #[inline]
+    pub(crate) fn msg_type(&self) -> MsgType {
+        self.ctrl.load(Ordering::Relaxed) & TYPE_MASK
+    }
+
+    /// Return the slot to the producer.
+    #[inline]
+    pub(crate) fn release(&self) {
+        self.ctrl.store(0, Ordering::Release);
+    }
+}
+
+/// A message copied out of a queue slot: the receiver-side timestamp, the
+/// seven-bit message type, and the payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedMsg {
+    pub timestamp: SimTime,
+    pub ty: MsgType,
+    pub data: Vec<u8>,
+}
+
+impl OwnedMsg {
+    pub fn new(timestamp: SimTime, ty: MsgType, data: Vec<u8>) -> Self {
+        OwnedMsg {
+            timestamp,
+            ty,
+            data,
+        }
+    }
+
+    pub fn sync(timestamp: SimTime) -> Self {
+        OwnedMsg {
+            timestamp,
+            ty: MSG_SYNC,
+            data: Vec::new(),
+        }
+    }
+
+    pub fn is_sync(&self) -> bool {
+        self.ty == MSG_SYNC
+    }
+
+    /// Serialize into a byte vector for forwarding over a proxy connection
+    /// (§5.4). Layout: u64 timestamp, u8 type, u32 length, payload.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(13 + self.data.len());
+        v.extend_from_slice(&self.timestamp.as_ps().to_le_bytes());
+        v.push(self.ty);
+        v.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        v.extend_from_slice(&self.data);
+        v
+    }
+
+    /// Parse a message from its wire encoding. Returns the message and the
+    /// number of bytes consumed, or `None` if `buf` does not contain a
+    /// complete message yet.
+    pub fn from_wire(buf: &[u8]) -> Option<(OwnedMsg, usize)> {
+        if buf.len() < 13 {
+            return None;
+        }
+        let ts = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let ty = buf[8];
+        let len = u32::from_le_bytes(buf[9..13].try_into().unwrap()) as usize;
+        if buf.len() < 13 + len {
+            return None;
+        }
+        Some((
+            OwnedMsg {
+                timestamp: SimTime::from_ps(ts),
+                ty,
+                data: buf[13..13 + len].to_vec(),
+            },
+            13 + len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_ownership_protocol() {
+        let s = Slot::new();
+        assert!(s.producer_owned());
+        assert!(!s.consumer_owned());
+        s.publish(7);
+        assert!(s.consumer_owned());
+        assert_eq!(s.msg_type(), 7);
+        s.release();
+        assert!(s.producer_owned());
+    }
+
+    #[test]
+    fn slot_type_masked_to_seven_bits() {
+        let s = Slot::new();
+        s.publish(0x7f);
+        assert_eq!(s.msg_type(), 0x7f);
+        assert!(s.consumer_owned());
+    }
+
+    #[test]
+    fn owned_msg_wire_roundtrip() {
+        let m = OwnedMsg::new(SimTime::from_ns(1234), 5, vec![1, 2, 3, 4, 5]);
+        let w = m.to_wire();
+        let (back, used) = OwnedMsg::from_wire(&w).unwrap();
+        assert_eq!(used, w.len());
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn owned_msg_wire_partial() {
+        let m = OwnedMsg::new(SimTime::from_ns(7), 3, vec![9; 100]);
+        let w = m.to_wire();
+        assert!(OwnedMsg::from_wire(&w[..5]).is_none());
+        assert!(OwnedMsg::from_wire(&w[..w.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn sync_msg_has_no_payload() {
+        let m = OwnedMsg::sync(SimTime::from_ns(500));
+        assert!(m.is_sync());
+        assert!(m.data.is_empty());
+        let (back, _) = OwnedMsg::from_wire(&m.to_wire()).unwrap();
+        assert!(back.is_sync());
+    }
+
+    #[test]
+    fn slot_is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<Slot>(), 128);
+        assert!(std::mem::size_of::<Slot>() >= MAX_PAYLOAD);
+    }
+}

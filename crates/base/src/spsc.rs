@@ -1,0 +1,326 @@
+//! Single-producer / single-consumer message queue (§5.2, §A.2).
+//!
+//! The queue is a circular array of fixed-size slots. The producer keeps the
+//! tail index locally, the consumer keeps the head index locally; the only
+//! shared state is the per-slot control byte and payload, which minimizes
+//! cache coherence traffic. This mirrors the shared-memory queue layout of
+//! the original SimBricks implementation; here the "shared memory segment" is
+//! a heap allocation shared between two threads via `Arc`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::slot::{MsgType, OwnedMsg, Slot, MAX_PAYLOAD};
+use crate::time::SimTime;
+
+/// Default number of slots per unidirectional queue.
+pub const DEFAULT_QUEUE_LEN: usize = 64;
+
+struct Shared {
+    slots: Box<[Slot]>,
+    /// Set when the producer is dropped, letting the consumer distinguish
+    /// "no message yet" from "peer is gone".
+    producer_closed: AtomicBool,
+    /// Set when the consumer is dropped.
+    consumer_closed: AtomicBool,
+}
+
+/// Create a new SPSC queue with `len` slots, returning its two endpoints.
+pub fn queue(len: usize) -> (Producer, Consumer) {
+    assert!(len >= 2, "queue needs at least two slots");
+    let slots: Vec<Slot> = (0..len).map(|_| Slot::new()).collect();
+    let shared = Arc::new(Shared {
+        slots: slots.into_boxed_slice(),
+        producer_closed: AtomicBool::new(false),
+        consumer_closed: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            shared: shared.clone(),
+            tail: 0,
+            sent: 0,
+        },
+        Consumer {
+            shared,
+            head: 0,
+            received: 0,
+        },
+    )
+}
+
+/// Error returned when the queue is full or the peer has disappeared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The next slot is still owned by the consumer (queue full).
+    Full,
+    /// The payload exceeds [`MAX_PAYLOAD`].
+    TooLarge,
+    /// The consumer endpoint was dropped.
+    Disconnected,
+}
+
+/// Producer endpoint of an SPSC queue.
+pub struct Producer {
+    shared: Arc<Shared>,
+    tail: usize,
+    sent: u64,
+}
+
+impl Producer {
+    /// Attempt to enqueue one message. Non-blocking: returns
+    /// [`SendError::Full`] if the next slot is not yet free.
+    pub fn try_send(
+        &mut self,
+        timestamp: SimTime,
+        ty: MsgType,
+        payload: &[u8],
+    ) -> Result<(), SendError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(SendError::TooLarge);
+        }
+        if self.shared.consumer_closed.load(Ordering::Relaxed) {
+            return Err(SendError::Disconnected);
+        }
+        let slot = &self.shared.slots[self.tail];
+        if !slot.producer_owned() {
+            return Err(SendError::Full);
+        }
+        // Safety: we own the slot (checked above with acquire ordering) and
+        // are the only producer.
+        unsafe {
+            let hdr = &mut *slot.header.get();
+            hdr.timestamp = timestamp.as_ps();
+            hdr.len = payload.len() as u32;
+            let dst = &mut *slot.payload.get();
+            dst[..payload.len()].copy_from_slice(payload);
+        }
+        slot.publish(ty);
+        self.tail = (self.tail + 1) % self.shared.slots.len();
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Number of messages successfully enqueued so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Whether there is room for at least one more message.
+    pub fn can_send(&self) -> bool {
+        self.shared.slots[self.tail].producer_owned()
+    }
+
+    /// Queue capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// True once the consumer endpoint has been dropped.
+    pub fn peer_closed(&self) -> bool {
+        self.shared.consumer_closed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        self.shared.producer_closed.store(true, Ordering::Release);
+    }
+}
+
+/// Consumer endpoint of an SPSC queue.
+pub struct Consumer {
+    shared: Arc<Shared>,
+    head: usize,
+    received: u64,
+}
+
+impl Consumer {
+    /// Attempt to dequeue one message, copying it out of the slot.
+    pub fn try_recv(&mut self) -> Option<OwnedMsg> {
+        let slot = &self.shared.slots[self.head];
+        if !slot.consumer_owned() {
+            return None;
+        }
+        let msg = unsafe {
+            let hdr = *slot.header.get();
+            let payload = &*slot.payload.get();
+            OwnedMsg::new(
+                SimTime::from_ps(hdr.timestamp),
+                slot.msg_type(),
+                payload[..hdr.len as usize].to_vec(),
+            )
+        };
+        slot.release();
+        self.head = (self.head + 1) % self.shared.slots.len();
+        self.received += 1;
+        Some(msg)
+    }
+
+    /// Peek at the timestamp of the next message without consuming it.
+    pub fn peek_timestamp(&self) -> Option<SimTime> {
+        let slot = &self.shared.slots[self.head];
+        if !slot.consumer_owned() {
+            return None;
+        }
+        let ts = unsafe { (*slot.header.get()).timestamp };
+        Some(SimTime::from_ps(ts))
+    }
+
+    /// Number of messages dequeued so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// True once the producer endpoint has been dropped and no message is
+    /// pending.
+    pub fn is_drained(&self) -> bool {
+        self.shared.producer_closed.load(Ordering::Acquire)
+            && !self.shared.slots[self.head].consumer_owned()
+    }
+
+    /// True once the producer endpoint has been dropped.
+    pub fn peer_closed(&self) -> bool {
+        self.shared.producer_closed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        self.shared.consumer_closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (mut p, mut c) = queue(4);
+        assert!(c.try_recv().is_none());
+        p.try_send(SimTime::from_ns(1), 3, b"hello").unwrap();
+        let m = c.try_recv().unwrap();
+        assert_eq!(m.timestamp, SimTime::from_ns(1));
+        assert_eq!(m.ty, 3);
+        assert_eq!(m.data, b"hello");
+        assert!(c.try_recv().is_none());
+    }
+
+    #[test]
+    fn queue_fills_up_and_drains() {
+        let (mut p, mut c) = queue(4);
+        for i in 0..4u64 {
+            p.try_send(SimTime::from_ns(i), 1, &[i as u8]).unwrap();
+        }
+        assert_eq!(p.try_send(SimTime::from_ns(9), 1, &[]), Err(SendError::Full));
+        assert!(!p.can_send());
+        for i in 0..4u64 {
+            let m = c.try_recv().unwrap();
+            assert_eq!(m.data, vec![i as u8]);
+        }
+        assert!(p.can_send());
+        p.try_send(SimTime::from_ns(10), 1, &[42]).unwrap();
+        assert_eq!(c.try_recv().unwrap().data, vec![42]);
+    }
+
+    #[test]
+    fn wraparound_preserves_fifo_order() {
+        let (mut p, mut c) = queue(3);
+        let mut next_send = 0u64;
+        let mut next_recv = 0u64;
+        for _round in 0..50 {
+            while p
+                .try_send(SimTime::from_ns(next_send), 2, &next_send.to_le_bytes())
+                .is_ok()
+            {
+                next_send += 1;
+            }
+            while let Some(m) = c.try_recv() {
+                assert_eq!(m.data, next_recv.to_le_bytes());
+                assert_eq!(m.timestamp, SimTime::from_ns(next_recv));
+                next_recv += 1;
+            }
+        }
+        assert_eq!(next_send, next_recv);
+        assert!(next_send >= 100);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let (mut p, _c) = queue(2);
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        assert_eq!(
+            p.try_send(SimTime::ZERO, 1, &big),
+            Err(SendError::TooLarge)
+        );
+        let exact = vec![0u8; MAX_PAYLOAD];
+        assert!(p.try_send(SimTime::ZERO, 1, &exact).is_ok());
+    }
+
+    #[test]
+    fn peek_timestamp_does_not_consume() {
+        let (mut p, mut c) = queue(4);
+        assert!(c.peek_timestamp().is_none());
+        p.try_send(SimTime::from_ns(77), 1, &[]).unwrap();
+        assert_eq!(c.peek_timestamp(), Some(SimTime::from_ns(77)));
+        assert_eq!(c.peek_timestamp(), Some(SimTime::from_ns(77)));
+        assert!(c.try_recv().is_some());
+        assert!(c.peek_timestamp().is_none());
+    }
+
+    #[test]
+    fn disconnect_detection() {
+        let (p, c) = queue(4);
+        assert!(!c.peer_closed());
+        drop(p);
+        assert!(c.peer_closed());
+        assert!(c.is_drained());
+
+        let (mut p, c) = queue(4);
+        drop(c);
+        assert_eq!(
+            p.try_send(SimTime::ZERO, 1, &[]),
+            Err(SendError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn drained_only_after_pending_consumed() {
+        let (mut p, mut c) = queue(4);
+        p.try_send(SimTime::ZERO, 1, &[1]).unwrap();
+        drop(p);
+        assert!(!c.is_drained());
+        c.try_recv().unwrap();
+        assert!(c.is_drained());
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (mut p, mut c) = queue(8);
+        let n = 10_000u64;
+        let handle = std::thread::spawn(move || {
+            let mut sent = 0u64;
+            while sent < n {
+                if p
+                    .try_send(SimTime::from_ps(sent), 5, &sent.to_le_bytes())
+                    .is_ok()
+                {
+                    sent += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            match c.try_recv() {
+                Some(m) => {
+                    assert_eq!(m.data, expect.to_le_bytes());
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        handle.join().unwrap();
+    }
+}

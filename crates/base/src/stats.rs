@@ -1,0 +1,139 @@
+//! Run statistics collected by the component kernel.
+
+use std::fmt;
+
+use crate::sync::PortStats;
+use crate::time::SimTime;
+
+/// Counters describing what one component simulator did during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Virtual time the component reached when it finished.
+    pub final_time: SimTime,
+    /// Data messages delivered to the model.
+    pub msgs_delivered: u64,
+    /// Local timer events fired.
+    pub timers_fired: u64,
+    /// Number of distinct clock advances performed.
+    pub advances: u64,
+    /// Number of step invocations that could not make progress (waiting for
+    /// peer promises); a proxy for synchronization stall time.
+    pub blocked_polls: u64,
+    /// Times the component waited at the global barrier (barrier mode only).
+    pub barrier_waits: u64,
+    /// Aggregated per-port counters.
+    pub data_sent: u64,
+    pub data_received: u64,
+    pub syncs_sent: u64,
+    pub syncs_received: u64,
+    pub backpressured: u64,
+}
+
+impl KernelStats {
+    pub fn absorb_port(&mut self, p: PortStats) {
+        self.data_sent += p.data_sent;
+        self.data_received += p.data_received;
+        self.syncs_sent += p.syncs_sent;
+        self.syncs_received += p.syncs_received;
+        self.backpressured += p.backpressured;
+    }
+
+    /// Total messages that crossed this component's channels (both kinds and
+    /// both directions).
+    pub fn total_messages(&self) -> u64 {
+        self.data_sent + self.data_received + self.syncs_sent + self.syncs_received
+    }
+
+    /// Fraction of all exchanged messages that were pure synchronization.
+    pub fn sync_overhead_ratio(&self) -> f64 {
+        let total = self.total_messages();
+        if total == 0 {
+            0.0
+        } else {
+            (self.syncs_sent + self.syncs_received) as f64 / total as f64
+        }
+    }
+
+    /// Merge statistics of several components (for whole-simulation totals).
+    pub fn merged(all: &[KernelStats]) -> KernelStats {
+        let mut out = KernelStats::default();
+        for s in all {
+            out.final_time = out.final_time.max(s.final_time);
+            out.msgs_delivered += s.msgs_delivered;
+            out.timers_fired += s.timers_fired;
+            out.advances += s.advances;
+            out.blocked_polls += s.blocked_polls;
+            out.barrier_waits += s.barrier_waits;
+            out.data_sent += s.data_sent;
+            out.data_received += s.data_received;
+            out.syncs_sent += s.syncs_sent;
+            out.syncs_received += s.syncs_received;
+            out.backpressured += s.backpressured;
+        }
+        out
+    }
+}
+
+impl fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} delivered={} timers={} advances={} blocked={} data_tx={} data_rx={} sync_tx={} sync_rx={} barrier_waits={}",
+            self.final_time,
+            self.msgs_delivered,
+            self.timers_fired,
+            self.advances,
+            self.blocked_polls,
+            self.data_sent,
+            self.data_received,
+            self.syncs_sent,
+            self.syncs_received,
+            self.barrier_waits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_ratio() {
+        let mut s = KernelStats::default();
+        s.absorb_port(PortStats {
+            data_sent: 10,
+            data_received: 10,
+            syncs_sent: 30,
+            syncs_received: 30,
+            backpressured: 1,
+        });
+        assert_eq!(s.total_messages(), 80);
+        assert!((s.sync_overhead_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(s.backpressured, 1);
+    }
+
+    #[test]
+    fn ratio_of_empty_stats_is_zero() {
+        assert_eq!(KernelStats::default().sync_overhead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merged_takes_max_time_and_sums_counters() {
+        let a = KernelStats {
+            final_time: SimTime::from_ms(10),
+            msgs_delivered: 5,
+            syncs_sent: 100,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            final_time: SimTime::from_ms(20),
+            msgs_delivered: 7,
+            syncs_sent: 50,
+            ..Default::default()
+        };
+        let m = KernelStats::merged(&[a, b]);
+        assert_eq!(m.final_time, SimTime::from_ms(20));
+        assert_eq!(m.msgs_delivered, 12);
+        assert_eq!(m.syncs_sent, 150);
+    }
+}

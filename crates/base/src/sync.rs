@@ -1,0 +1,344 @@
+//! Per-channel synchronization (§5.5 of the paper).
+//!
+//! SimBricks avoids global synchronization: each pair of connected simulators
+//! synchronizes only with each other, through the messages they already
+//! exchange. Every message carries the virtual time at which the receiver
+//! must process it (send time plus the channel's link latency Δ). Because
+//! per-channel timestamps are monotonic, a received timestamp is an implicit
+//! promise that nothing earlier will arrive, so the receiver may advance its
+//! clock up to the most recent timestamp seen on every channel. SYNC messages
+//! are emitted whenever a simulator has not sent anything for the
+//! synchronization interval δ ≤ Δ, guaranteeing liveness.
+//!
+//! [`SyncPort`] wraps a [`ChannelEnd`] with this protocol; the component
+//! [`Kernel`](crate::kernel::Kernel) aggregates one `SyncPort` per peer.
+
+use std::collections::VecDeque;
+
+use crate::channel::ChannelEnd;
+use crate::slot::{MsgType, OwnedMsg, MSG_SYNC};
+use crate::spsc::SendError;
+use crate::time::SimTime;
+
+/// Statistics kept per synchronized port.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortStats {
+    pub data_sent: u64,
+    pub data_received: u64,
+    pub syncs_sent: u64,
+    pub syncs_received: u64,
+    /// Number of sends that had to be buffered locally because the shared
+    /// queue was momentarily full.
+    pub backpressured: u64,
+}
+
+/// A channel endpoint participating in SimBricks synchronization.
+pub struct SyncPort {
+    chan: ChannelEnd,
+    /// Highest receiver-side timestamp observed on the incoming queue; the
+    /// peer promises not to send anything earlier than this.
+    in_horizon: SimTime,
+    /// Received data messages not yet delivered to the model.
+    pending: VecDeque<OwnedMsg>,
+    /// Local time at which a SYNC must be sent if nothing else was sent.
+    next_sync_due: SimTime,
+    /// Locally buffered outgoing messages that did not fit in the shared
+    /// queue yet (drained opportunistically, preserving order).
+    outbox: VecDeque<(SimTime, MsgType, Vec<u8>)>,
+    /// Set once the final (end-of-simulation) sync has been emitted.
+    finalized: bool,
+    stats: PortStats,
+}
+
+impl SyncPort {
+    pub fn new(chan: ChannelEnd) -> Self {
+        SyncPort {
+            chan,
+            in_horizon: SimTime::ZERO,
+            pending: VecDeque::new(),
+            next_sync_due: SimTime::ZERO,
+            outbox: VecDeque::new(),
+            finalized: false,
+            stats: PortStats::default(),
+        }
+    }
+
+    /// Link latency Δ of this channel.
+    pub fn latency(&self) -> SimTime {
+        self.chan.latency()
+    }
+
+    /// Synchronization interval δ of this channel.
+    pub fn sync_interval(&self) -> SimTime {
+        self.chan.params().sync_interval
+    }
+
+    /// Whether this channel participates in synchronization.
+    pub fn sync_enabled(&self) -> bool {
+        self.chan.sync_enabled()
+    }
+
+    pub fn stats(&self) -> PortStats {
+        self.stats
+    }
+
+    /// Drain the incoming queue: SYNC messages only raise the horizon, data
+    /// messages are buffered for delivery to the model. Also flushes any
+    /// locally buffered outgoing messages.
+    pub fn poll(&mut self) {
+        self.flush_outbox();
+        while let Some(msg) = self.chan.recv_raw() {
+            debug_assert!(
+                msg.timestamp >= self.in_horizon || !self.sync_enabled(),
+                "per-channel timestamps must be monotonic ({} < {})",
+                msg.timestamp,
+                self.in_horizon
+            );
+            if msg.timestamp > self.in_horizon {
+                self.in_horizon = msg.timestamp;
+            }
+            if msg.ty == MSG_SYNC {
+                self.stats.syncs_received += 1;
+            } else {
+                self.stats.data_received += 1;
+                self.pending.push_back(msg);
+            }
+        }
+    }
+
+    /// The peer's promise: no message with a timestamp below this will ever
+    /// arrive. Unsynchronized channels report "end of time".
+    pub fn horizon(&self) -> SimTime {
+        if self.sync_enabled() {
+            if self.peer_gone() && self.pending.is_empty() {
+                // A departed peer can never send anything again.
+                SimTime::MAX
+            } else {
+                self.in_horizon
+            }
+        } else {
+            SimTime::MAX
+        }
+    }
+
+    /// Timestamp of the next data message awaiting delivery, if any.
+    pub fn next_pending(&self) -> Option<SimTime> {
+        self.pending.front().map(|m| m.timestamp)
+    }
+
+    /// Deliver the next pending data message if it is due at `now`.
+    /// Unsynchronized ports deliver regardless of timestamp.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<OwnedMsg> {
+        match self.pending.front() {
+            Some(m) if !self.sync_enabled() || m.timestamp <= now => self.pending.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Local time at which the next SYNC message is due (None when the
+    /// channel is unsynchronized or already finalized).
+    pub fn next_sync_due(&self) -> Option<SimTime> {
+        if self.sync_enabled() && !self.finalized {
+            Some(self.next_sync_due)
+        } else {
+            None
+        }
+    }
+
+    /// Send a data message at local time `now`; the receiver will process it
+    /// at `now + Δ`. Resets the sync timer (any message doubles as a sync).
+    pub fn send_data(&mut self, now: SimTime, ty: MsgType, payload: &[u8]) {
+        debug_assert!(ty != MSG_SYNC, "type 0 is reserved for SYNC messages");
+        let ts = now.saturating_add(self.latency());
+        self.enqueue(ts, ty, payload);
+        self.stats.data_sent += 1;
+        self.next_sync_due = now.saturating_add(self.sync_interval());
+    }
+
+    /// Emit a SYNC message if one is due at local time `now` (§5.5: liveness).
+    pub fn maybe_send_sync(&mut self, now: SimTime) {
+        if !self.sync_enabled() || self.finalized {
+            return;
+        }
+        if now >= self.next_sync_due {
+            let ts = now.saturating_add(self.latency());
+            self.enqueue(ts, MSG_SYNC, &[]);
+            self.stats.syncs_sent += 1;
+            self.next_sync_due = now.saturating_add(self.sync_interval());
+        }
+    }
+
+    /// Send the final "end of time" promise so the peer never waits for this
+    /// component again after it finishes.
+    pub fn finalize(&mut self) {
+        if self.sync_enabled() && !self.finalized {
+            self.enqueue(SimTime::MAX, MSG_SYNC, &[]);
+            self.stats.syncs_sent += 1;
+        }
+        self.finalized = true;
+    }
+
+    /// True once the peer endpoint has been dropped.
+    pub fn peer_gone(&self) -> bool {
+        self.chan.peer_closed()
+    }
+
+    /// True if all outgoing messages have reached the shared queue.
+    pub fn flushed(&self) -> bool {
+        self.outbox.is_empty()
+    }
+
+    fn enqueue(&mut self, ts: SimTime, ty: MsgType, payload: &[u8]) {
+        if self.outbox.is_empty() {
+            match self.chan.send_raw(ts, ty, payload) {
+                Ok(()) => return,
+                Err(SendError::Disconnected) => return,
+                Err(SendError::TooLarge) => {
+                    panic!("message payload of {} bytes exceeds slot size", payload.len())
+                }
+                Err(SendError::Full) => {
+                    self.stats.backpressured += 1;
+                }
+            }
+        }
+        self.outbox.push_back((ts, ty, payload.to_vec()));
+    }
+
+    fn flush_outbox(&mut self) {
+        while let Some((ts, ty, payload)) = self.outbox.front() {
+            match self.chan.send_raw(*ts, *ty, payload) {
+                Ok(()) => {
+                    self.outbox.pop_front();
+                }
+                Err(SendError::Disconnected) => {
+                    self.outbox.clear();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{channel_pair, ChannelParams};
+
+    fn pair() -> (SyncPort, SyncPort) {
+        let (a, b) = channel_pair(ChannelParams::default_sync());
+        (SyncPort::new(a), SyncPort::new(b))
+    }
+
+    #[test]
+    fn data_message_carries_latency_timestamp() {
+        let (mut a, mut b) = pair();
+        a.send_data(SimTime::from_ns(100), 3, b"xyz");
+        b.poll();
+        assert_eq!(b.horizon(), SimTime::from_ns(600));
+        let m = b.pop_due(SimTime::from_ns(600)).unwrap();
+        assert_eq!(m.ty, 3);
+        assert_eq!(m.timestamp, SimTime::from_ns(600));
+    }
+
+    #[test]
+    fn message_not_delivered_before_due_time() {
+        let (mut a, mut b) = pair();
+        a.send_data(SimTime::from_ns(0), 3, b"p");
+        b.poll();
+        assert!(b.pop_due(SimTime::from_ns(499)).is_none());
+        assert!(b.pop_due(SimTime::from_ns(500)).is_some());
+    }
+
+    #[test]
+    fn sync_messages_raise_horizon_but_are_not_delivered() {
+        let (mut a, mut b) = pair();
+        a.maybe_send_sync(SimTime::ZERO);
+        b.poll();
+        assert_eq!(b.horizon(), SimTime::from_ns(500));
+        assert!(b.next_pending().is_none());
+        assert!(b.pop_due(SimTime::MAX).is_none());
+        assert_eq!(b.stats().syncs_received, 1);
+    }
+
+    #[test]
+    fn sync_due_tracking() {
+        let (mut a, _b) = pair();
+        // Initially due immediately (initial sync of Fig. 5 Init).
+        assert_eq!(a.next_sync_due(), Some(SimTime::ZERO));
+        a.maybe_send_sync(SimTime::ZERO);
+        assert_eq!(a.next_sync_due(), Some(SimTime::from_ns(500)));
+        // Not due yet: nothing happens.
+        a.maybe_send_sync(SimTime::from_ns(100));
+        assert_eq!(a.next_sync_due(), Some(SimTime::from_ns(500)));
+        // Sending data also resets the timer.
+        a.send_data(SimTime::from_ns(300), 1, &[]);
+        assert_eq!(a.next_sync_due(), Some(SimTime::from_ns(800)));
+        assert_eq!(a.stats().syncs_sent, 1);
+        assert_eq!(a.stats().data_sent, 1);
+    }
+
+    #[test]
+    fn unsync_port_has_infinite_horizon_and_immediate_delivery() {
+        let (a, b) = channel_pair(ChannelParams::default_unsync());
+        let (mut a, mut b) = (SyncPort::new(a), SyncPort::new(b));
+        assert_eq!(b.horizon(), SimTime::MAX);
+        assert!(a.next_sync_due().is_none());
+        a.send_data(SimTime::from_ns(1000), 2, b"k");
+        b.poll();
+        // Delivered even though the local clock is "behind" the timestamp.
+        assert!(b.pop_due(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn finalize_promises_end_of_time() {
+        let (mut a, mut b) = pair();
+        a.finalize();
+        b.poll();
+        assert_eq!(b.horizon(), SimTime::MAX);
+        // Finalized port no longer schedules syncs.
+        assert!(a.next_sync_due().is_none());
+    }
+
+    #[test]
+    fn horizon_is_max_once_peer_dropped_and_drained() {
+        let (mut a, mut b) = pair();
+        a.send_data(SimTime::ZERO, 1, &[1]);
+        drop(a);
+        b.poll();
+        // Still has a pending message: horizon stays at its timestamp.
+        assert_eq!(b.horizon(), SimTime::from_ns(500));
+        b.pop_due(SimTime::MAX).unwrap();
+        assert_eq!(b.horizon(), SimTime::MAX);
+    }
+
+    #[test]
+    fn outbox_absorbs_full_queue_and_preserves_order() {
+        let (a, b) = channel_pair(ChannelParams::default_sync().with_queue_len(2));
+        let (mut a, mut b) = (SyncPort::new(a), SyncPort::new(b));
+        for i in 0..10u8 {
+            a.send_data(SimTime::from_ns(i as u64), 1, &[i]);
+        }
+        assert!(!a.flushed());
+        assert!(a.stats().backpressured > 0);
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            a.poll(); // flushes outbox as space frees up
+            b.poll();
+            while let Some(m) = b.pop_due(SimTime::MAX) {
+                got.push(m.data[0]);
+            }
+        }
+        assert_eq!(got, (0..10u8).collect::<Vec<_>>());
+        assert!(a.flushed());
+    }
+
+    #[test]
+    fn multiple_data_same_timestamp_kept_fifo() {
+        let (mut a, mut b) = pair();
+        a.send_data(SimTime::from_ns(10), 1, &[1]);
+        a.send_data(SimTime::from_ns(10), 2, &[2]);
+        b.poll();
+        assert_eq!(b.pop_due(SimTime::MAX).unwrap().ty, 1);
+        assert_eq!(b.pop_due(SimTime::MAX).unwrap().ty, 2);
+    }
+}

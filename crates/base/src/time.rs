@@ -1,0 +1,231 @@
+//! Virtual simulation time.
+//!
+//! SimBricks components each maintain their own virtual clock. Clocks are
+//! expressed in integer **picoseconds** so that cycle-accurate models (e.g.
+//! the 250 MHz Corundum RTL model, 4 ns per cycle) and sub-nanosecond
+//! instruction costs (0.43 ns/instruction for the calibrated gem5-like host)
+//! can be represented exactly.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (picoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (picoseconds).
+pub type Duration = SimTime;
+
+pub const PS: u64 = 1;
+pub const NS: u64 = 1_000;
+pub const US: u64 = 1_000_000;
+pub const MS: u64 = 1_000_000_000;
+pub const SEC: u64 = 1_000_000_000_000;
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// "End of time" sentinel: used as the horizon of unsynchronized channels.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * NS)
+    }
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * US)
+    }
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * MS)
+    }
+    #[inline]
+    pub const fn from_sec(s: u64) -> Self {
+        SimTime(s * SEC)
+    }
+
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / NS
+    }
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0 / US
+    }
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SEC as f64
+    }
+
+    /// Saturating addition; adding anything to [`SimTime::MAX`] stays at MAX.
+    #[inline]
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Integer multiplication of a duration, saturating.
+    #[inline]
+    pub fn mul(self, n: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(n))
+    }
+
+    /// Whether this is the MAX sentinel.
+    #[inline]
+    pub fn is_max(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_max() {
+            return write!(f, "t=+inf");
+        }
+        let ps = self.0;
+        if ps % SEC == 0 {
+            write!(f, "{}s", ps / SEC)
+        } else if ps % MS == 0 {
+            write!(f, "{}ms", ps / MS)
+        } else if ps % US == 0 {
+            write!(f, "{}us", ps / US)
+        } else if ps % NS == 0 {
+            write!(f, "{}ns", ps / NS)
+        } else {
+            write!(f, "{}ps", ps)
+        }
+    }
+}
+
+/// Compute the virtual time required to transmit `bytes` at `bits_per_sec`
+/// (rounded up to the next picosecond).
+pub fn transmission_time(bytes: usize, bits_per_sec: u64) -> SimTime {
+    if bits_per_sec == 0 {
+        return SimTime::ZERO;
+    }
+    let bits = bytes as u128 * 8;
+    let ps = (bits * SEC as u128).div_ceil(bits_per_sec as u128);
+    SimTime(ps.min(u64::MAX as u128) as u64)
+}
+
+/// Common link bandwidth constants in bits per second.
+pub mod bw {
+    pub const GBPS: u64 = 1_000_000_000;
+    pub const MBPS: u64 = 1_000_000;
+    pub const B10G: u64 = 10 * GBPS;
+    pub const B40G: u64 = 40 * GBPS;
+    pub const B100G: u64 = 100 * GBPS;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_roundtrip() {
+        assert_eq!(SimTime::from_ns(5).as_ps(), 5_000);
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_us(), 2_000);
+        assert_eq!(SimTime::from_sec(1).as_ps(), SEC);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(20);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::MAX.max(a), SimTime::MAX);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(SimTime::MAX + SimTime::from_ns(1), SimTime::MAX);
+        assert_eq!(SimTime::from_ns(1) - SimTime::from_ns(5), SimTime::ZERO);
+        assert!(SimTime::MAX.is_max());
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_ns(500).to_string(), "500ns");
+        assert_eq!(SimTime::from_us(20).to_string(), "20us");
+        assert_eq!(SimTime::from_sec(10).to_string(), "10s");
+        assert_eq!(SimTime(1).to_string(), "1ps");
+        assert_eq!(SimTime::MAX.to_string(), "t=+inf");
+    }
+
+    #[test]
+    fn transmission_time_10g() {
+        // 1250 bytes at 10 Gbps = 1 us.
+        assert_eq!(transmission_time(1250, bw::B10G), SimTime::from_us(1));
+        // 0 bandwidth treated as instantaneous.
+        assert_eq!(transmission_time(1500, 0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn transmission_time_rounds_up() {
+        // 1 byte at 3 bits/s: 8/3 s -> ceil in ps.
+        let t = transmission_time(1, 3);
+        assert_eq!(t.as_ps(), (8 * SEC).div_ceil(3));
+    }
+}

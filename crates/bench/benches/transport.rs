@@ -1,0 +1,39 @@
+//! Criterion microbenchmark of the SimBricks message transport: SPSC queue
+//! enqueue/dequeue throughput and channel round trips.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simbricks::base::{channel_pair, spsc, ChannelParams, SimTime};
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc-queue");
+    g.sample_size(20);
+    for payload in [64usize, 1500] {
+        g.throughput(Throughput::Bytes(payload as u64));
+        g.bench_function(format!("send-recv-{payload}B"), |b| {
+            let (mut p, mut cns) = spsc::queue(64);
+            let data = vec![0u8; payload];
+            b.iter(|| {
+                p.try_send(SimTime::from_ns(1), 1, &data).unwrap();
+                std::hint::black_box(cns.try_recv().unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.sample_size(20);
+    g.bench_function("bidirectional-roundtrip", |b| {
+        let (mut a, mut z) = channel_pair(ChannelParams::default_sync());
+        b.iter(|| {
+            a.send_raw(SimTime::from_ns(1), 1, b"ping").unwrap();
+            let m = z.recv_raw().unwrap();
+            z.send_raw(m.timestamp, 2, &m.data).unwrap();
+            std::hint::black_box(a.recv_raw().unwrap());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spsc, bench_channel);
+criterion_main!(benches);

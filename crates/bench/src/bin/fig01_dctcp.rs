@@ -1,0 +1,19 @@
+//! Fig. 1: DCTCP throughput vs marking threshold K — network-simulator-only
+//! baseline vs the SimBricks end-to-end simulation. The end-to-end curve
+//! needs a larger K to reach line rate because host processing (interrupt
+//! scheduling, driver work) adds burstiness the network-only model misses.
+use simbricks::hostsim::HostKind;
+use simbricks::SimTime;
+use simbricks_bench::{dctcp_end_to_end, dctcp_network_only};
+
+fn main() {
+    let duration = SimTime::from_ms(30);
+    let ks = [2usize, 5, 10, 20, 40, 65, 100];
+    println!("# Figure 1: aggregate dctcp throughput [Gbps] vs marking threshold K (packets)");
+    println!("{:>6} {:>18} {:>24}", "K", "network-only", "end-to-end (SimBricks)");
+    for k in ks {
+        let only = dctcp_network_only(k, duration);
+        let e2e = dctcp_end_to_end(k, duration, HostKind::Gem5Timing);
+        println!("{:>6} {:>18.3} {:>24.3}", k, only, e2e);
+    }
+}

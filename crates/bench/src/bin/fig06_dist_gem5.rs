@@ -1,0 +1,16 @@
+//! Fig. 6: SimBricks pairwise synchronization vs dist-gem5-style global
+//! barrier synchronization as the number of simulated hosts grows.
+use simbricks::hostsim::HostKind;
+use simbricks::SimTime;
+use simbricks_bench::udp_scaleup;
+
+fn main() {
+    let duration = SimTime::from_ms(5);
+    println!("# Figure 6: wall-clock simulation time, pairwise vs global barrier");
+    println!("{:>6} {:>16} {:>16} {:>10}", "hosts", "simbricks[s]", "dist-gem5[s]", "ratio");
+    for hosts in [2usize, 4, 8, 16] {
+        let (pairwise, _) = udp_scaleup(hosts, HostKind::QemuTiming, duration, false);
+        let (barrier, _) = udp_scaleup(hosts, HostKind::QemuTiming, duration, true);
+        println!("{:>6} {:>16.2} {:>16.2} {:>10.2}", hosts, pairwise, barrier, barrier / pairwise.max(1e-9));
+    }
+}

@@ -1,0 +1,15 @@
+//! Fig. 7: local scale-up — simulation time as the number of hosts attached
+//! to one switch grows (fixed 1 Gbps aggregate UDP load).
+use simbricks::hostsim::HostKind;
+use simbricks::SimTime;
+use simbricks_bench::udp_scaleup;
+
+fn main() {
+    let duration = SimTime::from_ms(5);
+    println!("# Figure 7: local scale-up (aggregate 1 Gbps UDP iperf)");
+    println!("{:>6} {:>12} {:>14}", "hosts", "wall[s]", "sync msgs");
+    for hosts in [2usize, 5, 10, 15, 21] {
+        let (wall, syncs) = udp_scaleup(hosts, HostKind::Gem5Timing, duration, false);
+        println!("{:>6} {:>12.2} {:>14}", hosts, wall, syncs);
+    }
+}

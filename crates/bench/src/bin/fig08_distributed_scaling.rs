@@ -1,0 +1,66 @@
+//! Fig. 8: scale-out to many hosts organised in racks (ToR + core switches),
+//! memcached/memaslap workload. Scaled down from the paper's 40-1000 hosts on
+//! 26 servers to rack sizes that run on one machine; the quantity of interest
+//! is how simulation time grows with host count.
+use simbricks::apps::memcache::MEMCACHE_PORT;
+use simbricks::apps::{MemaslapClient, MemcachedServer};
+use simbricks::hostsim::{HostConfig, HostKind};
+use simbricks::netsim::{SwitchBm, SwitchConfig};
+use simbricks::netstack::SocketAddr;
+use simbricks::runner::{attach_host_nic, Execution, Experiment};
+use simbricks::SimTime;
+
+fn run(racks: usize, hosts_per_rack: usize, kind: HostKind) -> f64 {
+    let virt = SimTime::from_ms(5);
+    let mut exp = Experiment::new("memcache-racks", virt + SimTime::from_ms(2));
+    let mut core_ports = Vec::new();
+    // First half of each rack are servers, second half clients.
+    let mut server_addrs = Vec::new();
+    for r in 0..racks {
+        for h in 0..hosts_per_rack / 2 {
+            let idx = (r * hosts_per_rack + h) as u32;
+            server_addrs.push(SocketAddr::new(HostConfig::new(kind, idx).ip, MEMCACHE_PORT));
+        }
+    }
+    for r in 0..racks {
+        let mut eth = Vec::new();
+        for h in 0..hosts_per_rack {
+            let idx = (r * hosts_per_rack + h) as u32;
+            let cfg = HostConfig::new(kind, idx);
+            let is_server = h < hosts_per_rack / 2;
+            let app: Box<dyn simbricks::hostsim::Application> = if is_server {
+                Box::new(MemcachedServer::new())
+            } else {
+                Box::new(MemaslapClient::new(server_addrs.clone(), 2, 64, virt))
+            };
+            let (_h, _n, e) = attach_host_nic(&mut exp, &format!("r{r}h{h}"), cfg, app, false);
+            eth.push(e);
+        }
+        let (up, down) = simbricks::base::channel_pair(exp.eth_params());
+        eth.push(up);
+        exp.add(
+            format!("tor{r}"),
+            Box::new(SwitchBm::new(SwitchConfig { ports: hosts_per_rack + 1, ..Default::default() })),
+            eth,
+        );
+        core_ports.push(down);
+    }
+    exp.add(
+        "core",
+        Box::new(SwitchBm::new(SwitchConfig { ports: racks, ..Default::default() })),
+        core_ports,
+    );
+    let r = exp.run(Execution::Sequential);
+    r.wall_seconds()
+}
+
+fn main() {
+    println!("# Figure 8: scale-out (memcached racks, 5 ms virtual, scaled down)");
+    println!("{:>6} {:>18} {:>18}", "hosts", "gem5-like [s]", "qemu-timing [s]");
+    for racks in [1usize, 2, 4] {
+        let hosts = racks * 8;
+        let g = run(racks, 8, HostKind::Gem5Timing);
+        let q = run(racks, 8, HostKind::QemuTiming);
+        println!("{:>6} {:>18.2} {:>18.2}", hosts, g, q);
+    }
+}

@@ -1,0 +1,76 @@
+//! §7.2 (SimBricks interfaces are general): the NVMe SSD model (FEMU
+//! stand-in) attaches through the same PCIe interface as the NICs and works
+//! with the different host simulators. The harness runs a fio-style 4 KiB
+//! random read workload on each host kind and with two device speed
+//! configurations, reporting IOPS and latency.
+
+use simbricks::apps::{AccessPattern, FioConfig, FioWorkload};
+use simbricks::hostsim::{HostKind, StorageHostConfig, StorageHostModel};
+use simbricks::nvmesim::NvmeConfig;
+use simbricks::runner::{attach_host_nvme, Execution, Experiment};
+use simbricks::SimTime;
+
+fn run(kind: HostKind, nvme: NvmeConfig, qd: usize) -> (u64, f64, f64, f64) {
+    let duration = SimTime::from_ms(20);
+    let mut exp = Experiment::new("nvme-generality", duration + SimTime::from_ms(2));
+    let workload = FioWorkload::new(FioConfig {
+        queue_depth: qd,
+        pattern: AccessPattern::Random,
+        read_percent: 70,
+        duration,
+        ..Default::default()
+    });
+    let (host_id, _dev) = attach_host_nvme(
+        &mut exp,
+        "store",
+        StorageHostConfig::new(kind),
+        Box::new(workload),
+        nvme,
+    );
+    let r = exp.run(Execution::Sequential);
+    let host: &StorageHostModel = r.model(host_id).unwrap();
+    let report = host.app_report();
+    let field = |key: &str| -> f64 {
+        report
+            .split_whitespace()
+            .find_map(|t| {
+                t.strip_prefix(key)
+                    .map(|v| v.trim_end_matches("us").parse().unwrap_or(0.0))
+            })
+            .unwrap_or(0.0)
+    };
+    (
+        host.stats().completed,
+        field("iops="),
+        field("mean_lat="),
+        r.wall_seconds(),
+    )
+}
+
+fn main() {
+    println!("# Section 7.2: NVMe device model on the SimBricks PCIe interface");
+    println!(
+        "{:<14} {:<10} {:>4} {:>8} {:>12} {:>14} {:>9}",
+        "host", "device", "qd", "ops", "IOPS", "mean lat [us]", "wall [s]"
+    );
+    let fast = NvmeConfig {
+        read_latency: SimTime::from_us(20),
+        write_latency: SimTime::from_us(10),
+        ..Default::default()
+    };
+    let slow = NvmeConfig::default(); // 80 us reads, flash-like
+    for (host_name, kind) in [
+        ("gem5", HostKind::Gem5Timing),
+        ("qemu-timing", HostKind::QemuTiming),
+    ] {
+        for (dev_name, cfg) in [("flash-80us", slow), ("optane-20us", fast)] {
+            for qd in [1usize, 16] {
+                let (ops, iops, lat, wall) = run(kind, cfg, qd);
+                println!(
+                    "{:<14} {:<10} {:>4} {:>8} {:>12.0} {:>14.1} {:>9.2}",
+                    host_name, dev_name, qd, ops, iops, lat, wall
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! tables and figures. Every binary in `src/bin/` builds experiments from
+//! these helpers, runs them, and prints the corresponding rows/series.
+//!
+//! Durations are scaled down from the paper's 1–10 s of virtual time so each
+//! harness completes in seconds to minutes on a laptop-class machine; the
+//! *shape* of each result (who wins, by what factor, where crossovers fall)
+//! is what EXPERIMENTS.md compares against the paper.
+
+use simbricks::apps::{IperfTcpClient, IperfTcpServer, IperfUdpClient, IperfUdpServer, NetperfClient, NetperfServer};
+use simbricks::hostsim::{HostConfig, HostKind, HostModel, NicModelKind};
+use simbricks::netsim::des::{EndpointApp, EndpointCtx};
+use simbricks::netsim::{DesNetwork, LinkParams, QueueDiscipline, SwitchBm, SwitchConfig, TofinoConfig, TofinoSwitch};
+use simbricks::netstack::{CongestionControl, SocketAddr, SocketEvent, SocketId, StackConfig};
+use simbricks::proto::{Ipv4Addr, MacAddr};
+use simbricks::runner::{attach_host_nic, Execution, Experiment};
+use simbricks::SimTime;
+
+/// Re-export for binaries.
+pub use simbricks;
+
+/// Result of one netperf-style run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetperfResult {
+    pub throughput_gbps: f64,
+    pub latency_us: f64,
+    pub wall_seconds: f64,
+    pub virtual_time: SimTime,
+    pub syncs: u64,
+    pub barrier_waits: u64,
+}
+
+fn parse_report(report: &str) -> (f64, f64) {
+    let tput = report
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("tput=").and_then(|v| v.strip_suffix("Gbps")).and_then(|v| v.parse().ok()))
+        .unwrap_or(0.0);
+    let lat = report
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("rr_latency=").and_then(|v| v.strip_suffix("us")).and_then(|v| v.parse().ok()))
+        .unwrap_or(0.0);
+    (tput, lat)
+}
+
+/// Which network simulator to use in standard experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Net {
+    SwitchBm,
+    Des,
+    Tofino,
+}
+
+/// Two hosts running netperf through a NIC pair and a network — the Tab. 1 /
+/// Tab. 3 configuration.
+pub fn netperf_config(
+    host: HostKind,
+    nic: NicModelKind,
+    rtl_nic: bool,
+    net: Net,
+    stream: SimTime,
+    rr: SimTime,
+    pcie_latency: SimTime,
+) -> NetperfResult {
+    let total = stream + rr + SimTime::from_ms(5);
+    let mut exp = Experiment::new("netperf", total).with_pcie_latency(pcie_latency);
+    if !host.synchronized() {
+        exp = exp.unsynchronized();
+    }
+    let server_cfg = HostConfig::new(host, 0).with_nic(nic);
+    let client_cfg = HostConfig::new(host, 1).with_nic(nic);
+    let server_app = Box::new(NetperfServer::new(5201, 5202));
+    let client_app = Box::new(NetperfClient::new(server_cfg.ip, 5201, 5202, stream, rr));
+    let (_s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, rtl_nic);
+    let (c, _, c_eth) = attach_host_nic(&mut exp, "client", client_cfg, client_app, rtl_nic);
+    match net {
+        Net::SwitchBm => {
+            exp.add(
+                "switch",
+                Box::new(SwitchBm::new(SwitchConfig { ports: 2, ..Default::default() })),
+                vec![s_eth, c_eth],
+            );
+        }
+        Net::Des => {
+            let mut net = DesNetwork::new();
+            let sw = net.add_switch();
+            let a = net.add_external_port(0);
+            let b = net.add_external_port(1);
+            net.connect(a, sw, LinkParams::default());
+            net.connect(b, sw, LinkParams::default());
+            exp.add("des-net", Box::new(net), vec![s_eth, c_eth]);
+        }
+        Net::Tofino => {
+            exp.add(
+                "tofino",
+                Box::new(TofinoSwitch::new(TofinoConfig { ports: 2, ..Default::default() })),
+                vec![s_eth, c_eth],
+            );
+        }
+    }
+    let r = exp.run(Execution::Sequential);
+    let client: &HostModel = r.model(c).unwrap();
+    let (tput, lat) = parse_report(&client.app_report());
+    let total_stats = r.total_stats();
+    NetperfResult {
+        throughput_gbps: tput,
+        latency_us: lat,
+        wall_seconds: r.wall_seconds(),
+        virtual_time: r.virtual_time,
+        syncs: total_stats.syncs_sent,
+        barrier_waits: total_stats.barrier_waits,
+    }
+}
+
+/// Result of a dctcp fixed-threshold run: aggregate goodput in Gbps of two
+/// flows sharing a single 10 Gbps bottleneck link between two switches (the
+/// Fig. 1 topology: 2 clients and 2 servers, one shared bottleneck, ECN
+/// marking threshold K at the bottleneck queue).
+pub fn dctcp_end_to_end(k_packets: usize, duration: SimTime, host: HostKind) -> f64 {
+    let mut exp = Experiment::new("dctcp-e2e", duration + SimTime::from_ms(5));
+    let mut client_eth = Vec::new();
+    let mut server_eth = Vec::new();
+    let mut servers = Vec::new();
+    for pair in 0..2u32 {
+        let server_cfg = HostConfig::new(host, pair * 2)
+            .with_congestion(CongestionControl::Dctcp)
+            .with_mtu(4000);
+        let client_cfg = HostConfig::new(host, pair * 2 + 1)
+            .with_congestion(CongestionControl::Dctcp)
+            .with_mtu(4000);
+        let server_app = Box::new(IperfTcpServer::new(5000 + pair as u16));
+        let client_app = Box::new(IperfTcpClient::new(server_cfg.ip, 5000 + pair as u16, duration));
+        let (s, _, s_eth) = attach_host_nic(&mut exp, &format!("s{pair}"), server_cfg, server_app, false);
+        let (_c, _, c_eth) = attach_host_nic(&mut exp, &format!("c{pair}"), client_cfg, client_app, false);
+        server_eth.push(s_eth);
+        client_eth.push(c_eth);
+        servers.push(s);
+    }
+    // Client-side and server-side switches joined by one 10 G link: the
+    // shared bottleneck where DCTCP marking happens.
+    let (uplink_l, uplink_r) = simbricks::base::channel_pair(exp.eth_params());
+    let sw_cfg = SwitchConfig {
+        ports: 3,
+        ecn_threshold_pkts: Some(k_packets),
+        ..Default::default()
+    };
+    client_eth.push(uplink_l);
+    server_eth.push(uplink_r);
+    exp.add("switch-clients", Box::new(SwitchBm::new(sw_cfg)), client_eth);
+    exp.add("switch-servers", Box::new(SwitchBm::new(sw_cfg)), server_eth);
+    let r = exp.run(Execution::Sequential);
+    let mut total = 0.0;
+    for s in servers {
+        let host: &HostModel = r.model(s).unwrap();
+        let report = host.app_report();
+        let g = report
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("goodput=").and_then(|v| v.strip_suffix("Gbps")).and_then(|v| v.parse::<f64>().ok()))
+            .unwrap_or(0.0);
+        total += g;
+    }
+    total
+}
+
+/// An iperf-like endpoint running directly inside the DES network simulator —
+/// the "ns-3 alone" baseline of Fig. 1 (no host, NIC, or driver model).
+pub struct IperfEndpoint {
+    server: Option<(Ipv4Addr, u16)>,
+    listen_port: Option<u16>,
+    sock: Option<SocketId>,
+    duration: SimTime,
+    pub bytes: u64,
+    chunk: Vec<u8>,
+}
+
+impl IperfEndpoint {
+    pub fn client(server: Ipv4Addr, port: u16, duration: SimTime) -> Self {
+        IperfEndpoint {
+            server: Some((server, port)),
+            listen_port: None,
+            sock: None,
+            duration,
+            bytes: 0,
+            chunk: vec![0x42; 32 * 1024],
+        }
+    }
+    pub fn server(port: u16) -> Self {
+        IperfEndpoint {
+            server: None,
+            listen_port: Some(port),
+            sock: None,
+            duration: SimTime::ZERO,
+            bytes: 0,
+            chunk: Vec::new(),
+        }
+    }
+    fn pump(&mut self, ctx: &mut EndpointCtx) {
+        if let Some(s) = self.sock {
+            loop {
+                let n = ctx.stack.tcp_send(s, &self.chunk);
+                self.bytes += n as u64;
+                if n < self.chunk.len() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl EndpointApp for IperfEndpoint {
+    fn start(&mut self, ctx: &mut EndpointCtx) {
+        if let Some(port) = self.listen_port {
+            ctx.stack.tcp_listen(port);
+        }
+        if let Some((ip, port)) = self.server {
+            self.sock = Some(ctx.stack.tcp_connect(ctx.now, ip, port));
+            ctx.timers.push((ctx.now + self.duration, 1));
+        }
+    }
+    fn on_event(&mut self, ctx: &mut EndpointCtx, ev: SocketEvent) {
+        match ev {
+            SocketEvent::Connected(_) | SocketEvent::SendSpace(_) if self.server.is_some() => {
+                self.pump(ctx)
+            }
+            SocketEvent::DataAvailable(s) | SocketEvent::Accepted { socket: s, .. }
+                if self.listen_port.is_some() =>
+            {
+                let data = ctx.stack.tcp_recv(s, usize::MAX);
+                self.bytes += data.len() as u64;
+            }
+            _ => {}
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut EndpointCtx, _token: u64) {
+        if let Some(s) = self.sock {
+            ctx.stack.tcp_close(s);
+        }
+        *ctx.done = true;
+    }
+    fn report(&self) -> String {
+        format!("bytes={}", self.bytes)
+    }
+}
+
+/// The Fig. 1 "network simulator alone" baseline: two DCTCP flows simulated
+/// entirely inside the DES network with idealized endpoints; returns the
+/// aggregate goodput in Gbps.
+pub fn dctcp_network_only(k_packets: usize, duration: SimTime) -> f64 {
+    let mut exp = Experiment::new("dctcp-ns3-alone", duration + SimTime::from_ms(5));
+    let mut net = DesNetwork::new();
+    // Same topology as the end-to-end run: clients behind one switch, servers
+    // behind another, a single shared 10 G bottleneck link with the ECN
+    // marking queue in between.
+    let sw_clients = net.add_switch();
+    let sw_servers = net.add_switch();
+    let bottleneck = LinkParams {
+        queue: QueueDiscipline::EcnThreshold {
+            threshold_pkts: k_packets,
+            capacity_bytes: 1 << 20,
+        },
+        ..LinkParams::default()
+    };
+    net.connect(sw_clients, sw_servers, bottleneck);
+    let mut servers = Vec::new();
+    for pair in 0..2u32 {
+        let sip = Ipv4Addr::from_index(100 + pair * 2);
+        let cip = Ipv4Addr::from_index(101 + pair * 2);
+        let scfg = StackConfig {
+            ip: sip,
+            mac: MacAddr::from_index(200 + pair as u64 * 2),
+            congestion: CongestionControl::Dctcp,
+            mtu: 4000,
+            ..StackConfig::default()
+        };
+        let ccfg = StackConfig {
+            ip: cip,
+            mac: MacAddr::from_index(201 + pair as u64 * 2),
+            congestion: CongestionControl::Dctcp,
+            mtu: 4000,
+            ..StackConfig::default()
+        };
+        let s = net.add_endpoint(scfg, Box::new(IperfEndpoint::server(5000 + pair as u16)));
+        let c = net.add_endpoint(
+            ccfg,
+            Box::new(IperfEndpoint::client(sip, 5000 + pair as u16, duration)),
+        );
+        // Access links carry a single flow each and are not the bottleneck.
+        net.connect(s, sw_servers, LinkParams::default());
+        net.connect(c, sw_clients, LinkParams::default());
+        servers.push(s);
+    }
+    let idx = exp.add("des-net", Box::new(net), vec![]);
+    let r = exp.run(Execution::Sequential);
+    let net: &DesNetwork = r.model(idx).unwrap();
+    let mut total_bytes = 0u64;
+    for s in servers {
+        let rep = net.endpoint_report(s);
+        total_bytes += rep
+            .strip_prefix("bytes=")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+    }
+    total_bytes as f64 * 8.0 / duration.as_secs_f64() / 1e9
+}
+
+/// N client hosts plus one server host running rate-limited UDP iperf through
+/// a single switch (the Fig. 7 scale-up workload). Returns wall-clock seconds.
+pub fn udp_scaleup(hosts: usize, host_kind: HostKind, duration: SimTime, barrier: bool) -> (f64, u64) {
+    let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
+    if barrier {
+        exp = exp.with_global_barrier();
+    }
+    let server_cfg = HostConfig::new(host_kind, 0);
+    let server_app = Box::new(IperfUdpServer::new(9000));
+    let mut eth = Vec::new();
+    let (_s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, false);
+    eth.push(s_eth);
+    let per_client_rate = 1_000_000_000 / (hosts.max(2) as u64 - 1);
+    for i in 1..hosts {
+        let cfg = HostConfig::new(host_kind, i as u32);
+        let app = Box::new(IperfUdpClient::new(
+            SocketAddr::new(server_cfg.ip, 9000),
+            per_client_rate,
+            800,
+            duration,
+        ));
+        let (_c, _, c_eth) = attach_host_nic(&mut exp, &format!("client{i}"), cfg, app, false);
+        eth.push(c_eth);
+    }
+    exp.add(
+        "switch",
+        Box::new(SwitchBm::new(SwitchConfig {
+            ports: hosts,
+            ..Default::default()
+        })),
+        eth,
+    );
+    let r = exp.run(Execution::Sequential);
+    (r.wall_seconds(), r.total_stats().syncs_sent + r.total_stats().barrier_waits)
+}

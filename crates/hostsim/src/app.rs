@@ -1,0 +1,132 @@
+//! Application runtime: the interface between guest applications (iperf,
+//! netperf, memcached, NOPaxos, ...) and the simulated OS.
+
+use simbricks_base::SimTime;
+use simbricks_netstack::{NetStack, SocketAddr, SocketEvent, SocketId};
+use simbricks_proto::Ipv4Addr;
+
+/// Services the simulated OS exposes to an application during a callback.
+///
+/// Socket calls go straight to the host's network stack; timers and
+/// explicitly modelled CPU work are collected and applied by the host model
+/// when the callback returns (including charging the syscall costs).
+pub struct OsServices<'a> {
+    pub now: SimTime,
+    pub stack: &'a mut NetStack,
+    /// Requested application timers: (absolute time, token).
+    pub(crate) timer_requests: &'a mut Vec<(SimTime, u64)>,
+    /// Extra CPU time the application wants to consume (request processing).
+    pub(crate) extra_cpu: &'a mut SimTime,
+    /// Set when the application's workload is complete.
+    pub(crate) finished: &'a mut bool,
+    /// Number of socket syscalls performed in this callback (for costing).
+    pub(crate) syscalls: &'a mut u32,
+}
+
+impl<'a> OsServices<'a> {
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Local IP address of this host.
+    pub fn local_ip(&self) -> Ipv4Addr {
+        self.stack.ip()
+    }
+
+    pub fn tcp_listen(&mut self, port: u16) -> Option<SocketId> {
+        *self.syscalls += 1;
+        self.stack.tcp_listen(port)
+    }
+
+    pub fn tcp_connect(&mut self, ip: Ipv4Addr, port: u16) -> SocketId {
+        *self.syscalls += 1;
+        self.stack.tcp_connect(self.now, ip, port)
+    }
+
+    pub fn tcp_send(&mut self, s: SocketId, data: &[u8]) -> usize {
+        *self.syscalls += 1;
+        self.stack.tcp_send(s, data)
+    }
+
+    pub fn tcp_recv(&mut self, s: SocketId, max: usize) -> Vec<u8> {
+        *self.syscalls += 1;
+        self.stack.tcp_recv(s, max)
+    }
+
+    pub fn tcp_send_space(&self, s: SocketId) -> usize {
+        self.stack.tcp_send_space(s)
+    }
+
+    pub fn tcp_close(&mut self, s: SocketId) {
+        *self.syscalls += 1;
+        self.stack.tcp_close(s);
+    }
+
+    pub fn udp_bind(&mut self, port: u16) -> Option<SocketId> {
+        *self.syscalls += 1;
+        self.stack.udp_bind(port)
+    }
+
+    pub fn udp_send_to(&mut self, s: SocketId, to: SocketAddr, payload: &[u8]) {
+        *self.syscalls += 1;
+        self.stack.udp_send_to(self.now, s, to, payload);
+    }
+
+    pub fn udp_recv_from(&mut self, s: SocketId) -> Option<(SocketAddr, Vec<u8>)> {
+        *self.syscalls += 1;
+        self.stack.udp_recv_from(s)
+    }
+
+    /// Schedule an application timer at absolute time `at`.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.timer_requests.push((at, token));
+    }
+
+    /// Schedule an application timer `delay` from now.
+    pub fn set_timer_in(&mut self, delay: SimTime, token: u64) {
+        self.timer_requests.push((self.now + delay, token));
+    }
+
+    /// Model `duration` of application CPU work (e.g. request execution).
+    pub fn consume_cpu(&mut self, duration: SimTime) {
+        *self.extra_cpu += duration;
+    }
+
+    /// Declare the workload finished (the host reports and, in emulation
+    /// mode, terminates).
+    pub fn finish(&mut self) {
+        *self.finished = true;
+    }
+}
+
+/// A guest application running on a simulated host.
+pub trait Application: Send {
+    /// Called once after the NIC driver finished initialization.
+    fn start(&mut self, os: &mut OsServices);
+
+    /// A socket event (connection established, data available, ...) occurred.
+    fn on_socket_event(&mut self, os: &mut OsServices, ev: SocketEvent);
+
+    /// An application timer set via [`OsServices::set_timer`] fired.
+    fn on_timer(&mut self, os: &mut OsServices, token: u64);
+
+    /// One-line result summary (throughput, latency, ...) for reports.
+    fn report(&self) -> String {
+        String::new()
+    }
+
+    /// Whether the workload has completed.
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// An application that does nothing (used for idle hosts and as a
+/// placeholder while the real application is borrowed during callbacks).
+pub struct NullApp;
+
+impl Application for NullApp {
+    fn start(&mut self, _os: &mut OsServices) {}
+    fn on_socket_event(&mut self, _os: &mut OsServices, _ev: SocketEvent) {}
+    fn on_timer(&mut self, _os: &mut OsServices, _token: u64) {}
+}

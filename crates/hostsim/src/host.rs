@@ -1,0 +1,595 @@
+//! The host component model: CPU, memory, PCIe adapter, interrupts, OS-lite
+//! kernel, network stack and application runtime in one SimBricks component.
+
+use std::collections::HashMap;
+
+use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
+use simbricks_netstack::{CongestionControl, NetStack, StackConfig};
+use simbricks_pcie::{DevToHost, HostToDev, IntStatus, OutstandingRequests};
+use simbricks_proto::{Ipv4Addr, MacAddr};
+
+use crate::app::{Application, NullApp, OsServices};
+use crate::driver::{DriverOp, DriverOutcome, NicDriver, NicModelKind, ReadPurpose};
+use crate::mem::PhysMem;
+use crate::CostProfile;
+
+/// Which host simulator this component stands in for (§6.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostKind {
+    /// Detailed, synchronized timing host (gem5 TimingSimple stand-in).
+    Gem5Timing,
+    /// Instruction-counting host (QEMU icount stand-in), synchronized.
+    QemuTiming,
+    /// Functional host (QEMU+KVM stand-in), intended for unsynchronized runs.
+    QemuKvm,
+}
+
+impl HostKind {
+    /// Whether this host kind is meant to run with synchronized channels.
+    pub fn synchronized(&self) -> bool {
+        !matches!(self, HostKind::QemuKvm)
+    }
+}
+
+/// Static configuration of a simulated host.
+#[derive(Clone, Copy, Debug)]
+pub struct HostConfig {
+    pub kind: HostKind,
+    pub ip: Ipv4Addr,
+    pub mac: MacAddr,
+    pub nic: NicModelKind,
+    pub congestion: CongestionControl,
+    pub mtu: usize,
+    pub mem_bytes: usize,
+    /// Interrupt throttling the driver programs into the NIC (ns).
+    pub itr_ns: u64,
+    /// Virtual time after device discovery before the application starts
+    /// (stands in for the guest boot we do not simulate instruction by
+    /// instruction).
+    pub boot_delay: SimTime,
+    /// Periodic OS housekeeping tick (more detailed hosts tick more often,
+    /// which also makes them costlier to simulate). Zero disables it.
+    pub os_tick: SimTime,
+    /// Terminate the component as soon as the application reports done
+    /// (useful for unsynchronized emulation runs).
+    pub quit_when_done: bool,
+    /// Seed for the deterministic interrupt-scheduling jitter.
+    pub seed: u64,
+}
+
+impl HostConfig {
+    /// Build a configuration for host number `index` (addresses derived
+    /// deterministically).
+    pub fn new(kind: HostKind, index: u32) -> Self {
+        let (os_tick, itr) = match kind {
+            HostKind::Gem5Timing => (SimTime::from_us(50), 2_000),
+            HostKind::QemuTiming => (SimTime::from_us(200), 2_000),
+            HostKind::QemuKvm => (SimTime::ZERO, 0),
+        };
+        HostConfig {
+            kind,
+            ip: Ipv4Addr::from_index(index),
+            mac: MacAddr::from_index(index as u64 + 1),
+            nic: NicModelKind::I40e,
+            congestion: CongestionControl::Reno,
+            mtu: 1500,
+            mem_bytes: 8 << 20,
+            itr_ns: itr,
+            boot_delay: SimTime::from_us(100),
+            os_tick,
+            quit_when_done: false,
+            seed: 0x5eed_0000 + index as u64,
+        }
+    }
+
+    pub fn with_nic(mut self, nic: NicModelKind) -> Self {
+        self.nic = nic;
+        self
+    }
+
+    pub fn with_congestion(mut self, cc: CongestionControl) -> Self {
+        self.congestion = cc;
+        self
+    }
+
+    pub fn with_mtu(mut self, mtu: usize) -> Self {
+        self.mtu = mtu;
+        self
+    }
+
+    pub fn cost_profile(&self) -> CostProfile {
+        match self.kind {
+            HostKind::Gem5Timing => CostProfile::gem5_timing(),
+            HostKind::QemuTiming => CostProfile::qemu_timing(),
+            HostKind::QemuKvm => CostProfile::qemu_kvm(),
+        }
+    }
+}
+
+/// Counters reported by a host after a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostStats {
+    pub interrupts: u64,
+    pub rx_frames: u64,
+    pub tx_frames: u64,
+    pub mmio_read_stalls: u64,
+    pub mmio_writes: u64,
+    /// Wire frames absorbed into a GRO super-segment before stack processing.
+    pub gro_merged: u64,
+    /// Total modelled CPU busy time.
+    pub cpu_busy: SimTime,
+    pub os_ticks: u64,
+}
+
+enum MmioPurpose {
+    Posted,
+    DriverRead(ReadPurpose),
+}
+
+enum Work {
+    Irq,
+    StackTimer,
+    AppTimer(u64),
+    AppStart,
+    OsTick,
+}
+
+const TOK_WORK: u64 = 1 << 56;
+
+/// One simulated host. Port 0 of its kernel must be the PCIe channel to its
+/// NIC simulator.
+pub struct HostModel {
+    cfg: HostConfig,
+    cost: CostProfile,
+    mem: PhysMem,
+    driver: NicDriver,
+    stack: NetStack,
+    app: Option<Box<dyn Application>>,
+    app_done: bool,
+    cpu_busy_until: SimTime,
+    pcie: PortId,
+    mmio_pending: OutstandingRequests<MmioPurpose>,
+    works: HashMap<u64, Work>,
+    next_work: u64,
+    stack_timer_at: Option<SimTime>,
+    /// NAPI-style interrupt coalescing: while an IRQ work item is pending
+    /// (scheduled but not yet executed), further device interrupts do not
+    /// enqueue additional work — the poll run will reap everything at once.
+    /// Without this a saturated receiver accumulates an unbounded backlog of
+    /// per-interrupt CPU charges, which no real kernel does.
+    irq_work_pending: bool,
+    rng: u64,
+    stats: HostStats,
+}
+
+impl HostModel {
+    pub fn new(cfg: HostConfig, app: Box<dyn Application>) -> Self {
+        let driver = NicDriver::new(cfg.nic, cfg.itr_ns, cfg.mtu);
+        let stack_cfg = StackConfig {
+            ip: cfg.ip,
+            mac: cfg.mac,
+            mtu: cfg.mtu,
+            congestion: cfg.congestion,
+            // TCP segmentation offload when the NIC supports it (i40e): the
+            // stack hands super-segments to the driver and the NIC cuts them
+            // into wire segments, amortizing per-segment host costs.
+            tso_size: if driver.supports_tso() {
+                crate::driver::TSO_SIZE
+            } else {
+                0
+            },
+            ..StackConfig::default()
+        };
+        let mut stack = NetStack::new(stack_cfg);
+        stack.rx_checksum_offload = true;
+        HostModel {
+            cost: cfg.cost_profile(),
+            mem: PhysMem::new(cfg.mem_bytes),
+            driver,
+            stack,
+            app: Some(app),
+            app_done: false,
+            cpu_busy_until: SimTime::ZERO,
+            pcie: PortId(0),
+            mmio_pending: OutstandingRequests::new(),
+            works: HashMap::new(),
+            next_work: 1,
+            stack_timer_at: None,
+            irq_work_pending: false,
+            rng: cfg.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            stats: HostStats::default(),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    pub fn app_done(&self) -> bool {
+        self.app_done
+    }
+
+    /// The application's result line plus host counters.
+    pub fn report(&self) -> String {
+        let app = self
+            .app
+            .as_ref()
+            .map(|a| a.report())
+            .unwrap_or_default();
+        format!(
+            "{app} [irqs={} rx={} tx={} mmio_stalls={}]",
+            self.stats.interrupts, self.stats.rx_frames, self.stats.tx_frames,
+            self.stats.mmio_read_stalls
+        )
+    }
+
+    pub fn app_report(&self) -> String {
+        self.app.as_ref().map(|a| a.report()).unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // CPU accounting
+    // ------------------------------------------------------------------
+
+    fn charge(&mut self, now: SimTime, d: SimTime) {
+        let start = now.max(self.cpu_busy_until);
+        self.cpu_busy_until = start + d;
+        self.stats.cpu_busy += d;
+    }
+
+    fn jitter(&mut self) -> SimTime {
+        if self.cost.sched_jitter_max == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        SimTime::from_ps(self.rng % (self.cost.sched_jitter_max.as_ps() + 1))
+    }
+
+    fn defer(&mut self, k: &mut Kernel, work: Work, at: SimTime) {
+        let id = self.next_work;
+        self.next_work += 1;
+        self.works.insert(id, work);
+        k.schedule_at(at.max(k.now()), TOK_WORK | id);
+    }
+
+    // ------------------------------------------------------------------
+    // PCIe plumbing
+    // ------------------------------------------------------------------
+
+    fn execute_ops(&mut self, k: &mut Kernel, ops: Vec<DriverOp>) {
+        let now = k.now();
+        for op in ops {
+            match op {
+                DriverOp::MmioWrite { offset, value } => {
+                    self.charge(now, self.cost.mmio_write);
+                    self.stats.mmio_writes += 1;
+                    let req_id = self.mmio_pending.insert(MmioPurpose::Posted);
+                    let (ty, p) = HostToDev::MmioWrite {
+                        req_id,
+                        bar: 0,
+                        offset,
+                        data: value.to_le_bytes().to_vec(),
+                    }
+                    .encode();
+                    k.send(self.pcie, ty, &p);
+                }
+                DriverOp::MmioRead { offset, purpose } => {
+                    self.stats.mmio_read_stalls += 1;
+                    let req_id = self
+                        .mmio_pending
+                        .insert(MmioPurpose::DriverRead(purpose));
+                    let (ty, p) = HostToDev::MmioRead {
+                        req_id,
+                        bar: 0,
+                        offset,
+                        len: 8,
+                    }
+                    .encode();
+                    k.send(self.pcie, ty, &p);
+                }
+            }
+        }
+    }
+
+    fn handle_outcome(&mut self, k: &mut Kernel, outcome: DriverOutcome) {
+        self.execute_ops(k, outcome.ops);
+        if !outcome.frames.is_empty() {
+            self.handle_rx_frames(k, outcome.frames);
+        }
+    }
+
+    fn handle_rx_frames(&mut self, k: &mut Kernel, frames: Vec<Vec<u8>>) {
+        let now = k.now();
+        // Driver/DMA costs are paid per wire frame.
+        for frame in &frames {
+            self.charge(
+                now,
+                self.cost.per_packet
+                    + SimTime::from_ps(self.cost.per_byte.as_ps() * frame.len() as u64),
+            );
+            self.stats.rx_frames += 1;
+            k.log("host_rx", frame.len() as u64, 0);
+        }
+        // GRO: coalesce back-to-back TCP segments of the same flow, so the
+        // protocol-stack cost is paid per coalesced segment — the software
+        // offload that lets one core keep up with line rate.
+        let gro = simbricks_netstack::gro::coalesce(frames);
+        self.stats.gro_merged += gro.merged as u64;
+        for frame in gro.frames {
+            self.charge(now, self.cost.per_segment);
+            self.stack.handle_frame(now, &frame);
+        }
+        self.process_socket_events(k);
+        self.flush_stack(k);
+    }
+
+    // ------------------------------------------------------------------
+    // OS / application plumbing
+    // ------------------------------------------------------------------
+
+    fn run_app<F>(&mut self, k: &mut Kernel, f: F)
+    where
+        F: FnOnce(&mut dyn Application, &mut OsServices),
+    {
+        let now = k.now();
+        let mut app = self.app.take().unwrap_or_else(|| Box::new(NullApp));
+        let mut timer_reqs = Vec::new();
+        let mut extra = SimTime::ZERO;
+        let mut finished = self.app_done;
+        let mut syscalls = 0u32;
+        {
+            let mut os = OsServices {
+                now,
+                stack: &mut self.stack,
+                timer_requests: &mut timer_reqs,
+                extra_cpu: &mut extra,
+                finished: &mut finished,
+                syscalls: &mut syscalls,
+            };
+            f(app.as_mut(), &mut os);
+        }
+        self.app = Some(app);
+        self.app_done = finished;
+        let cost = self.cost.app_callback
+            + extra
+            + SimTime::from_ps(self.cost.syscall.as_ps() * syscalls as u64);
+        self.charge(now, cost);
+        for (at, tok) in timer_reqs {
+            self.defer(k, Work::AppTimer(tok), at);
+        }
+        self.flush_stack(k);
+        if self.app_done && self.cfg.quit_when_done {
+            k.quit();
+        }
+    }
+
+    fn process_socket_events(&mut self, k: &mut Kernel) {
+        loop {
+            let events = self.stack.poll_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                self.run_app(k, |app, os| app.on_socket_event(os, ev));
+            }
+        }
+    }
+
+    fn flush_stack(&mut self, k: &mut Kernel) {
+        let now = k.now();
+        while let Some(frame) = self.stack.poll_transmit() {
+            self.charge(
+                now,
+                self.cost.per_segment
+                    + SimTime::from_ps(self.cost.per_byte.as_ps() * frame.len() as u64),
+            );
+            self.stats.tx_frames += 1;
+            k.log("host_tx", frame.len() as u64, 0);
+            let ops = self.driver.transmit(&mut self.mem, &frame);
+            self.execute_ops(k, ops);
+        }
+        // Keep exactly one stack-timer work item armed for the earliest
+        // protocol deadline (retransmissions, delayed ACKs).
+        if let Some(t) = self.stack.poll_timeout() {
+            let needs = match self.stack_timer_at {
+                Some(existing) => t < existing,
+                None => true,
+            };
+            if needs {
+                self.stack_timer_at = Some(t);
+                self.defer(k, Work::StackTimer, t);
+            }
+        }
+    }
+
+    fn run_work(&mut self, k: &mut Kernel, work: Work) {
+        let now = k.now();
+        match work {
+            Work::Irq => {
+                // Re-enable "interrupts" before polling: anything that
+                // arrives while we process this batch schedules a new poll.
+                self.irq_work_pending = false;
+                self.charge(now, self.cost.irq_overhead);
+                let outcome = self.driver.on_interrupt(&mut self.mem);
+                self.handle_outcome(k, outcome);
+            }
+            Work::StackTimer => {
+                self.stack_timer_at = None;
+                self.charge(now, self.cost.per_segment);
+                self.stack.on_timer(now);
+                self.process_socket_events(k);
+                self.flush_stack(k);
+            }
+            Work::AppTimer(tok) => {
+                self.run_app(k, |app, os| app.on_timer(os, tok));
+                self.process_socket_events(k);
+            }
+            Work::AppStart => {
+                self.run_app(k, |app, os| app.start(os));
+                self.process_socket_events(k);
+            }
+            Work::OsTick => {
+                self.stats.os_ticks += 1;
+                self.charge(now, self.cost.irq_overhead);
+                if self.cfg.os_tick > SimTime::ZERO {
+                    let at = now + self.cfg.os_tick;
+                    self.defer(k, Work::OsTick, at);
+                }
+            }
+        }
+    }
+}
+
+impl Model for HostModel {
+    fn init(&mut self, k: &mut Kernel) {
+        if self.cfg.os_tick > SimTime::ZERO {
+            let at = k.now() + self.cfg.os_tick;
+            self.defer(k, Work::OsTick, at);
+        }
+    }
+
+    fn on_msg(&mut self, k: &mut Kernel, _port: PortId, msg: OwnedMsg) {
+        match DevToHost::decode(msg.ty, &msg.data) {
+            Some(DevToHost::DevInfo(_info)) => {
+                // PCI enumeration found the NIC: initialize the driver, tell
+                // the device which interrupt mechanisms are enabled, then
+                // start the application after the boot delay.
+                let ops = self.driver.init(&mut self.mem);
+                let (ty, p) = HostToDev::IntStatus(IntStatus {
+                    legacy: false,
+                    msi: false,
+                    msix: true,
+                })
+                .encode();
+                k.send(self.pcie, ty, &p);
+                self.execute_ops(k, ops);
+                let at = k.now() + self.cfg.boot_delay;
+                self.defer(k, Work::AppStart, at);
+            }
+            Some(DevToHost::DmaRead { req_id, addr, len }) => {
+                let data = self.mem.read(addr, len).to_vec();
+                let (ty, p) = HostToDev::DmaComplete { req_id, data }.encode();
+                k.send(self.pcie, ty, &p);
+            }
+            Some(DevToHost::DmaWrite { req_id, addr, data }) => {
+                self.mem.write(addr, &data);
+                let (ty, p) = HostToDev::DmaComplete {
+                    req_id,
+                    data: Vec::new(),
+                }
+                .encode();
+                k.send(self.pcie, ty, &p);
+            }
+            Some(DevToHost::Interrupt { .. }) => {
+                self.stats.interrupts += 1;
+                k.log("host_irq", self.stats.interrupts, 0);
+                // NAPI-style: only one poll work item outstanding at a time.
+                if !self.irq_work_pending {
+                    self.irq_work_pending = true;
+                    let delay = self.cost.irq_overhead + self.jitter();
+                    let at = k.now() + delay;
+                    self.defer(k, Work::Irq, at);
+                }
+            }
+            Some(DevToHost::MmioComplete { req_id, data }) => {
+                match self.mmio_pending.complete(req_id) {
+                    Some(MmioPurpose::Posted) | None => {}
+                    Some(MmioPurpose::DriverRead(purpose)) => {
+                        // The CPU was stalled waiting for this read: it could
+                        // not do anything else in the meantime.
+                        let now = k.now();
+                        self.cpu_busy_until = self.cpu_busy_until.max(now);
+                        let mut buf = [0u8; 8];
+                        let n = data.len().min(8);
+                        buf[..n].copy_from_slice(&data[..n]);
+                        let value = u64::from_le_bytes(buf);
+                        let outcome = self.driver.on_mmio_read(&mut self.mem, purpose, value);
+                        self.handle_outcome(k, outcome);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn on_timer(&mut self, k: &mut Kernel, token: u64) {
+        if token & (0xffu64 << 56) != TOK_WORK {
+            return;
+        }
+        let id = token & !(0xffu64 << 56);
+        let Some(work) = self.works.remove(&id) else {
+            return;
+        };
+        // A single simulated core: work cannot start while the CPU is busy
+        // with earlier work (this is what turns CPU cost into added latency).
+        if self.cpu_busy_until > k.now() {
+            let at = self.cpu_busy_until;
+            self.works.insert(id, work);
+            k.schedule_at(at, TOK_WORK | id);
+            return;
+        }
+        self.run_work(k, work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_kind_sync_defaults() {
+        assert!(HostKind::Gem5Timing.synchronized());
+        assert!(HostKind::QemuTiming.synchronized());
+        assert!(!HostKind::QemuKvm.synchronized());
+    }
+
+    #[test]
+    fn host_config_derives_addresses() {
+        let a = HostConfig::new(HostKind::Gem5Timing, 0);
+        let b = HostConfig::new(HostKind::Gem5Timing, 1);
+        assert_ne!(a.ip, b.ip);
+        assert_ne!(a.mac, b.mac);
+        assert!(a.os_tick > SimTime::ZERO);
+        let kvm = HostConfig::new(HostKind::QemuKvm, 2);
+        assert_eq!(kvm.os_tick, SimTime::ZERO);
+    }
+
+    #[test]
+    fn charge_serializes_cpu_time() {
+        let cfg = HostConfig::new(HostKind::Gem5Timing, 0);
+        let mut h = HostModel::new(cfg, Box::new(NullApp));
+        h.charge(SimTime::from_us(10), SimTime::from_us(5));
+        assert_eq!(h.cpu_busy_until, SimTime::from_us(15));
+        // Work arriving while busy extends from the busy point, not from now.
+        h.charge(SimTime::from_us(12), SimTime::from_us(5));
+        assert_eq!(h.cpu_busy_until, SimTime::from_us(20));
+        // After idle time, charging restarts from now.
+        h.charge(SimTime::from_us(100), SimTime::from_us(1));
+        assert_eq!(h.cpu_busy_until, SimTime::from_us(101));
+        assert_eq!(h.stats().cpu_busy, SimTime::from_us(11));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let cfg = HostConfig::new(HostKind::Gem5Timing, 3);
+        let mut a = HostModel::new(cfg, Box::new(NullApp));
+        let mut b = HostModel::new(cfg, Box::new(NullApp));
+        let ja: Vec<SimTime> = (0..32).map(|_| a.jitter()).collect();
+        let jb: Vec<SimTime> = (0..32).map(|_| b.jitter()).collect();
+        assert_eq!(ja, jb, "same seed, same jitter sequence");
+        let max = CostProfile::gem5_timing().sched_jitter_max;
+        assert!(ja.iter().all(|j| *j <= max));
+        assert!(ja.iter().any(|j| *j > SimTime::ZERO));
+        // KVM hosts have no jitter at all.
+        let mut k = HostModel::new(HostConfig::new(HostKind::QemuKvm, 9), Box::new(NullApp));
+        assert_eq!(k.jitter(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,130 @@
+//! # simbricks-hostsim
+//!
+//! Host (end-host server) simulators. Each simulated host runs, inside one
+//! SimBricks component, the pieces a full-system simulator provides in the
+//! paper: a CPU timing model, physical memory targeted by device DMA, a PCIe
+//! root complex adapter, an interrupt controller, an OS-lite kernel (driver
+//! execution, softirq-style receive processing, timers, sockets on top of
+//! [`simbricks_netstack`]) and an application runtime.
+//!
+//! Three host models mirror the paper's host simulators (§6.2):
+//!
+//! * [`HostKind::Gem5Timing`] — detailed timing host (gem5 TimingSimple
+//!   stand-in): highest per-operation CPU costs, cache-warmth effects,
+//!   deterministic interrupt-scheduling jitter, fully synchronized. This is
+//!   the "accurate but slow" end of the trade-off.
+//! * [`HostKind::QemuTiming`] — instruction-counting host (QEMU `icount`):
+//!   fixed, lower per-operation costs, synchronized.
+//! * [`HostKind::QemuKvm`] — functional host (QEMU+KVM): negligible modelled
+//!   costs, intended to be run with unsynchronized channels (emulation mode).
+//!
+//! The drivers in [`driver`] program the NIC models from `simbricks-nicsim`
+//! through the SimBricks PCIe interface exactly as a guest driver would:
+//! descriptor rings and packet buffers live in the host's simulated memory
+//! and are read/written by the NIC via DMA; doorbells and head-index reads
+//! are MMIO operations that consume (and, for reads, stall) host CPU time.
+
+pub mod app;
+pub mod driver;
+pub mod host;
+pub mod mem;
+pub mod storage;
+
+pub use app::{Application, OsServices};
+pub use driver::NicModelKind;
+pub use host::{HostConfig, HostKind, HostModel, HostStats};
+pub use mem::PhysMem;
+pub use storage::{
+    BlockApp, BlockCompletion, BlockOsServices, StorageHostConfig, StorageHostModel,
+    StorageHostStats,
+};
+
+use simbricks_base::SimTime;
+
+/// Per-operation CPU cost profile of a host model. All work executed by the
+/// simulated OS/application is charged against a single core using these
+/// costs, which is what produces host-induced delays and jitter (the effects
+/// the Fig. 1 and §8.1 experiments depend on).
+#[derive(Clone, Copy, Debug)]
+pub struct CostProfile {
+    /// Interrupt entry/exit plus top-half dispatch.
+    pub irq_overhead: SimTime,
+    /// Fixed driver cost per received or transmitted packet.
+    pub per_packet: SimTime,
+    /// Copy / checksum cost per byte of packet payload.
+    pub per_byte: SimTime,
+    /// Protocol-stack cost per segment (TCP/UDP/IP processing).
+    pub per_segment: SimTime,
+    /// Cost of a socket-layer syscall (send/recv) including the user/kernel
+    /// crossing.
+    pub syscall: SimTime,
+    /// Cost of an application-level callback (request handling etc.).
+    pub app_callback: SimTime,
+    /// Cost of an MMIO register write (posted, does not stall).
+    pub mmio_write: SimTime,
+    /// Maximum deterministic pseudo-random jitter added to interrupt
+    /// scheduling (models OS scheduling variability; zero disables it).
+    pub sched_jitter_max: SimTime,
+}
+
+impl CostProfile {
+    /// Calibrated to the paper's gem5 setup: ~0.43 ns/instruction effective
+    /// rate for Linux networking code paths, plus scheduling noise.
+    pub fn gem5_timing() -> Self {
+        CostProfile {
+            irq_overhead: SimTime::from_ns(2600),
+            per_packet: SimTime::from_ns(860),
+            per_byte: SimTime::from_ps(350),
+            per_segment: SimTime::from_ns(1300),
+            syscall: SimTime::from_ns(1100),
+            app_callback: SimTime::from_ns(900),
+            mmio_write: SimTime::from_ns(120),
+            sched_jitter_max: SimTime::from_us(6),
+        }
+    }
+
+    /// QEMU with instruction counting at a fixed 4 GHz virtual clock.
+    pub fn qemu_timing() -> Self {
+        CostProfile {
+            irq_overhead: SimTime::from_ns(1200),
+            per_packet: SimTime::from_ns(400),
+            per_byte: SimTime::from_ps(150),
+            per_segment: SimTime::from_ns(600),
+            syscall: SimTime::from_ns(500),
+            app_callback: SimTime::from_ns(400),
+            mmio_write: SimTime::from_ns(60),
+            sched_jitter_max: SimTime::from_us(2),
+        }
+    }
+
+    /// Functional emulation: costs are negligible.
+    pub fn qemu_kvm() -> Self {
+        CostProfile {
+            irq_overhead: SimTime::from_ns(10),
+            per_packet: SimTime::from_ns(5),
+            per_byte: SimTime::ZERO,
+            per_segment: SimTime::from_ns(5),
+            syscall: SimTime::from_ns(5),
+            app_callback: SimTime::from_ns(5),
+            mmio_write: SimTime::from_ns(1),
+            sched_jitter_max: SimTime::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_profiles_are_ordered_by_detail() {
+        let g = CostProfile::gem5_timing();
+        let q = CostProfile::qemu_timing();
+        let k = CostProfile::qemu_kvm();
+        assert!(g.per_packet > q.per_packet);
+        assert!(q.per_packet > k.per_packet);
+        assert!(g.irq_overhead > q.irq_overhead);
+        assert!(g.sched_jitter_max > q.sched_jitter_max);
+        assert_eq!(k.sched_jitter_max, SimTime::ZERO);
+    }
+}

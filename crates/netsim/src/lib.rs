@@ -1,0 +1,29 @@
+//! # simbricks-netsim
+//!
+//! Network component simulators, all speaking the SimBricks Ethernet
+//! interface ([`simbricks_eth`]):
+//!
+//! * [`switch::SwitchBm`] — the paper's fast behavioural Ethernet switch
+//!   (§6.4): MAC learning, per-port output queues with bandwidth, optional
+//!   ECN marking threshold.
+//! * [`des::DesNetwork`] — a discrete-event packet network in the spirit of
+//!   ns-3 / OMNeT++: arbitrary topologies of internal switches and links with
+//!   configurable bandwidth, propagation delay, queue capacity and RED/ECN
+//!   marking, plus *internal endpoints* that run the simulated TCP stack
+//!   directly inside the network simulator. Internal endpoints are what the
+//!   "ns-3 alone" baseline of Fig. 1 uses: no host, NIC, or driver model.
+//! * [`tofino::TofinoSwitch`] — a programmable match-action pipeline switch
+//!   with per-stage latency and a queuing model, including the OUM sequencer
+//!   program used to reproduce the NOPaxos experiment (Fig. 10).
+//! * [`rmt::RmtPipeline`] — a cycle-driven RMT packet-processing pipeline
+//!   standing in for the Menshen Verilog design behind the same interface.
+
+pub mod des;
+pub mod rmt;
+pub mod switch;
+pub mod tofino;
+
+pub use des::{DesNetwork, EndpointApp, LinkParams, NodeId, QueueDiscipline};
+pub use rmt::RmtPipeline;
+pub use switch::{SwitchBm, SwitchConfig};
+pub use tofino::{SequencerConfig, TofinoConfig, TofinoSwitch};

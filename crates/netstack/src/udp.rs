@@ -1,0 +1,78 @@
+//! UDP socket state.
+
+use std::collections::VecDeque;
+
+use crate::socket::SocketAddr;
+
+/// Maximum datagrams buffered per UDP socket before tail drop (mimics a
+/// kernel socket receive buffer).
+pub const UDP_RX_QUEUE_LIMIT: usize = 1024;
+
+/// A bound UDP socket: a local port plus a receive queue.
+#[derive(Debug)]
+pub struct UdpSocket {
+    pub local_port: u16,
+    rx: VecDeque<(SocketAddr, Vec<u8>)>,
+    pub dropped: u64,
+}
+
+impl UdpSocket {
+    pub fn new(local_port: u16) -> Self {
+        UdpSocket {
+            local_port,
+            rx: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Queue a received datagram; drops when the socket buffer is full.
+    /// Returns true if the datagram was queued.
+    pub fn deliver(&mut self, from: SocketAddr, payload: Vec<u8>) -> bool {
+        if self.rx.len() >= UDP_RX_QUEUE_LIMIT {
+            self.dropped += 1;
+            return false;
+        }
+        self.rx.push_back((from, payload));
+        true
+    }
+
+    /// Take the oldest queued datagram.
+    pub fn recv(&mut self) -> Option<(SocketAddr, Vec<u8>)> {
+        self.rx.pop_front()
+    }
+
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbricks_proto::Ipv4Addr;
+
+    fn addr(last: u8, port: u16) -> SocketAddr {
+        SocketAddr::new(Ipv4Addr::new(10, 0, 0, last), port)
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let mut s = UdpSocket::new(7000);
+        assert!(s.deliver(addr(1, 1111), vec![1]));
+        assert!(s.deliver(addr(2, 2222), vec![2]));
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.recv().unwrap().1, vec![1]);
+        assert_eq!(s.recv().unwrap().0, addr(2, 2222));
+        assert!(s.recv().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut s = UdpSocket::new(9);
+        for i in 0..UDP_RX_QUEUE_LIMIT + 10 {
+            s.deliver(addr(1, 1), vec![i as u8]);
+        }
+        assert_eq!(s.pending(), UDP_RX_QUEUE_LIMIT);
+        assert_eq!(s.dropped, 10);
+    }
+}

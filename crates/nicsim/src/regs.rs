@@ -1,0 +1,154 @@
+//! Register layout and descriptor formats shared by the NIC simulators and
+//! the host-side drivers (the "datasheet" both sides are written against).
+//!
+//! All registers live in BAR 0 and are accessed with 8-byte MMIO operations.
+//! Descriptors are 16 bytes, little-endian, resident in host memory and
+//! transferred by NIC-initiated DMA.
+
+/// BAR0 size exposed in the PCIe device info.
+pub const BAR0_SIZE: u64 = 0x10000;
+
+/// Global control register: bit 0 enables the device.
+pub const REG_CTRL: u64 = 0x00;
+/// Number of queue pairs supported (read-only).
+pub const REG_NQUEUES: u64 = 0x08;
+/// Offload feature flags: bit 0 = TX checksum offload, bit 1 = RX checksum
+/// offload.
+pub const REG_FLAGS: u64 = 0x10;
+/// Interrupt cause register, read-to-clear (e1000-style devices).
+pub const REG_ICR: u64 = 0x18;
+/// Device MAC address (low 6 bytes).
+pub const REG_MAC: u64 = 0x20;
+
+/// Per-queue register block base and stride.
+pub const QUEUE_BASE: u64 = 0x1000;
+pub const QUEUE_STRIDE: u64 = 0x100;
+
+/// Offsets within a queue register block.
+pub const Q_TX_BASE: u64 = 0x00;
+pub const Q_TX_LEN: u64 = 0x08;
+pub const Q_TX_TAIL: u64 = 0x10;
+pub const Q_TX_HEAD: u64 = 0x18;
+pub const Q_RX_BASE: u64 = 0x20;
+pub const Q_RX_LEN: u64 = 0x28;
+pub const Q_RX_TAIL: u64 = 0x30;
+pub const Q_RX_HEAD: u64 = 0x38;
+/// Interrupt throttling interval for this queue's MSI-X vector, nanoseconds.
+pub const Q_ITR: u64 = 0x40;
+/// Wire MSS used by TCP segmentation offload for this queue. Zero disables
+/// TSO. Only NICs that advertise segmentation offload (the i40e model) honor
+/// descriptors carrying [`DESC_TSO`].
+pub const Q_TSO_MSS: u64 = 0x48;
+
+/// Address of a register within queue `q`.
+pub const fn queue_reg(q: usize, offset: u64) -> u64 {
+    QUEUE_BASE + q as u64 * QUEUE_STRIDE + offset
+}
+
+/// Interrupt cause bits (REG_ICR).
+pub const ICR_RXQ0: u64 = 1 << 0;
+pub const ICR_TXQ0: u64 = 1 << 8;
+
+/// Flag bits (REG_FLAGS).
+pub const FLAG_TX_CSUM: u64 = 1 << 0;
+pub const FLAG_RX_CSUM: u64 = 1 << 1;
+
+/// Descriptor size in bytes (TX and RX).
+pub const DESC_SIZE: usize = 16;
+
+/// Descriptor status/flag bits.
+pub const DESC_DD: u16 = 1 << 0;
+pub const DESC_EOP: u16 = 1 << 1;
+pub const DESC_CSUM_OFFLOAD: u16 = 1 << 2;
+pub const DESC_CSUM_OK: u16 = 1 << 3;
+/// TX descriptor references a TCP super-segment: the NIC must cut it into
+/// wire segments of at most the queue's configured TSO MSS.
+pub const DESC_TSO: u16 = 1 << 4;
+
+/// A transmit or receive descriptor as laid out in host memory.
+///
+/// ```text
+/// bytes 0..8   buffer physical address
+/// bytes 8..10  length (TX: bytes to send; RX write-back: received bytes)
+/// bytes 10..12 flags (EOP, checksum offload request / result)
+/// bytes 12..14 status (DD)
+/// bytes 14..16 reserved
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Descriptor {
+    pub addr: u64,
+    pub len: u16,
+    pub flags: u16,
+    pub status: u16,
+}
+
+impl Descriptor {
+    pub fn to_bytes(&self) -> [u8; DESC_SIZE] {
+        let mut b = [0u8; DESC_SIZE];
+        b[0..8].copy_from_slice(&self.addr.to_le_bytes());
+        b[8..10].copy_from_slice(&self.len.to_le_bytes());
+        b[10..12].copy_from_slice(&self.flags.to_le_bytes());
+        b[12..14].copy_from_slice(&self.status.to_le_bytes());
+        b
+    }
+
+    pub fn from_bytes(b: &[u8]) -> Option<Descriptor> {
+        if b.len() < DESC_SIZE {
+            return None;
+        }
+        Some(Descriptor {
+            addr: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            len: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+            flags: u16::from_le_bytes(b[10..12].try_into().unwrap()),
+            status: u16::from_le_bytes(b[12..14].try_into().unwrap()),
+        })
+    }
+
+    pub fn has_dd(&self) -> bool {
+        self.status & DESC_DD != 0
+    }
+}
+
+/// PCI identifiers used by the different NIC models.
+pub mod ids {
+    pub const VENDOR_INTEL: u16 = 0x8086;
+    pub const DEVICE_I40E: u16 = 0x1572;
+    pub const DEVICE_E1000: u16 = 0x100e;
+    pub const VENDOR_CORUNDUM: u16 = 0x1234;
+    pub const DEVICE_CORUNDUM: u16 = 0x1001;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = Descriptor {
+            addr: 0x1_0000_2000,
+            len: 1514,
+            flags: DESC_EOP | DESC_CSUM_OFFLOAD,
+            status: DESC_DD,
+        };
+        let b = d.to_bytes();
+        assert_eq!(Descriptor::from_bytes(&b), Some(d));
+        assert!(d.has_dd());
+        assert!(Descriptor::from_bytes(&b[..10]).is_none());
+    }
+
+    #[test]
+    fn queue_register_addresses_do_not_overlap() {
+        let q0_last = queue_reg(0, Q_ITR);
+        let q1_first = queue_reg(1, Q_TX_BASE);
+        assert!(q0_last < q1_first);
+        assert_eq!(queue_reg(0, Q_TX_BASE), 0x1000);
+        assert_eq!(queue_reg(2, Q_RX_TAIL), 0x1000 + 2 * 0x100 + 0x30);
+    }
+
+    #[test]
+    fn default_descriptor_is_empty() {
+        let d = Descriptor::default();
+        assert!(!d.has_dd());
+        assert_eq!(d.to_bytes(), [0u8; DESC_SIZE]);
+    }
+}

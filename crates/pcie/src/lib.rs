@@ -1,0 +1,65 @@
+//! # simbricks-pcie
+//!
+//! The SimBricks host ↔ device interface (Fig. 4 of the paper), modelled on
+//! the PCIe *transactional* layer: device discovery (`INIT_DEV`), MMIO reads
+//! and writes initiated by the host, DMA reads and writes initiated by the
+//! device, completions in both directions, and interrupt signalling (INTx,
+//! MSI, MSI-X). Low-level PCIe details (encoding, signalling, flow control)
+//! are abstracted into two channel parameters: bandwidth and latency.
+//!
+//! Messages are serialized into SimBricks message slots; this crate provides
+//! the typed encode/decode layer both host-simulator and device-simulator
+//! adapters use, plus a small helper for tracking outstanding requests.
+
+pub mod msg;
+pub mod outstanding;
+
+pub use msg::{
+    BarInfo, BarKind, DevToHost, DeviceInfo, HostToDev, IntKind, IntStatus, MSG_DEV_TO_HOST_BASE,
+    MSG_HOST_TO_DEV_BASE,
+};
+pub use outstanding::OutstandingRequests;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn dev_to_host_roundtrip(req_id in any::<u64>(), addr in any::<u64>(),
+                                 len in 0usize..2048,
+                                 data in proptest::collection::vec(any::<u8>(), 0..256),
+                                 vector in any::<u16>()) {
+            let msgs = vec![
+                DevToHost::DmaRead { req_id, addr, len },
+                DevToHost::DmaWrite { req_id, addr, data: data.clone() },
+                DevToHost::MmioComplete { req_id, data: data.clone() },
+                DevToHost::Interrupt { kind: IntKind::Msix, vector },
+                DevToHost::Interrupt { kind: IntKind::Legacy, vector: 0 },
+            ];
+            for m in msgs {
+                let (ty, payload) = m.encode();
+                let back = DevToHost::decode(ty, &payload).unwrap();
+                prop_assert_eq!(back, m);
+            }
+        }
+
+        #[test]
+        fn host_to_dev_roundtrip(req_id in any::<u64>(), bar in 0u8..6,
+                                 offset in any::<u64>(), len in 1usize..64,
+                                 data in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let msgs = vec![
+                HostToDev::MmioRead { req_id, bar, offset, len },
+                HostToDev::MmioWrite { req_id, bar, offset, data: data.clone() },
+                HostToDev::DmaComplete { req_id, data: data.clone() },
+                HostToDev::IntStatus(IntStatus { legacy: true, msi: false, msix: true }),
+            ];
+            for m in msgs {
+                let (ty, payload) = m.encode();
+                let back = HostToDev::decode(ty, &payload).unwrap();
+                prop_assert_eq!(back, m);
+            }
+        }
+    }
+}

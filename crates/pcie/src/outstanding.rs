@@ -1,0 +1,114 @@
+//! Tracking of outstanding PCIe requests.
+//!
+//! PCIe allows multiple outstanding MMIO and DMA operations, and completions
+//! may return out of order (§5.1.1). Both host- and device-side adapters tag
+//! requests with an identifier and match completions back to the request
+//! context stored here.
+
+use std::collections::HashMap;
+
+/// A table of in-flight requests of type `T` keyed by request id.
+#[derive(Debug)]
+pub struct OutstandingRequests<T> {
+    next_id: u64,
+    inflight: HashMap<u64, T>,
+    /// High-water mark of concurrently outstanding requests.
+    max_inflight: usize,
+}
+
+impl<T> Default for OutstandingRequests<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OutstandingRequests<T> {
+    pub fn new() -> Self {
+        OutstandingRequests {
+            next_id: 1,
+            inflight: HashMap::new(),
+            max_inflight: 0,
+        }
+    }
+
+    /// Register a new request, returning the id to put in the message.
+    pub fn insert(&mut self, ctx: T) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.inflight.insert(id, ctx);
+        self.max_inflight = self.max_inflight.max(self.inflight.len());
+        id
+    }
+
+    /// Complete a request, returning its context (None for unknown ids,
+    /// e.g. duplicated completions).
+    pub fn complete(&mut self, id: u64) -> Option<T> {
+        self.inflight.remove(&id)
+    }
+
+    /// Look at a pending request without completing it.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        self.inflight.get(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Largest number of requests that were in flight at the same time.
+    pub fn high_water_mark(&self) -> usize {
+        self.max_inflight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_completions_match() {
+        let mut o = OutstandingRequests::new();
+        let a = o.insert("read descriptor");
+        let b = o.insert("write payload");
+        assert_ne!(a, b);
+        assert_eq!(o.len(), 2);
+        // Out-of-order completion.
+        assert_eq!(o.complete(b), Some("write payload"));
+        assert_eq!(o.complete(a), Some("read descriptor"));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn unknown_or_duplicate_completion_is_none() {
+        let mut o: OutstandingRequests<u32> = OutstandingRequests::new();
+        let a = o.insert(7);
+        assert_eq!(o.complete(a), Some(7));
+        assert_eq!(o.complete(a), None);
+        assert_eq!(o.complete(999), None);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_concurrency() {
+        let mut o = OutstandingRequests::new();
+        let ids: Vec<u64> = (0..10).map(|i| o.insert(i)).collect();
+        assert_eq!(o.high_water_mark(), 10);
+        for id in ids {
+            o.complete(id);
+        }
+        assert_eq!(o.high_water_mark(), 10);
+        o.insert(0);
+        assert_eq!(o.high_water_mark(), 10);
+    }
+
+    #[test]
+    fn get_does_not_remove() {
+        let mut o = OutstandingRequests::new();
+        let a = o.insert(vec![1, 2, 3]);
+        assert_eq!(o.get(a), Some(&vec![1, 2, 3]));
+        assert_eq!(o.len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Link-layer and network-layer addresses.
+
+use std::fmt;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    pub const fn new(bytes: [u8; 6]) -> Self {
+        MacAddr(bytes)
+    }
+
+    /// Deterministically derive a locally-administered unicast MAC from a
+    /// small integer index. Used by the orchestration framework to assign
+    /// addresses to simulated NICs.
+    pub fn from_index(idx: u64) -> Self {
+        let b = idx.to_be_bytes();
+        // 0x02 prefix: locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    pub fn to_u64(&self) -> u64 {
+        let mut v = 0u64;
+        for b in self.0 {
+            v = (v << 8) | b as u64;
+        }
+        v
+    }
+
+    pub fn from_slice(s: &[u8]) -> Option<Self> {
+        if s.len() < 6 {
+            return None;
+        }
+        let mut b = [0u8; 6];
+        b.copy_from_slice(&s[..6]);
+        Some(MacAddr(b))
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// An IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0; 4]);
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr([0xff; 4]);
+
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// Deterministic host address inside 10.0.0.0/8 from an index
+    /// (10.x.y.z with z != 0), used by the orchestration framework.
+    pub fn from_index(idx: u32) -> Self {
+        let i = idx + 1; // avoid .0 host part
+        Ipv4Addr([10, (i >> 16) as u8, (i >> 8) as u8, i as u8])
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 4] {
+        &self.0
+    }
+
+    pub fn to_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    pub fn from_u32(v: u32) -> Self {
+        Ipv4Addr(v.to_be_bytes())
+    }
+
+    pub fn from_slice(s: &[u8]) -> Option<Self> {
+        if s.len() < 4 {
+            return None;
+        }
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&s[..4]);
+        Some(Ipv4Addr(b))
+    }
+
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_from_index_is_unique_and_unicast() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(!a.is_broadcast());
+        assert_eq!(a.to_string(), "02:00:00:00:00:01");
+    }
+
+    #[test]
+    fn broadcast_and_multicast_detection() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::new([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!MacAddr::from_index(7).is_multicast());
+    }
+
+    #[test]
+    fn mac_u64_roundtrip_and_slice() {
+        let m = MacAddr::new([1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.to_u64(), 0x010203040506);
+        assert_eq!(MacAddr::from_slice(&[1, 2, 3, 4, 5, 6, 99]).unwrap(), m);
+        assert!(MacAddr::from_slice(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn ipv4_display_and_conversions() {
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        assert_eq!(ip.to_string(), "10.1.2.3");
+        assert_eq!(Ipv4Addr::from_u32(ip.to_u32()), ip);
+        assert_eq!(Ipv4Addr::from_slice(&[10, 1, 2, 3]).unwrap(), ip);
+        assert!(Ipv4Addr::from_slice(&[1]).is_none());
+    }
+
+    #[test]
+    fn ipv4_from_index_distinct() {
+        let a = Ipv4Addr::from_index(0);
+        let b = Ipv4Addr::from_index(1);
+        let c = Ipv4Addr::from_index(255);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(c, Ipv4Addr::new(10, 0, 1, 0));
+    }
+}

@@ -1,0 +1,155 @@
+//! ARP (RFC 826) for IPv4-over-Ethernet address resolution.
+//!
+//! The simulated hosts resolve peer MAC addresses with real ARP
+//! request/reply exchanges through their NICs and the simulated network, so
+//! switches see realistic broadcast traffic and MAC learning works as in a
+//! physical testbed.
+
+use crate::addr::{Ipv4Addr, MacAddr};
+
+/// ARP operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArpOp {
+    Request,
+    Reply,
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+
+    fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(ArpOp::Request),
+            2 => Some(ArpOp::Reply),
+            _ => None,
+        }
+    }
+}
+
+/// An ARP packet for IPv4 over Ethernet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpPacket {
+    pub op: ArpOp,
+    pub sender_mac: MacAddr,
+    pub sender_ip: Ipv4Addr,
+    pub target_mac: MacAddr,
+    pub target_ip: Ipv4Addr,
+}
+
+/// Serialized length of an IPv4-over-Ethernet ARP packet.
+pub const ARP_LEN: usize = 28;
+
+impl ArpPacket {
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::default(),
+            target_ip,
+        }
+    }
+
+    pub fn reply_to(&self, my_mac: MacAddr, my_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: my_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(ARP_LEN);
+        v.extend_from_slice(&1u16.to_be_bytes()); // hardware type: Ethernet
+        v.extend_from_slice(&0x0800u16.to_be_bytes()); // protocol type: IPv4
+        v.push(6); // hardware address length
+        v.push(4); // protocol address length
+        v.extend_from_slice(&self.op.to_u16().to_be_bytes());
+        v.extend_from_slice(self.sender_mac.as_bytes());
+        v.extend_from_slice(self.sender_ip.as_bytes());
+        v.extend_from_slice(self.target_mac.as_bytes());
+        v.extend_from_slice(self.target_ip.as_bytes());
+        v
+    }
+
+    pub fn parse(data: &[u8]) -> Option<ArpPacket> {
+        if data.len() < ARP_LEN {
+            return None;
+        }
+        if u16::from_be_bytes([data[0], data[1]]) != 1
+            || u16::from_be_bytes([data[2], data[3]]) != 0x0800
+            || data[4] != 6
+            || data[5] != 4
+        {
+            return None;
+        }
+        Some(ArpPacket {
+            op: ArpOp::from_u16(u16::from_be_bytes([data[6], data[7]]))?,
+            sender_mac: MacAddr::from_slice(&data[8..14])?,
+            sender_ip: Ipv4Addr::from_slice(&data[14..18])?,
+            target_mac: MacAddr::from_slice(&data[18..24])?,
+            target_ip: Ipv4Addr::from_slice(&data[24..28])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let bytes = req.to_bytes();
+        assert_eq!(bytes.len(), ARP_LEN);
+        let parsed = ArpPacket::parse(&bytes).unwrap();
+        assert_eq!(parsed, req);
+
+        let rep = parsed.reply_to(MacAddr::from_index(2), Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.target_mac, MacAddr::from_index(1));
+        assert_eq!(rep.target_ip, Ipv4Addr::new(10, 0, 0, 1));
+        let parsed_rep = ArpPacket::parse(&rep.to_bytes()).unwrap();
+        assert_eq!(parsed_rep, rep);
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let req = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut bytes = req.to_bytes();
+        bytes[1] = 2; // hardware type != Ethernet
+        assert!(ArpPacket::parse(&bytes).is_none());
+        assert!(ArpPacket::parse(&req.to_bytes()[..20]).is_none());
+        let mut bad_op = req.to_bytes();
+        bad_op[7] = 9;
+        assert!(ArpPacket::parse(&bad_op).is_none());
+    }
+
+    #[test]
+    fn padded_frames_accepted() {
+        // Ethernet minimum frame padding after the ARP body.
+        let req = ArpPacket::request(
+            MacAddr::from_index(5),
+            Ipv4Addr::new(10, 0, 0, 5),
+            Ipv4Addr::new(10, 0, 0, 6),
+        );
+        let mut bytes = req.to_bytes();
+        bytes.extend_from_slice(&[0u8; 18]);
+        assert_eq!(ArpPacket::parse(&bytes).unwrap(), req);
+    }
+}

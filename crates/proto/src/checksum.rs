@@ -1,0 +1,122 @@
+//! RFC 1071 Internet checksum, used by IPv4, TCP and UDP.
+
+use crate::addr::Ipv4Addr;
+
+/// Incremental ones-complement checksum accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    pub fn new() -> Self {
+        Checksum { sum: 0 }
+    }
+
+    /// Feed bytes (odd-length data is padded with a zero byte as per RFC 1071).
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u16::from_be_bytes([*last, 0]) as u32;
+        }
+    }
+
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += v as u32;
+    }
+
+    pub fn add_u32(&mut self, v: u32) {
+        self.add_u16((v >> 16) as u16);
+        self.add_u16(v as u16);
+    }
+
+    /// Add the TCP/UDP pseudo header.
+    pub fn add_pseudo_header(&mut self, src: Ipv4Addr, dst: Ipv4Addr, proto: u8, l4_len: u16) {
+        self.add_u32(src.to_u32());
+        self.add_u32(dst.to_u32());
+        self.add_u16(proto as u16);
+        self.add_u16(l4_len);
+    }
+
+    /// Finalize: fold carries and complement.
+    pub fn finish(self) -> u16 {
+        let mut s = self.sum;
+        while s > 0xffff {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// One-shot checksum over a byte slice.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verify data that contains its own checksum field: summing everything,
+/// including the stored checksum, must yield zero (after complement: 0).
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn verify_with_embedded_checksum() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11];
+        data.extend_from_slice(&[0, 0]); // checksum placeholder
+        data.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let c = checksum(&data);
+        data[10] = (c >> 8) as u8;
+        data[11] = c as u8;
+        assert!(verify(&data));
+        data[4] ^= 0xff;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(checksum(&[0xab]), !0xab00u16);
+        let mut c = Checksum::new();
+        c.add_bytes(&[0x01, 0x02, 0x03]);
+        assert_eq!(c.finish(), !((0x0102u32 + 0x0300) as u16));
+    }
+
+    #[test]
+    fn pseudo_header_changes_result() {
+        let payload = b"abcdefgh";
+        let mut a = Checksum::new();
+        a.add_bytes(payload);
+        let mut b = Checksum::new();
+        b.add_pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            6,
+            payload.len() as u16,
+        );
+        b.add_bytes(payload);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn carry_folding() {
+        // Many 0xffff words force repeated folding.
+        let data = vec![0xffu8; 64];
+        let c = checksum(&data);
+        assert_eq!(c, 0x0000);
+    }
+}

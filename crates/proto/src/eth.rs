@@ -1,0 +1,141 @@
+//! Ethernet II framing.
+
+use crate::addr::MacAddr;
+
+/// Length of an Ethernet II header (no 802.1Q tag, no FCS — the SimBricks
+/// Ethernet interface omits CRCs, §5.1.2).
+pub const ETH_HEADER_LEN: usize = 14;
+
+/// EtherType values used by the simulators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    /// Anything else (kept verbatim).
+    Other(u16),
+}
+
+impl EtherType {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EthHeader {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    pub ethertype: EtherType,
+}
+
+impl EthHeader {
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType) -> Self {
+        EthHeader {
+            dst,
+            src,
+            ethertype,
+        }
+    }
+
+    /// Serialize the header followed by `payload` into a frame.
+    pub fn build_frame(&self, payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::with_capacity(ETH_HEADER_LEN + payload.len());
+        self.write(&mut f);
+        f.extend_from_slice(payload);
+        f
+    }
+
+    /// Append the 14 header bytes to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.dst.as_bytes());
+        out.extend_from_slice(self.src.as_bytes());
+        out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+    }
+
+    /// Parse a header from the start of `frame`, returning it and the payload.
+    pub fn parse(frame: &[u8]) -> Option<(EthHeader, &[u8])> {
+        if frame.len() < ETH_HEADER_LEN {
+            return None;
+        }
+        let dst = MacAddr::from_slice(&frame[0..6])?;
+        let src = MacAddr::from_slice(&frame[6..12])?;
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([frame[12], frame[13]]));
+        Some((
+            EthHeader {
+                dst,
+                src,
+                ethertype,
+            },
+            &frame[ETH_HEADER_LEN..],
+        ))
+    }
+}
+
+/// Convenience: read the destination MAC of a frame without a full parse
+/// (used on the switch fast path for MAC table lookups).
+pub fn frame_dst(frame: &[u8]) -> Option<MacAddr> {
+    MacAddr::from_slice(frame.get(0..6)?)
+}
+
+/// Convenience: read the source MAC of a frame without a full parse.
+pub fn frame_src(frame: &[u8]) -> Option<MacAddr> {
+    MacAddr::from_slice(frame.get(6..12)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = EthHeader::new(
+            MacAddr::from_index(9),
+            MacAddr::from_index(3),
+            EtherType::Ipv4,
+        );
+        let frame = h.build_frame(b"payload!");
+        assert_eq!(frame.len(), ETH_HEADER_LEN + 8);
+        let (parsed, payload) = EthHeader::parse(&frame).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(payload, b"payload!");
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_u16(0x86dd), EtherType::Other(0x86dd));
+        assert_eq!(EtherType::Other(0x1234).to_u16(), 0x1234);
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert!(EthHeader::parse(&[0u8; 13]).is_none());
+        assert!(frame_dst(&[0u8; 5]).is_none());
+    }
+
+    #[test]
+    fn fast_path_accessors() {
+        let h = EthHeader::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EtherType::Arp,
+        );
+        let frame = h.build_frame(&[]);
+        assert_eq!(frame_dst(&frame).unwrap(), MacAddr::from_index(1));
+        assert_eq!(frame_src(&frame).unwrap(), MacAddr::from_index(2));
+    }
+}

@@ -1,0 +1,286 @@
+//! Whole-frame convenience builders and parsers.
+//!
+//! These combine the Ethernet, IPv4, TCP/UDP and ARP modules so component
+//! simulators can construct and inspect complete frames with one call.
+
+use crate::addr::{Ipv4Addr, MacAddr};
+use crate::arp::ArpPacket;
+use crate::eth::{EthHeader, EtherType, ETH_HEADER_LEN};
+use crate::ipv4::{Ecn, IpProto, Ipv4Header, IPV4_HEADER_LEN};
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+
+/// Minimum Ethernet payload (frames are padded up to this, as a real NIC
+/// MAC would, so byte counts in the simulation match physical behaviour).
+pub const MIN_ETH_PAYLOAD: usize = 46;
+
+/// Builders for complete Ethernet frames.
+pub struct FrameBuilder;
+
+impl FrameBuilder {
+    /// Build an Ethernet+IPv4+TCP frame.
+    pub fn tcp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        ecn: Ecn,
+        tcp: &TcpHeader,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let l4 = tcp.build_segment(src_ip, dst_ip, payload);
+        Self::ipv4(src_mac, dst_mac, src_ip, dst_ip, IpProto::Tcp, ecn, &l4)
+    }
+
+    /// Build an Ethernet+IPv4+UDP frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn udp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        ecn: Ecn,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let l4 = UdpHeader::new(src_port, dst_port, payload.len())
+            .build_datagram(src_ip, dst_ip, payload);
+        Self::ipv4(src_mac, dst_mac, src_ip, dst_ip, IpProto::Udp, ecn, &l4)
+    }
+
+    /// Build an Ethernet+IPv4 frame around an already-serialized L4 payload.
+    pub fn ipv4(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        proto: IpProto,
+        ecn: Ecn,
+        l4: &[u8],
+    ) -> Vec<u8> {
+        let ip = Ipv4Header::new(src_ip, dst_ip, proto, ecn, l4.len());
+        let mut frame = Vec::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + l4.len());
+        EthHeader::new(dst_mac, src_mac, EtherType::Ipv4).write(&mut frame);
+        ip.write(&mut frame);
+        frame.extend_from_slice(l4);
+        Self::pad(&mut frame);
+        frame
+    }
+
+    /// Build an Ethernet+ARP frame (broadcast for requests).
+    pub fn arp(src_mac: MacAddr, dst_mac: MacAddr, arp: &ArpPacket) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(ETH_HEADER_LEN + 28);
+        EthHeader::new(dst_mac, src_mac, EtherType::Arp).write(&mut frame);
+        frame.extend_from_slice(&arp.to_bytes());
+        Self::pad(&mut frame);
+        frame
+    }
+
+    fn pad(frame: &mut Vec<u8>) {
+        let min = ETH_HEADER_LEN + MIN_ETH_PAYLOAD;
+        if frame.len() < min {
+            frame.resize(min, 0);
+        }
+    }
+}
+
+/// Parsed layer-4 content of a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsedL4 {
+    Tcp { header: TcpHeader, payload: Vec<u8> },
+    Udp { header: UdpHeader, payload: Vec<u8> },
+    Arp(ArpPacket),
+    Other(Vec<u8>),
+}
+
+/// A fully parsed Ethernet frame.
+#[derive(Clone, Debug)]
+pub struct ParsedFrame {
+    pub eth: EthHeader,
+    pub ipv4: Option<Ipv4Header>,
+    pub l4: ParsedL4,
+    /// Whether every checksum present (IPv4 header, TCP/UDP) verified.
+    pub checksums_ok: bool,
+}
+
+/// Errors produced when a frame cannot be parsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    TooShort,
+    BadIpv4,
+    BadL4,
+    BadArp,
+}
+
+impl ParsedFrame {
+    /// Parse an Ethernet frame. IPv4/TCP/UDP/ARP are decoded; everything else
+    /// is returned raw in [`ParsedL4::Other`].
+    pub fn parse(frame: &[u8]) -> Result<ParsedFrame, ParseError> {
+        let (eth, rest) = EthHeader::parse(frame).ok_or(ParseError::TooShort)?;
+        match eth.ethertype {
+            EtherType::Ipv4 => {
+                let (ip, ip_ok, l4) = Ipv4Header::parse(rest).ok_or(ParseError::BadIpv4)?;
+                match ip.proto {
+                    IpProto::Tcp => {
+                        let (tcp, payload, tcp_ok) =
+                            TcpHeader::parse(l4, ip.src, ip.dst).ok_or(ParseError::BadL4)?;
+                        Ok(ParsedFrame {
+                            eth,
+                            ipv4: Some(ip),
+                            l4: ParsedL4::Tcp {
+                                header: tcp,
+                                payload: payload.to_vec(),
+                            },
+                            checksums_ok: ip_ok && tcp_ok,
+                        })
+                    }
+                    IpProto::Udp => {
+                        let (udp, payload, udp_ok) =
+                            UdpHeader::parse(l4, ip.src, ip.dst).ok_or(ParseError::BadL4)?;
+                        Ok(ParsedFrame {
+                            eth,
+                            ipv4: Some(ip),
+                            l4: ParsedL4::Udp {
+                                header: udp,
+                                payload: payload.to_vec(),
+                            },
+                            checksums_ok: ip_ok && udp_ok,
+                        })
+                    }
+                    IpProto::Other(_) => Ok(ParsedFrame {
+                        eth,
+                        ipv4: Some(ip),
+                        l4: ParsedL4::Other(l4.to_vec()),
+                        checksums_ok: ip_ok,
+                    }),
+                }
+            }
+            EtherType::Arp => {
+                let arp = ArpPacket::parse(rest).ok_or(ParseError::BadArp)?;
+                Ok(ParsedFrame {
+                    eth,
+                    ipv4: None,
+                    l4: ParsedL4::Arp(arp),
+                    checksums_ok: true,
+                })
+            }
+            EtherType::Other(_) => Ok(ParsedFrame {
+                eth,
+                ipv4: None,
+                l4: ParsedL4::Other(rest.to_vec()),
+                checksums_ok: true,
+            }),
+        }
+    }
+
+    /// Convenience accessor for the IPv4 destination, if present.
+    pub fn dst_ip(&self) -> Option<Ipv4Addr> {
+        self.ipv4.map(|h| h.dst)
+    }
+
+    /// Convenience accessor for the IPv4 source, if present.
+    pub fn src_ip(&self) -> Option<Ipv4Addr> {
+        self.ipv4.map(|h| h.src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpFlags;
+
+    #[test]
+    fn arp_frame_roundtrip() {
+        let arp = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let frame = FrameBuilder::arp(MacAddr::from_index(1), MacAddr::BROADCAST, &arp);
+        assert!(frame.len() >= ETH_HEADER_LEN + MIN_ETH_PAYLOAD);
+        let parsed = ParsedFrame::parse(&frame).unwrap();
+        assert_eq!(parsed.eth.ethertype, EtherType::Arp);
+        assert_eq!(parsed.l4, ParsedL4::Arp(arp));
+    }
+
+    #[test]
+    fn small_frames_are_padded_to_minimum() {
+        let frame = FrameBuilder::udp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ecn::NotEct,
+            1,
+            2,
+            b"x",
+        );
+        assert_eq!(frame.len(), ETH_HEADER_LEN + MIN_ETH_PAYLOAD);
+        // Padding does not confuse parsing.
+        match ParsedFrame::parse(&frame).unwrap().l4 {
+            ParsedL4::Udp { payload, .. } => assert_eq!(payload, b"x"),
+            _ => panic!("expected UDP"),
+        }
+    }
+
+    #[test]
+    fn large_tcp_frame_not_padded() {
+        let tcp = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 100,
+            mss: None,
+        };
+        let payload = vec![7u8; 1400];
+        let frame = FrameBuilder::tcp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ecn::Ect0,
+            &tcp,
+            &payload,
+        );
+        assert_eq!(
+            frame.len(),
+            ETH_HEADER_LEN + IPV4_HEADER_LEN + 20 + payload.len()
+        );
+        let parsed = ParsedFrame::parse(&frame).unwrap();
+        assert!(parsed.checksums_ok);
+        assert_eq!(parsed.ipv4.unwrap().ecn, Ecn::Ect0);
+    }
+
+    #[test]
+    fn unknown_ethertype_passes_through() {
+        let eth = EthHeader::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EtherType::Other(0x88cc),
+        );
+        let frame = eth.build_frame(b"lldp-ish");
+        let parsed = ParsedFrame::parse(&frame).unwrap();
+        assert_eq!(parsed.l4, ParsedL4::Other(b"lldp-ish".to_vec()));
+        assert!(parsed.ipv4.is_none());
+    }
+
+    #[test]
+    fn truncated_ip_rejected() {
+        let eth = EthHeader::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EtherType::Ipv4,
+        );
+        let frame = eth.build_frame(&[0x45, 0x00, 0x00]);
+        assert_eq!(ParsedFrame::parse(&frame), Err(ParseError::BadIpv4));
+    }
+
+    impl PartialEq for ParsedFrame {
+        fn eq(&self, other: &Self) -> bool {
+            self.eth == other.eth && self.ipv4 == other.ipv4 && self.l4 == other.l4
+        }
+    }
+}

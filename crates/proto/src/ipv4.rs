@@ -1,0 +1,270 @@
+//! IPv4 header handling, including the ECN code points that DCTCP relies on.
+
+use crate::addr::Ipv4Addr;
+use crate::checksum::{checksum, Checksum};
+
+/// Length of an IPv4 header without options (all simulated traffic uses
+/// option-less headers).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Explicit Congestion Notification code points (RFC 3168).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ecn {
+    /// Not ECN-capable transport.
+    NotEct,
+    /// ECN-capable transport, codepoint 0 — set by DCTCP senders.
+    Ect0,
+    /// ECN-capable transport, codepoint 1.
+    Ect1,
+    /// Congestion experienced — set by switches when the queue exceeds the
+    /// marking threshold K.
+    Ce,
+}
+
+impl Ecn {
+    pub fn to_bits(self) -> u8 {
+        match self {
+            Ecn::NotEct => 0b00,
+            Ecn::Ect1 => 0b01,
+            Ecn::Ect0 => 0b10,
+            Ecn::Ce => 0b11,
+        }
+    }
+
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// Whether a router/switch may mark this packet instead of dropping it.
+    pub fn is_ect(self) -> bool {
+        matches!(self, Ecn::Ect0 | Ecn::Ect1 | Ecn::Ce)
+    }
+}
+
+/// IP protocol numbers used in the simulations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IpProto {
+    Tcp,
+    Udp,
+    Other(u8),
+}
+
+impl IpProto {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// A parsed or to-be-built IPv4 header (no options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ipv4Header {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub proto: IpProto,
+    pub ecn: Ecn,
+    pub dscp: u8,
+    pub ttl: u8,
+    pub ident: u16,
+    /// Total length (header + payload) in bytes.
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProto, ecn: Ecn, payload_len: usize) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            proto,
+            ecn,
+            dscp: 0,
+            ttl: 64,
+            ident: 0,
+            total_len: (IPV4_HEADER_LEN + payload_len) as u16,
+        }
+    }
+
+    /// Payload length implied by the total length field.
+    pub fn payload_len(&self) -> usize {
+        (self.total_len as usize).saturating_sub(IPV4_HEADER_LEN)
+    }
+
+    /// Serialize the header (with a valid checksum) and append to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push((self.dscp << 2) | self.ecn.to_bits());
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&[0x40, 0x00]); // flags: DF, fragment offset 0
+        out.push(self.ttl);
+        out.push(self.proto.to_u8());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(self.src.as_bytes());
+        out.extend_from_slice(self.dst.as_bytes());
+        let csum = checksum(&out[start..start + IPV4_HEADER_LEN]);
+        out[start + 10] = (csum >> 8) as u8;
+        out[start + 11] = csum as u8;
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(IPV4_HEADER_LEN);
+        self.write(&mut v);
+        v
+    }
+
+    /// Parse a header from `data`; returns the header, whether the header
+    /// checksum verified, and the L4 payload slice (bounded by `total_len`).
+    pub fn parse(data: &[u8]) -> Option<(Ipv4Header, bool, &[u8])> {
+        if data.len() < IPV4_HEADER_LEN {
+            return None;
+        }
+        let version = data[0] >> 4;
+        let ihl = (data[0] & 0x0f) as usize * 4;
+        if version != 4 || ihl < IPV4_HEADER_LEN || data.len() < ihl {
+            return None;
+        }
+        let total_len = u16::from_be_bytes([data[2], data[3]]);
+        if (total_len as usize) < ihl || data.len() < total_len as usize {
+            return None;
+        }
+        let hdr = Ipv4Header {
+            dscp: data[1] >> 2,
+            ecn: Ecn::from_bits(data[1]),
+            total_len,
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            ttl: data[8],
+            proto: IpProto::from_u8(data[9]),
+            src: Ipv4Addr::from_slice(&data[12..16])?,
+            dst: Ipv4Addr::from_slice(&data[16..20])?,
+        };
+        let csum_ok = checksum(&data[..ihl]) == 0;
+        Some((hdr, csum_ok, &data[ihl..total_len as usize]))
+    }
+
+    /// Rewrite the ECN bits of a serialized IPv4 packet in place (starting at
+    /// `ip_offset` within `buf`), fixing up the header checksum. This is what
+    /// a switch queue does when it marks Congestion Experienced.
+    pub fn set_ecn_in_place(buf: &mut [u8], ip_offset: usize, ecn: Ecn) -> bool {
+        if buf.len() < ip_offset + IPV4_HEADER_LEN {
+            return false;
+        }
+        let hdr = &mut buf[ip_offset..ip_offset + IPV4_HEADER_LEN];
+        hdr[1] = (hdr[1] & !0b11) | ecn.to_bits();
+        hdr[10] = 0;
+        hdr[11] = 0;
+        let mut c = Checksum::new();
+        c.add_bytes(hdr);
+        let csum = c.finish();
+        hdr[10] = (csum >> 8) as u8;
+        hdr[11] = csum as u8;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_valid_checksum() {
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProto::Tcp,
+            Ecn::Ect0,
+            100,
+        );
+        let mut bytes = h.to_bytes();
+        bytes.extend_from_slice(&[0u8; 100]);
+        let (parsed, ok, payload) = Ipv4Header::parse(&bytes).unwrap();
+        assert!(ok);
+        assert_eq!(parsed, h);
+        assert_eq!(payload.len(), 100);
+    }
+
+    #[test]
+    fn ecn_bits_roundtrip() {
+        for e in [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1, Ecn::Ce] {
+            assert_eq!(Ecn::from_bits(e.to_bits()), e);
+        }
+        assert!(Ecn::Ect0.is_ect());
+        assert!(!Ecn::NotEct.is_ect());
+    }
+
+    #[test]
+    fn set_ecn_in_place_keeps_checksum_valid() {
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProto::Udp,
+            Ecn::Ect0,
+            8,
+        );
+        let mut bytes = h.to_bytes();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(Ipv4Header::set_ecn_in_place(&mut bytes, 0, Ecn::Ce));
+        let (parsed, ok, _) = Ipv4Header::parse(&bytes).unwrap();
+        assert!(ok, "checksum must remain valid after ECN rewrite");
+        assert_eq!(parsed.ecn, Ecn::Ce);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Ipv4Header::parse(&[0u8; 10]).is_none());
+        // IPv6 version nibble
+        let mut v6 = vec![0x60; IPV4_HEADER_LEN];
+        v6[2] = 0;
+        v6[3] = 20;
+        assert!(Ipv4Header::parse(&v6).is_none());
+        // total_len longer than buffer
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            IpProto::Tcp,
+            Ecn::NotEct,
+            500,
+        );
+        let bytes = h.to_bytes();
+        assert!(Ipv4Header::parse(&bytes).is_none());
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProto::Tcp,
+            Ecn::NotEct,
+            0,
+        );
+        let mut bytes = h.to_bytes();
+        bytes[8] = bytes[8].wrapping_add(1); // TTL
+        let (_, ok, _) = Ipv4Header::parse(&bytes).unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn proto_mapping() {
+        assert_eq!(IpProto::from_u8(6), IpProto::Tcp);
+        assert_eq!(IpProto::from_u8(17), IpProto::Udp);
+        assert_eq!(IpProto::from_u8(89), IpProto::Other(89));
+        assert_eq!(IpProto::Other(89).to_u8(), 89);
+    }
+}

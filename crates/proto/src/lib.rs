@@ -1,0 +1,117 @@
+//! # simbricks-proto
+//!
+//! Wire formats used by the simulated end hosts, NICs and networks: Ethernet
+//! II framing, ARP, IPv4 (including the ECN code points used by DCTCP), TCP
+//! and UDP, plus the Internet checksum.
+//!
+//! The SimBricks Ethernet interface (§5.1.2 of the paper) exchanges raw
+//! Ethernet frames between NIC and network simulators, so every component
+//! that looks inside a packet (switch MAC learning, ECN marking at a queue,
+//! the host network stack, NIC checksum offload, the Tofino-style sequencer)
+//! parses and builds frames with this crate.
+
+pub mod addr;
+pub mod arp;
+pub mod checksum;
+pub mod eth;
+pub mod frame;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use addr::{Ipv4Addr, MacAddr};
+pub use arp::{ArpOp, ArpPacket};
+pub use eth::{frame_dst, frame_src, EthHeader, EtherType, ETH_HEADER_LEN};
+pub use frame::{FrameBuilder, ParsedFrame, ParsedL4};
+pub use ipv4::{Ecn, IpProto, Ipv4Header, IPV4_HEADER_LEN};
+pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+pub use udp::{UdpHeader, UDP_HEADER_LEN};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tcp_frame_roundtrip(sport in 1u16..65535, dport in 1u16..65535,
+                               seq in any::<u32>(), ack in any::<u32>(),
+                               window in any::<u16>(),
+                               payload in proptest::collection::vec(any::<u8>(), 0..1400)) {
+            let src_mac = MacAddr::from_index(1);
+            let dst_mac = MacAddr::from_index(2);
+            let src_ip = Ipv4Addr::new(10, 0, 0, 1);
+            let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+            let tcp = TcpHeader {
+                src_port: sport,
+                dst_port: dport,
+                seq,
+                ack,
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window,
+                mss: None,
+            };
+            let frame = FrameBuilder::tcp(src_mac, dst_mac, src_ip, dst_ip, Ecn::Ect0, &tcp, &payload);
+            let parsed = ParsedFrame::parse(&frame).unwrap();
+            prop_assert_eq!(parsed.eth.src, src_mac);
+            prop_assert_eq!(parsed.eth.dst, dst_mac);
+            let ip = parsed.ipv4.unwrap();
+            prop_assert_eq!(ip.src, src_ip);
+            prop_assert_eq!(ip.dst, dst_ip);
+            prop_assert_eq!(ip.ecn, Ecn::Ect0);
+            match parsed.l4 {
+                ParsedL4::Tcp { header, payload: p } => {
+                    prop_assert_eq!(header.src_port, sport);
+                    prop_assert_eq!(header.dst_port, dport);
+                    prop_assert_eq!(header.seq, seq);
+                    prop_assert_eq!(header.ack, ack);
+                    prop_assert_eq!(p, payload);
+                }
+                _ => prop_assert!(false, "expected TCP"),
+            }
+            prop_assert!(ParsedFrame::parse(&frame).unwrap().checksums_ok);
+        }
+
+        #[test]
+        fn udp_frame_roundtrip(sport in 1u16..65535, dport in 1u16..65535,
+                               payload in proptest::collection::vec(any::<u8>(), 0..1400)) {
+            let frame = FrameBuilder::udp(
+                MacAddr::from_index(3), MacAddr::from_index(4),
+                Ipv4Addr::new(192, 168, 1, 1), Ipv4Addr::new(192, 168, 1, 2),
+                Ecn::NotEct, sport, dport, &payload);
+            let parsed = ParsedFrame::parse(&frame).unwrap();
+            match parsed.l4 {
+                ParsedL4::Udp { header, payload: p } => {
+                    prop_assert_eq!(header.src_port, sport);
+                    prop_assert_eq!(header.dst_port, dport);
+                    prop_assert_eq!(p, payload);
+                }
+                _ => prop_assert!(false, "expected UDP"),
+            }
+        }
+
+        #[test]
+        fn corrupting_a_byte_breaks_a_checksum(pos in 0usize..60) {
+            let tcp = TcpHeader {
+                src_port: 10, dst_port: 20, seq: 1, ack: 2,
+                flags: TcpFlags::ACK, window: 1000, mss: None,
+            };
+            let mut frame = FrameBuilder::tcp(
+                MacAddr::from_index(1), MacAddr::from_index(2),
+                Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2),
+                Ecn::NotEct, &tcp, b"hello checksum");
+            // Only corrupt bytes covered by the IP or TCP checksum (skip the
+            // Ethernet header and the checksum fields themselves).
+            let idx = ETH_HEADER_LEN + pos % (frame.len() - ETH_HEADER_LEN);
+            let ip_csum_range = ETH_HEADER_LEN + 10..ETH_HEADER_LEN + 12;
+            let tcp_csum_range =
+                ETH_HEADER_LEN + IPV4_HEADER_LEN + 16..ETH_HEADER_LEN + IPV4_HEADER_LEN + 18;
+            prop_assume!(!ip_csum_range.contains(&idx) && !tcp_csum_range.contains(&idx));
+            frame[idx] ^= 0xff;
+            match ParsedFrame::parse(&frame) {
+                Ok(parsed) => prop_assert!(!parsed.checksums_ok),
+                Err(_) => {} // corrupting length/version fields may make the frame unparseable
+            }
+        }
+    }
+}

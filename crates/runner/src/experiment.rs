@@ -1,0 +1,499 @@
+//! Experiment assembly and execution.
+
+use std::any::Any;
+use std::time::{Duration, Instant};
+
+use simbricks_base::{
+    BarrierMember, ChannelEnd, ChannelParams, EpochController, EventLog, Kernel, KernelStats,
+    Model, SimTime, StepOutcome,
+};
+
+/// A model that can also be downcast back to its concrete type after the run
+/// (to read application reports, switch statistics, ...).
+pub trait AnyModel: Model + Any {
+    fn as_model(&mut self) -> &mut dyn Model;
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Model + Any> AnyModel for T {
+    fn as_model(&mut self) -> &mut dyn Model {
+        self
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+struct Component {
+    name: String,
+    kernel: Kernel,
+    model: Box<dyn AnyModel>,
+}
+
+/// How to execute the components of an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Execution {
+    /// One OS thread per component simulator (the paper's architecture).
+    Threads,
+    /// Cooperative round-robin on the calling thread (practical on machines
+    /// with few cores; produces identical simulation results).
+    Sequential,
+}
+
+/// Results of a completed experiment.
+pub struct RunResult {
+    pub name: String,
+    /// Wall-clock simulation time.
+    pub wall: Duration,
+    /// Largest virtual time reached by any component.
+    pub virtual_time: SimTime,
+    pub component_names: Vec<String>,
+    pub stats: Vec<KernelStats>,
+    pub logs: Vec<EventLog>,
+    models: Vec<Box<dyn AnyModel>>,
+}
+
+impl RunResult {
+    /// Downcast component `idx`'s model to its concrete type.
+    pub fn model<T: 'static>(&self, idx: usize) -> Option<&T> {
+        self.models.get(idx).and_then(|m| m.as_any().downcast_ref())
+    }
+
+    /// Aggregate statistics over all components.
+    pub fn total_stats(&self) -> KernelStats {
+        KernelStats::merged(&self.stats)
+    }
+
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Merge the per-component event logs of this run into one named,
+    /// time-ordered [`Trace`] for end-to-end latency breakdowns (§8.1).
+    /// The experiment must have been built with [`Experiment::with_logging`];
+    /// otherwise the trace is empty.
+    pub fn trace(&self) -> simbricks_base::trace::Trace {
+        simbricks_base::trace::Trace::from_logs(&self.component_names, &self.logs)
+    }
+
+    /// The event log of the component with the given name, if any.
+    pub fn log_of(&self, name: &str) -> Option<&EventLog> {
+        self.component_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.logs[i])
+    }
+
+    /// The statistics of the component with the given name, if any.
+    pub fn stats_of(&self, name: &str) -> Option<&KernelStats> {
+        self.component_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.stats[i])
+    }
+}
+
+/// An experiment: a set of component simulators wired by channels.
+pub struct Experiment {
+    name: String,
+    end: SimTime,
+    synchronized: bool,
+    link_latency: SimTime,
+    pcie_latency: SimTime,
+    sync_interval: SimTime,
+    log_enabled: bool,
+    components: Vec<Component>,
+    barrier: Option<std::sync::Arc<EpochController>>,
+    /// Shared stop flag. In unsynchronized (emulation) runs there is no common
+    /// virtual end time: the run ends when the first component finishes (the
+    /// workload driver calling `quit`), which raises this flag for everyone
+    /// else — mirroring how emulation measurements end when the benchmark
+    /// client completes.
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+fn self_stats(c: &Component) -> simbricks_base::KernelStats {
+    c.kernel.stats()
+}
+
+impl Experiment {
+    /// Create an experiment simulating `end` of virtual time.
+    pub fn new(name: impl Into<String>, end: SimTime) -> Self {
+        Experiment {
+            name: name.into(),
+            end,
+            synchronized: true,
+            link_latency: SimTime::from_ns(500),
+            pcie_latency: SimTime::from_ns(500),
+            sync_interval: SimTime::from_ns(500),
+            log_enabled: false,
+            components: Vec::new(),
+            barrier: None,
+            stop: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    pub fn end_time(&self) -> SimTime {
+        self.end
+    }
+
+    /// Disable synchronization (emulation mode, QEMU-KVM style runs).
+    pub fn unsynchronized(mut self) -> Self {
+        self.synchronized = false;
+        self
+    }
+
+    /// Enable timestamped event logs on every component (accuracy /
+    /// determinism experiments).
+    pub fn with_logging(mut self) -> Self {
+        self.log_enabled = true;
+        self
+    }
+
+    /// Set the Ethernet link latency Δ (default 500 ns).
+    pub fn with_link_latency(mut self, l: SimTime) -> Self {
+        self.link_latency = l;
+        if self.sync_interval > l {
+            self.sync_interval = l;
+        }
+        self
+    }
+
+    /// Set the PCIe latency Δ (default 500 ns).
+    pub fn with_pcie_latency(mut self, l: SimTime) -> Self {
+        self.pcie_latency = l;
+        if self.sync_interval > l {
+            self.sync_interval = l;
+        }
+        self
+    }
+
+    /// Set the synchronization interval δ (default = link latency).
+    pub fn with_sync_interval(mut self, d: SimTime) -> Self {
+        self.sync_interval = d;
+        self
+    }
+
+    /// Replace the pairwise synchronization with epoch/global-barrier
+    /// synchronization (the dist-gem5 baseline of Fig. 6). Must be called
+    /// before components are added; the epoch equals the smallest latency.
+    pub fn with_global_barrier(mut self) -> Self {
+        let epoch = self.link_latency.min(self.pcie_latency);
+        // The participant count is fixed up in run() via re-registration;
+        // we create the controller lazily when the count is known.
+        self.barrier = Some(EpochController::new(epoch, 1));
+        self
+    }
+
+    pub fn is_synchronized(&self) -> bool {
+        self.synchronized
+    }
+
+    /// Channel parameters for an Ethernet link in this experiment.
+    pub fn eth_params(&self) -> ChannelParams {
+        ChannelParams {
+            latency: self.link_latency,
+            sync_interval: self.sync_interval.min(self.link_latency),
+            sync: self.synchronized && self.barrier.is_none(),
+            queue_len: 64,
+        }
+    }
+
+    /// Channel parameters for a PCIe link in this experiment.
+    pub fn pcie_params(&self) -> ChannelParams {
+        ChannelParams {
+            latency: self.pcie_latency,
+            sync_interval: self.sync_interval.min(self.pcie_latency),
+            sync: self.synchronized && self.barrier.is_none(),
+            queue_len: 64,
+        }
+    }
+
+    /// Add a component simulator with its already-wired channel endpoints
+    /// (port indices follow the order of `ports`). Returns the component id.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        model: Box<dyn AnyModel>,
+        ports: Vec<ChannelEnd>,
+    ) -> usize {
+        let name = name.into();
+        // Synchronized runs share a common virtual end time. Unsynchronized
+        // (emulation) runs have no meaningful global clock; components run
+        // open-ended and the experiment ends via the shared stop flag once
+        // the workload completes.
+        let end = if self.synchronized { self.end } else { SimTime::MAX };
+        let mut kernel = Kernel::new(name.clone(), end);
+        kernel.set_stop_flag(self.stop.clone());
+        if !self.synchronized {
+            // Emulation mode: free-running components stay loosely aligned by
+            // anchoring their virtual clocks to the wall clock (1:1).
+            kernel.set_wall_clock(1.0);
+        }
+        if self.log_enabled {
+            kernel.enable_log();
+        }
+        for p in ports {
+            kernel.add_port(p);
+        }
+        self.components.push(Component {
+            name,
+            kernel,
+            model,
+        });
+        self.components.len() - 1
+    }
+
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Execute the experiment and collect results.
+    pub fn run(mut self, mode: Execution) -> RunResult {
+        // Global-barrier mode: now that the component count is known, create
+        // the controller with the right participant count and register every
+        // kernel.
+        if self.barrier.is_some() {
+            let epoch = self.link_latency.min(self.pcie_latency);
+            let controller = EpochController::new(epoch, self.components.len() as u64);
+            for c in &mut self.components {
+                c.kernel.set_barrier(BarrierMember::new(controller.clone()));
+            }
+            self.barrier = Some(controller);
+        }
+
+        let start = Instant::now();
+        match mode {
+            Execution::Sequential => self.run_sequential(),
+            Execution::Threads => self.run_threads(),
+        }
+        let wall = start.elapsed();
+
+        let mut virtual_time = SimTime::ZERO;
+        let mut names = Vec::new();
+        let mut stats = Vec::new();
+        let mut logs = Vec::new();
+        let mut models = Vec::new();
+        for mut c in self.components {
+            let s = c.kernel.stats();
+            virtual_time = virtual_time.max(s.final_time);
+            names.push(c.name);
+            stats.push(s);
+            logs.push(c.kernel.take_event_log());
+            models.push(c.model);
+        }
+        RunResult {
+            name: self.name,
+            wall,
+            virtual_time,
+            component_names: names,
+            stats,
+            logs,
+            models,
+        }
+    }
+
+    fn run_sequential(&mut self) {
+        let n = self.components.len();
+        let mut finished = vec![false; n];
+        loop {
+            let mut all_finished = true;
+            let mut any_progress = false;
+            for (i, c) in self.components.iter_mut().enumerate() {
+                if finished[i] {
+                    continue;
+                }
+                match c.kernel.step(c.model.as_model(), 512) {
+                    StepOutcome::Finished => {
+                        finished[i] = true;
+                        any_progress = true;
+                        if !self.synchronized {
+                            // Emulation mode: the workload is done, stop the rest.
+                            self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                    StepOutcome::Progressed => {
+                        all_finished = false;
+                        any_progress = true;
+                    }
+                    StepOutcome::Blocked => {
+                        all_finished = false;
+                    }
+                }
+            }
+            if all_finished && finished.iter().all(|f| *f) {
+                break;
+            }
+            if finished.iter().all(|f| *f) {
+                break;
+            }
+            if !any_progress {
+                if !self.synchronized {
+                    // Emulation mode: components are waiting for the wall
+                    // clock to allow their next event; just wait with them.
+                    std::thread::sleep(Duration::from_micros(100));
+                    continue;
+                }
+                // All remaining components blocked: genuine deadlock.
+                let states: Vec<String> = self
+                    .components
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !finished[*i])
+                    .map(|(i, c)| format!("{}@{} {:?}", c.name, c.kernel.now(), self_stats(&self.components[i])))
+                    .collect();
+                panic!(
+                    "deadlock in experiment '{}': blocked components: {}",
+                    self.name,
+                    states.join(", ")
+                );
+            }
+        }
+    }
+
+    fn run_threads(&mut self) {
+        let stop = self.stop.clone();
+        let synchronized = self.synchronized;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in &mut self.components {
+                let kernel = &mut c.kernel;
+                let model = &mut c.model;
+                let stop = stop.clone();
+                handles.push(scope.spawn(move || {
+                    kernel.run(model.as_model());
+                    if !synchronized {
+                        // Emulation mode: the first component to finish ends
+                        // the run for everyone.
+                        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("component thread panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbricks_base::{channel_pair, OwnedMsg, PortId};
+
+    /// Simple test model: sends `count` messages and records what it gets.
+    struct Echoer {
+        send_count: u64,
+        received: u64,
+        sent: u64,
+    }
+
+    impl Model for Echoer {
+        fn init(&mut self, k: &mut Kernel) {
+            if self.send_count > 0 {
+                k.schedule_at(SimTime::from_ns(100), 0);
+            }
+        }
+        fn on_msg(&mut self, _k: &mut Kernel, _p: PortId, _m: OwnedMsg) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, k: &mut Kernel, _t: u64) {
+            k.send(PortId(0), 1, b"ping");
+            self.sent += 1;
+            if self.sent < self.send_count {
+                k.schedule_in(SimTime::from_us(1), 0);
+            }
+        }
+    }
+
+    fn build_pair(end: SimTime, sync: bool) -> Experiment {
+        let mut e = Experiment::new("pair", end);
+        if !sync {
+            e = e.unsynchronized();
+        }
+        let (a, b) = channel_pair(e.eth_params());
+        e.add(
+            "left",
+            Box::new(Echoer {
+                send_count: 10,
+                received: 0,
+                sent: 0,
+            }),
+            vec![a],
+        );
+        e.add(
+            "right",
+            Box::new(Echoer {
+                send_count: 5,
+                received: 0,
+                sent: 0,
+            }),
+            vec![b],
+        );
+        e
+    }
+
+    #[test]
+    fn sequential_execution_completes_and_reports() {
+        let r = build_pair(SimTime::from_ms(1), true).run(Execution::Sequential);
+        assert_eq!(r.component_names, vec!["left", "right"]);
+        assert_eq!(r.virtual_time, SimTime::from_ms(1));
+        let left: &Echoer = r.model(0).unwrap();
+        let right: &Echoer = r.model(1).unwrap();
+        assert_eq!(left.sent, 10);
+        assert_eq!(right.received, 10);
+        assert_eq!(left.received, 5);
+        assert!(r.total_stats().syncs_sent > 0);
+        assert!(r.wall_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn threaded_execution_matches_sequential_results() {
+        let rs = build_pair(SimTime::from_ms(1), true).run(Execution::Sequential);
+        let rt = build_pair(SimTime::from_ms(1), true).run(Execution::Threads);
+        let ls: &Echoer = rs.model(0).unwrap();
+        let lt: &Echoer = rt.model(0).unwrap();
+        assert_eq!(ls.sent, lt.sent);
+        assert_eq!(ls.received, lt.received);
+        assert_eq!(
+            rs.stats[1].msgs_delivered, rt.stats[1].msgs_delivered,
+            "same deliveries regardless of executor"
+        );
+    }
+
+    #[test]
+    fn global_barrier_mode_runs_to_completion() {
+        let mut e = Experiment::new("barrier", SimTime::from_us(100)).with_global_barrier();
+        let (a, b) = channel_pair(e.eth_params());
+        assert!(!e.eth_params().sync, "barrier mode disables per-channel sync");
+        e.add(
+            "left",
+            Box::new(Echoer {
+                send_count: 3,
+                received: 0,
+                sent: 0,
+            }),
+            vec![a],
+        );
+        e.add(
+            "right",
+            Box::new(Echoer {
+                send_count: 0,
+                received: 0,
+                sent: 0,
+            }),
+            vec![b],
+        );
+        let r = e.run(Execution::Sequential);
+        let right: &Echoer = r.model(1).unwrap();
+        assert_eq!(right.received, 3);
+        assert!(r.total_stats().barrier_waits > 0, "barrier was actually used");
+    }
+
+    #[test]
+    fn downcast_to_wrong_type_is_none() {
+        let r = build_pair(SimTime::from_us(10), true).run(Execution::Sequential);
+        assert!(r.model::<String>(0).is_none());
+        assert!(r.model::<Echoer>(5).is_none());
+    }
+}

@@ -1,0 +1,16 @@
+//! # simbricks-runner
+//!
+//! Orchestration for SimBricks simulations (§A.1 of the paper): experiments
+//! are assembled from component simulators and channels, then executed either
+//! with one thread per component (the paper's one-process-per-simulator
+//! architecture) or cooperatively on a single core, and the results (wall
+//! clock simulation time, per-component statistics, event logs, application
+//! reports) are collected for the evaluation harness.
+
+pub mod build;
+pub mod experiment;
+pub mod proxy;
+
+pub use build::{attach_host_nic, attach_host_nvme, host_component, nic_model, NetworkKind};
+pub use experiment::{Execution, Experiment, RunResult};
+pub use proxy::{proxy_channel_over_tcp, proxy_pair, ProxyHandle, ProxyKind, ProxyStats};

@@ -1,0 +1,88 @@
+//! Synchronization-focused integration tests: pairwise vs global-barrier
+//! synchronization deliver identical simulation results, and link latency
+//! only affects cost, not correctness (§5.5, §7.3.1, Fig. 9).
+
+use simbricks::apps::{IperfUdpClient, IperfUdpServer};
+use simbricks::hostsim::{HostConfig, HostKind, HostModel};
+use simbricks::netsim::{SwitchBm, SwitchConfig};
+use simbricks::netstack::SocketAddr;
+use simbricks::runner::{attach_host_nic, Execution, Experiment};
+use simbricks::SimTime;
+
+fn udp_experiment(barrier: bool, link_ns: u64) -> (u64, u64, u64) {
+    let mut exp = Experiment::new("sync-udp", SimTime::from_ms(8))
+        .with_link_latency(SimTime::from_ns(link_ns))
+        .with_pcie_latency(SimTime::from_ns(link_ns));
+    if barrier {
+        exp = exp.with_global_barrier();
+    }
+    let server_cfg = HostConfig::new(HostKind::QemuTiming, 0);
+    let client_cfg = HostConfig::new(HostKind::QemuTiming, 1);
+    let server_app = Box::new(IperfUdpServer::new(9000));
+    let client_app = Box::new(IperfUdpClient::new(
+        SocketAddr::new(server_cfg.ip, 9000),
+        250_000_000,
+        800,
+        SimTime::from_ms(6),
+    ));
+    let (s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, false);
+    let (_c, _, c_eth) = attach_host_nic(&mut exp, "client", client_cfg, client_app, false);
+    exp.add(
+        "switch",
+        Box::new(SwitchBm::new(SwitchConfig { ports: 2, ..Default::default() })),
+        vec![s_eth, c_eth],
+    );
+    let r = exp.run(Execution::Sequential);
+    let server: &HostModel = r.model(s).unwrap();
+    let stats = r.total_stats();
+    (server.stats().rx_frames, stats.syncs_sent, stats.barrier_waits)
+}
+
+#[test]
+fn pairwise_and_barrier_sync_deliver_the_same_traffic() {
+    let (rx_pairwise, syncs, waits_pairwise) = udp_experiment(false, 500);
+    let (rx_barrier, _, waits_barrier) = udp_experiment(true, 500);
+    assert!(rx_pairwise > 100, "traffic flowed ({rx_pairwise} frames)");
+    assert_eq!(rx_pairwise, rx_barrier, "sync mechanism does not change results");
+    assert!(syncs > 0, "pairwise sync messages were exchanged");
+    assert_eq!(waits_pairwise, 0);
+    assert!(waits_barrier > 0, "barrier mode actually used the barrier");
+}
+
+#[test]
+fn results_are_independent_of_link_latency_scale() {
+    // Lowering the latency by 10x changes synchronization cost (more sync
+    // messages) but the delivered traffic stays in the same ballpark.
+    let (rx_hi, syncs_hi, _) = udp_experiment(false, 500);
+    let (rx_lo, syncs_lo, _) = udp_experiment(false, 50);
+    assert!(syncs_lo > syncs_hi, "lower latency => more frequent synchronization");
+    let ratio = rx_lo as f64 / rx_hi as f64;
+    assert!((0.8..1.2).contains(&ratio), "traffic comparable: {rx_lo} vs {rx_hi}");
+}
+
+#[test]
+fn threaded_and_sequential_executors_agree() {
+    let run = |mode| {
+        let mut exp = Experiment::new("exec", SimTime::from_ms(4));
+        let server_cfg = HostConfig::new(HostKind::QemuTiming, 0);
+        let client_cfg = HostConfig::new(HostKind::QemuTiming, 1);
+        let server_app = Box::new(IperfUdpServer::new(9000));
+        let client_app = Box::new(IperfUdpClient::new(
+            SocketAddr::new(server_cfg.ip, 9000),
+            50_000_000,
+            500,
+            SimTime::from_ms(3),
+        ));
+        let (s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, false);
+        let (_c, _, c_eth) = attach_host_nic(&mut exp, "client", client_cfg, client_app, false);
+        exp.add(
+            "switch",
+            Box::new(SwitchBm::new(SwitchConfig { ports: 2, ..Default::default() })),
+            vec![s_eth, c_eth],
+        );
+        let r = exp.run(mode);
+        let server: &HostModel = r.model(s).unwrap();
+        server.stats().rx_frames
+    };
+    assert_eq!(run(Execution::Sequential), run(Execution::Threads));
+}
