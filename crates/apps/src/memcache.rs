@@ -145,9 +145,9 @@ impl MemaslapClient {
             let server = self.servers[(id as usize) % self.servers.len()];
             // 10% SETs, 90% GETs (typical memaslap mix).
             let key = format!("key-{}", id % 1000);
-            let req = if id % 10 == 0 {
+            let req = if id.is_multiple_of(10) {
                 let mut r = format!("S{key}=").into_bytes();
-                r.extend(std::iter::repeat(b'v').take(self.value_size));
+                r.extend(std::iter::repeat_n(b'v', self.value_size));
                 r
             } else {
                 format!("G{key}").into_bytes()

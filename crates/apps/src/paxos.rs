@@ -137,10 +137,7 @@ impl Application for Replica {
         let SocketEvent::DataAvailable(s) = ev else {
             return;
         };
-        loop {
-            let Some((from, data)) = os.udp_recv_from(s) else {
-                break;
-            };
+        while let Some((from, data)) = os.udp_recv_from(s) {
             let Some((seq, client, req)) = decode_req(&data) else {
                 continue;
             };
@@ -244,10 +241,7 @@ impl Application for SequencerHost {
         let SocketEvent::DataAvailable(s) = ev else {
             return;
         };
-        loop {
-            let Some((_from, data)) = os.udp_recv_from(s) else {
-                break;
-            };
+        while let Some((_from, data)) = os.udp_recv_from(s) {
             let Some((_seq, client, req)) = decode_req(&data) else {
                 continue;
             };
@@ -361,10 +355,7 @@ impl Application for PaxosClient {
         let SocketEvent::DataAvailable(s) = ev else {
             return;
         };
-        loop {
-            let Some((_from, data)) = os.udp_recv_from(s) else {
-                break;
-            };
+        while let Some((_from, data)) = os.udp_recv_from(s) {
             let Some((_seq, _client, req)) = decode_req(&data) else {
                 continue;
             };

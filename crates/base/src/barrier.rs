@@ -51,6 +51,7 @@ impl EpochController {
         })
     }
 
+    /// Length of one epoch in virtual time.
     pub fn epoch_len(&self) -> SimTime {
         self.epoch_len
     }
@@ -117,6 +118,7 @@ pub struct BarrierMember {
 }
 
 impl BarrierMember {
+    /// Register a new member with the shared controller.
     pub fn new(controller: Arc<EpochController>) -> Self {
         BarrierMember {
             controller,
@@ -133,6 +135,7 @@ impl BarrierMember {
         self.controller.epoch_end(self.my_epoch)
     }
 
+    /// Number of times this member had to wait at the barrier so far.
     pub fn waits(&self) -> u64 {
         self.waits
     }

@@ -24,6 +24,13 @@ pub struct ChannelParams {
     pub sync: bool,
     /// Number of slots per unidirectional queue.
     pub queue_len: usize,
+    /// Adaptive sync batching (§5.5 extension): when enabled, the effective
+    /// synchronization interval starts at `sync_interval` and widens towards
+    /// the link latency Δ while the channel carries no data, snapping back to
+    /// `sync_interval` on the next data message. This cuts pure-SYNC traffic
+    /// on idle channels without affecting simulation results (promises are
+    /// only ever emitted earlier or at a coarser cadence, never late).
+    pub adaptive_sync: bool,
 }
 
 impl ChannelParams {
@@ -35,6 +42,7 @@ impl ChannelParams {
             sync_interval: SimTime::from_ns(500),
             sync: true,
             queue_len: DEFAULT_QUEUE_LEN,
+            adaptive_sync: true,
         }
     }
 
@@ -46,6 +54,7 @@ impl ChannelParams {
         }
     }
 
+    /// Set the link latency Δ, clamping the sync interval δ down to it.
     pub fn with_latency(mut self, latency: SimTime) -> Self {
         self.latency = latency;
         if self.sync_interval > latency {
@@ -54,18 +63,28 @@ impl ChannelParams {
         self
     }
 
+    /// Set the synchronization interval δ.
     pub fn with_sync_interval(mut self, interval: SimTime) -> Self {
         self.sync_interval = interval;
         self
     }
 
+    /// Set the number of slots per unidirectional queue.
     pub fn with_queue_len(mut self, len: usize) -> Self {
         self.queue_len = len;
         self
     }
 
+    /// Enable or disable time synchronization on this channel.
     pub fn with_sync(mut self, sync: bool) -> Self {
         self.sync = sync;
+        self
+    }
+
+    /// Enable or disable adaptive widening of the synchronization interval
+    /// on idle channels (enabled by default, see [`ChannelParams::adaptive_sync`]).
+    pub fn with_adaptive_sync(mut self, adaptive: bool) -> Self {
+        self.adaptive_sync = adaptive;
         self
     }
 }
@@ -102,14 +121,17 @@ pub fn channel_pair(params: ChannelParams) -> (ChannelEnd, ChannelEnd) {
 }
 
 impl ChannelEnd {
+    /// The channel's static configuration.
     pub fn params(&self) -> ChannelParams {
         self.params
     }
 
+    /// Link latency Δ of the channel.
     pub fn latency(&self) -> SimTime {
         self.params.latency
     }
 
+    /// Whether the channel participates in time synchronization.
     pub fn sync_enabled(&self) -> bool {
         self.params.sync
     }
@@ -134,10 +156,12 @@ impl ChannelEnd {
         self.rx.peek_timestamp()
     }
 
+    /// Whether there is room to enqueue at least one more message.
     pub fn can_send(&self) -> bool {
         self.tx.can_send()
     }
 
+    /// Whether the peer endpoint has been dropped.
     pub fn peer_closed(&self) -> bool {
         self.rx.peer_closed()
     }

@@ -56,6 +56,7 @@ impl<T> Default for EventQueue<T> {
 }
 
 impl<T> EventQueue<T> {
+    /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
@@ -116,6 +117,7 @@ impl<T> EventQueue<T> {
         self.live
     }
 
+    /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }

@@ -30,13 +30,32 @@ use crate::time::SimTime;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub usize);
 
+/// What a blocked kernel is waiting for, reported by [`Kernel::step`] so
+/// executors can park idle kernels instead of spin-polling them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WakeHint {
+    /// Earliest virtual time at which the kernel has a locally-known
+    /// obligation (pending message, timer, or SYNC emission) it will act on
+    /// once its peers permit; [`SimTime::MAX`] when it is purely
+    /// input-driven (nothing scheduled, waiting for messages).
+    pub next_event: SimTime,
+    /// True when the kernel cannot possibly make progress until a new
+    /// message arrives on one of its ports. A parkable kernel need not be
+    /// stepped again until [`Kernel::has_new_input`] reports fresh input
+    /// (or an external stop is requested). Kernels under global-barrier
+    /// synchronization or wall-clock pacing are never parkable: they can be
+    /// unblocked by events no port will signal.
+    pub parkable: bool,
+}
+
 /// Outcome of one [`Kernel::step`] call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepOutcome {
     /// At least one event was processed or the clock advanced.
     Progressed,
-    /// No progress possible until a peer sends a promise; try again later.
-    Blocked,
+    /// No progress possible until a peer sends a promise; the [`WakeHint`]
+    /// tells the executor when and whether to try again.
+    Blocked(WakeHint),
     /// The component reached the end of its simulation.
     Finished,
 }
@@ -136,6 +155,7 @@ impl Kernel {
 
     // ----- API used by models ------------------------------------------------
 
+    /// The component's name (as given to [`Kernel::new`]).
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -150,6 +170,7 @@ impl Kernel {
         self.end
     }
 
+    /// Number of channel endpoints attached to this kernel.
     pub fn num_ports(&self) -> usize {
         self.ports.len()
     }
@@ -195,26 +216,38 @@ impl Kernel {
         self.log.record(now, tag, a, b);
     }
 
+    /// Whether event logging is enabled.
     pub fn log_enabled(&self) -> bool {
         self.log.is_enabled()
     }
 
     // ----- results ------------------------------------------------------------
 
+    /// Run statistics accumulated so far (complete once finished).
     pub fn stats(&self) -> KernelStats {
         self.stats
     }
 
+    /// The component's timestamped event log.
     pub fn event_log(&self) -> &EventLog {
         &self.log
     }
 
+    /// Take ownership of the event log, leaving an empty one behind.
     pub fn take_event_log(&mut self) -> EventLog {
         std::mem::take(&mut self.log)
     }
 
+    /// Whether the component has reached the end of its simulation.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// Whether any port has a raw, not-yet-polled incoming message. This is a
+    /// cheap peek at the head slot of each incoming queue; executors use it to
+    /// decide when a parked kernel (see [`WakeHint::parkable`]) must be woken.
+    pub fn has_new_input(&self) -> bool {
+        self.ports.iter().any(|p| p.has_raw_input())
     }
 
     // ----- execution ------------------------------------------------------------
@@ -226,7 +259,7 @@ impl Kernel {
             match self.step(model, 4096) {
                 StepOutcome::Finished => break,
                 StepOutcome::Progressed => {}
-                StepOutcome::Blocked => std::thread::yield_now(),
+                StepOutcome::Blocked(_) => std::thread::yield_now(),
             }
         }
         self.stats
@@ -339,7 +372,7 @@ impl Kernel {
                 }
             }
 
-            let wall_ok = |t: SimTime| wall_limit.map_or(true, |w| t <= w);
+            let wall_ok = |t: SimTime| wall_limit.is_none_or(|w| t <= w);
             let can_model = t_model < bound && t_model < self.end && wall_ok(t_model);
             let can_sync = t_sync <= bound && t_sync < self.end && wall_ok(t_sync);
 
@@ -364,7 +397,19 @@ impl Kernel {
                     return if progressed {
                         StepOutcome::Progressed
                     } else {
-                        StepOutcome::Blocked
+                        StepOutcome::Blocked(WakeHint {
+                            next_event: t_model.min(t_sync),
+                            // Barrier members are unblocked by epoch advances
+                            // and wall-clock-paced kernels by the passage of
+                            // real time; neither arrives as port input, so
+                            // such kernels must keep being polled. A port with
+                            // a backed-up outbox must also keep being polled:
+                            // flushing happens in poll(), and a peer may be
+                            // waiting on exactly those messages.
+                            parkable: self.barrier.is_none()
+                                && wall_limit.is_none()
+                                && self.ports.iter().all(|p| p.flushed()),
+                        })
                     };
                 }
             };
@@ -375,10 +420,20 @@ impl Kernel {
             }
             progressed = true;
 
-            // Emit any due SYNC messages at the new time.
+            // Emit any due SYNC messages at the new time. When this advance
+            // was (at least partly) driven by a SYNC obligation, batch: also
+            // emit on sibling ports whose SYNC becomes due within their
+            // coalescing slack, so staggered per-port timers collapse into
+            // one wakeup instead of several closely spaced advances.
             let now = self.now;
+            let sync_driven = can_sync && t_sync <= now;
             for p in &mut self.ports {
-                p.maybe_send_sync(now);
+                let slack = if sync_driven {
+                    p.coalesce_slack()
+                } else {
+                    SimTime::ZERO
+                };
+                p.maybe_send_sync_batched(now, slack);
             }
 
             // Deliver model-visible events due at the new time.
@@ -403,11 +458,7 @@ impl Kernel {
             if self.ports[i].sync_enabled() {
                 continue;
             }
-            loop {
-                let msg = match self.ports[i].pop_due(SimTime::MAX) {
-                    Some(m) => m,
-                    None => break,
-                };
+            while let Some(msg) = self.ports[i].pop_due(SimTime::MAX) {
                 self.stats.msgs_delivered += 1;
                 any = true;
                 model.on_msg(self, PortId(i), msg);
@@ -540,7 +591,7 @@ mod tests {
                 break;
             }
             assert!(
-                !(ra == StepOutcome::Blocked && rb == StepOutcome::Blocked),
+                !(matches!(ra, StepOutcome::Blocked(_)) && matches!(rb, StepOutcome::Blocked(_))),
                 "deadlock: both components blocked (a@{} b@{})",
                 ka.now(),
                 kb.now()
@@ -664,7 +715,14 @@ mod tests {
         // The first step only runs initialization; after that the idle
         // component blocks until the orchestrator raises the stop flag.
         assert_eq!(k.step(&mut m, 16), StepOutcome::Progressed);
-        assert_eq!(k.step(&mut m, 16), StepOutcome::Blocked);
+        let outcome = k.step(&mut m, 16);
+        match outcome {
+            StepOutcome::Blocked(hint) => {
+                assert!(hint.parkable, "idle synchronized kernel is parkable");
+                assert_eq!(hint.next_event, SimTime::MAX, "purely input-driven");
+            }
+            other => panic!("expected Blocked, got {other:?}"),
+        }
         flag.store(true, Ordering::Relaxed);
         assert_eq!(k.step(&mut m, 16), StepOutcome::Finished);
     }

@@ -21,6 +21,8 @@
 //! `simbricks-*` crates and only interact with each other through messages
 //! exchanged via this crate.
 
+#![deny(missing_docs)]
+
 pub mod barrier;
 pub mod channel;
 pub mod event;
@@ -36,7 +38,7 @@ pub mod trace;
 pub use barrier::{BarrierMember, EpochController};
 pub use channel::{channel_pair, ChannelEnd, ChannelParams};
 pub use event::{EventId, EventQueue};
-pub use kernel::{Kernel, Model, PortId, StepOutcome};
+pub use kernel::{Kernel, Model, PortId, StepOutcome, WakeHint};
 pub use log::{EventLog, LogEntry};
 pub use slot::{MsgType, OwnedMsg, MAX_PAYLOAD, MSG_SYNC};
 pub use spsc::{Consumer, Producer, SendError};
@@ -44,7 +46,7 @@ pub use stats::KernelStats;
 pub use sync::{PortStats, SyncPort};
 pub use time::{bw, transmission_time, SimTime};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -15,9 +15,13 @@ use crate::time::SimTime;
 /// meaning depends on the tag (e.g. packet length and flow id).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LogEntry {
+    /// Virtual time at which the entry was recorded.
     pub time: SimTime,
+    /// Static tag naming the event kind (e.g. `"nic_tx"`).
     pub tag: &'static str,
+    /// First tag-dependent operand.
     pub a: u64,
+    /// Second tag-dependent operand.
     pub b: u64,
 }
 
@@ -52,10 +56,12 @@ impl EventLog {
         }
     }
 
+    /// Whether this log records entries.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
+    /// Append an entry (no-op when the log is disabled).
     #[inline]
     pub fn record(&mut self, time: SimTime, tag: &'static str, a: u64, b: u64) {
         if self.enabled {
@@ -63,14 +69,17 @@ impl EventLog {
         }
     }
 
+    /// All recorded entries, in recording order.
     pub fn entries(&self) -> &[LogEntry] {
         &self.entries
     }
 
+    /// Number of recorded entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

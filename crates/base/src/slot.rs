@@ -106,12 +106,16 @@ impl Slot {
 /// seven-bit message type, and the payload bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OwnedMsg {
+    /// Receiver-side virtual time at which the message must be processed.
     pub timestamp: SimTime,
+    /// Seven-bit message type ([`MSG_SYNC`] = pure synchronization).
     pub ty: MsgType,
+    /// Payload bytes.
     pub data: Vec<u8>,
 }
 
 impl OwnedMsg {
+    /// Assemble a message from its parts.
     pub fn new(timestamp: SimTime, ty: MsgType, data: Vec<u8>) -> Self {
         OwnedMsg {
             timestamp,
@@ -120,6 +124,7 @@ impl OwnedMsg {
         }
     }
 
+    /// A pure SYNC message carrying only the timestamp promise.
     pub fn sync(timestamp: SimTime) -> Self {
         OwnedMsg {
             timestamp,
@@ -128,6 +133,7 @@ impl OwnedMsg {
         }
     }
 
+    /// Whether this is a pure SYNC message.
     pub fn is_sync(&self) -> bool {
         self.ty == MSG_SYNC
     }

@@ -21,21 +21,30 @@ pub struct KernelStats {
     pub blocked_polls: u64,
     /// Times the component waited at the global barrier (barrier mode only).
     pub barrier_waits: u64,
-    /// Aggregated per-port counters.
+    /// Aggregated per-port counters: data messages sent.
     pub data_sent: u64,
+    /// Data messages received.
     pub data_received: u64,
+    /// SYNC messages sent.
     pub syncs_sent: u64,
+    /// SYNC messages received.
     pub syncs_received: u64,
+    /// Sends buffered locally because the shared queue was momentarily full.
     pub backpressured: u64,
+    /// SYNC messages emitted ahead of schedule by batched emission (subset of
+    /// `syncs_sent`).
+    pub syncs_coalesced: u64,
 }
 
 impl KernelStats {
+    /// Fold one port's counters into this component's totals.
     pub fn absorb_port(&mut self, p: PortStats) {
         self.data_sent += p.data_sent;
         self.data_received += p.data_received;
         self.syncs_sent += p.syncs_sent;
         self.syncs_received += p.syncs_received;
         self.backpressured += p.backpressured;
+        self.syncs_coalesced += p.syncs_coalesced;
     }
 
     /// Total messages that crossed this component's channels (both kinds and
@@ -69,6 +78,7 @@ impl KernelStats {
             out.syncs_sent += s.syncs_sent;
             out.syncs_received += s.syncs_received;
             out.backpressured += s.backpressured;
+            out.syncs_coalesced += s.syncs_coalesced;
         }
         out
     }
@@ -106,6 +116,7 @@ mod tests {
             syncs_sent: 30,
             syncs_received: 30,
             backpressured: 1,
+            syncs_coalesced: 0,
         });
         assert_eq!(s.total_messages(), 80);
         assert!((s.sync_overhead_ratio() - 0.75).abs() < 1e-9);

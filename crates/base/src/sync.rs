@@ -23,13 +23,21 @@ use crate::time::SimTime;
 /// Statistics kept per synchronized port.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PortStats {
+    /// Data messages sent on this port.
     pub data_sent: u64,
+    /// Data messages received on this port.
     pub data_received: u64,
+    /// SYNC messages emitted on this port.
     pub syncs_sent: u64,
+    /// SYNC messages received on this port.
     pub syncs_received: u64,
     /// Number of sends that had to be buffered locally because the shared
     /// queue was momentarily full.
     pub backpressured: u64,
+    /// SYNC messages that were emitted ahead of their due time because the
+    /// kernel was already awake emitting a SYNC on a sibling port (batched
+    /// emission; a subset of `syncs_sent`).
+    pub syncs_coalesced: u64,
 }
 
 /// A channel endpoint participating in SimBricks synchronization.
@@ -47,11 +55,18 @@ pub struct SyncPort {
     outbox: VecDeque<(SimTime, MsgType, Vec<u8>)>,
     /// Set once the final (end-of-simulation) sync has been emitted.
     finalized: bool,
+    /// Effective synchronization interval. Starts at the configured δ and,
+    /// with adaptive batching enabled, widens (doubling per idle SYNC) up to
+    /// the link latency Δ while no data flows, snapping back to δ on the next
+    /// data message.
+    cur_interval: SimTime,
     stats: PortStats,
 }
 
 impl SyncPort {
+    /// Wrap a channel endpoint in the synchronization protocol.
     pub fn new(chan: ChannelEnd) -> Self {
+        let cur_interval = chan.params().sync_interval;
         SyncPort {
             chan,
             in_horizon: SimTime::ZERO,
@@ -59,6 +74,7 @@ impl SyncPort {
             next_sync_due: SimTime::ZERO,
             outbox: VecDeque::new(),
             finalized: false,
+            cur_interval,
             stats: PortStats::default(),
         }
     }
@@ -68,9 +84,15 @@ impl SyncPort {
         self.chan.latency()
     }
 
-    /// Synchronization interval δ of this channel.
+    /// Configured (base) synchronization interval δ of this channel.
     pub fn sync_interval(&self) -> SimTime {
         self.chan.params().sync_interval
+    }
+
+    /// Effective synchronization interval right now: equals δ while data
+    /// flows, widened up to Δ on idle channels when adaptive batching is on.
+    pub fn effective_sync_interval(&self) -> SimTime {
+        self.cur_interval
     }
 
     /// Whether this channel participates in synchronization.
@@ -78,6 +100,7 @@ impl SyncPort {
         self.chan.sync_enabled()
     }
 
+    /// Counters accumulated by this port so far.
     pub fn stats(&self) -> PortStats {
         self.stats
     }
@@ -146,26 +169,70 @@ impl SyncPort {
     }
 
     /// Send a data message at local time `now`; the receiver will process it
-    /// at `now + Δ`. Resets the sync timer (any message doubles as a sync).
+    /// at `now + Δ`. Resets the sync timer (any message doubles as a sync)
+    /// and snaps the adaptive sync interval back to the configured δ: an
+    /// active channel synchronizes at full resolution again.
     pub fn send_data(&mut self, now: SimTime, ty: MsgType, payload: &[u8]) {
         debug_assert!(ty != MSG_SYNC, "type 0 is reserved for SYNC messages");
         let ts = now.saturating_add(self.latency());
         self.enqueue(ts, ty, payload);
         self.stats.data_sent += 1;
-        self.next_sync_due = now.saturating_add(self.sync_interval());
+        self.cur_interval = self.sync_interval();
+        self.next_sync_due = now.saturating_add(self.cur_interval);
     }
 
     /// Emit a SYNC message if one is due at local time `now` (§5.5: liveness).
     pub fn maybe_send_sync(&mut self, now: SimTime) {
+        self.maybe_send_sync_batched(now, SimTime::ZERO);
+    }
+
+    /// Emit a SYNC message if one is due at local time `now`, or becomes due
+    /// within `slack` (batched emission). The kernel passes a non-zero slack
+    /// when it is already awake emitting a SYNC on a sibling port, so ports
+    /// with staggered due times piggyback on a single wakeup instead of each
+    /// forcing its own clock advance. Early emission is always safe: the
+    /// promise carried by the SYNC is `now + Δ`, which is monotonic in `now`.
+    pub fn maybe_send_sync_batched(&mut self, now: SimTime, slack: SimTime) {
         if !self.sync_enabled() || self.finalized {
             return;
         }
-        if now >= self.next_sync_due {
+        if now.saturating_add(slack) >= self.next_sync_due {
+            if now < self.next_sync_due {
+                self.stats.syncs_coalesced += 1;
+            }
             let ts = now.saturating_add(self.latency());
             self.enqueue(ts, MSG_SYNC, &[]);
             self.stats.syncs_sent += 1;
-            self.next_sync_due = now.saturating_add(self.sync_interval());
+            // Adaptive widening: a SYNC emitted here means the channel carried
+            // no data for a whole interval, so back off — double the interval,
+            // capped at the link latency Δ (the liveness bound).
+            if self.chan.params().adaptive_sync {
+                self.cur_interval = SimTime::from_ps(
+                    self.cur_interval.as_ps().saturating_mul(2),
+                )
+                .min(self.latency());
+            }
+            self.next_sync_due = now.saturating_add(self.cur_interval);
         }
+    }
+
+    /// Half the effective sync interval: the slack the kernel uses to batch
+    /// sibling-port SYNC emission (zero when adaptive batching is disabled,
+    /// preserving the strict fixed-interval cadence).
+    pub fn coalesce_slack(&self) -> SimTime {
+        if self.chan.params().adaptive_sync {
+            SimTime::from_ps(self.cur_interval.as_ps() / 2)
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Whether a raw (not yet polled) message is waiting on the incoming
+    /// queue. Executors use this to decide when a parked kernel must be woken:
+    /// a kernel blocked on peer promises can only become runnable again once
+    /// new input arrives on some port.
+    pub fn has_raw_input(&self) -> bool {
+        self.chan.peek_timestamp().is_some()
     }
 
     /// Send the final "end of time" promise so the peer never waits for this

@@ -16,50 +16,65 @@ pub struct SimTime(pub u64);
 /// A span of virtual time (picoseconds).
 pub type Duration = SimTime;
 
+/// Picoseconds per picosecond (the base unit).
 pub const PS: u64 = 1;
+/// Picoseconds per nanosecond.
 pub const NS: u64 = 1_000;
+/// Picoseconds per microsecond.
 pub const US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
 pub const MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
 pub const SEC: u64 = 1_000_000_000_000;
 
 impl SimTime {
+    /// The start of the simulation.
     pub const ZERO: SimTime = SimTime(0);
     /// "End of time" sentinel: used as the horizon of unsynchronized channels.
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// A time `ps` picoseconds after simulation start.
     #[inline]
     pub const fn from_ps(ps: u64) -> Self {
         SimTime(ps)
     }
+    /// A time `ns` nanoseconds after simulation start.
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
         SimTime(ns * NS)
     }
+    /// A time `us` microseconds after simulation start.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
         SimTime(us * US)
     }
+    /// A time `ms` milliseconds after simulation start.
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
         SimTime(ms * MS)
     }
+    /// A time `s` seconds after simulation start.
     #[inline]
     pub const fn from_sec(s: u64) -> Self {
         SimTime(s * SEC)
     }
 
+    /// This time in whole picoseconds.
     #[inline]
     pub const fn as_ps(self) -> u64 {
         self.0
     }
+    /// This time in whole nanoseconds (truncating).
     #[inline]
     pub const fn as_ns(self) -> u64 {
         self.0 / NS
     }
+    /// This time in whole microseconds (truncating).
     #[inline]
     pub const fn as_us(self) -> u64 {
         self.0 / US
     }
+    /// This time in (fractional) seconds.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / SEC as f64
@@ -71,11 +86,13 @@ impl SimTime {
         SimTime(self.0.saturating_add(other.0))
     }
 
+    /// Saturating subtraction; never wraps below zero.
     #[inline]
     pub fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))
     }
 
+    /// The earlier of two times.
     #[inline]
     pub fn min(self, other: SimTime) -> SimTime {
         if self.0 <= other.0 {
@@ -85,6 +102,7 @@ impl SimTime {
         }
     }
 
+    /// The later of two times.
     #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         if self.0 >= other.0 {
@@ -95,6 +113,7 @@ impl SimTime {
     }
 
     /// Integer multiplication of a duration, saturating.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn mul(self, n: u64) -> SimTime {
         SimTime(self.0.saturating_mul(n))
@@ -142,13 +161,13 @@ impl fmt::Display for SimTime {
             return write!(f, "t=+inf");
         }
         let ps = self.0;
-        if ps % SEC == 0 {
+        if ps.is_multiple_of(SEC) {
             write!(f, "{}s", ps / SEC)
-        } else if ps % MS == 0 {
+        } else if ps.is_multiple_of(MS) {
             write!(f, "{}ms", ps / MS)
-        } else if ps % US == 0 {
+        } else if ps.is_multiple_of(US) {
             write!(f, "{}us", ps / US)
-        } else if ps % NS == 0 {
+        } else if ps.is_multiple_of(NS) {
             write!(f, "{}ns", ps / NS)
         } else {
             write!(f, "{}ps", ps)
@@ -169,10 +188,15 @@ pub fn transmission_time(bytes: usize, bits_per_sec: u64) -> SimTime {
 
 /// Common link bandwidth constants in bits per second.
 pub mod bw {
+    /// One gigabit per second.
     pub const GBPS: u64 = 1_000_000_000;
+    /// One megabit per second.
     pub const MBPS: u64 = 1_000_000;
+    /// 10 Gbps Ethernet.
     pub const B10G: u64 = 10 * GBPS;
+    /// 40 Gbps Ethernet.
     pub const B40G: u64 = 40 * GBPS;
+    /// 100 Gbps Ethernet.
     pub const B100G: u64 = 100 * GBPS;
 }
 

@@ -19,10 +19,15 @@ use crate::time::SimTime;
 /// the tag/operands of the underlying [`LogEntry`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
+    /// Virtual time of the underlying log entry.
     pub time: SimTime,
+    /// Name of the component that logged it.
     pub component: String,
+    /// Static tag naming the event kind.
     pub tag: &'static str,
+    /// First tag-dependent operand.
     pub a: u64,
+    /// Second tag-dependent operand.
     pub b: u64,
 }
 
@@ -43,9 +48,13 @@ impl fmt::Display for TraceEntry {
 /// Statistics of a set of observed latencies (all values in virtual time).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpanStats {
+    /// Number of latencies observed.
     pub count: u64,
+    /// Sum of all observed latencies.
     pub total: SimTime,
+    /// Smallest observed latency.
     pub min: SimTime,
+    /// Largest observed latency.
     pub max: SimTime,
 }
 
@@ -64,11 +73,10 @@ impl SpanStats {
 
     /// Mean observed latency; zero when nothing was observed.
     pub fn mean(&self) -> SimTime {
-        if self.count == 0 {
-            SimTime::ZERO
-        } else {
-            SimTime::from_ps(self.total.as_ps() / self.count)
-        }
+        self.total
+            .as_ps()
+            .checked_div(self.count)
+            .map_or(SimTime::ZERO, SimTime::from_ps)
     }
 }
 
@@ -90,13 +98,16 @@ impl fmt::Display for SpanStats {
 /// matches "client-host").
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Phase {
+    /// Substring matched against component names.
     pub component: String,
+    /// Tag the matching entry must carry.
     pub tag: &'static str,
     /// Human-readable label used in reports.
     pub label: String,
 }
 
 impl Phase {
+    /// Define a phase by component substring, tag, and report label.
     pub fn new(component: impl Into<String>, tag: &'static str, label: impl Into<String>) -> Self {
         Phase {
             component: component.into(),
@@ -114,8 +125,11 @@ impl Phase {
 /// consecutive phases, aggregated over every traversal found in the trace.
 #[derive(Clone, Debug)]
 pub struct Segment {
+    /// Label of the segment's starting phase.
     pub from: String,
+    /// Label of the segment's ending phase.
     pub to: String,
+    /// Latency statistics aggregated over all traversals.
     pub stats: SpanStats,
 }
 
@@ -124,7 +138,9 @@ pub struct Segment {
 /// §8.1.
 #[derive(Clone, Debug, Default)]
 pub struct Breakdown {
+    /// Per-segment latency statistics, in phase order.
     pub segments: Vec<Segment>,
+    /// Latency from the first to the last phase.
     pub end_to_end: SpanStats,
 }
 
@@ -173,14 +189,17 @@ impl Trace {
         }
     }
 
+    /// All merged entries, time-ordered.
     pub fn entries(&self) -> &[TraceEntry] {
         &self.entries
     }
 
+    /// Number of merged entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether the trace holds no entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -244,15 +263,12 @@ impl Trace {
         }
         let mut seg_stats = vec![SpanStats::default(); phases.len() - 1];
         let mut cursor = 0usize;
-        loop {
-            // Find the next occurrence of the first phase.
-            let Some(start_idx) = self.entries[cursor..]
-                .iter()
-                .position(|e| phases[0].matches(e))
-                .map(|p| p + cursor)
-            else {
-                break;
-            };
+        // Walk every occurrence of the first phase.
+        while let Some(start_idx) = self.entries[cursor..]
+            .iter()
+            .position(|e| phases[0].matches(e))
+            .map(|p| p + cursor)
+        {
             let mut times = Vec::with_capacity(phases.len());
             times.push(self.entries[start_idx].time);
             let mut idx = start_idx;

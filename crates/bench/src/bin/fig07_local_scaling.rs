@@ -1,15 +1,147 @@
 //! Fig. 7: local scale-up — simulation time as the number of hosts attached
 //! to one switch grows (fixed 1 Gbps aggregate UDP load).
+//!
+//! The harness runs every topology twice on identical inputs: once with the
+//! sequential executor and once with the sharded work-stealing executor, so
+//! the local-scaling claim of §5.5 (components synchronize pairwise, so more
+//! cores buy wall-clock speedup) can be checked on the machine at hand.
+//!
+//! Usage:
+//!   fig07_local_scaling [--hosts 2,5,10,15,21] [--workers N]
+//!                       [--duration-ms MS] [--json PATH]
+//!
+//! `--json PATH` writes the machine-readable baseline consumed by future
+//! regression checks (see `BENCH_fig07.json` at the repository root).
+//! `SIMBRICKS_WORKERS` provides the worker count when `--workers` is absent.
+
 use simbricks::hostsim::HostKind;
-use simbricks::SimTime;
-use simbricks_bench::udp_scaleup;
+use simbricks::runner::default_workers;
+use simbricks::{Execution, SimTime};
+use simbricks_bench::udp_scaleup_with;
+
+struct Row {
+    hosts: usize,
+    seq_wall: f64,
+    seq_syncs: u64,
+    sharded_wall: f64,
+    sharded_syncs: u64,
+}
 
 fn main() {
-    let duration = SimTime::from_ms(5);
+    let mut hosts_list = vec![2usize, 5, 10, 15, 21];
+    let mut workers = default_workers();
+    let mut duration = SimTime::from_ms(5);
+    let mut json_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need_value = |args: &[String], i: usize| {
+        if i + 1 >= args.len() {
+            eprintln!("{} requires a value", args[i]);
+            std::process::exit(2);
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--hosts" => {
+                need_value(&args, i);
+                i += 1;
+                hosts_list = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--hosts takes a comma list"))
+                    .collect();
+            }
+            "--workers" => {
+                need_value(&args, i);
+                i += 1;
+                workers = args[i].parse().expect("--workers takes a number");
+            }
+            "--duration-ms" => {
+                need_value(&args, i);
+                i += 1;
+                duration = SimTime::from_ms(args[i].parse().expect("--duration-ms number"));
+            }
+            "--json" => {
+                need_value(&args, i);
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
     println!("# Figure 7: local scale-up (aggregate 1 Gbps UDP iperf)");
-    println!("{:>6} {:>12} {:>14}", "hosts", "wall[s]", "sync msgs");
-    for hosts in [2usize, 5, 10, 15, 21] {
-        let (wall, syncs) = udp_scaleup(hosts, HostKind::Gem5Timing, duration, false);
-        println!("{:>6} {:>12.2} {:>14}", hosts, wall, syncs);
+    println!("# sequential vs sharded executor, {workers} workers");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "hosts", "seq[s]", "sharded[s]", "speedup", "seq syncs", "sharded syncs"
+    );
+    let mut rows = Vec::new();
+    for &hosts in &hosts_list {
+        let (seq_wall, seq_syncs) =
+            udp_scaleup_with(hosts, HostKind::Gem5Timing, duration, false, Execution::Sequential);
+        let (sharded_wall, sharded_syncs) = udp_scaleup_with(
+            hosts,
+            HostKind::Gem5Timing,
+            duration,
+            false,
+            Execution::Sharded { workers },
+        );
+        let speedup = if sharded_wall > 0.0 {
+            seq_wall / sharded_wall
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>8.2}x {:>14} {:>14}",
+            hosts, seq_wall, sharded_wall, speedup, seq_syncs, sharded_syncs
+        );
+        rows.push(Row {
+            hosts,
+            seq_wall,
+            seq_syncs,
+            sharded_wall,
+            sharded_syncs,
+        });
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n");
+        out.push_str("  \"figure\": \"fig07_local_scaling\",\n");
+        out.push_str("  \"workload\": \"udp_scaleup gem5-timing hosts + 1 switch\",\n");
+        out.push_str(&format!(
+            "  \"virtual_duration_ms\": {},\n",
+            duration.as_ps() / 1_000_000_000
+        ));
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!(
+            "  \"machine_cores\": {},\n",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        ));
+        out.push_str(
+            "  \"note\": \"speedup is bounded by machine_cores; on a single-core \
+             machine sharded can only match sequential\",\n",
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"hosts\": {}, \"sequential_wall_s\": {:.4}, \"sharded_wall_s\": {:.4}, \
+                 \"speedup\": {:.4}, \"sequential_syncs\": {}, \"sharded_syncs\": {}}}{}\n",
+                r.hosts,
+                r.seq_wall,
+                r.sharded_wall,
+                if r.sharded_wall > 0.0 { r.seq_wall / r.sharded_wall } else { 0.0 },
+                r.seq_syncs,
+                r.sharded_syncs,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write --json file");
+        eprintln!("wrote {path}");
     }
 }

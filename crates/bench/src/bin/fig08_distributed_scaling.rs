@@ -2,6 +2,11 @@
 //! memcached/memaslap workload. Scaled down from the paper's 40-1000 hosts on
 //! 26 servers to rack sizes that run on one machine; the quantity of interest
 //! is how simulation time grows with host count.
+//!
+//! The executor is selectable: `--exec sequential|threads|sharded[:N]` or the
+//! `SIMBRICKS_EXEC` environment variable (default: sequential). With dozens
+//! of components per rack, `sharded` is the mode that lets one machine stand
+//! in for the paper's cluster.
 use simbricks::apps::memcache::MEMCACHE_PORT;
 use simbricks::apps::{MemaslapClient, MemcachedServer};
 use simbricks::hostsim::{HostConfig, HostKind};
@@ -10,7 +15,7 @@ use simbricks::netstack::SocketAddr;
 use simbricks::runner::{attach_host_nic, Execution, Experiment};
 use simbricks::SimTime;
 
-fn run(racks: usize, hosts_per_rack: usize, kind: HostKind) -> f64 {
+fn run(racks: usize, hosts_per_rack: usize, kind: HostKind, exec: Execution) -> f64 {
     let virt = SimTime::from_ms(5);
     let mut exp = Experiment::new("memcache-racks", virt + SimTime::from_ms(2));
     let mut core_ports = Vec::new();
@@ -50,17 +55,38 @@ fn run(racks: usize, hosts_per_rack: usize, kind: HostKind) -> f64 {
         Box::new(SwitchBm::new(SwitchConfig { ports: racks, ..Default::default() })),
         core_ports,
     );
-    let r = exp.run(Execution::Sequential);
+    let r = exp.run(exec);
     r.wall_seconds()
 }
 
 fn main() {
+    let mut exec = Execution::from_env_or(Execution::Sequential);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exec" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--exec requires a value");
+                    std::process::exit(2);
+                }
+                i += 1;
+                exec = Execution::parse(&args[i]).expect("--exec sequential|threads|sharded[:N]");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
     println!("# Figure 8: scale-out (memcached racks, 5 ms virtual, scaled down)");
+    println!("# executor: {exec:?}");
     println!("{:>6} {:>18} {:>18}", "hosts", "gem5-like [s]", "qemu-timing [s]");
     for racks in [1usize, 2, 4] {
         let hosts = racks * 8;
-        let g = run(racks, 8, HostKind::Gem5Timing);
-        let q = run(racks, 8, HostKind::QemuTiming);
+        let g = run(racks, 8, HostKind::Gem5Timing, exec);
+        let q = run(racks, 8, HostKind::QemuTiming, exec);
         println!("{:>6} {:>18.2} {:>18.2}", hosts, g, q);
     }
 }

@@ -100,8 +100,8 @@ fn run(transport: Transport) -> (f64, f64, f64, String) {
 fn main() {
     println!("# Section 7.4.2: local vs proxied Ethernet link (synchronized netperf)");
     println!(
-        "{:<18} {:>12} {:>13} {:>10}   {}",
-        "transport", "tput[Gbps]", "latency[us]", "wall[s]", "proxy counters"
+        "{:<18} {:>12} {:>13} {:>10}   proxy counters",
+        "transport", "tput[Gbps]", "latency[us]", "wall[s]"
     );
     for (name, transport) in [
         ("direct channel", Transport::Direct),

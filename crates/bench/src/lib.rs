@@ -303,8 +303,28 @@ pub fn dctcp_network_only(k_packets: usize, duration: SimTime) -> f64 {
 }
 
 /// N client hosts plus one server host running rate-limited UDP iperf through
-/// a single switch (the Fig. 7 scale-up workload). Returns wall-clock seconds.
+/// a single switch (the Fig. 7 scale-up workload), executed with the default
+/// (or `SIMBRICKS_EXEC`-selected) executor. Returns wall-clock seconds and
+/// the number of synchronization messages.
 pub fn udp_scaleup(hosts: usize, host_kind: HostKind, duration: SimTime, barrier: bool) -> (f64, u64) {
+    udp_scaleup_with(
+        hosts,
+        host_kind,
+        duration,
+        barrier,
+        Execution::from_env_or(Execution::Sequential),
+    )
+}
+
+/// [`udp_scaleup`] with an explicit executor — the Fig. 7 harness uses this
+/// to compare sequential against sharded wall-clock on the same topology.
+pub fn udp_scaleup_with(
+    hosts: usize,
+    host_kind: HostKind,
+    duration: SimTime,
+    barrier: bool,
+    exec: Execution,
+) -> (f64, u64) {
     let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
     if barrier {
         exp = exp.with_global_barrier();
@@ -334,6 +354,6 @@ pub fn udp_scaleup(hosts: usize, host_kind: HostKind, duration: SimTime, barrier
         })),
         eth,
     );
-    let r = exp.run(Execution::Sequential);
+    let r = exp.run(exec);
     (r.wall_seconds(), r.total_stats().syncs_sent + r.total_stats().barrier_waits)
 }

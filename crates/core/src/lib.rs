@@ -22,6 +22,8 @@
 //! dozen lines, and the `simbricks-bench` crate for the harnesses that
 //! regenerate the paper's tables and figures.
 
+#![deny(missing_docs)]
+
 pub use simbricks_apps as apps;
 pub use simbricks_base as base;
 pub use simbricks_eth as eth;

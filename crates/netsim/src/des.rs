@@ -117,6 +117,7 @@ pub trait EndpointApp: Send {
     }
 }
 
+#[allow(clippy::large_enum_variant)]
 enum NodeKind {
     Switch {
         mac_table: HashMap<MacAddr, usize>,
@@ -685,7 +686,7 @@ mod tests {
                 .unwrap();
             loop {
                 match self.kernel.step(&mut self.net, 512) {
-                    StepOutcome::Blocked | StepOutcome::Finished => break,
+                    StepOutcome::Blocked(_) | StepOutcome::Finished => break,
                     StepOutcome::Progressed => {}
                 }
             }

@@ -248,7 +248,7 @@ mod tests {
             }
             loop {
                 match self.kernel.step(&mut self.switch, 256) {
-                    StepOutcome::Blocked | StepOutcome::Finished => break,
+                    StepOutcome::Blocked(_) | StepOutcome::Finished => break,
                     StepOutcome::Progressed => {}
                 }
             }

@@ -39,7 +39,7 @@ struct Pending {
 impl Pending {
     fn flush(self, out: &mut Vec<Vec<u8>>) {
         let (hdr, ecn) = match (&self.frame.l4, &self.frame.ipv4) {
-            (ParsedL4::Tcp { header, .. }, Some(ip)) => (header.clone(), ip.ecn),
+            (ParsedL4::Tcp { header, .. }, Some(ip)) => (*header, ip.ecn),
             _ => unreachable!("only TCP frames are held for coalescing"),
         };
         let ip = self.frame.ipv4.expect("tcp frame has ipv4");
@@ -320,6 +320,7 @@ mod tests {
         assert_eq!(r.merged, 0);
     }
 
+    #[cfg(feature = "proptest")]
     mod properties {
         use super::*;
         use proptest::prelude::*;

@@ -367,7 +367,7 @@ impl NetStack {
         for id in ids {
             let (segs, events, remote_ip) = match self.sockets.get_mut(&id) {
                 Some(Sock::Tcp(c)) => {
-                    if c.next_deadline().map_or(true, |d| d > now) {
+                    if c.next_deadline().is_none_or(|d| d > now) {
                         continue;
                     }
                     let mut segs = Vec::new();

@@ -467,10 +467,7 @@ impl TcpConn {
                     events.push(ConnEvent::DataAvailable);
                 }
                 // Pull any now-contiguous out-of-order data.
-                loop {
-                    let Some((&oseq, _)) = self.ooo.iter().next() else {
-                        break;
-                    };
+                while let Some((&oseq, _)) = self.ooo.iter().next() {
                     if seq_gt(oseq, self.rcv_nxt) {
                         break;
                     }

@@ -258,12 +258,11 @@ impl BehavioralNic {
                     self.try_start_rx(k);
                 }
                 Q_ITR => self.itr.interval = SimTime::from_ns(value),
-                Q_TSO_MSS => {
+                Q_TSO_MSS
                     // Only the i40e advertises TSO; other models ignore it.
-                    if self.cfg.variant == NicVariant::I40e {
+                    if self.cfg.variant == NicVariant::I40e => {
                         self.tso_mss = value as u32;
                     }
-                }
                 _ => {}
             },
             _ => {}
@@ -862,6 +861,7 @@ mod tests {
         assert!(segment_tso(&super_frame, 0).is_none());
     }
 
+    #[cfg(feature = "proptest")]
     mod properties {
         use super::*;
         use proptest::prelude::*;

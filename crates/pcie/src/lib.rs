@@ -20,7 +20,7 @@ pub use msg::{
 };
 pub use outstanding::OutstandingRequests;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

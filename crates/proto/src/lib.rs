@@ -27,7 +27,7 @@ pub use ipv4::{Ecn, IpProto, Ipv4Header, IPV4_HEADER_LEN};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -101,11 +101,11 @@ impl TcpHeader {
 
     /// Parse a TCP segment (header, payload, checksum validity) given the
     /// enclosing IPv4 addresses for pseudo-header verification.
-    pub fn parse<'a>(
-        data: &'a [u8],
+    pub fn parse(
+        data: &[u8],
         src: Ipv4Addr,
         dst: Ipv4Addr,
-    ) -> Option<(TcpHeader, &'a [u8], bool)> {
+    ) -> Option<(TcpHeader, &[u8], bool)> {
         if data.len() < TCP_HEADER_LEN {
             return None;
         }

@@ -46,11 +46,11 @@ impl UdpHeader {
     }
 
     /// Parse a UDP datagram, returning header, payload and checksum validity.
-    pub fn parse<'a>(
-        data: &'a [u8],
+    pub fn parse(
+        data: &[u8],
         src: Ipv4Addr,
         dst: Ipv4Addr,
-    ) -> Option<(UdpHeader, &'a [u8], bool)> {
+    ) -> Option<(UdpHeader, &[u8], bool)> {
         if data.len() < UDP_HEADER_LEN {
             return None;
         }

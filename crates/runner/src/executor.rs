@@ -1,0 +1,304 @@
+//! Sharded work-stealing executor: many kernels over a fixed worker pool.
+//!
+//! The seed offered an all-or-nothing choice:
+//! [`Execution::Sequential`](crate::Execution::Sequential) (every component
+//! cooperatively stepped on one core) or
+//! [`Execution::Threads`](crate::Execution::Threads) (one OS thread per
+//! component, the paper's one-process-per-simulator architecture). Neither matches the common case
+//! of N components ≫ N cores, where thread-per-component oversubscribes the
+//! machine and sequential leaves cores idle. This module schedules all
+//! kernels of an experiment over a fixed pool of workers (§5.5 scalability
+//! claim at local scale):
+//!
+//! * **Sharding.** Components are split into contiguous shards, one per
+//!   worker. Each worker sweeps its own shard first, which keeps a kernel on
+//!   the same core across polls (warm caches for its event queue and ports).
+//! * **Work stealing.** A worker whose shard yields no progress sweeps the
+//!   other shards. Every component is guarded by its own [`Mutex`];
+//!   `try_lock` makes stealing race-free without a global scheduler lock,
+//!   and a failed `try_lock` just means another worker is already stepping
+//!   that kernel.
+//! * **Parking.** A kernel whose [`Kernel::step`] returns
+//!   [`StepOutcome::Blocked`] with a parkable
+//!   [`WakeHint`](simbricks_base::WakeHint) is skipped until
+//!   [`Kernel::has_new_input`] sees a fresh message on one of its SPSC
+//!   queues — a cheap peek at one queue slot per port, instead of a full
+//!   poll/bound recomputation. The SimBricks synchronization protocol
+//!   guarantees this is lossless: a blocked synchronized kernel can only be
+//!   unblocked by a new message (promise) from a peer.
+//!
+//! Cross-shard communication needs no extra machinery: components already
+//! exchange messages through the lock-free SPSC channel pairs created at
+//! wiring time, which work identically within and across shards.
+//!
+//! Determinism: the executor only changes *when* (in wall-clock time) each
+//! kernel polls; the §5.5 protocol fixes *what* every kernel observes at
+//! every virtual time. Sequential, threaded, and sharded runs therefore
+//! produce bit-identical event logs (asserted by
+//! `tests/integration_determinism.rs`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use simbricks_base::{Kernel, Model, StepOutcome};
+
+/// Tuning knobs for the sharded executor.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedOptions {
+    /// Number of worker threads. Clamped to the component count at run time.
+    pub workers: usize,
+    /// `max_steps` passed to each [`Kernel::step`] call: how many clock
+    /// advances a kernel may make before the worker moves on. Larger values
+    /// amortize scheduling overhead, smaller values interleave more fairly.
+    pub batch: usize,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            workers: default_workers(),
+            batch: 512,
+        }
+    }
+}
+
+/// Worker count used when none is configured: `SIMBRICKS_WORKERS` if set,
+/// otherwise the machine's available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("SIMBRICKS_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One schedulable component: its kernel plus its model, mutably borrowed
+/// from the experiment for the duration of the run.
+pub(crate) struct Unit<'a> {
+    pub name: &'a str,
+    pub kernel: &'a mut Kernel,
+    pub model: &'a mut dyn Model,
+}
+
+/// Mutable per-component scheduling state, guarded by the slot mutex.
+struct UnitState<'a> {
+    unit: Unit<'a>,
+    /// Blocked with a parkable hint: skip until new input (or a force pass).
+    parked: bool,
+    done: bool,
+}
+
+struct Slot<'a> {
+    state: Mutex<UnitState<'a>>,
+    /// Lock-free mirror of `done` so sweeps skip finished slots without
+    /// touching the mutex.
+    finished: AtomicBool,
+}
+
+/// How many consecutive no-progress sweeps a worker tolerates before it
+/// force-steps parked kernels too (safety valve against a missed wakeup).
+const FORCE_AFTER_IDLE: u32 = 64;
+
+/// Wall-clock time without global progress after which a synchronized run is
+/// declared deadlocked.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Run every unit to completion on `opts.workers` worker threads.
+///
+/// `stop` is the experiment's shared stop flag: in unsynchronized (emulation)
+/// runs the first component to finish raises it so free-running peers
+/// terminate; the executor also uses it to force-wake parked kernels.
+pub(crate) fn run_sharded(
+    units: Vec<Unit<'_>>,
+    opts: ShardedOptions,
+    stop: &AtomicBool,
+    synchronized: bool,
+) {
+    let n = units.len();
+    if n == 0 {
+        return;
+    }
+    let workers = opts.workers.max(1).min(n);
+    let slots: Vec<Slot> = units
+        .into_iter()
+        .map(|unit| Slot {
+            state: Mutex::new(UnitState {
+                unit,
+                parked: false,
+                done: false,
+            }),
+            finished: AtomicBool::new(false),
+        })
+        .collect();
+    let finished = AtomicUsize::new(0);
+    // Monotone counter bumped on every productive sweep; workers use it to
+    // notice global progress (and its absence, for deadlock detection).
+    let progress = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let finished = &finished;
+            let progress = &progress;
+            scope.spawn(move || {
+                worker_loop(
+                    w, workers, slots, finished, progress, opts.batch, stop, synchronized,
+                );
+            });
+        }
+    });
+}
+
+/// Step one component if it is runnable. Returns true when the step made
+/// progress (advanced or finished), false when the slot was skipped, already
+/// locked by another worker, or blocked.
+#[allow(clippy::too_many_arguments)]
+fn try_step(
+    slot: &Slot<'_>,
+    batch: usize,
+    force: bool,
+    finished: &AtomicUsize,
+    stop: &AtomicBool,
+    synchronized: bool,
+) -> bool {
+    if slot.finished.load(Ordering::Relaxed) {
+        return false;
+    }
+    let Ok(mut st) = slot.state.try_lock() else {
+        return false;
+    };
+    if st.done {
+        return false;
+    }
+    if st.parked && !force && !st.unit.kernel.has_new_input() {
+        return false;
+    }
+    let UnitState {
+        ref mut unit,
+        ref mut parked,
+        ref mut done,
+    } = *st;
+    let outcome = unit.kernel.step(unit.model, batch);
+    match outcome {
+        StepOutcome::Finished => {
+            *done = true;
+            *parked = false;
+            slot.finished.store(true, Ordering::Relaxed);
+            finished.fetch_add(1, Ordering::Relaxed);
+            if !synchronized {
+                // Emulation mode: the first component to finish (the workload
+                // driver) ends the run for everyone.
+                stop.store(true, Ordering::Relaxed);
+            }
+            true
+        }
+        StepOutcome::Progressed => {
+            *parked = false;
+            true
+        }
+        StepOutcome::Blocked(hint) => {
+            *parked = hint.parkable;
+            false
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: usize,
+    workers: usize,
+    slots: &[Slot<'_>],
+    finished: &AtomicUsize,
+    progress: &AtomicU64,
+    batch: usize,
+    stop: &AtomicBool,
+    synchronized: bool,
+) {
+    let n = slots.len();
+    // Contiguous shard [lo, hi) owned by this worker (affinity, not
+    // exclusivity — any worker may step any component).
+    let lo = w * n / workers;
+    let hi = (w + 1) * n / workers;
+    let mut idle_sweeps: u32 = 0;
+    let mut last_progress = progress.load(Ordering::Relaxed);
+    let mut stalled_since: Option<Instant> = None;
+
+    while finished.load(Ordering::Relaxed) < n {
+        let force = stop.load(Ordering::Relaxed) || idle_sweeps >= FORCE_AFTER_IDLE;
+        let mut progressed = false;
+        // Own shard first: keeps each kernel on one core in the steady state.
+        for slot in &slots[lo..hi] {
+            if try_step(slot, batch, force, finished, stop, synchronized) {
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Work stealing: help whoever still has runnable kernels.
+            for slot in slots[hi..].iter().chain(&slots[..lo]) {
+                if try_step(slot, batch, force, finished, stop, synchronized) {
+                    progressed = true;
+                }
+            }
+        }
+
+        if progressed {
+            progress.fetch_add(1, Ordering::Relaxed);
+            idle_sweeps = 0;
+            stalled_since = None;
+            continue;
+        }
+        idle_sweeps = idle_sweeps.saturating_add(1);
+        let seen = progress.load(Ordering::Relaxed);
+        if seen != last_progress {
+            last_progress = seen;
+            stalled_since = None;
+        } else if synchronized && force {
+            // No one anywhere is progressing, even with parked kernels
+            // force-stepped. Give peers real wall-clock time before calling
+            // it a deadlock (another worker may hold locks mid-step).
+            let since = *stalled_since.get_or_insert_with(Instant::now);
+            if since.elapsed() > DEADLOCK_TIMEOUT {
+                panic!(
+                    "deadlock in sharded execution: {} of {} components blocked: {}",
+                    n - finished.load(Ordering::Relaxed),
+                    n,
+                    describe_blocked(slots)
+                );
+            }
+        }
+        if synchronized {
+            std::thread::yield_now();
+        } else {
+            // Emulation mode: components wait for the wall clock; wait with
+            // them instead of burning the core.
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// Best-effort state dump for the deadlock panic (skips slots another worker
+/// holds locked). Re-steps each blocked kernel once to report what it is
+/// waiting for (the [`WakeHint`](simbricks_base::WakeHint) next-event time).
+fn describe_blocked(slots: &[Slot<'_>]) -> String {
+    let mut out = Vec::new();
+    for slot in slots {
+        if slot.finished.load(Ordering::Relaxed) {
+            continue;
+        }
+        if let Ok(mut st) = slot.state.try_lock() {
+            let UnitState { ref mut unit, .. } = *st;
+            let waiting = match unit.kernel.step(unit.model, 1) {
+                StepOutcome::Blocked(hint) => format!(" next_event={}", hint.next_event),
+                _ => String::new(),
+            };
+            out.push(format!("{}@{}{}", unit.name, unit.kernel.now(), waiting));
+        }
+    }
+    out.join(", ")
+}

@@ -31,13 +31,55 @@ struct Component {
 }
 
 /// How to execute the components of an experiment.
+///
+/// All three executors produce identical simulation results (bit-identical
+/// event logs); they differ only in how wall-clock resources are used. See
+/// `docs/ARCHITECTURE.md` for guidance on choosing one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Execution {
     /// One OS thread per component simulator (the paper's architecture).
+    /// Best when components ≤ cores; oversubscribes the machine otherwise.
     Threads,
     /// Cooperative round-robin on the calling thread (practical on machines
     /// with few cores; produces identical simulation results).
     Sequential,
+    /// Sharded work-stealing pool: all components scheduled over a fixed
+    /// number of worker threads, with blocked kernels parked until new input
+    /// arrives. The right choice when components ≫ cores. `workers == 0`
+    /// means auto (the `SIMBRICKS_WORKERS` environment variable if set,
+    /// otherwise the machine's available parallelism).
+    Sharded {
+        /// Worker thread count (0 = auto).
+        workers: usize,
+    },
+}
+
+impl Execution {
+    /// Parse an executor selection string: `sequential`, `threads`,
+    /// `sharded` (auto worker count), or `sharded:N`.
+    pub fn parse(s: &str) -> Option<Execution> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "sequential" | "seq" => Some(Execution::Sequential),
+            "threads" | "thread" => Some(Execution::Threads),
+            "sharded" => Some(Execution::Sharded { workers: 0 }),
+            _ => {
+                let n = s.strip_prefix("sharded:")?.parse().ok()?;
+                Some(Execution::Sharded { workers: n })
+            }
+        }
+    }
+
+    /// Executor selected by the `SIMBRICKS_EXEC` environment variable
+    /// (same syntax as [`Execution::parse`]), or `default` when unset or
+    /// unparseable.
+    pub fn from_env_or(default: Execution) -> Execution {
+        std::env::var("SIMBRICKS_EXEC")
+            .ok()
+            .as_deref()
+            .and_then(Execution::parse)
+            .unwrap_or(default)
+    }
 }
 
 /// Results of a completed experiment.
@@ -69,7 +111,7 @@ impl RunResult {
     }
 
     /// Merge the per-component event logs of this run into one named,
-    /// time-ordered [`Trace`] for end-to-end latency breakdowns (§8.1).
+    /// time-ordered [`Trace`](simbricks_base::trace::Trace) for end-to-end latency breakdowns (§8.1).
     /// The experiment must have been built with [`Experiment::with_logging`];
     /// otherwise the trace is empty.
     pub fn trace(&self) -> simbricks_base::trace::Trace {
@@ -101,6 +143,7 @@ pub struct Experiment {
     link_latency: SimTime,
     pcie_latency: SimTime,
     sync_interval: SimTime,
+    adaptive_sync: bool,
     log_enabled: bool,
     components: Vec<Component>,
     barrier: Option<std::sync::Arc<EpochController>>,
@@ -126,6 +169,7 @@ impl Experiment {
             link_latency: SimTime::from_ns(500),
             pcie_latency: SimTime::from_ns(500),
             sync_interval: SimTime::from_ns(500),
+            adaptive_sync: true,
             log_enabled: false,
             components: Vec::new(),
             barrier: None,
@@ -174,6 +218,15 @@ impl Experiment {
         self
     }
 
+    /// Enable or disable adaptive sync batching on all channels (default on):
+    /// idle channels widen their effective sync interval towards the link
+    /// latency and kernels batch SYNC emission across their ports. Purely a
+    /// wall-clock optimization — simulation results are unaffected.
+    pub fn with_adaptive_sync(mut self, adaptive: bool) -> Self {
+        self.adaptive_sync = adaptive;
+        self
+    }
+
     /// Replace the pairwise synchronization with epoch/global-barrier
     /// synchronization (the dist-gem5 baseline of Fig. 6). Must be called
     /// before components are added; the epoch equals the smallest latency.
@@ -196,6 +249,7 @@ impl Experiment {
             sync_interval: self.sync_interval.min(self.link_latency),
             sync: self.synchronized && self.barrier.is_none(),
             queue_len: 64,
+            adaptive_sync: self.adaptive_sync,
         }
     }
 
@@ -206,6 +260,7 @@ impl Experiment {
             sync_interval: self.sync_interval.min(self.pcie_latency),
             sync: self.synchronized && self.barrier.is_none(),
             queue_len: 64,
+            adaptive_sync: self.adaptive_sync,
         }
     }
 
@@ -266,6 +321,7 @@ impl Experiment {
         match mode {
             Execution::Sequential => self.run_sequential(),
             Execution::Threads => self.run_threads(),
+            Execution::Sharded { workers } => self.run_sharded(workers),
         }
         let wall = start.elapsed();
 
@@ -316,7 +372,7 @@ impl Experiment {
                         all_finished = false;
                         any_progress = true;
                     }
-                    StepOutcome::Blocked => {
+                    StepOutcome::Blocked(_) => {
                         all_finished = false;
                     }
                 }
@@ -349,6 +405,29 @@ impl Experiment {
                 );
             }
         }
+    }
+
+    fn run_sharded(&mut self, workers: usize) {
+        let opts = crate::executor::ShardedOptions {
+            workers: if workers == 0 {
+                crate::executor::default_workers()
+            } else {
+                workers
+            },
+            ..Default::default()
+        };
+        let stop = self.stop.clone();
+        let synchronized = self.synchronized;
+        let units = self
+            .components
+            .iter_mut()
+            .map(|c| crate::executor::Unit {
+                name: &c.name,
+                kernel: &mut c.kernel,
+                model: c.model.as_model(),
+            })
+            .collect();
+        crate::executor::run_sharded(units, opts, &stop, synchronized);
     }
 
     fn run_threads(&mut self) {
@@ -459,6 +538,79 @@ mod tests {
             rs.stats[1].msgs_delivered, rt.stats[1].msgs_delivered,
             "same deliveries regardless of executor"
         );
+    }
+
+    #[test]
+    fn sharded_execution_matches_sequential_results() {
+        let rs = build_pair(SimTime::from_ms(1), true).run(Execution::Sequential);
+        for workers in [1usize, 2, 4] {
+            let rw = build_pair(SimTime::from_ms(1), true).run(Execution::Sharded { workers });
+            let ls: &Echoer = rs.model(0).unwrap();
+            let lw: &Echoer = rw.model(0).unwrap();
+            assert_eq!(ls.sent, lw.sent, "workers={workers}");
+            assert_eq!(ls.received, lw.received, "workers={workers}");
+            assert_eq!(
+                rs.stats[1].msgs_delivered, rw.stats[1].msgs_delivered,
+                "same deliveries regardless of executor (workers={workers})"
+            );
+            assert_eq!(rs.virtual_time, rw.virtual_time);
+        }
+    }
+
+    #[test]
+    fn sharded_execution_unsynchronized_completes() {
+        // Emulation mode: the run ends when the workload driver quits, which
+        // raises the stop flag for the free-running peer.
+        struct Quitter {
+            sent: u64,
+        }
+        impl Model for Quitter {
+            fn init(&mut self, k: &mut Kernel) {
+                k.schedule_at(SimTime::from_ns(100), 0);
+            }
+            fn on_msg(&mut self, _k: &mut Kernel, _p: PortId, _m: OwnedMsg) {}
+            fn on_timer(&mut self, k: &mut Kernel, _t: u64) {
+                k.send(PortId(0), 1, b"x");
+                self.sent += 1;
+                if self.sent < 5 {
+                    k.schedule_in(SimTime::from_us(1), 0);
+                } else {
+                    k.quit();
+                }
+            }
+        }
+        let mut e = Experiment::new("unsync-sharded", SimTime::from_ms(1)).unsynchronized();
+        let (a, b) = channel_pair(e.eth_params());
+        e.add("driver", Box::new(Quitter { sent: 0 }), vec![a]);
+        e.add(
+            "idle",
+            Box::new(Echoer {
+                send_count: 0,
+                received: 0,
+                sent: 0,
+            }),
+            vec![b],
+        );
+        let r = e.run(Execution::Sharded { workers: 2 });
+        let driver: &Quitter = r.model(0).unwrap();
+        assert_eq!(driver.sent, 5);
+    }
+
+    #[test]
+    fn execution_parse_roundtrip() {
+        assert_eq!(Execution::parse("sequential"), Some(Execution::Sequential));
+        assert_eq!(Execution::parse("seq"), Some(Execution::Sequential));
+        assert_eq!(Execution::parse("Threads"), Some(Execution::Threads));
+        assert_eq!(
+            Execution::parse("sharded"),
+            Some(Execution::Sharded { workers: 0 })
+        );
+        assert_eq!(
+            Execution::parse("sharded:8"),
+            Some(Execution::Sharded { workers: 8 })
+        );
+        assert_eq!(Execution::parse("bogus"), None);
+        assert_eq!(Execution::parse("sharded:x"), None);
     }
 
     #[test]

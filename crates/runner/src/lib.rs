@@ -8,9 +8,11 @@
 //! reports) are collected for the evaluation harness.
 
 pub mod build;
+pub mod executor;
 pub mod experiment;
 pub mod proxy;
 
 pub use build::{attach_host_nic, attach_host_nvme, host_component, nic_model, NetworkKind};
+pub use executor::{default_workers, ShardedOptions};
 pub use experiment::{Execution, Experiment, RunResult};
 pub use proxy::{proxy_channel_over_tcp, proxy_pair, ProxyHandle, ProxyKind, ProxyStats};

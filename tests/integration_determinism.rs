@@ -44,3 +44,22 @@ fn repeated_runs_produce_identical_event_logs() {
     assert_eq!(n2, n3);
     assert_eq!(f2, f3, "run 2 and 3 identical");
 }
+
+/// The §5.5 protocol makes simulation results independent of the executor:
+/// wall-clock scheduling only decides when promises arrive, never what any
+/// component observes at a given virtual time. The sharded work-stealing
+/// executor must therefore reproduce the sequential event logs bit for bit,
+/// for any worker count.
+#[test]
+fn sharded_runs_match_sequential_event_logs() {
+    let (f_seq, n_seq) = run_once(Execution::Sequential);
+    assert!(n_seq > 100, "logs actually contain events ({n_seq})");
+    for workers in [1usize, 2, 4] {
+        let (f_sh, n_sh) = run_once(Execution::Sharded { workers });
+        assert_eq!(n_seq, n_sh, "same event count with {workers} workers");
+        assert_eq!(
+            f_seq, f_sh,
+            "sequential and sharded ({workers} workers) logs bit-identical"
+        );
+    }
+}
