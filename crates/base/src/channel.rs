@@ -87,6 +87,45 @@ impl ChannelParams {
         self.adaptive_sync = adaptive;
         self
     }
+
+    /// Size in bytes of the wire encoding produced by [`ChannelParams::to_wire`].
+    pub const WIRE_LEN: usize = 26;
+
+    /// Serialize the parameters for transmission between the two halves of a
+    /// distributed proxy pair (§5.4): both sides must agree on latency, sync
+    /// interval, and synchronization mode, so the connecting side sends its
+    /// parameters in the handshake frame and the accepting side verifies
+    /// them. Layout (little-endian): u64 latency ps, u64 sync interval ps,
+    /// u64 queue length, u8 flags (bit 0 = sync, bit 1 = adaptive sync),
+    /// u8 reserved.
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..8].copy_from_slice(&self.latency.as_ps().to_le_bytes());
+        out[8..16].copy_from_slice(&self.sync_interval.as_ps().to_le_bytes());
+        out[16..24].copy_from_slice(&(self.queue_len as u64).to_le_bytes());
+        out[24] = (self.sync as u8) | ((self.adaptive_sync as u8) << 1);
+        out
+    }
+
+    /// Parse parameters previously encoded with [`ChannelParams::to_wire`].
+    /// Returns `None` if `buf` is shorter than [`ChannelParams::WIRE_LEN`] or
+    /// contains undefined flag bits.
+    pub fn from_wire(buf: &[u8]) -> Option<ChannelParams> {
+        if buf.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let flags = buf[24];
+        if flags & !0x03 != 0 {
+            return None;
+        }
+        Some(ChannelParams {
+            latency: SimTime::from_ps(u64::from_le_bytes(buf[0..8].try_into().unwrap())),
+            sync_interval: SimTime::from_ps(u64::from_le_bytes(buf[8..16].try_into().unwrap())),
+            queue_len: u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize,
+            sync: flags & 0x01 != 0,
+            adaptive_sync: flags & 0x02 != 0,
+        })
+    }
 }
 
 impl Default for ChannelParams {
@@ -214,6 +253,24 @@ mod tests {
         }
         assert_eq!(a.counters().0, 5);
         assert_eq!(b.counters().1, 3);
+    }
+
+    #[test]
+    fn params_wire_roundtrip() {
+        let p = ChannelParams::default_sync()
+            .with_latency(SimTime::from_ns(123))
+            .with_sync_interval(SimTime::from_ns(77))
+            .with_queue_len(17)
+            .with_adaptive_sync(false);
+        let w = p.to_wire();
+        assert_eq!(ChannelParams::from_wire(&w), Some(p));
+        let u = ChannelParams::default_unsync();
+        assert_eq!(ChannelParams::from_wire(&u.to_wire()), Some(u));
+        // Truncated or corrupted encodings are rejected.
+        assert_eq!(ChannelParams::from_wire(&w[..ChannelParams::WIRE_LEN - 1]), None);
+        let mut bad = w;
+        bad[24] = 0xff;
+        assert_eq!(ChannelParams::from_wire(&bad), None);
     }
 
     #[test]

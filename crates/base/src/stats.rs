@@ -63,6 +63,62 @@ impl KernelStats {
         }
     }
 
+    /// Size in bytes of the wire encoding produced by [`KernelStats::to_wire`].
+    pub const WIRE_LEN: usize = 13 * 8;
+
+    /// Serialize the counters as 13 little-endian `u64`s (final time in
+    /// picoseconds first, then the counters in declaration order). Used by
+    /// distributed runs to ship per-component statistics from worker
+    /// processes back to the orchestrator over the control socket.
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let fields = [
+            self.final_time.as_ps(),
+            self.msgs_delivered,
+            self.timers_fired,
+            self.advances,
+            self.blocked_polls,
+            self.barrier_waits,
+            self.data_sent,
+            self.data_received,
+            self.syncs_sent,
+            self.syncs_received,
+            self.backpressured,
+            self.syncs_coalesced,
+            0, // reserved
+        ];
+        let mut out = [0u8; Self::WIRE_LEN];
+        for (i, f) in fields.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse counters previously encoded with [`KernelStats::to_wire`].
+    /// Returns `None` if `buf` is shorter than [`KernelStats::WIRE_LEN`].
+    pub fn from_wire(buf: &[u8]) -> Option<KernelStats> {
+        if buf.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let mut f = [0u64; 13];
+        for (i, v) in f.iter_mut().enumerate() {
+            *v = u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        Some(KernelStats {
+            final_time: SimTime::from_ps(f[0]),
+            msgs_delivered: f[1],
+            timers_fired: f[2],
+            advances: f[3],
+            blocked_polls: f[4],
+            barrier_waits: f[5],
+            data_sent: f[6],
+            data_received: f[7],
+            syncs_sent: f[8],
+            syncs_received: f[9],
+            backpressured: f[10],
+            syncs_coalesced: f[11],
+        })
+    }
+
     /// Merge statistics of several components (for whole-simulation totals).
     pub fn merged(all: &[KernelStats]) -> KernelStats {
         let mut out = KernelStats::default();
@@ -126,6 +182,27 @@ mod tests {
     #[test]
     fn ratio_of_empty_stats_is_zero() {
         assert_eq!(KernelStats::default().sync_overhead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_counter() {
+        let s = KernelStats {
+            final_time: SimTime::from_ms(12),
+            msgs_delivered: 1,
+            timers_fired: 2,
+            advances: 3,
+            blocked_polls: 4,
+            barrier_waits: 5,
+            data_sent: 6,
+            data_received: 7,
+            syncs_sent: 8,
+            syncs_received: 9,
+            backpressured: 10,
+            syncs_coalesced: 11,
+        };
+        let w = s.to_wire();
+        assert_eq!(KernelStats::from_wire(&w), Some(s));
+        assert_eq!(KernelStats::from_wire(&w[..KernelStats::WIRE_LEN - 1]), None);
     }
 
     #[test]

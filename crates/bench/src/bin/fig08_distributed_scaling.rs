@@ -3,75 +3,87 @@
 //! 26 servers to rack sizes that run on one machine; the quantity of interest
 //! is how simulation time grows with host count.
 //!
-//! The executor is selectable: `--exec sequential|threads|sharded[:N]` or the
-//! `SIMBRICKS_EXEC` environment variable (default: sequential). With dozens
-//! of components per rack, `sharded` is the mode that lets one machine stand
-//! in for the paper's cluster.
-use simbricks::apps::memcache::MEMCACHE_PORT;
-use simbricks::apps::{MemaslapClient, MemcachedServer};
-use simbricks::hostsim::{HostConfig, HostKind};
-use simbricks::netsim::{SwitchBm, SwitchConfig};
-use simbricks::netstack::SocketAddr;
-use simbricks::runner::{attach_host_nic, Execution, Experiment};
-use simbricks::SimTime;
+//! Usage:
+//!   `fig08_distributed_scaling [--exec sequential|threads|sharded[:N]]
+//!   [--dist N] [--json PATH]`
+//!
+//! Without `--dist` the racks run in-process with the selected executor (or
+//! `SIMBRICKS_EXEC`). With `--dist N` each topology additionally runs as a
+//! **true multi-process distributed simulation**: N worker OS processes (one
+//! per partition; rack r lives in partition `w{r % N}`, the core switch in
+//! `w0`) connected by loopback TCP proxy pairs — one proxy pair per
+//! inter-partition ToR-to-core uplink, exactly the paper's §5.4 deployment
+//! shape. Both runs record event logs and the harness verifies the
+//! distributed log is bit-identical to the in-process sequential one before
+//! reporting wall-clock numbers.
+//!
+//! `--json PATH` writes the machine-readable baseline consumed by future
+//! regression checks (see `BENCH_fig08.json` at the repository root).
 
-fn run(racks: usize, hosts_per_rack: usize, kind: HostKind, exec: Execution) -> f64 {
-    let virt = SimTime::from_ms(5);
-    let mut exp = Experiment::new("memcache-racks", virt + SimTime::from_ms(2));
-    let mut core_ports = Vec::new();
-    // First half of each rack are servers, second half clients.
-    let mut server_addrs = Vec::new();
-    for r in 0..racks {
-        for h in 0..hosts_per_rack / 2 {
-            let idx = (r * hosts_per_rack + h) as u32;
-            server_addrs.push(SocketAddr::new(HostConfig::new(kind, idx).ip, MEMCACHE_PORT));
-        }
-    }
-    for r in 0..racks {
-        let mut eth = Vec::new();
-        for h in 0..hosts_per_rack {
-            let idx = (r * hosts_per_rack + h) as u32;
-            let cfg = HostConfig::new(kind, idx);
-            let is_server = h < hosts_per_rack / 2;
-            let app: Box<dyn simbricks::hostsim::Application> = if is_server {
-                Box::new(MemcachedServer::new())
-            } else {
-                Box::new(MemaslapClient::new(server_addrs.clone(), 2, 64, virt))
-            };
-            let (_h, _n, e) = attach_host_nic(&mut exp, &format!("r{r}h{h}"), cfg, app, false);
-            eth.push(e);
-        }
-        let (up, down) = simbricks::base::channel_pair(exp.eth_params());
-        eth.push(up);
-        exp.add(
-            format!("tor{r}"),
-            Box::new(SwitchBm::new(SwitchConfig { ports: hosts_per_rack + 1, ..Default::default() })),
-            eth,
-        );
-        core_ports.push(down);
-    }
-    exp.add(
-        "core",
-        Box::new(SwitchBm::new(SwitchConfig { ports: racks, ..Default::default() })),
-        core_ports,
-    );
-    let r = exp.run(exec);
-    r.wall_seconds()
+use simbricks::hostsim::HostKind;
+use simbricks::runner::dist::{self, DistOptions};
+use simbricks::runner::Execution;
+use simbricks_bench::dist_scen;
+
+fn scenario(racks: usize, hpr: usize, kind: HostKind, parts: usize, log: bool) -> String {
+    let kind = match kind {
+        HostKind::QemuTiming => "qemu",
+        _ => "gem5",
+    };
+    format!(
+        "racks={racks};hpr={hpr};kind={kind};parts={parts};log={}",
+        log as u8
+    )
+}
+
+struct Row {
+    hosts: usize,
+    kind: &'static str,
+    inproc_wall: f64,
+    dist_wall: f64,
+    dist_orch_wall: f64,
+    logs_identical: bool,
 }
 
 fn main() {
+    // Hidden worker mode: when spawned by the orchestrator below (env
+    // SIMBRICKS_DIST_CONTROL + `--dist-worker` argv), this call rebuilds one
+    // partition, runs it, reports over the control socket, and exits.
+    dist::maybe_worker(&dist_scen::build_memcache_racks);
+
     let mut exec = Execution::from_env_or(Execution::Sequential);
+    let mut dist_n: Option<usize> = None;
+    let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    let need_value = |args: &[String], i: usize| {
+        if i + 1 >= args.len() {
+            eprintln!("{} requires a value", args[i]);
+            std::process::exit(2);
+        }
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--exec" => {
-                if i + 1 >= args.len() {
-                    eprintln!("--exec requires a value");
-                    std::process::exit(2);
-                }
+                need_value(&args, i);
                 i += 1;
                 exec = Execution::parse(&args[i]).expect("--exec sequential|threads|sharded[:N]");
+            }
+            "--dist" => {
+                need_value(&args, i);
+                i += 1;
+                let n: usize = args[i].parse().expect("--dist takes a worker count");
+                assert!(n >= 1, "--dist needs at least one worker");
+                dist_n = Some(n);
+            }
+            "--json" => {
+                need_value(&args, i);
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            "--dist-worker" => {
+                eprintln!("--dist-worker is internal (requires the orchestrator environment)");
+                std::process::exit(2);
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -80,13 +92,115 @@ fn main() {
         }
         i += 1;
     }
+    if json_path.is_some() && dist_n.is_none() {
+        eprintln!("--json requires --dist (the baseline records the distributed mode)");
+        std::process::exit(2);
+    }
+
+    let hpr = 8usize;
     println!("# Figure 8: scale-out (memcached racks, 5 ms virtual, scaled down)");
     println!("# executor: {exec:?}");
-    println!("{:>6} {:>18} {:>18}", "hosts", "gem5-like [s]", "qemu-timing [s]");
-    for racks in [1usize, 2, 4] {
-        let hosts = racks * 8;
-        let g = run(racks, 8, HostKind::Gem5Timing, exec);
-        let q = run(racks, 8, HostKind::QemuTiming, exec);
-        println!("{:>6} {:>18.2} {:>18.2}", hosts, g, q);
+    let mut rows = Vec::new();
+    match dist_n {
+        None => {
+            println!("{:>6} {:>18} {:>18}", "hosts", "gem5-like [s]", "qemu-timing [s]");
+            for racks in [1usize, 2, 4] {
+                let hosts = racks * hpr;
+                let g = dist_scen_wall(racks, hpr, HostKind::Gem5Timing, exec);
+                let q = dist_scen_wall(racks, hpr, HostKind::QemuTiming, exec);
+                println!("{:>6} {:>18.2} {:>18.2}", hosts, g, q);
+            }
+        }
+        Some(parts) => {
+            println!("# distributed: {parts} worker processes, loopback TCP proxies, one pair per inter-partition uplink");
+            println!(
+                "{:>6} {:>6} {:>14} {:>12} {:>14} {:>10}",
+                "hosts", "kind", "in-proc [s]", "dist [s]", "dist+orch [s]", "identical"
+            );
+            let mut all_identical = true;
+            for racks in [1usize, 2, 4] {
+                let hosts = racks * hpr;
+                for (kname, kind) in [("gem5", HostKind::Gem5Timing), ("qemu", HostKind::QemuTiming)]
+                {
+                    let scen = scenario(racks, hpr, kind, parts, true);
+                    let local = dist::run_local(&scen, &dist_scen::build_memcache_racks, exec);
+                    let opts =
+                        DistOptions::new(dist_scen::partition_names(parts), scen).with_exec(exec);
+                    let dres = dist::run_distributed(&opts, &dist_scen::build_memcache_racks)
+                        .expect("distributed run failed");
+                    let lm = local.merged_log();
+                    let dm = dres.merged_log();
+                    let identical =
+                        lm.len() == dm.len() && lm.fingerprint() == dm.fingerprint();
+                    all_identical &= identical;
+                    println!(
+                        "{:>6} {:>6} {:>14.2} {:>12.2} {:>14.2} {:>10}",
+                        hosts,
+                        kname,
+                        local.wall_seconds(),
+                        dres.max_partition_wall(),
+                        dres.wall.as_secs_f64(),
+                        if identical { "yes" } else { "NO" }
+                    );
+                    rows.push(Row {
+                        hosts,
+                        kind: kname,
+                        inproc_wall: local.wall_seconds(),
+                        dist_wall: dres.max_partition_wall(),
+                        dist_orch_wall: dres.wall.as_secs_f64(),
+                        logs_identical: identical,
+                    });
+                }
+            }
+            if let Some(path) = &json_path {
+                write_json(path, parts, &rows);
+            }
+            if !all_identical {
+                eprintln!("ERROR: a distributed event log diverged from the in-process run");
+                std::process::exit(1);
+            }
+        }
     }
+}
+
+/// One in-process run (no logging) returning wall seconds.
+fn dist_scen_wall(racks: usize, hpr: usize, kind: HostKind, exec: Execution) -> f64 {
+    let scen = scenario(racks, hpr, kind, 1, false);
+    dist::run_local(&scen, &dist_scen::build_memcache_racks, exec).wall_seconds()
+}
+
+fn write_json(path: &str, parts: usize, rows: &[Row]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"figure\": \"fig08_distributed_scaling\",\n");
+    out.push_str("  \"workload\": \"memcached/memaslap racks (8 hosts/rack) + ToR/core switches\",\n");
+    out.push_str("  \"virtual_duration_ms\": 5,\n");
+    out.push_str(&format!("  \"dist_workers\": {parts},\n"));
+    out.push_str(&format!(
+        "  \"machine_cores\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    out.push_str(
+        "  \"note\": \"dist_wall_s is the slowest worker process; both runs have event \
+         logging enabled for the bit-identity check. On a single-core machine the \
+         distributed processes time-share, so the paper's flat-scaling claim needs \
+         >= dist_workers real cores.\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"hosts\": {}, \"kind\": \"{}\", \"inproc_wall_s\": {:.4}, \
+             \"dist_wall_s\": {:.4}, \"dist_orchestrated_wall_s\": {:.4}, \
+             \"logs_identical\": {}}}{}\n",
+            r.hosts,
+            r.kind,
+            r.inproc_wall,
+            r.dist_wall,
+            r.dist_orch_wall,
+            r.logs_identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write --json file");
+    eprintln!("wrote {path}");
 }

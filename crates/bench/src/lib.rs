@@ -302,6 +302,175 @@ pub fn dctcp_network_only(k_packets: usize, duration: SimTime) -> f64 {
     total_bytes as f64 * 8.0 / duration.as_secs_f64() / 1e9
 }
 
+/// Distributed-scenario builders (§5.4, Fig. 6/Fig. 8): the same topologies
+/// as the in-process harness helpers, but expressed through a
+/// [`PartitionBuilder`](simbricks::runner::PartitionBuilder) so they can run
+/// as true multi-process distributed simulations — one worker OS process per
+/// partition, cross-partition Ethernet links bridged by loopback TCP proxies.
+///
+/// Scenarios are `key=value` pairs joined by `;` (e.g.
+/// `racks=2;hpr=8;kind=gem5;parts=2;log=1`) so a self-`exec`ed worker can
+/// rebuild exactly the configuration its orchestrator is running.
+pub mod dist_scen {
+    use simbricks::runner::PartitionBuilder;
+
+    use super::*;
+
+    /// Look up `key` in a `k=v;k=v` scenario string.
+    pub fn get<'a>(scenario: &'a str, key: &str) -> Option<&'a str> {
+        scenario
+            .split(';')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.trim())
+    }
+
+    /// Look up an integer key, falling back to `default`.
+    pub fn get_usize(scenario: &str, key: &str, default: usize) -> usize {
+        get(scenario, key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Host kind encoded in the scenario (`kind=gem5` or `kind=qemu`).
+    pub fn get_kind(scenario: &str) -> HostKind {
+        match get(scenario, "kind") {
+            Some("qemu") => HostKind::QemuTiming,
+            _ => HostKind::Gem5Timing,
+        }
+    }
+
+    /// Partition names `w0..w{parts-1}` used by all builders in this module.
+    pub fn partition_names(parts: usize) -> Vec<String> {
+        (0..parts).map(|w| format!("w{w}")).collect()
+    }
+
+    /// The Fig. 8 scale-out topology — racks of memcached/memaslap hosts
+    /// behind ToR switches joined by a core switch — partitioned rack-wise:
+    /// rack `r` (hosts, NICs, and its ToR) lives in partition `w{r % parts}`,
+    /// the core switch in `w0`, and every ToR-to-core uplink whose rack lives
+    /// elsewhere becomes a cross-partition link (exactly the paper's "one
+    /// proxy pair per inter-host link" claim, on loopback).
+    ///
+    /// Scenario keys: `racks`, `hpr` (hosts per rack), `kind`, `parts`,
+    /// `log` (1 = enable event logging for bit-identity checks).
+    pub fn build_memcache_racks(scenario: &str, pb: &mut PartitionBuilder) {
+        let racks = get_usize(scenario, "racks", 1);
+        let hpr = get_usize(scenario, "hpr", 8);
+        let parts = get_usize(scenario, "parts", 1);
+        let kind = get_kind(scenario);
+        let virt = SimTime::from_ms(5);
+        let mut exp = Experiment::new("memcache-racks", virt + SimTime::from_ms(2));
+        if get_usize(scenario, "log", 0) == 1 {
+            exp = exp.with_logging();
+        }
+        pb.init(exp);
+        let eth_params = pb.exp().eth_params();
+        let part_of = |r: usize| format!("w{}", r % parts);
+        // First half of each rack are servers, second half clients.
+        let mut server_addrs = Vec::new();
+        for r in 0..racks {
+            for h in 0..hpr / 2 {
+                let idx = (r * hpr + h) as u32;
+                server_addrs.push(SocketAddr::new(
+                    HostConfig::new(kind, idx).ip,
+                    simbricks::apps::memcache::MEMCACHE_PORT,
+                ));
+            }
+        }
+        let mut core_ports = Vec::new();
+        for r in 0..racks {
+            let pname = part_of(r);
+            let mut eth = Vec::new();
+            for h in 0..hpr {
+                let idx = (r * hpr + h) as u32;
+                let cfg = HostConfig::new(kind, idx);
+                let is_server = h < hpr / 2;
+                let app: Box<dyn simbricks::hostsim::Application> = if is_server {
+                    Box::new(simbricks::apps::MemcachedServer::new())
+                } else {
+                    Box::new(simbricks::apps::MemaslapClient::new(
+                        server_addrs.clone(),
+                        2,
+                        64,
+                        virt,
+                    ))
+                };
+                let (_h, _n, e) = pb.attach_host_nic(&pname, &format!("r{r}h{h}"), cfg, app, false);
+                eth.push(e);
+            }
+            let (up, down) = pb.channel(&format!("up{r}"), &pname, "w0", eth_params);
+            eth.push(up);
+            pb.add(
+                &pname,
+                format!("tor{r}"),
+                Box::new(SwitchBm::new(SwitchConfig {
+                    ports: hpr + 1,
+                    ..Default::default()
+                })),
+                eth,
+            );
+            core_ports.push(down);
+        }
+        pb.add(
+            "w0",
+            "core",
+            Box::new(SwitchBm::new(SwitchConfig {
+                ports: racks,
+                ..Default::default()
+            })),
+            core_ports,
+        );
+    }
+
+    /// The Fig. 6/7 scale-up topology — N hosts running rate-limited UDP
+    /// iperf through one switch — partitioned host-wise: host `i` lives in
+    /// partition `w{i % parts}`, the switch in `w0`, so every Ethernet link
+    /// of a host outside `w0` crosses a process boundary.
+    ///
+    /// Scenario keys: `hosts`, `kind`, `parts`, `dur_ms`, `log`.
+    pub fn build_udp_scaleup(scenario: &str, pb: &mut PartitionBuilder) {
+        let hosts = get_usize(scenario, "hosts", 2);
+        let parts = get_usize(scenario, "parts", 1);
+        let kind = get_kind(scenario);
+        let duration = SimTime::from_ms(get_usize(scenario, "dur_ms", 5) as u64);
+        let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
+        if get_usize(scenario, "log", 0) == 1 {
+            exp = exp.with_logging();
+        }
+        pb.init(exp);
+        let eth_params = pb.exp().eth_params();
+        let server_cfg = HostConfig::new(kind, 0);
+        let per_client_rate = 1_000_000_000 / (hosts.max(2) as u64 - 1);
+        let mut eth = Vec::new();
+        for i in 0..hosts {
+            let pname = format!("w{}", i % parts);
+            let cfg = HostConfig::new(kind, i as u32);
+            let app: Box<dyn simbricks::hostsim::Application> = if i == 0 {
+                Box::new(IperfUdpServer::new(9000))
+            } else {
+                Box::new(IperfUdpClient::new(
+                    SocketAddr::new(server_cfg.ip, 9000),
+                    per_client_rate,
+                    800,
+                    duration,
+                ))
+            };
+            let name = if i == 0 { "server".to_string() } else { format!("client{i}") };
+            let (eth_nic, eth_sw) = pb.channel(&format!("eth{i}"), &pname, "w0", eth_params);
+            pb.attach_host_nic_on(&pname, &name, cfg, app, false, eth_nic);
+            eth.push(eth_sw);
+        }
+        pb.add(
+            "w0",
+            "switch",
+            Box::new(SwitchBm::new(SwitchConfig {
+                ports: hosts,
+                ..Default::default()
+            })),
+            eth,
+        );
+    }
+}
+
 /// N client hosts plus one server host running rate-limited UDP iperf through
 /// a single switch (the Fig. 7 scale-up workload), executed with the default
 /// (or `SIMBRICKS_EXEC`-selected) executor. Returns wall-clock seconds and

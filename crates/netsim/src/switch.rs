@@ -28,6 +28,16 @@ pub struct SwitchConfig {
     pub ecn_threshold_pkts: Option<usize>,
     /// Per-packet forwarding latency of the switching fabric.
     pub forward_latency: SimTime,
+    /// MAC-table entry lifetime: an entry whose source MAC has not been seen
+    /// for longer than this is aged out, so traffic to a host that moved
+    /// ports floods (and re-learns) instead of being black-holed at the old
+    /// port forever. Real switches age at ~300 s; the default here is scaled
+    /// to the millisecond-range virtual times of the harnesses.
+    pub mac_ttl: SimTime,
+    /// Maximum number of learned MAC entries; learning beyond this bound
+    /// evicts the stalest entry (deterministically: oldest `last_seen`,
+    /// ties broken by MAC order).
+    pub mac_table_cap: usize,
 }
 
 impl Default for SwitchConfig {
@@ -38,6 +48,8 @@ impl Default for SwitchConfig {
             queue_capacity: 512 * 1024,
             ecn_threshold_pkts: None,
             forward_latency: SimTime::from_ns(300),
+            mac_ttl: SimTime::from_ms(100),
+            mac_table_cap: 1024,
         }
     }
 }
@@ -69,18 +81,32 @@ pub struct SwitchStats {
     pub flooded: u64,
     pub dropped: u64,
     pub ecn_marked: u64,
+    /// MAC-table entries removed because they exceeded `mac_ttl`.
+    pub mac_aged: u64,
+    /// MAC-table entries evicted to respect `mac_table_cap`.
+    pub mac_evicted: u64,
+}
+
+/// One learned MAC-table entry.
+#[derive(Clone, Copy, Debug)]
+struct MacEntry {
+    port: usize,
+    /// Last virtual time a frame *from* this MAC was seen (refreshed on
+    /// learning, not on lookup, as in real switches).
+    last_seen: SimTime,
 }
 
 /// The behavioural switch model.
 pub struct SwitchBm {
     cfg: SwitchConfig,
-    mac_table: HashMap<MacAddr, usize>,
+    mac_table: HashMap<MacAddr, MacEntry>,
     egress: Vec<EgressQueue>,
     stats: SwitchStats,
 }
 
 impl SwitchBm {
     pub fn new(cfg: SwitchConfig) -> Self {
+        assert!(cfg.mac_table_cap > 0, "mac_table_cap must be positive");
         SwitchBm {
             egress: (0..cfg.ports).map(|_| EgressQueue::new()).collect(),
             cfg,
@@ -93,9 +119,56 @@ impl SwitchBm {
         self.stats
     }
 
-    /// Current MAC table size (learning coverage).
+    /// Current MAC table size (learning coverage; may include entries whose
+    /// TTL has expired but that have not been looked up since).
     pub fn mac_table_len(&self) -> usize {
         self.mac_table.len()
+    }
+
+    fn entry_expired(&self, e: &MacEntry, now: SimTime) -> bool {
+        now > e.last_seen.saturating_add(self.cfg.mac_ttl)
+    }
+
+    /// Learn (or refresh) `src` on `port`, bounding the table size.
+    fn learn(&mut self, now: SimTime, src: MacAddr, port: usize) {
+        if let Some(e) = self.mac_table.get_mut(&src) {
+            e.port = port;
+            e.last_seen = now;
+            return;
+        }
+        if self.mac_table.len() >= self.cfg.mac_table_cap {
+            // Prefer dropping already-expired entries; otherwise evict the
+            // stalest one. `min_by_key` over (last_seen, mac) is independent
+            // of hash-map iteration order, keeping runs deterministic.
+            let victim = self
+                .mac_table
+                .iter()
+                .min_by_key(|(mac, e)| (e.last_seen, **mac))
+                .map(|(mac, e)| (*mac, *e));
+            if let Some((mac, e)) = victim {
+                self.mac_table.remove(&mac);
+                if self.entry_expired(&e, now) {
+                    self.stats.mac_aged += 1;
+                } else {
+                    self.stats.mac_evicted += 1;
+                }
+            }
+        }
+        self.mac_table.insert(src, MacEntry { port, last_seen: now });
+    }
+
+    /// Look up the egress port for `dst`, aging out a stale entry (so the
+    /// frame floods and the table re-learns once the host speaks again).
+    fn lookup(&mut self, now: SimTime, dst: MacAddr) -> Option<usize> {
+        match self.mac_table.get(&dst) {
+            Some(e) if !self.entry_expired(e, now) => Some(e.port),
+            Some(_) => {
+                self.mac_table.remove(&dst);
+                self.stats.mac_aged += 1;
+                None
+            }
+            None => None,
+        }
     }
 
     fn enqueue(&mut self, k: &mut Kernel, port: usize, mut frame: Vec<u8>) {
@@ -162,10 +235,11 @@ impl Model for SwitchBm {
         };
         let in_port = port.0;
         k.log("sw_rx", in_port as u64, pkt.len() as u64);
-        // MAC learning.
+        // MAC learning (with TTL refresh and table bounding).
+        let now = k.now();
         if let Some(src) = frame_src(&pkt.frame) {
             if !src.is_multicast() {
-                self.mac_table.insert(src, in_port);
+                self.learn(now, src, in_port);
             }
         }
         let dst = frame_dst(&pkt.frame);
@@ -173,7 +247,7 @@ impl Model for SwitchBm {
             if d.is_broadcast() || d.is_multicast() {
                 None
             } else {
-                self.mac_table.get(&d).copied()
+                self.lookup(now, d)
             }
         });
         // The forwarding decision itself takes a small fixed latency; model it
@@ -294,6 +368,77 @@ mod tests {
         assert_eq!(h.switch.stats().flooded, 1);
         assert_eq!(h.switch.stats().forwarded, 1);
         assert_eq!(h.switch.mac_table_len(), 2);
+    }
+
+    /// The host behind mac 1 "moves" from port 0 to port 2 without speaking:
+    /// without aging, its stale entry would black-hole all traffic at port 0
+    /// forever. With a TTL the entry ages out, the next frame floods (and
+    /// reaches the host at its new port), and the table re-learns the new
+    /// port as soon as the host speaks.
+    #[test]
+    fn stale_mac_entry_ages_out_and_relearns_after_port_move() {
+        let mut h = Harness::new(3, SwitchConfig {
+            ports: 3,
+            mac_ttl: SimTime::from_us(20),
+            ..Default::default()
+        });
+        // Learn mac 1 on port 0, and mac 2 on port 1 so replies unicast.
+        h.inject(0, &test_frame(1, 9, 60), SimTime::from_us(1));
+        h.inject(1, &test_frame(2, 9, 60), SimTime::from_us(1));
+        h.run_until(SimTime::from_us(5));
+        for p in 0..3 {
+            h.collect(p);
+        }
+        // Within the TTL: traffic to mac 1 is unicast to port 0.
+        h.inject(1, &test_frame(2, 1, 100), SimTime::from_us(10));
+        h.run_until(SimTime::from_us(15));
+        assert_eq!(h.collect(0).len(), 1, "fresh entry forwards to port 0");
+        assert_eq!(h.collect(2).len(), 0);
+        // Beyond the TTL (mac 1 last *spoke* at 1 us; destination lookups do
+        // not refresh): the entry is stale, the frame floods to all other
+        // ports, so the silently-moved host (now on port 2) still gets it.
+        h.inject(1, &test_frame(2, 1, 100), SimTime::from_us(40));
+        h.run_until(SimTime::from_us(50));
+        assert_eq!(h.collect(0).len(), 1, "flood reaches the old port");
+        assert_eq!(h.collect(2).len(), 1, "flood reaches the host's new port");
+        assert_eq!(h.switch.stats().mac_aged, 1, "stale entry aged out");
+        // The host speaks from port 2: re-learned, traffic unicasts there.
+        h.inject(2, &test_frame(1, 2, 60), SimTime::from_us(55));
+        h.run_until(SimTime::from_us(60));
+        h.collect(1);
+        h.inject(1, &test_frame(2, 1, 100), SimTime::from_us(62));
+        h.run_until(SimTime::from_us(70));
+        assert_eq!(h.collect(2).len(), 1, "re-learned at the new port");
+        assert_eq!(h.collect(0).len(), 0, "old port no longer receives");
+    }
+
+    #[test]
+    fn mac_table_capacity_bound_evicts_stalest_entry() {
+        let mut h = Harness::new(2, SwitchConfig {
+            ports: 2,
+            mac_table_cap: 2,
+            ..Default::default()
+        });
+        h.inject(0, &test_frame(1, 9, 60), SimTime::from_us(1));
+        h.run_until(SimTime::from_us(2));
+        h.inject(0, &test_frame(2, 9, 60), SimTime::from_us(3));
+        h.run_until(SimTime::from_us(4));
+        assert_eq!(h.switch.mac_table_len(), 2);
+        // Learning a third MAC evicts the stalest (mac 1, seen at 1 us).
+        h.inject(0, &test_frame(3, 9, 60), SimTime::from_us(5));
+        h.run_until(SimTime::from_us(6));
+        assert_eq!(h.switch.mac_table_len(), 2, "table stays bounded");
+        assert_eq!(h.switch.stats().mac_evicted, 1);
+        h.collect(1);
+        // mac 1 is gone (floods); macs 2 and 3 are still known (unicast).
+        h.inject(1, &test_frame(9, 1, 100), SimTime::from_us(10));
+        h.run_until(SimTime::from_us(15));
+        let flooded_before = h.switch.stats().flooded;
+        assert!(flooded_before >= 1, "evicted mac floods again");
+        h.inject(1, &test_frame(9, 3, 100), SimTime::from_us(20));
+        h.run_until(SimTime::from_us(25));
+        assert_eq!(h.switch.stats().flooded, flooded_before, "mac 3 still unicast");
+        assert_eq!(h.collect(0).len(), 2);
     }
 
     #[test]

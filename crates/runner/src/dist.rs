@@ -1,0 +1,1065 @@
+//! True multi-process distributed execution (§5.4, Fig. 6/Fig. 8).
+//!
+//! The paper's headline capability is that modular simulators run as
+//! *separate OS processes* connected by message-queue channels, scaling out
+//! across machines via socket/RDMA proxies. This module provides that
+//! execution mode for one machine (loopback TCP), honestly extensible to
+//! many:
+//!
+//! * An experiment is described once by a **build function**
+//!   `fn(scenario, &mut PartitionBuilder)` that assigns every component to a
+//!   named partition and declares every cross-partition channel by name.
+//! * [`run_local`] instantiates all partitions in one process (the baseline
+//!   the distributed run must reproduce bit for bit).
+//! * [`run_distributed`] is the **orchestrator**: it self-`exec`s the running
+//!   harness binary once per partition (hidden `--dist-worker` mode, see
+//!   [`maybe_worker`]), performs listen/connect handshaking for every
+//!   cross-partition proxy link, starts all workers behind a barrier,
+//!   collects per-worker statistics and event logs over a control socket,
+//!   and tears everything down cleanly.
+//! * Each **worker** process rebuilds only its partition; every
+//!   cross-partition channel is transparently replaced by one side of a
+//!   sockets proxy (§5.4), so components cannot tell they are talking to a
+//!   different process.
+//!
+//! The §5.5 synchronization protocol makes simulation results independent of
+//! message arrival wall-time, so a distributed run produces event logs
+//! bit-identical to the in-process sequential run — the property
+//! `tests/integration_determinism.rs` asserts and `fig08_distributed_scaling
+//! --dist N` measures.
+//!
+//! ## Control protocol
+//!
+//! All control frames are `u32` length-prefixed, a one-byte type, then a
+//! type-specific payload:
+//!
+//! | frame    | direction      | payload                                      |
+//! |----------|----------------|----------------------------------------------|
+//! | `HELLO`  | worker → orch  | partition name                               |
+//! | `LINKS`  | worker → orch  | listener address per owned cross link        |
+//! | `ADDRS`  | orch → worker  | full link-name → address map                 |
+//! | `READY`  | worker → orch  | (empty) partition built, proxies wired       |
+//! | `GO`     | orch → worker  | (empty) barrier release, start simulating    |
+//! | `RESULT` | worker → orch  | wall seconds + per-component stats and logs  |
+//! | `DONE`   | orch → worker  | (empty) all results in, tear down            |
+//!
+//! Limitations (documented, not silent): distributed runs require
+//! synchronized experiments (the emulation-mode stop flag and the global
+//! barrier of Fig. 6 are process-local), and the build function must be
+//! deterministic — it runs once for discovery and once for instantiation.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use simbricks_base::{channel_pair, ChannelEnd, ChannelParams, EventLog, KernelStats, SimTime};
+use simbricks_hostsim::{Application, HostConfig};
+
+use crate::experiment::{AnyModel, Execution, Experiment, RunResult};
+use crate::proxy::{
+    read_handshake, spawn_tcp_forwarder, write_handshake, ProxyCounters, ProxyHandle, ProxyKind,
+    ShutdownSignal,
+};
+
+/// Environment variable carrying the orchestrator's control-socket address;
+/// its presence is what makes [`maybe_worker`] take over the process.
+pub const ENV_CONTROL: &str = "SIMBRICKS_DIST_CONTROL";
+/// Environment variable naming the partition a worker instantiates.
+pub const ENV_PARTITION: &str = "SIMBRICKS_DIST_PARTITION";
+/// Environment variable carrying the opaque scenario string.
+pub const ENV_SCENARIO: &str = "SIMBRICKS_DIST_SCENARIO";
+/// Environment variable selecting the in-worker executor
+/// ([`Execution::parse`] syntax).
+pub const ENV_EXEC: &str = "SIMBRICKS_DIST_EXEC";
+
+const MSG_HELLO: u8 = 1;
+const MSG_LINKS: u8 = 2;
+const MSG_ADDRS: u8 = 3;
+const MSG_READY: u8 = 4;
+const MSG_GO: u8 = 5;
+const MSG_RESULT: u8 = 6;
+const MSG_DONE: u8 = 7;
+
+/// Upper bound on one control frame (results carry whole event logs).
+const MAX_FRAME: usize = 256 * 1024 * 1024;
+/// How long control-socket reads may stall before the run is declared dead.
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(600);
+/// How long the orchestrator waits for all workers to connect.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The build function shared by the orchestrator, the workers, and the
+/// in-process baseline: constructs the experiment for `scenario` into the
+/// given [`PartitionBuilder`]. Must be deterministic (it runs more than once)
+/// and must call [`PartitionBuilder::init`] before anything else.
+pub type BuildFn = dyn Fn(&str, &mut PartitionBuilder);
+
+// ---------------------------------------------------------------------------
+// Partition builder
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BuildMode {
+    /// Instantiate every partition in this process (in-process baseline).
+    Local,
+    /// Record cross-link declarations only; drop all components.
+    Discover,
+    /// Instantiate one partition; bridge cross links with TCP proxies.
+    Worker,
+}
+
+/// A declared cross-partition channel. The channel parameters are not stored
+/// here: each side re-derives them in its own build and the proxy handshake
+/// verifies they agree.
+#[derive(Clone, Debug)]
+struct LinkDecl {
+    name: String,
+    a: String,
+    b: String,
+}
+
+/// Builder handed to the experiment build function. It mirrors
+/// [`Experiment`]'s assembly API but every component is placed into a named
+/// partition and every channel that may cross partitions is declared by name
+/// through [`PartitionBuilder::channel`]. The same build code then serves
+/// three purposes: the in-process baseline, cross-link discovery, and worker
+/// instantiation (where off-partition components are dropped and cross links
+/// become sockets proxies).
+pub struct PartitionBuilder {
+    mode: BuildMode,
+    local: Option<String>,
+    exp: Option<Experiment>,
+    links: Vec<LinkDecl>,
+    next_global: usize,
+    local_globals: Vec<usize>,
+    listeners: HashMap<String, TcpListener>,
+    addr_map: HashMap<String, String>,
+    proxies: Vec<ProxyHandle>,
+}
+
+/// A channel endpoint whose peer is already gone (used as a placeholder for
+/// ports of components that live in another partition).
+fn dangling(params: ChannelParams) -> ChannelEnd {
+    channel_pair(params).0
+}
+
+impl PartitionBuilder {
+    fn new(mode: BuildMode, local: Option<String>) -> Self {
+        PartitionBuilder {
+            mode,
+            local,
+            exp: None,
+            links: Vec::new(),
+            next_global: 0,
+            local_globals: Vec::new(),
+            listeners: HashMap::new(),
+            addr_map: HashMap::new(),
+            proxies: Vec::new(),
+        }
+    }
+
+    /// Install the experiment this builder assembles into. Must be the first
+    /// call the build function makes.
+    pub fn init(&mut self, exp: Experiment) {
+        assert!(self.exp.is_none(), "PartitionBuilder::init called twice");
+        self.exp = Some(exp);
+    }
+
+    /// The experiment under assembly (for channel parameters etc.).
+    /// Panics if [`PartitionBuilder::init`] has not been called.
+    pub fn exp(&mut self) -> &mut Experiment {
+        self.exp.as_mut().expect("build function must call init() first")
+    }
+
+    /// The partition this builder instantiates, or `None` when every
+    /// partition is built in-process.
+    pub fn partition(&self) -> Option<&str> {
+        match self.mode {
+            BuildMode::Local => None,
+            _ => self.local.as_deref(),
+        }
+    }
+
+    fn is_local(&self, partition: &str) -> bool {
+        match self.mode {
+            BuildMode::Local => true,
+            BuildMode::Discover => false,
+            BuildMode::Worker => self.local.as_deref() == Some(partition),
+        }
+    }
+
+    /// Add a component that lives in `partition`. Ports and model are
+    /// dropped unless that partition is instantiated here. Returns the
+    /// component's **global** id — stable across all build modes, so results
+    /// collected from different worker processes can be reassembled in the
+    /// exact order of the in-process baseline.
+    pub fn add(
+        &mut self,
+        partition: &str,
+        name: impl Into<String>,
+        model: Box<dyn AnyModel>,
+        ports: Vec<ChannelEnd>,
+    ) -> usize {
+        let global = self.next_global;
+        self.next_global += 1;
+        if self.is_local(partition) {
+            self.exp().add(name, model, ports);
+            self.local_globals.push(global);
+        }
+        global
+    }
+
+    /// Declare a named channel between partitions `a` and `b` and return its
+    /// two endpoints (`a`-side first). When the partitions differ this is a
+    /// **cross link**: in a worker it is transparently bridged by one side of
+    /// a sockets proxy (the `a` side listens, the `b` side connects, with the
+    /// handshake of [`write_handshake`] verifying link name and parameters).
+    /// Endpoints belonging to partitions not instantiated here are dangling
+    /// placeholders that must not be attached to live components.
+    pub fn channel(
+        &mut self,
+        link: &str,
+        a: &str,
+        b: &str,
+        params: ChannelParams,
+    ) -> (ChannelEnd, ChannelEnd) {
+        if a != b {
+            assert!(
+                !self.links.iter().any(|l| l.name == link),
+                "duplicate cross-link name {link:?}"
+            );
+            self.links.push(LinkDecl {
+                name: link.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            });
+        }
+        match self.mode {
+            BuildMode::Local => channel_pair(params),
+            BuildMode::Discover => (dangling(params), dangling(params)),
+            BuildMode::Worker => {
+                let local = self.local.clone().expect("worker mode has a partition");
+                if a == b {
+                    if a == local {
+                        channel_pair(params)
+                    } else {
+                        (dangling(params), dangling(params))
+                    }
+                } else if a == local {
+                    (self.cross_end(link, params, true), dangling(params))
+                } else if b == local {
+                    (dangling(params), self.cross_end(link, params, false))
+                } else {
+                    (dangling(params), dangling(params))
+                }
+            }
+        }
+    }
+
+    /// Worker-side half of a cross-partition proxy: a local channel stub
+    /// whose other end is forwarded over TCP by a dedicated thread. The
+    /// listening (`a`) side accepts lazily on its pre-bound listener so the
+    /// build never blocks on connection ordering.
+    fn cross_end(&mut self, link: &str, params: ChannelParams, listen: bool) -> ChannelEnd {
+        let (component_end, proxy_local) = channel_pair(params);
+        let counters = Arc::new(ProxyCounters::default());
+        let shutdown = Arc::new(ShutdownSignal::default());
+        let thread = if listen {
+            let listener = self
+                .listeners
+                .remove(link)
+                .unwrap_or_else(|| panic!("no pre-bound listener for owned link {link:?}"));
+            let link_name = link.to_string();
+            let counters = counters.clone();
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name(format!("dist-{link}"))
+                .spawn(move || {
+                    // Poll-accept so a signalled shutdown can interrupt a
+                    // wait for a partner that never connects.
+                    listener.set_nonblocking(true).ok();
+                    let deadline = Instant::now() + CONNECT_TIMEOUT;
+                    let mut stream = loop {
+                        if shutdown.is_set() || Instant::now() > deadline {
+                            shutdown.signal();
+                            return;
+                        }
+                        match listener.accept() {
+                            Ok((s, _)) => break s,
+                            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => {
+                                shutdown.signal();
+                                return;
+                            }
+                        }
+                    };
+                    stream.set_nonblocking(false).ok();
+                    // Register (and bound) the stream *before* the blocking
+                    // handshake read, so a shutdown signal or a peer that
+                    // connects and then dies cannot strand this thread.
+                    shutdown.register_stream(&stream);
+                    stream.set_read_timeout(Some(CONNECT_TIMEOUT)).ok();
+                    match read_handshake(&mut stream) {
+                        Ok((name, peer)) if name == link_name && peer == params => {}
+                        _ => {
+                            eprintln!("dist: handshake mismatch on link {link_name:?}");
+                            shutdown.signal();
+                            return;
+                        }
+                    }
+                    stream.set_read_timeout(None).ok();
+                    stream.set_nodelay(true).ok();
+                    crate::proxy::tcp_forward_loop(proxy_local, stream, &counters, &shutdown);
+                    shutdown.signal();
+                })
+                .expect("spawn dist proxy thread")
+        } else {
+            let addr = self
+                .addr_map
+                .get(link)
+                .unwrap_or_else(|| panic!("no peer address for link {link:?}"))
+                .clone();
+            let mut stream = TcpStream::connect(&addr)
+                .unwrap_or_else(|e| panic!("connect cross link {link:?} at {addr}: {e}"));
+            write_handshake(&mut stream, link, &params)
+                .unwrap_or_else(|e| panic!("handshake on link {link:?}: {e}"));
+            stream.set_nodelay(true).ok();
+            shutdown.register_stream(&stream);
+            spawn_tcp_forwarder(
+                format!("dist-{link}"),
+                proxy_local,
+                stream,
+                counters.clone(),
+                shutdown.clone(),
+            )
+        };
+        self.proxies
+            .push(ProxyHandle::from_parts(ProxyKind::Tcp, counters, shutdown, vec![thread]));
+        component_end
+    }
+
+    /// Add a host + NIC pair (PCIe-connected, as in
+    /// [`crate::build::attach_host_nic`]) to `partition`. Returns the two
+    /// global component ids plus the network-side Ethernet endpoint, which is
+    /// only live when the partition is instantiated here and must stay within
+    /// the same partition — use [`PartitionBuilder::attach_host_nic_on`] when
+    /// the Ethernet link itself crosses partitions.
+    pub fn attach_host_nic(
+        &mut self,
+        partition: &str,
+        name: &str,
+        cfg: HostConfig,
+        app: Box<dyn Application>,
+        rtl_nic: bool,
+    ) -> (usize, usize, ChannelEnd) {
+        let eth_params = self.exp().eth_params();
+        let (eth_nic, eth_net) = channel_pair(eth_params);
+        let (h, n) = self.attach_host_nic_on(partition, name, cfg, app, rtl_nic, eth_nic);
+        (h, n, eth_net)
+    }
+
+    /// Like [`PartitionBuilder::attach_host_nic`], but the NIC's Ethernet
+    /// endpoint is supplied by the caller — typically one side of a
+    /// [`PartitionBuilder::channel`] whose other side is a network simulator
+    /// in a different partition.
+    pub fn attach_host_nic_on(
+        &mut self,
+        partition: &str,
+        name: &str,
+        mut cfg: HostConfig,
+        app: Box<dyn Application>,
+        rtl_nic: bool,
+        eth_nic: ChannelEnd,
+    ) -> (usize, usize) {
+        let (pcie_params, synchronized) = {
+            let e = self.exp();
+            (e.pcie_params(), e.is_synchronized())
+        };
+        if !synchronized {
+            cfg.quit_when_done = true;
+        }
+        let (pcie_host, pcie_nic) = channel_pair(pcie_params);
+        let h = self.add(
+            partition,
+            format!("{name}.host"),
+            crate::build::host_component(cfg, app),
+            vec![pcie_host],
+        );
+        let n = self.add(
+            partition,
+            format!("{name}.nic"),
+            crate::build::nic_model(cfg.nic, rtl_nic),
+            vec![pcie_nic, eth_nic],
+        );
+        (h, n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Options for a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistOptions {
+    /// Partition names; one worker OS process is launched per entry.
+    pub partitions: Vec<String>,
+    /// Opaque scenario string handed to the build function (workers receive
+    /// it via [`ENV_SCENARIO`]).
+    pub scenario: String,
+    /// Executor each worker uses for its partition.
+    pub exec: Execution,
+    /// Extra command-line arguments for the self-`exec`ed worker processes.
+    /// Harness binaries use the default hidden `--dist-worker` flag; test
+    /// binaries route to their worker-entry test instead.
+    pub worker_args: Vec<String>,
+}
+
+impl DistOptions {
+    /// Options for `partitions` workers running `scenario` with the
+    /// sequential in-worker executor and the default `--dist-worker` argv.
+    pub fn new(partitions: Vec<String>, scenario: impl Into<String>) -> Self {
+        DistOptions {
+            partitions,
+            scenario: scenario.into(),
+            exec: Execution::Sequential,
+            worker_args: vec!["--dist-worker".into()],
+        }
+    }
+
+    /// Select the executor used inside each worker.
+    pub fn with_exec(mut self, exec: Execution) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Replace the argv passed to spawned workers.
+    pub fn with_worker_args(mut self, args: Vec<String>) -> Self {
+        self.worker_args = args;
+        self
+    }
+}
+
+/// Results of a completed distributed run, reassembled in the global
+/// component order of the in-process baseline.
+pub struct DistResult {
+    /// Orchestrator-measured wall clock from barrier release (`GO`) until the
+    /// last worker reported its result.
+    pub wall: Duration,
+    /// Partition names, in [`DistOptions::partitions`] order.
+    pub partition_names: Vec<String>,
+    /// Per-partition simulation wall seconds, as measured by each worker.
+    pub partition_walls: Vec<f64>,
+    /// Component names in global build order.
+    pub component_names: Vec<String>,
+    /// Per-component kernel statistics, parallel to `component_names`.
+    pub stats: Vec<KernelStats>,
+    /// Per-component event logs, parallel to `component_names`.
+    pub logs: Vec<EventLog>,
+}
+
+impl DistResult {
+    /// Merge all per-component logs into one global, time-sorted log —
+    /// directly comparable (length and fingerprint) with
+    /// [`RunResult::merged_log`] of the in-process baseline.
+    pub fn merged_log(&self) -> EventLog {
+        let refs: Vec<&EventLog> = self.logs.iter().collect();
+        EventLog::merge(&refs)
+    }
+
+    /// Aggregate statistics over all components of all partitions.
+    pub fn total_stats(&self) -> KernelStats {
+        KernelStats::merged(&self.stats)
+    }
+
+    /// The largest per-partition simulation wall time — the distributed
+    /// analogue of [`RunResult::wall_seconds`] (process spawn and handshake
+    /// overheads excluded).
+    pub fn max_partition_wall(&self) -> f64 {
+        self.partition_walls.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Run the experiment described by `build` entirely in this process (all
+/// partitions instantiated, cross links as plain channels) — the baseline a
+/// distributed run of the same build function must reproduce bit for bit.
+pub fn run_local(scenario: &str, build: &BuildFn, exec: Execution) -> RunResult {
+    let mut pb = PartitionBuilder::new(BuildMode::Local, None);
+    build(scenario, &mut pb);
+    let exp = pb.exp.take().expect("build function must call init()");
+    exp.run(exec)
+}
+
+/// Worker-process hook: call this first thing in `main` of every harness that
+/// supports `--dist`. When the process was spawned by [`run_distributed`]
+/// (detected via [`ENV_CONTROL`]), it runs the worker protocol for its
+/// partition and **exits the process**; otherwise it returns immediately.
+pub fn maybe_worker(build: &BuildFn) {
+    if std::env::var_os(ENV_CONTROL).is_none() {
+        return;
+    }
+    let code = match run_worker(build) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("simbricks dist worker failed: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// Wire helpers
+// ---------------------------------------------------------------------------
+
+fn write_frame(s: &mut TcpStream, ty: u8, payload: &[u8]) -> io::Result<()> {
+    // Mirror the reader's bound so an oversized payload (e.g. a gigantic
+    // event log in RESULT) fails loudly on the writer side instead of
+    // wrapping the u32 length prefix and corrupting the protocol.
+    if payload.len() + 1 > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("control frame too large ({} bytes)", payload.len()),
+        ));
+    }
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.extend_from_slice(&((payload.len() + 1) as u32).to_le_bytes());
+    frame.push(ty);
+    frame.extend_from_slice(payload);
+    s.write_all(&frame)
+}
+
+fn read_frame(s: &mut TcpStream) -> io::Result<(u8, Vec<u8>)> {
+    let mut len = [0u8; 4];
+    s.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "control frame length"));
+    }
+    let mut buf = vec![0u8; len];
+    s.read_exact(&mut buf)?;
+    let payload = buf.split_off(1);
+    Ok((buf[0], payload))
+}
+
+fn expect_frame(s: &mut TcpStream, ty: u8) -> io::Result<Vec<u8>> {
+    let (got, payload) = read_frame(s)?;
+    if got != ty {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected control frame {ty}, got {got}"),
+        ));
+    }
+    Ok(payload)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Byte-slice reader for control payloads.
+struct Dec<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.off + n > self.buf.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated control payload"));
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 control string"))
+    }
+}
+
+/// Intern a log tag received over the control socket. [`EventLog`] records
+/// tags as `&'static str`; the set of distinct tags is small and fixed, so
+/// leaking one copy per unique tag is bounded.
+fn intern_tag(tag: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static TAGS: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut tags = TAGS.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap();
+    if let Some(t) = tags.iter().find(|t| **t == tag) {
+        return t;
+    }
+    let leaked: &'static str = Box::leak(tag.to_string().into_boxed_str());
+    tags.push(leaked);
+    leaked
+}
+
+fn encode_result(result: &RunResult, local_globals: &[usize]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&result.wall_seconds().to_bits().to_le_bytes());
+    out.extend_from_slice(&(result.component_names.len() as u32).to_le_bytes());
+    for (i, name) in result.component_names.iter().enumerate() {
+        out.extend_from_slice(&(local_globals[i] as u64).to_le_bytes());
+        put_str(&mut out, name);
+        out.extend_from_slice(&result.stats[i].to_wire());
+        let log = &result.logs[i];
+        out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+        for e in log.entries() {
+            out.extend_from_slice(&e.time.as_ps().to_le_bytes());
+            put_str(&mut out, e.tag);
+            out.extend_from_slice(&e.a.to_le_bytes());
+            out.extend_from_slice(&e.b.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct WorkerReport {
+    wall_seconds: f64,
+    /// (global id, name, stats, log) per component of the partition.
+    components: Vec<(usize, String, KernelStats, EventLog)>,
+}
+
+fn decode_result(payload: &[u8]) -> io::Result<WorkerReport> {
+    let mut d = Dec::new(payload);
+    let wall_seconds = f64::from_bits(d.u64()?);
+    let ncomp = d.u32()? as usize;
+    let mut components = Vec::with_capacity(ncomp);
+    for _ in 0..ncomp {
+        let global = d.u64()? as usize;
+        let name = d.str()?;
+        let stats = KernelStats::from_wire(d.take(KernelStats::WIRE_LEN)?)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad stats encoding"))?;
+        let nlog = d.u32()? as usize;
+        let mut log = EventLog::enabled();
+        for _ in 0..nlog {
+            let time = SimTime::from_ps(d.u64()?);
+            let tag = d.str()?;
+            let a = d.u64()?;
+            let b = d.u64()?;
+            log.record(time, intern_tag(&tag), a, b);
+        }
+        components.push((global, name, stats, log));
+    }
+    Ok(WorkerReport {
+        wall_seconds,
+        components,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+fn env_string(key: &str) -> io::Result<String> {
+    std::env::var(key)
+        .map_err(|_| io::Error::new(io::ErrorKind::NotFound, format!("{key} not set")))
+}
+
+fn run_worker(build: &BuildFn) -> io::Result<()> {
+    let control_addr = env_string(ENV_CONTROL)?;
+    let partition = env_string(ENV_PARTITION)?;
+    let scenario = std::env::var(ENV_SCENARIO).unwrap_or_default();
+    let exec = std::env::var(ENV_EXEC)
+        .ok()
+        .as_deref()
+        .and_then(Execution::parse)
+        .unwrap_or(Execution::Sequential);
+
+    // Discovery pass: learn the cross-link set so listeners for owned links
+    // can be bound before any partner tries to connect.
+    let mut pb = PartitionBuilder::new(BuildMode::Discover, Some(partition.clone()));
+    build(&scenario, &mut pb);
+    let links = pb.links;
+
+    let mut listeners = HashMap::new();
+    let mut my_links = Vec::new();
+    for l in &links {
+        if l.a == partition && l.b != partition {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            my_links.push((l.name.clone(), listener.local_addr()?.to_string()));
+            listeners.insert(l.name.clone(), listener);
+        }
+    }
+
+    let mut ctrl = TcpStream::connect(&control_addr)?;
+    ctrl.set_read_timeout(Some(CONTROL_TIMEOUT))?;
+    ctrl.set_nodelay(true)?;
+    write_frame(&mut ctrl, MSG_HELLO, partition.as_bytes())?;
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(my_links.len() as u32).to_le_bytes());
+    for (name, addr) in &my_links {
+        put_str(&mut payload, name);
+        put_str(&mut payload, addr);
+    }
+    write_frame(&mut ctrl, MSG_LINKS, &payload)?;
+
+    let payload = expect_frame(&mut ctrl, MSG_ADDRS)?;
+    let mut d = Dec::new(&payload);
+    let n = d.u32()? as usize;
+    let mut addr_map = HashMap::new();
+    for _ in 0..n {
+        let name = d.str()?;
+        let addr = d.str()?;
+        addr_map.insert(name, addr);
+    }
+
+    // Real build: instantiate this partition, bridging cross links.
+    let mut pb = PartitionBuilder::new(BuildMode::Worker, Some(partition.clone()));
+    pb.listeners = listeners;
+    pb.addr_map = addr_map;
+    build(&scenario, &mut pb);
+    let mut exp = pb.exp.take().expect("build function must call init()");
+    if !exp.is_synchronized() {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "distributed runs require a synchronized experiment",
+        ));
+    }
+    // Remote promises arrive asynchronously: an all-blocked partition is a
+    // normal transient state, not a deadlock.
+    exp.set_external_inputs();
+    let local_globals = std::mem::take(&mut pb.local_globals);
+    let proxies = std::mem::take(&mut pb.proxies);
+
+    // Barrier-synchronized start: report readiness, wait for the release.
+    write_frame(&mut ctrl, MSG_READY, &[])?;
+    expect_frame(&mut ctrl, MSG_GO)?;
+
+    let result = exp.run(exec);
+
+    let payload = encode_result(&result, &local_globals);
+    write_frame(&mut ctrl, MSG_RESULT, &payload)?;
+    // Keep proxies alive until every worker has reported: our forwarders have
+    // flushed everything our components sent, and the orchestrator's DONE
+    // confirms no peer still depends on them.
+    expect_frame(&mut ctrl, MSG_DONE)?;
+    for p in proxies {
+        p.shutdown();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator
+// ---------------------------------------------------------------------------
+
+/// Kills still-running workers when the orchestrator bails out early.
+struct ChildGuard(Vec<(String, Child)>);
+
+impl ChildGuard {
+    fn disarm(&mut self) -> Vec<(String, Child)> {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for (_, child) in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Orchestrate a true multi-process distributed run: spawn one worker process
+/// per partition (self-`exec` of the current binary; workers enter via
+/// [`maybe_worker`]), wire every cross-partition link through loopback TCP
+/// proxies with listen/connect handshaking, release all workers from a start
+/// barrier, collect per-worker statistics and event logs over the control
+/// socket, and tear everything down. Returns the reassembled [`DistResult`].
+pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistResult> {
+    // Local discovery: validate the build function against the options.
+    let mut pb = PartitionBuilder::new(BuildMode::Discover, None);
+    build(&opts.scenario, &mut pb);
+    for l in &pb.links {
+        for p in [&l.a, &l.b] {
+            if !opts.partitions.contains(p) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("link {:?} references unknown partition {p:?}", l.name),
+                ));
+            }
+        }
+    }
+    let expected_components = pb.next_global;
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let control_addr = listener.local_addr()?;
+    let exe = std::env::current_exe()?;
+    let mut guard = ChildGuard(Vec::new());
+    for p in &opts.partitions {
+        let child = Command::new(&exe)
+            .args(&opts.worker_args)
+            .env(ENV_CONTROL, control_addr.to_string())
+            .env(ENV_PARTITION, p)
+            .env(ENV_SCENARIO, &opts.scenario)
+            .env(ENV_EXEC, opts.exec.to_arg())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        guard.0.push((p.clone(), child));
+    }
+
+    // Accept one control connection per worker (with a deadline so a worker
+    // that dies before connecting fails the run instead of hanging it).
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    let mut conns: HashMap<String, TcpStream> = HashMap::new();
+    while conns.len() < opts.partitions.len() {
+        if Instant::now() > deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "workers did not connect"));
+        }
+        for (name, child) in &mut guard.0 {
+            if let Some(status) = child.try_wait()? {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    format!("worker {name:?} exited early with {status}"),
+                ));
+            }
+        }
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(CONTROL_TIMEOUT))?;
+                s.set_nodelay(true)?;
+                let hello = expect_frame(&mut s, MSG_HELLO)?;
+                let partition = String::from_utf8(hello)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad HELLO"))?;
+                if !opts.partitions.contains(&partition) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown worker partition {partition:?}"),
+                    ));
+                }
+                conns.insert(partition, s);
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Gather every worker's listener addresses, then broadcast the full map.
+    let mut addr_map: Vec<(String, String)> = Vec::new();
+    for p in &opts.partitions {
+        let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_LINKS)?;
+        let mut d = Dec::new(&payload);
+        let n = d.u32()? as usize;
+        for _ in 0..n {
+            let name = d.str()?;
+            let addr = d.str()?;
+            addr_map.push((name, addr));
+        }
+    }
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(addr_map.len() as u32).to_le_bytes());
+    for (name, addr) in &addr_map {
+        put_str(&mut payload, name);
+        put_str(&mut payload, addr);
+    }
+    for p in &opts.partitions {
+        write_frame(conns.get_mut(p).unwrap(), MSG_ADDRS, &payload)?;
+    }
+
+    // Barrier-synchronized start: wait until every partition is built and
+    // its proxies are wired, then release all workers together.
+    for p in &opts.partitions {
+        expect_frame(conns.get_mut(p).unwrap(), MSG_READY)?;
+    }
+    let start = Instant::now();
+    for p in &opts.partitions {
+        write_frame(conns.get_mut(p).unwrap(), MSG_GO, &[])?;
+    }
+
+    let mut partition_walls = Vec::new();
+    let mut all: Vec<(usize, String, KernelStats, EventLog)> = Vec::new();
+    for p in &opts.partitions {
+        let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_RESULT)?;
+        let report = decode_result(&payload)?;
+        partition_walls.push(report.wall_seconds);
+        all.extend(report.components);
+    }
+    let wall = start.elapsed();
+
+    // Clean teardown: acknowledge, then reap the worker processes.
+    for p in &opts.partitions {
+        write_frame(conns.get_mut(p).unwrap(), MSG_DONE, &[])?;
+    }
+    for (name, mut child) in guard.disarm() {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(io::Error::other(format!("worker {name:?} exited with {status}")));
+        }
+    }
+
+    // Reassemble in global build order so logs and stats line up with the
+    // in-process baseline.
+    all.sort_by_key(|(global, _, _, _)| *global);
+    if all.len() != expected_components {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "workers reported {} components, build declares {}",
+                all.len(),
+                expected_components
+            ),
+        ));
+    }
+    let mut component_names = Vec::with_capacity(all.len());
+    let mut stats = Vec::with_capacity(all.len());
+    let mut logs = Vec::with_capacity(all.len());
+    for (_, name, s, l) in all {
+        component_names.push(name);
+        stats.push(s);
+        logs.push(l);
+    }
+    Ok(DistResult {
+        wall,
+        partition_names: opts.partitions.clone(),
+        partition_walls,
+        component_names,
+        stats,
+        logs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbricks_base::{Kernel, Model, OwnedMsg, PortId};
+
+    /// Minimal ping model used to exercise the builder plumbing.
+    struct Pinger {
+        count: u64,
+        sent: u64,
+        received: u64,
+    }
+
+    impl Model for Pinger {
+        fn init(&mut self, k: &mut Kernel) {
+            if self.count > 0 {
+                k.schedule_at(SimTime::from_ns(100), 0);
+            }
+        }
+        fn on_msg(&mut self, _k: &mut Kernel, _p: PortId, _m: OwnedMsg) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, k: &mut Kernel, _t: u64) {
+            k.send(PortId(0), 1, b"ping");
+            self.sent += 1;
+            if self.sent < self.count {
+                k.schedule_in(SimTime::from_us(1), 0);
+            }
+        }
+    }
+
+    fn two_partition_build(_scenario: &str, pb: &mut PartitionBuilder) {
+        pb.init(Experiment::new("pb-test", SimTime::from_us(50)).with_logging());
+        let params = pb.exp().eth_params();
+        let (a, b) = pb.channel("x-link", "p0", "p1", params);
+        pb.add(
+            "p0",
+            "left",
+            Box::new(Pinger { count: 5, sent: 0, received: 0 }),
+            vec![a],
+        );
+        pb.add(
+            "p1",
+            "right",
+            Box::new(Pinger { count: 0, sent: 0, received: 0 }),
+            vec![b],
+        );
+    }
+
+    #[test]
+    fn local_mode_builds_and_runs_everything() {
+        let r = run_local("", &two_partition_build, Execution::Sequential);
+        assert_eq!(r.component_names, vec!["left", "right"]);
+        let right: &Pinger = r.model(1).unwrap();
+        assert_eq!(right.received, 5);
+    }
+
+    #[test]
+    fn discover_mode_records_links_and_global_order_without_instantiating() {
+        let mut pb = PartitionBuilder::new(BuildMode::Discover, None);
+        two_partition_build("", &mut pb);
+        assert_eq!(pb.next_global, 2, "both components counted");
+        assert!(pb.local_globals.is_empty(), "nothing instantiated");
+        assert_eq!(pb.links.len(), 1);
+        assert_eq!(pb.links[0].name, "x-link");
+        assert_eq!((pb.links[0].a.as_str(), pb.links[0].b.as_str()), ("p0", "p1"));
+        assert_eq!(pb.exp().num_components(), 0);
+    }
+
+    #[test]
+    fn worker_mode_instantiates_only_its_partition() {
+        // No sockets involved: an intra-partition channel plus a foreign
+        // component exercise the filtering logic without cross links.
+        let mut pb = PartitionBuilder::new(BuildMode::Worker, Some("p0".into()));
+        pb.init(Experiment::new("w", SimTime::from_us(10)));
+        let params = pb.exp().eth_params();
+        let (a, b) = pb.channel("local-link", "p0", "p0", params);
+        let g0 = pb.add(
+            "p0",
+            "mine-a",
+            Box::new(Pinger { count: 0, sent: 0, received: 0 }),
+            vec![a],
+        );
+        let g1 = pb.add(
+            "p1",
+            "theirs",
+            Box::new(Pinger { count: 0, sent: 0, received: 0 }),
+            vec![],
+        );
+        let g2 = pb.add(
+            "p0",
+            "mine-b",
+            Box::new(Pinger { count: 0, sent: 0, received: 0 }),
+            vec![b],
+        );
+        assert_eq!((g0, g1, g2), (0, 1, 2), "global ids count every component");
+        assert_eq!(pb.exp().num_components(), 2, "only p0 components instantiated");
+        assert_eq!(pb.local_globals, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cross-link name")]
+    fn duplicate_link_names_are_rejected() {
+        let mut pb = PartitionBuilder::new(BuildMode::Discover, None);
+        pb.init(Experiment::new("dup", SimTime::from_us(1)));
+        let params = pb.exp().eth_params();
+        let _ = pb.channel("l", "a", "b", params);
+        let _ = pb.channel("l", "a", "c", params);
+    }
+
+    #[test]
+    fn dist_options_builders() {
+        let o = DistOptions::new(vec!["p0".into()], "s")
+            .with_exec(Execution::Sharded { workers: 2 })
+            .with_worker_args(vec!["x".into()]);
+        assert_eq!(o.exec, Execution::Sharded { workers: 2 });
+        assert_eq!(o.worker_args, vec!["x"]);
+        assert_eq!(o.scenario, "s");
+    }
+}

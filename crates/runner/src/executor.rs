@@ -52,6 +52,11 @@ pub struct ShardedOptions {
     /// advances a kernel may make before the worker moves on. Larger values
     /// amortize scheduling overhead, smaller values interleave more fairly.
     pub batch: usize,
+    /// Some channels are fed by another OS process (distributed partition,
+    /// §5.4): "everything blocked" is then a normal transient state — a
+    /// remote promise can arrive at any wall-clock moment — so the deadlock
+    /// detector is disabled.
+    pub external_inputs: bool,
 }
 
 impl Default for ShardedOptions {
@@ -59,6 +64,7 @@ impl Default for ShardedOptions {
         ShardedOptions {
             workers: default_workers(),
             batch: 512,
+            external_inputs: false,
         }
     }
 }
@@ -148,7 +154,15 @@ pub(crate) fn run_sharded(
             let progress = &progress;
             scope.spawn(move || {
                 worker_loop(
-                    w, workers, slots, finished, progress, opts.batch, stop, synchronized,
+                    w,
+                    workers,
+                    slots,
+                    finished,
+                    progress,
+                    opts.batch,
+                    stop,
+                    synchronized,
+                    opts.external_inputs,
                 );
             });
         }
@@ -219,6 +233,7 @@ fn worker_loop(
     batch: usize,
     stop: &AtomicBool,
     synchronized: bool,
+    external_inputs: bool,
 ) {
     let n = slots.len();
     // Contiguous shard [lo, hi) owned by this worker (affinity, not
@@ -258,10 +273,12 @@ fn worker_loop(
         if seen != last_progress {
             last_progress = seen;
             stalled_since = None;
-        } else if synchronized && force {
+        } else if synchronized && !external_inputs && force {
             // No one anywhere is progressing, even with parked kernels
             // force-stepped. Give peers real wall-clock time before calling
-            // it a deadlock (another worker may hold locks mid-step).
+            // it a deadlock (another worker may hold locks mid-step); a
+            // distributed partition skips this entirely, since a remote
+            // promise can legitimately take arbitrarily long.
             let since = *stalled_since.get_or_insert_with(Instant::now);
             if since.elapsed() > DEADLOCK_TIMEOUT {
                 panic!(

@@ -70,6 +70,18 @@ impl Execution {
         }
     }
 
+    /// Inverse of [`Execution::parse`]: the canonical selection string for
+    /// this executor (used to hand the choice to distributed worker
+    /// processes via their environment).
+    pub fn to_arg(self) -> String {
+        match self {
+            Execution::Sequential => "sequential".into(),
+            Execution::Threads => "threads".into(),
+            Execution::Sharded { workers: 0 } => "sharded".into(),
+            Execution::Sharded { workers } => format!("sharded:{workers}"),
+        }
+    }
+
     /// Executor selected by the `SIMBRICKS_EXEC` environment variable
     /// (same syntax as [`Execution::parse`]), or `default` when unset or
     /// unparseable.
@@ -118,6 +130,14 @@ impl RunResult {
         simbricks_base::trace::Trace::from_logs(&self.component_names, &self.logs)
     }
 
+    /// Merge the per-component event logs into one global, time-sorted log
+    /// (ties broken by component order, so the result is comparable across
+    /// executors and against the reassembled log of a distributed run).
+    pub fn merged_log(&self) -> EventLog {
+        let refs: Vec<&EventLog> = self.logs.iter().collect();
+        EventLog::merge(&refs)
+    }
+
     /// The event log of the component with the given name, if any.
     pub fn log_of(&self, name: &str) -> Option<&EventLog> {
         self.component_names
@@ -145,6 +165,7 @@ pub struct Experiment {
     sync_interval: SimTime,
     adaptive_sync: bool,
     log_enabled: bool,
+    external_inputs: bool,
     components: Vec<Component>,
     barrier: Option<std::sync::Arc<EpochController>>,
     /// Shared stop flag. In unsynchronized (emulation) runs there is no common
@@ -171,6 +192,7 @@ impl Experiment {
             sync_interval: SimTime::from_ns(500),
             adaptive_sync: true,
             log_enabled: false,
+            external_inputs: false,
             components: Vec::new(),
             barrier: None,
             stop: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
@@ -240,6 +262,15 @@ impl Experiment {
 
     pub fn is_synchronized(&self) -> bool {
         self.synchronized
+    }
+
+    /// Declare that some channels of this experiment are fed by another OS
+    /// process (distributed partitions bridged by proxies, §5.4). Executors
+    /// then treat "every local component blocked" as a normal transient state
+    /// — a remote promise can arrive at any wall-clock moment — instead of a
+    /// deadlock. Set automatically for distributed worker partitions.
+    pub fn set_external_inputs(&mut self) {
+        self.external_inputs = true;
     }
 
     /// Channel parameters for an Ethernet link in this experiment.
@@ -352,6 +383,7 @@ impl Experiment {
     fn run_sequential(&mut self) {
         let n = self.components.len();
         let mut finished = vec![false; n];
+        let mut idle_rounds: u32 = 0;
         loop {
             let mut all_finished = true;
             let mut any_progress = false;
@@ -383,11 +415,28 @@ impl Experiment {
             if finished.iter().all(|f| *f) {
                 break;
             }
+            if any_progress {
+                idle_rounds = 0;
+            }
             if !any_progress {
                 if !self.synchronized {
                     // Emulation mode: components are waiting for the wall
                     // clock to allow their next event; just wait with them.
                     std::thread::sleep(Duration::from_micros(100));
+                    continue;
+                }
+                if self.external_inputs {
+                    // Distributed partition: a remote worker's promise can
+                    // unblock us at any moment. Spin-yield while the wait is
+                    // short (hot ping-pong with a loopback peer), back off to
+                    // a brief sleep once it clearly is not, so an idle
+                    // partition does not burn a core its peers need.
+                    idle_rounds = idle_rounds.saturating_add(1);
+                    if idle_rounds < 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(20));
+                    }
                     continue;
                 }
                 // All remaining components blocked: genuine deadlock.
@@ -414,6 +463,7 @@ impl Experiment {
             } else {
                 workers
             },
+            external_inputs: self.external_inputs,
             ..Default::default()
         };
         let stop = self.stop.clone();
@@ -611,6 +661,14 @@ mod tests {
         );
         assert_eq!(Execution::parse("bogus"), None);
         assert_eq!(Execution::parse("sharded:x"), None);
+        for e in [
+            Execution::Sequential,
+            Execution::Threads,
+            Execution::Sharded { workers: 0 },
+            Execution::Sharded { workers: 8 },
+        ] {
+            assert_eq!(Execution::parse(&e.to_arg()), Some(e), "to_arg roundtrip");
+        }
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //! reports) are collected for the evaluation harness.
 
 pub mod build;
+pub mod dist;
 pub mod executor;
 pub mod experiment;
 pub mod proxy;
 
 pub use build::{attach_host_nic, attach_host_nvme, host_component, nic_model, NetworkKind};
+pub use dist::{maybe_worker, run_distributed, run_local, DistOptions, DistResult, PartitionBuilder};
 pub use executor::{default_workers, ShardedOptions};
 pub use experiment::{Execution, Experiment, RunResult};
-pub use proxy::{proxy_channel_over_tcp, proxy_pair, ProxyHandle, ProxyKind, ProxyStats};
+pub use proxy::{
+    proxy_channel_over_tcp, proxy_pair, read_handshake, write_handshake, ProxyHandle, ProxyKind,
+    ProxyStats,
+};

@@ -21,11 +21,18 @@
 //!
 //! Both flavours report [`ProxyStats`] so harnesses can show batching
 //! behaviour and forwarded volume (§7.4.2).
+//!
+//! When a proxy connection crosses process (or machine) boundaries — the
+//! distributed mode of `crate::dist` — the connecting side opens the stream
+//! with a length-prefixed **handshake frame** ([`write_handshake`]) naming
+//! the link and carrying its serialized [`ChannelParams`]; the accepting side
+//! verifies both ([`read_handshake`]) before any simulation message flows, so
+//! mismatched wiring fails fast instead of corrupting a run.
 
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use simbricks_base::{channel_pair, ChannelEnd, ChannelParams, OwnedMsg};
@@ -41,11 +48,44 @@ pub enum ProxyKind {
 
 /// Counters shared by the two forwarding threads of a proxy pair.
 #[derive(Debug, Default)]
-struct ProxyCounters {
+pub(crate) struct ProxyCounters {
     forwarded: AtomicU64,
     bytes: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
+}
+
+/// Cooperative shutdown signal shared by the forwarding threads of a proxy.
+///
+/// Forwarding loops poll the flag every iteration (including inside
+/// backpressure retry loops), so raising it unblocks threads that would
+/// otherwise spin forever waiting for a stalled peer. Registered TCP streams
+/// are also shut down, which turns any in-flight read into an immediate EOF.
+#[derive(Default)]
+pub(crate) struct ShutdownSignal {
+    flag: AtomicBool,
+    streams: Mutex<Vec<TcpStream>>,
+}
+
+impl ShutdownSignal {
+    /// Keep a clone of `stream` so [`ShutdownSignal::signal`] can close it.
+    pub(crate) fn register_stream(&self, stream: &TcpStream) {
+        if let Ok(c) = stream.try_clone() {
+            self.streams.lock().unwrap().push(c);
+        }
+    }
+
+    /// Raise the flag and close every registered stream.
+    pub(crate) fn signal(&self) {
+        self.flag.store(true, Ordering::Release);
+        for s in self.streams.lock().unwrap().iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    pub(crate) fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
 }
 
 /// A snapshot of the work a proxy pair performed.
@@ -72,16 +112,37 @@ impl ProxyStats {
     }
 }
 
-/// Handle to a running proxy pair: the forwarding threads plus their shared
-/// statistics. Dropping the handle detaches the threads; they exit on their
-/// own once both component endpoints are gone.
+/// Handle to a running proxy: the forwarding threads plus their shared
+/// statistics and shutdown signal.
+///
+/// Threads exit on their own once both component endpoints are gone (or the
+/// TCP peer closes); [`ProxyHandle::join`] waits for that. When one thread of
+/// a pair exits it poisons the shared shutdown signal, so its sibling winds
+/// down too and `join` cannot hang on a half-dead pair. Dropping the handle
+/// signals shutdown and detaches the threads, so an abandoned handle never
+/// leaks spinning forwarders.
 pub struct ProxyHandle {
     kind: ProxyKind,
     counters: Arc<ProxyCounters>,
-    pub threads: Vec<JoinHandle<()>>,
+    shutdown: Arc<ShutdownSignal>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ProxyHandle {
+    pub(crate) fn from_parts(
+        kind: ProxyKind,
+        counters: Arc<ProxyCounters>,
+        shutdown: Arc<ShutdownSignal>,
+        threads: Vec<JoinHandle<()>>,
+    ) -> Self {
+        ProxyHandle {
+            kind,
+            counters,
+            shutdown,
+            threads,
+        }
+    }
+
     pub fn kind(&self) -> ProxyKind {
         self.kind
     }
@@ -96,14 +157,42 @@ impl ProxyHandle {
         }
     }
 
-    /// Wait for the forwarding threads to exit (after both components closed
-    /// their endpoints).
-    pub fn join(self) -> ProxyStats {
-        let stats = self.stats();
-        for t in self.threads {
+    /// Wait for the forwarding threads to exit. They exit once their local
+    /// component endpoint is gone, the TCP peer closed, the sibling thread
+    /// exited (pair poisoning), or [`ProxyHandle::shutdown`] was requested —
+    /// so `join` returns even when one side stalls forever.
+    pub fn join(mut self) -> ProxyStats {
+        for t in std::mem::take(&mut self.threads) {
             let _ = t.join();
         }
-        stats
+        self.stats()
+    }
+
+    /// Explicitly stop the forwarding threads (poison the channel loops and
+    /// shut the TCP streams down), then wait for them and return the final
+    /// statistics.
+    pub fn shutdown(mut self) -> ProxyStats {
+        self.shutdown.signal();
+        for t in std::mem::take(&mut self.threads) {
+            let _ = t.join();
+        }
+        self.stats()
+    }
+
+    /// Detach the threads from the handle without signalling shutdown (legacy
+    /// [`proxy_channel_over_tcp`] interface).
+    fn detach(mut self) -> Vec<JoinHandle<()>> {
+        std::mem::take(&mut self.threads)
+    }
+}
+
+impl Drop for ProxyHandle {
+    fn drop(&mut self) {
+        // Only signal when threads are still attached: `join`/`shutdown` take
+        // them out first, and `detach` deliberately leaves them running.
+        if !self.threads.is_empty() {
+            self.shutdown.signal();
+        }
     }
 }
 
@@ -118,6 +207,76 @@ impl ProxyCounters {
         self.max_batch.fetch_max(msgs, Ordering::Relaxed);
     }
 }
+
+// ----- handshake framing -----------------------------------------------------
+
+/// Magic bytes opening every proxy handshake frame.
+const HANDSHAKE_MAGIC: [u8; 4] = *b"SBPX";
+/// Version of the handshake frame layout.
+const HANDSHAKE_VERSION: u8 = 1;
+/// Upper bound on a handshake frame (the link name is the only variable part).
+const HANDSHAKE_MAX: usize = 4096;
+
+/// Write the length-prefixed proxy handshake frame: `u32` payload length,
+/// then magic `"SBPX"`, a version byte, the `u16`-length-prefixed link name,
+/// and the serialized [`ChannelParams`]. Sent by the connecting side of a
+/// distributed proxy link before any simulation message.
+pub fn write_handshake(
+    stream: &mut TcpStream,
+    link: &str,
+    params: &ChannelParams,
+) -> io::Result<()> {
+    let name = link.as_bytes();
+    // Cap against the reader's frame bound so an over-long link name fails
+    // here, at the writer, instead of as a confusing handshake rejection on
+    // the peer.
+    if name.len() > HANDSHAKE_MAX - 7 - ChannelParams::WIRE_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "link name too long"));
+    }
+    let mut payload = Vec::with_capacity(7 + name.len() + ChannelParams::WIRE_LEN);
+    payload.extend_from_slice(&HANDSHAKE_MAGIC);
+    payload.push(HANDSHAKE_VERSION);
+    payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    payload.extend_from_slice(name);
+    payload.extend_from_slice(&params.to_wire());
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)
+}
+
+/// Read and validate a handshake frame written by [`write_handshake`],
+/// returning the link name and the peer's channel parameters. The stream must
+/// be in blocking mode. Fails with `InvalidData` on bad magic, version, or
+/// framing.
+pub fn read_handshake(stream: &mut TcpStream) -> io::Result<(String, ChannelParams)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if !(7 + ChannelParams::WIRE_LEN..=HANDSHAKE_MAX).contains(&len) {
+        return Err(bad("handshake frame length out of range"));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    if payload[0..4] != HANDSHAKE_MAGIC {
+        return Err(bad("handshake magic mismatch"));
+    }
+    if payload[4] != HANDSHAKE_VERSION {
+        return Err(bad("handshake version mismatch"));
+    }
+    let name_len = u16::from_le_bytes(payload[5..7].try_into().unwrap()) as usize;
+    if payload.len() != 7 + name_len + ChannelParams::WIRE_LEN {
+        return Err(bad("handshake frame length inconsistent"));
+    }
+    let name = String::from_utf8(payload[7..7 + name_len].to_vec())
+        .map_err(|_| bad("handshake link name not utf-8"))?;
+    let params = ChannelParams::from_wire(&payload[7 + name_len..])
+        .ok_or_else(|| bad("handshake channel params invalid"))?;
+    Ok((name, params))
+}
+
+// ----- proxy construction ----------------------------------------------------
 
 /// Bridge a channel with a proxy pair of the requested kind. Returns the two
 /// channel endpoints the components use plus the [`ProxyHandle`]. The
@@ -134,12 +293,13 @@ pub fn proxy_pair(
 }
 
 /// Bridge a channel over TCP (sockets proxy). Compatibility wrapper around
-/// [`proxy_pair`] returning raw join handles.
+/// [`proxy_pair`] returning raw join handles; the forwarding threads are
+/// detached and exit once both component endpoints are gone.
 pub fn proxy_channel_over_tcp(
     params: ChannelParams,
 ) -> std::io::Result<(ChannelEnd, ChannelEnd, Vec<JoinHandle<()>>)> {
     let (a, b, handle) = proxy_pair_tcp(params)?;
-    Ok((a, b, handle.threads))
+    Ok((a, b, handle.detach()))
 }
 
 fn proxy_pair_tcp(
@@ -151,95 +311,134 @@ fn proxy_pair_tcp(
 
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
-    let connect = TcpStream::connect(addr)?;
-    let (accepted, _) = listener.accept()?;
+    let mut connect = TcpStream::connect(addr)?;
+    let (mut accepted, _) = listener.accept()?;
+    // Same handshake as a cross-process link, so the framing is exercised on
+    // every in-process proxy pair too.
+    write_handshake(&mut connect, "proxy-pair", &params)?;
+    let (link, peer_params) = read_handshake(&mut accepted)?;
+    if link != "proxy-pair" || peer_params != params {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "proxy pair handshake mismatch",
+        ));
+    }
     connect.set_nodelay(true)?;
     accepted.set_nodelay(true)?;
 
     let counters = Arc::new(ProxyCounters::default());
-    let h1 = spawn_tcp_proxy("proxy-a", proxy_a_local, connect, counters.clone());
-    let h2 = spawn_tcp_proxy("proxy-b", proxy_b_local, accepted, counters.clone());
+    let shutdown = Arc::new(ShutdownSignal::default());
+    shutdown.register_stream(&connect);
+    shutdown.register_stream(&accepted);
+    let h1 = spawn_tcp_forwarder("proxy-a".into(), proxy_a_local, connect, counters.clone(), shutdown.clone());
+    let h2 = spawn_tcp_forwarder("proxy-b".into(), proxy_b_local, accepted, counters.clone(), shutdown.clone());
     Ok((
         for_component_a,
         for_component_b,
-        ProxyHandle {
-            kind: ProxyKind::Tcp,
-            counters,
-            threads: vec![h1, h2],
-        },
+        ProxyHandle::from_parts(ProxyKind::Tcp, counters, shutdown, vec![h1, h2]),
     ))
 }
 
-fn spawn_tcp_proxy(
-    name: &'static str,
-    mut local: ChannelEnd,
+/// Spawn a thread running [`tcp_forward_loop`]; when the loop exits (for any
+/// reason) the shared shutdown signal is raised so sibling forwarders wind
+/// down too.
+pub(crate) fn spawn_tcp_forwarder(
+    name: String,
+    local: ChannelEnd,
     stream: TcpStream,
     counters: Arc<ProxyCounters>,
+    shutdown: Arc<ShutdownSignal>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
-        .name(name.into())
+        .name(name)
         .spawn(move || {
-            // Non-blocking reads: the forwarding loop must never stall the
-            // local->remote direction while waiting for remote bytes, or the
-            // peer simulator blocks on missing SYNC messages.
-            stream.set_nonblocking(true).ok();
-            let mut tx = stream.try_clone().expect("clone proxy stream");
-            let mut rx = stream;
-            let mut rx_buf: Vec<u8> = Vec::new();
-            let mut tmp = [0u8; 16384];
-            loop {
-                let mut idle = true;
-                // Local -> remote: forward everything queued on the local
-                // channel (adaptive batching: drain the whole queue at once).
-                let mut batch = Vec::new();
-                let mut batch_msgs = 0u64;
-                while let Some(msg) = local.recv_raw() {
-                    batch.extend_from_slice(&msg.to_wire());
-                    batch_msgs += 1;
-                }
-                if !batch.is_empty() {
-                    if tx.write_all(&batch).is_err() {
-                        return;
-                    }
-                    counters.record_batch(batch_msgs, batch.len() as u64);
-                    idle = false;
-                }
-                // Remote -> local.
-                match rx.read(&mut tmp) {
-                    Ok(0) => return, // peer proxy closed
-                    Ok(n) => {
-                        rx_buf.extend_from_slice(&tmp[..n]);
-                        idle = false;
-                    }
-                    Err(ref e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                    Err(_) => return,
-                }
-                let mut consumed = 0;
-                while let Some((msg, used)) = OwnedMsg::from_wire(&rx_buf[consumed..]) {
-                    // Retry until there is queue space (peer component drains).
-                    loop {
-                        match local.send_raw(msg.timestamp, msg.ty, &msg.data) {
-                            Ok(()) => break,
-                            Err(simbricks_base::SendError::Full) => std::thread::yield_now(),
-                            Err(_) => return,
-                        }
-                    }
-                    consumed += used;
-                }
-                if consumed > 0 {
-                    rx_buf.drain(..consumed);
-                }
-                if local.peer_closed() {
-                    return;
-                }
-                if idle {
-                    std::thread::yield_now();
-                }
-            }
+            tcp_forward_loop(local, stream, &counters, &shutdown);
+            shutdown.signal();
         })
         .expect("spawn proxy thread")
+}
+
+/// One side of a sockets proxy: forward everything between the local channel
+/// stub and the TCP stream until the local component endpoint disappears, the
+/// TCP peer closes, or `shutdown` is signalled.
+pub(crate) fn tcp_forward_loop(
+    mut local: ChannelEnd,
+    stream: TcpStream,
+    counters: &ProxyCounters,
+    shutdown: &ShutdownSignal,
+) {
+    // Non-blocking reads: the forwarding loop must never stall the
+    // local->remote direction while waiting for remote bytes, or the
+    // peer simulator blocks on missing SYNC messages.
+    stream.set_nonblocking(true).ok();
+    let mut tx = match stream.try_clone() {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    let mut rx = stream;
+    let mut rx_buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16384];
+    loop {
+        if shutdown.is_set() {
+            return;
+        }
+        let mut idle = true;
+        // Read the close flag before draining: the producer drops its end
+        // only after its last send, so a drain performed after observing the
+        // flag is guaranteed to have flushed everything.
+        let local_closing = local.peer_closed();
+        // Local -> remote: forward everything queued on the local
+        // channel (adaptive batching: drain the whole queue at once).
+        let mut batch = Vec::new();
+        let mut batch_msgs = 0u64;
+        while let Some(msg) = local.recv_raw() {
+            batch.extend_from_slice(&msg.to_wire());
+            batch_msgs += 1;
+        }
+        if !batch.is_empty() {
+            if tx.write_all(&batch).is_err() {
+                return;
+            }
+            counters.record_batch(batch_msgs, batch.len() as u64);
+            idle = false;
+        }
+        if local_closing {
+            return;
+        }
+        // Remote -> local.
+        match rx.read(&mut tmp) {
+            Ok(0) => return, // peer proxy closed
+            Ok(n) => {
+                rx_buf.extend_from_slice(&tmp[..n]);
+                idle = false;
+            }
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+        let mut consumed = 0;
+        while let Some((msg, used)) = OwnedMsg::from_wire(&rx_buf[consumed..]) {
+            // Retry until there is queue space (peer component drains).
+            loop {
+                if shutdown.is_set() {
+                    return;
+                }
+                match local.send_raw(msg.timestamp, msg.ty, &msg.data) {
+                    Ok(()) => break,
+                    Err(simbricks_base::SendError::Full) => std::thread::yield_now(),
+                    Err(_) => return,
+                }
+            }
+            consumed += used;
+        }
+        if consumed > 0 {
+            rx_buf.drain(..consumed);
+        }
+        if idle {
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// RDMA-style proxy pair: one forwarding thread per direction that places
@@ -251,15 +450,12 @@ fn proxy_pair_rdma(params: ChannelParams) -> (ChannelEnd, ChannelEnd, ProxyHandl
     let (for_component_a, proxy_a_local) = channel_pair(params);
     let (for_component_b, proxy_b_local) = channel_pair(params);
     let counters = Arc::new(ProxyCounters::default());
-    let h = spawn_rdma_forwarders(proxy_a_local, proxy_b_local, counters.clone());
+    let shutdown = Arc::new(ShutdownSignal::default());
+    let h = spawn_rdma_forwarders(proxy_a_local, proxy_b_local, counters.clone(), shutdown.clone());
     (
         for_component_a,
         for_component_b,
-        ProxyHandle {
-            kind: ProxyKind::Rdma,
-            counters,
-            threads: vec![h],
-        },
+        ProxyHandle::from_parts(ProxyKind::Rdma, counters, shutdown, vec![h]),
     )
 }
 
@@ -267,6 +463,7 @@ fn spawn_rdma_forwarders(
     mut a: ChannelEnd,
     mut b: ChannelEnd,
     counters: Arc<ProxyCounters>,
+    shutdown: Arc<ShutdownSignal>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("proxy-rdma".into())
@@ -274,6 +471,9 @@ fn spawn_rdma_forwarders(
             let mut pending_ab: Option<OwnedMsg> = None;
             let mut pending_ba: Option<OwnedMsg> = None;
             loop {
+                if shutdown.is_set() {
+                    return;
+                }
                 let mut idle = true;
                 idle &= !forward_direction(&mut a, &mut b, &mut pending_ab, &counters);
                 idle &= !forward_direction(&mut b, &mut a, &mut pending_ba, &counters);
@@ -426,6 +626,56 @@ mod tests {
         assert_eq!(got, (0..total).collect::<Vec<_>>());
         let _a = producer.join().unwrap();
         assert_eq!(handle.stats().forwarded, total);
+    }
+
+    /// Regression test for the proxy-lifecycle hang: join() must return even
+    /// though one component endpoint never sends (and never closes), because
+    /// the other side exiting poisons the pair.
+    #[test]
+    fn join_returns_when_one_peer_exits_early() {
+        let (a, _b, handle) = proxy_pair(ProxyKind::Tcp, ChannelParams::default_sync()).unwrap();
+        // Component A is done and drops its endpoint; component B stalls
+        // forever, holding `_b` without ever sending or receiving.
+        drop(a);
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let done2 = done.clone();
+        let joiner = std::thread::spawn(move || {
+            handle.join();
+            done2.store(true, Ordering::Release);
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !done.load(Ordering::Acquire) && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(done.load(Ordering::Acquire), "join() hung on a stalled peer");
+        joiner.join().unwrap();
+    }
+
+    /// Explicit shutdown stops the forwarders while both endpoints are alive.
+    #[test]
+    fn explicit_shutdown_stops_live_proxies() {
+        for kind in [ProxyKind::Tcp, ProxyKind::Rdma] {
+            let (_a, _b, handle) = proxy_pair(kind, ChannelParams::default_sync()).unwrap();
+            // Neither endpoint is dropped; without the signal this would hang.
+            let _ = handle.shutdown();
+        }
+    }
+
+    #[test]
+    fn handshake_roundtrip_and_validation() {
+        let params = ChannelParams::default_sync().with_queue_len(8);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        write_handshake(&mut tx, "up0", &params).unwrap();
+        let (name, got) = read_handshake(&mut rx).unwrap();
+        assert_eq!(name, "up0");
+        assert_eq!(got, params);
+
+        // Garbage instead of a handshake is rejected, not misinterpreted.
+        tx.write_all(&[0u8; 64]).unwrap();
+        assert!(read_handshake(&mut rx).is_err());
     }
 
     #[test]
