@@ -5,24 +5,28 @@
 //!
 //! Usage:
 //!   `fig08_distributed_scaling [--exec sequential|threads|sharded[:N]]
-//!   [--dist N] [--json PATH]`
+//!   [--dist N] [--transport tcp|shm|auto] [--json PATH]`
 //!
 //! Without `--dist` the racks run in-process with the selected executor (or
 //! `SIMBRICKS_EXEC`). With `--dist N` each topology additionally runs as a
 //! **true multi-process distributed simulation**: N worker OS processes (one
 //! per partition; rack r lives in partition `w{r % N}`, the core switch in
-//! `w0`) connected by loopback TCP proxy pairs — one proxy pair per
-//! inter-partition ToR-to-core uplink, exactly the paper's §5.4 deployment
-//! shape. Both runs record event logs and the harness verifies the
-//! distributed log is bit-identical to the in-process sequential one before
-//! reporting wall-clock numbers.
+//! `w0`) with one cross-partition channel per inter-partition ToR-to-core
+//! uplink, exactly the paper's §5.4 deployment shape. Each cross link is
+//! carried by the selected transport: loopback TCP proxy pairs or the
+//! shared-memory ring transport the paper uses for co-located simulators.
+//! With `--transport auto` (the default) the harness runs **both** tcp and
+//! shm so their wall clocks are directly comparable; an explicit kind
+//! restricts to that column. Every distributed run records event logs and
+//! the harness verifies each is bit-identical to the in-process sequential
+//! log before reporting wall-clock numbers.
 //!
 //! `--json PATH` writes the machine-readable baseline consumed by future
 //! regression checks (see `BENCH_fig08.json` at the repository root).
 
 use simbricks::hostsim::HostKind;
 use simbricks::runner::dist::{self, DistOptions};
-use simbricks::runner::Execution;
+use simbricks::runner::{Execution, TransportKind};
 use simbricks_bench::dist_scen;
 
 fn scenario(racks: usize, hpr: usize, kind: HostKind, parts: usize, log: bool) -> String {
@@ -40,9 +44,9 @@ struct Row {
     hosts: usize,
     kind: &'static str,
     inproc_wall: f64,
-    dist_wall: f64,
-    dist_orch_wall: f64,
-    logs_identical: bool,
+    /// Per-transport results: (transport, worker wall, orchestrated wall,
+    /// log identical to the in-process baseline).
+    dist: Vec<(&'static str, f64, f64, bool)>,
 }
 
 fn main() {
@@ -52,6 +56,7 @@ fn main() {
     dist::maybe_worker(&dist_scen::build_memcache_racks);
 
     let mut exec = Execution::from_env_or(Execution::Sequential);
+    let mut transport = TransportKind::from_env_or(TransportKind::Auto);
     let mut dist_n: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +73,11 @@ fn main() {
                 need_value(&args, i);
                 i += 1;
                 exec = Execution::parse(&args[i]).expect("--exec sequential|threads|sharded[:N]");
+            }
+            "--transport" => {
+                need_value(&args, i);
+                i += 1;
+                transport = TransportKind::parse(&args[i]).expect("--transport tcp|shm|auto");
             }
             "--dist" => {
                 need_value(&args, i);
@@ -97,6 +107,20 @@ fn main() {
         std::process::exit(2);
     }
 
+    // The tcp-vs-shm comparison: `auto` measures both transports; an
+    // explicit kind restricts to that one.
+    let transports: Vec<(&'static str, TransportKind)> = match transport {
+        TransportKind::Auto => {
+            let mut t = vec![("tcp", TransportKind::Tcp)];
+            if simbricks::runner::shm_supported() {
+                t.push(("shm", TransportKind::Shm));
+            }
+            t
+        }
+        TransportKind::Tcp => vec![("tcp", TransportKind::Tcp)],
+        TransportKind::Shm => vec![("shm", TransportKind::Shm)],
+    };
+
     let hpr = 8usize;
     println!("# Figure 8: scale-out (memcached racks, 5 ms virtual, scaled down)");
     println!("# executor: {exec:?}");
@@ -112,11 +136,14 @@ fn main() {
             }
         }
         Some(parts) => {
-            println!("# distributed: {parts} worker processes, loopback TCP proxies, one pair per inter-partition uplink");
             println!(
-                "{:>6} {:>6} {:>14} {:>12} {:>14} {:>10}",
-                "hosts", "kind", "in-proc [s]", "dist [s]", "dist+orch [s]", "identical"
+                "# distributed: {parts} worker processes, one cross-partition channel per inter-partition uplink"
             );
+            print!("{:>6} {:>6} {:>14}", "hosts", "kind", "in-proc [s]");
+            for (tname, _) in &transports {
+                print!(" {:>11}", format!("dist-{tname} [s]"));
+            }
+            println!(" {:>10}", "identical");
             let mut all_identical = true;
             for racks in [1usize, 2, 4] {
                 let hosts = racks * hpr;
@@ -124,32 +151,37 @@ fn main() {
                 {
                     let scen = scenario(racks, hpr, kind, parts, true);
                     let local = dist::run_local(&scen, &dist_scen::build_memcache_racks, exec);
-                    let opts =
-                        DistOptions::new(dist_scen::partition_names(parts), scen).with_exec(exec);
-                    let dres = dist::run_distributed(&opts, &dist_scen::build_memcache_racks)
-                        .expect("distributed run failed");
                     let lm = local.merged_log();
-                    let dm = dres.merged_log();
-                    let identical =
-                        lm.len() == dm.len() && lm.fingerprint() == dm.fingerprint();
-                    all_identical &= identical;
-                    println!(
-                        "{:>6} {:>6} {:>14.2} {:>12.2} {:>14.2} {:>10}",
-                        hosts,
-                        kname,
-                        local.wall_seconds(),
-                        dres.max_partition_wall(),
-                        dres.wall.as_secs_f64(),
-                        if identical { "yes" } else { "NO" }
-                    );
-                    rows.push(Row {
+                    let mut row = Row {
                         hosts,
                         kind: kname,
                         inproc_wall: local.wall_seconds(),
-                        dist_wall: dres.max_partition_wall(),
-                        dist_orch_wall: dres.wall.as_secs_f64(),
-                        logs_identical: identical,
-                    });
+                        dist: Vec::new(),
+                    };
+                    for (tname, tkind) in &transports {
+                        let opts = DistOptions::new(dist_scen::partition_names(parts), scen.clone())
+                            .with_exec(exec)
+                            .with_transport(*tkind);
+                        let dres = dist::run_distributed(&opts, &dist_scen::build_memcache_racks)
+                            .expect("distributed run failed");
+                        let dm = dres.merged_log();
+                        let identical =
+                            lm.len() == dm.len() && lm.fingerprint() == dm.fingerprint();
+                        all_identical &= identical;
+                        row.dist.push((
+                            tname,
+                            dres.max_partition_wall(),
+                            dres.wall.as_secs_f64(),
+                            identical,
+                        ));
+                    }
+                    print!("{:>6} {:>6} {:>14.2}", hosts, kname, row.inproc_wall);
+                    for (_, wall, _, _) in &row.dist {
+                        print!(" {:>11.2}", wall);
+                    }
+                    let ok = row.dist.iter().all(|(_, _, _, id)| *id);
+                    println!(" {:>10}", if ok { "yes" } else { "NO" });
+                    rows.push(row);
                 }
             }
             if let Some(path) = &json_path {
@@ -180,23 +212,26 @@ fn write_json(path: &str, parts: usize, rows: &[Row]) {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     ));
     out.push_str(
-        "  \"note\": \"dist_wall_s is the slowest worker process; both runs have event \
-         logging enabled for the bit-identity check. On a single-core machine the \
-         distributed processes time-share, so the paper's flat-scaling claim needs \
-         >= dist_workers real cores.\",\n",
+        "  \"note\": \"dist_<transport>_wall_s is the slowest worker process; every \
+         distributed run has event logging enabled for the bit-identity check against \
+         the in-process baseline. On a single-core machine the distributed processes \
+         time-share, so the paper's flat-scaling claim needs >= dist_workers real \
+         cores; the tcp-vs-shm gap also narrows when forwarder threads time-share.\",\n",
     );
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let mut fields = format!(
+            "\"hosts\": {}, \"kind\": \"{}\", \"inproc_wall_s\": {:.4}",
+            r.hosts, r.kind, r.inproc_wall
+        );
+        for (tname, wall, orch, identical) in &r.dist {
+            fields.push_str(&format!(
+                ", \"dist_{tname}_wall_s\": {wall:.4}, \"dist_{tname}_orchestrated_wall_s\": {orch:.4}, \
+                 \"dist_{tname}_logs_identical\": {identical}"
+            ));
+        }
         out.push_str(&format!(
-            "    {{\"hosts\": {}, \"kind\": \"{}\", \"inproc_wall_s\": {:.4}, \
-             \"dist_wall_s\": {:.4}, \"dist_orchestrated_wall_s\": {:.4}, \
-             \"logs_identical\": {}}}{}\n",
-            r.hosts,
-            r.kind,
-            r.inproc_wall,
-            r.dist_wall,
-            r.dist_orch_wall,
-            r.logs_identical,
+            "    {{{fields}}}{}\n",
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

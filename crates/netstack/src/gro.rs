@@ -71,8 +71,17 @@ fn mergeable(frame: &ParsedFrame) -> bool {
     }
 }
 
+/// Whether `new` equals `old` or is ahead of it in wrapping u32 ACK space.
+fn ack_ge(new: u32, old: u32) -> bool {
+    (new.wrapping_sub(old) as i32) >= 0
+}
+
 /// Whether `next` directly continues `held` (same flow, contiguous sequence
 /// number, same ECN codepoint so DCTCP mark accounting is preserved exactly).
+/// The ACK may stay put or advance — data trains whose segments each carry a
+/// fresher cumulative ACK are the common case on a bidirectional flow, and
+/// Linux GRO coalesces them — but an ACK that moves *backwards* breaks the
+/// batch (stale information must not overwrite fresher state).
 fn continues(held: &Pending, held_payload_len: usize, next: &ParsedFrame) -> bool {
     let (h_hdr, h_ip) = match (&held.frame.l4, &held.frame.ipv4) {
         (ParsedL4::Tcp { header, .. }, Some(ip)) => (header, ip),
@@ -88,7 +97,7 @@ fn continues(held: &Pending, held_payload_len: usize, next: &ParsedFrame) -> boo
         && h_hdr.dst_port == n_hdr.dst_port
         && h_ip.ecn == n_ip.ecn
         && n_hdr.seq == h_hdr.seq.wrapping_add(held_payload_len as u32)
-        && n_hdr.ack == h_hdr.ack
+        && ack_ge(n_hdr.ack, h_hdr.ack)
         && held_payload_len + n_payload.len() <= GRO_MAX_PAYLOAD
         && held.segs < GRO_MAX_SEGS
 }
@@ -133,6 +142,7 @@ pub fn coalesce(wire: Vec<Vec<u8>>) -> GroResult {
                     ParsedL4::Tcp { header: n, .. },
                 ) = (&mut p.frame.l4, &parsed.l4)
                 {
+                    h.ack = n.ack;
                     h.window = n.window;
                     h.flags = TcpFlags(h.flags.0 | n.flags.0);
                 }
@@ -180,7 +190,7 @@ mod tests {
             ack: 777,
             flags,
             window: 1000,
-            mss: None,
+            mss: None, wscale: None,
         };
         FrameBuilder::tcp(
             MacAddr::from_index(1),
@@ -221,6 +231,74 @@ mod tests {
         match parsed.l4 {
             ParsedL4::Tcp { header, .. } => assert!(header.flags.contains(TcpFlags::PSH)),
             _ => panic!(),
+        }
+    }
+
+    fn data_frame_ack(seq: u32, ack: u32, payload: &[u8]) -> Vec<u8> {
+        let hdr = TcpHeader {
+            src_port: 4000,
+            dst_port: 80,
+            seq,
+            ack,
+            flags: TcpFlags::ACK,
+            window: 1000,
+            mss: None, wscale: None,
+        };
+        FrameBuilder::tcp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ecn::Ect0,
+            &hdr,
+            payload,
+        )
+    }
+
+    /// Regression test: a data train whose segments each carry a fresher
+    /// cumulative ACK (the normal shape of bidirectional traffic) must still
+    /// coalesce, and the merged header must carry the *latest* ACK — as the
+    /// comment in `coalesce` always claimed but the code did not do.
+    #[test]
+    fn advancing_acks_merge_and_carry_the_latest_ack() {
+        let frames = vec![
+            data_frame_ack(100, 7000, &[1u8; 500]),
+            data_frame_ack(600, 8000, &[2u8; 500]),
+            data_frame_ack(1100, 9000, &[3u8; 500]),
+        ];
+        let r = coalesce(frames);
+        assert_eq!(r.wire_frames, 3);
+        assert_eq!(r.merged, 2, "ACK-advancing train coalesces");
+        assert_eq!(r.frames.len(), 1);
+        let parsed = ParsedFrame::parse(&r.frames[0]).unwrap();
+        assert!(parsed.checksums_ok, "regenerated checksums verify");
+        match parsed.l4 {
+            ParsedL4::Tcp { header, payload } => {
+                assert_eq!(header.ack, 9000, "merged segment carries the latest ACK");
+                assert_eq!(payload.len(), 1500);
+            }
+            _ => panic!("not tcp"),
+        }
+
+        // An ACK moving backwards (stale duplicate) must break the batch.
+        let frames = vec![
+            data_frame_ack(100, 7000, &[1u8; 500]),
+            data_frame_ack(600, 6999, &[2u8; 500]),
+        ];
+        let r = coalesce(frames);
+        assert_eq!(r.merged, 0, "regressing ACK never merges");
+        assert_eq!(r.frames.len(), 2);
+
+        // ACK advance across the u32 wrap still counts as advancing.
+        let frames = vec![
+            data_frame_ack(100, u32::MAX - 10, &[1u8; 100]),
+            data_frame_ack(200, 5, &[2u8; 100]),
+        ];
+        let r = coalesce(frames);
+        assert_eq!(r.merged, 1, "wrapping ACK advance merges");
+        match ParsedFrame::parse(&r.frames[0]).unwrap().l4 {
+            ParsedL4::Tcp { header, .. } => assert_eq!(header.ack, 5),
+            _ => panic!("not tcp"),
         }
     }
 
@@ -275,7 +353,7 @@ mod tests {
             ack: 1,
             flags: TcpFlags::ACK,
             window: 500,
-            mss: None,
+            mss: None, wscale: None,
         };
         other_hdr.flags = TcpFlags::ACK;
         let b1 = FrameBuilder::tcp(

@@ -58,6 +58,12 @@ pub struct TcpConfig {
     pub delayed_ack: SimTime,
     /// DCTCP EWMA gain g.
     pub dctcp_g: f64,
+    /// Receive-window scale shift advertised in our SYN (RFC 7323). Without
+    /// it the 16-bit window field caps inflight data at 64 KiB, window-
+    /// limiting any high-bandwidth-delay-product path. Scaling is only used
+    /// when both ends advertise it (both simulated ends share this default,
+    /// so it is negotiated symmetrically); zero disables the option.
+    pub window_scale: u8,
     /// TCP segmentation offload: when larger than `mss`, the connection emits
     /// super-segments up to this payload size and relies on the NIC to cut
     /// them into MSS-sized wire segments. Zero (or <= mss) disables TSO. The
@@ -77,6 +83,7 @@ impl Default for TcpConfig {
             rto_initial: SimTime::from_ms(20),
             delayed_ack: SimTime::from_us(500),
             dctcp_g: 1.0 / 16.0,
+            window_scale: 7,
             tso_size: 0,
         }
     }
@@ -140,6 +147,12 @@ pub struct TcpConn {
     ooo: BTreeMap<u32, Vec<u8>>,
     ooo_bytes: usize,
     peer_fin: Option<u32>,
+
+    // Window scaling (RFC 7323): shift applied to window fields *received
+    // from* the peer (the peer's advertised scale) and to window fields we
+    // advertise (our scale). Both stay 0 unless negotiated at SYN time.
+    snd_wscale: u8,
+    rcv_wscale: u8,
 
     // Congestion control.
     cwnd: u64,
@@ -211,6 +224,8 @@ impl TcpConn {
             ooo: BTreeMap::new(),
             ooo_bytes: 0,
             peer_fin: None,
+            snd_wscale: 0,
+            rcv_wscale: 0,
             cwnd,
             ssthresh: u64::MAX / 4,
             dup_acks: 0,
@@ -267,8 +282,19 @@ impl TcpConn {
         }
         let mut c = Self::base(local, remote, cfg, TcpState::SynReceived);
         c.rcv_nxt = syn.seq.wrapping_add(1);
+        // SYN windows are never scaled (RFC 7323 §2.2).
         c.snd_wnd = syn.window as u32;
+        if let Some(ws) = syn.wscale {
+            if cfg.window_scale > 0 {
+                c.snd_wscale = ws.min(14);
+                c.rcv_wscale = cfg.window_scale.min(14);
+            }
+        }
         let mut synack = c.make_segment(TcpFlags::SYN | TcpFlags::ACK, c.snd_nxt, Vec::new(), true);
+        if syn.wscale.is_none() {
+            // Only offer scaling back when the active opener offered it.
+            synack.hdr.wscale = None;
+        }
         synack.hdr.ack = c.rcv_nxt;
         c.snd_nxt = c.snd_nxt.wrapping_add(1);
         c.arm_rto(now);
@@ -371,7 +397,13 @@ impl TcpConn {
             self.ce_marks_seen += 1;
             self.ce_to_echo = true;
         }
-        self.snd_wnd = hdr.window as u32;
+        // Window fields of non-SYN segments carry the peer's scale shift once
+        // negotiated; SYN/SYN-ACK windows are always unscaled (RFC 7323).
+        self.snd_wnd = if hdr.flags.contains(TcpFlags::SYN) {
+            hdr.window as u32
+        } else {
+            (hdr.window as u32) << self.snd_wscale
+        };
 
         match self.state {
             TcpState::SynSent => {
@@ -379,6 +411,12 @@ impl TcpConn {
                     if let Some(mss) = hdr.mss {
                         self.cfg.mss = self.cfg.mss.min(mss as usize);
                         self.cwnd = self.cwnd.max((10 * self.cfg.mss) as u64);
+                    }
+                    if let Some(ws) = hdr.wscale {
+                        if self.cfg.window_scale > 0 {
+                            self.snd_wscale = ws.min(14);
+                            self.rcv_wscale = self.cfg.window_scale.min(14);
+                        }
                     }
                     self.rcv_nxt = hdr.seq.wrapping_add(1);
                     self.snd_una = hdr.ack;
@@ -480,18 +518,40 @@ impl TcpConn {
                         let take = room.min(fresh.len());
                         self.rx_buf.extend(&fresh[..take]);
                         self.rcv_nxt = self.rcv_nxt.wrapping_add(take as u32);
+                        if take < fresh.len() {
+                            // rx_buf filled mid-drain: the stack already holds
+                            // the remaining bytes, so keep them (re-keyed at
+                            // the new rcv_nxt) instead of discarding them and
+                            // forcing the peer to retransmit data we had.
+                            let tail = fresh[take..].to_vec();
+                            self.ooo_insert(self.rcv_nxt, tail);
+                            break;
+                        }
                     }
                 }
             }
             self.ack_pending += 1;
         } else {
             // Out of order: buffer (bounded) and request a duplicate ACK.
-            if self.ooo_bytes + payload.len() <= self.cfg.rx_buf && !self.ooo.contains_key(&seq) {
-                self.ooo.insert(seq, payload.to_vec());
-                self.ooo_bytes += payload.len();
-            }
+            self.ooo_insert(seq, payload.to_vec());
             self.ack_pending += 2; // force an immediate dup-ACK
         }
+    }
+
+    /// Insert an out-of-order run at `seq`, keeping the **longer** payload
+    /// when a run at the same sequence number is already buffered (a shorter
+    /// duplicate never carries new bytes; a longer one always does) and
+    /// enforcing the `rx_buf`-sized bound on total buffered OOO bytes.
+    fn ooo_insert(&mut self, seq: u32, data: Vec<u8>) {
+        let old_len = self.ooo.get(&seq).map_or(0, Vec::len);
+        if data.len() <= old_len {
+            return; // existing run already covers these bytes
+        }
+        if self.ooo_bytes - old_len + data.len() > self.cfg.rx_buf {
+            return; // bounded buffer: drop, the peer will retransmit
+        }
+        self.ooo_bytes = self.ooo_bytes - old_len + data.len();
+        self.ooo.insert(seq, data);
     }
 
     fn process_ack(
@@ -765,11 +825,14 @@ impl TcpConn {
         with_mss: bool,
     ) -> SegmentOut {
         self.segs_sent += 1;
-        let window = self
-            .cfg
-            .rx_buf
-            .saturating_sub(self.rx_buf.len())
-            .min(65535) as u16;
+        let free = self.cfg.rx_buf.saturating_sub(self.rx_buf.len());
+        // SYN segments advertise an unscaled window; everything after the
+        // handshake advertises `free >> rcv_wscale` (RFC 7323).
+        let window = if with_mss {
+            free.min(65535) as u16
+        } else {
+            (free >> self.rcv_wscale).min(65535) as u16
+        };
         let ecn = if self.cfg.congestion == CongestionControl::Dctcp && !payload.is_empty() {
             Ecn::Ect0
         } else {
@@ -785,6 +848,11 @@ impl TcpConn {
                 window,
                 mss: if with_mss {
                     Some(self.cfg.mss as u16)
+                } else {
+                    None
+                },
+                wscale: if with_mss && self.cfg.window_scale > 0 {
+                    Some(self.cfg.window_scale.min(14))
                 } else {
                     None
                 },
@@ -1069,6 +1137,169 @@ mod tests {
         assert_eq!(got, (0..=255u8).cycle().take(300).collect::<Vec<_>>());
     }
 
+    /// Hand-deliver a data segment to `s` (seq/ack in absolute sequence
+    /// space), returning any segments it wants to transmit.
+    fn deliver(s: &mut TcpConn, seq: u32, payload: &[u8]) -> Vec<SegmentOut> {
+        let hdr = TcpHeader {
+            src_port: s.remote.port,
+            dst_port: s.local.port,
+            seq,
+            ack: s.snd_nxt,
+            flags: TcpFlags::ACK,
+            window: 65535,
+            mss: None, wscale: None,
+        };
+        let mut out = Vec::new();
+        s.on_segment(SimTime::from_us(50), Ecn::NotEct, &hdr, payload, &mut out, &mut Vec::new());
+        out
+    }
+
+    /// Regression test (reassembly tail loss): when `rx_buf` fills while
+    /// draining a now-contiguous out-of-order run, the un-ingested tail used
+    /// to be discarded — data the stack already held — forcing the peer to
+    /// retransmit all of it. The tail must be re-buffered at the new
+    /// `rcv_nxt` instead.
+    #[test]
+    fn ooo_drain_tail_is_rebuffered_when_rx_buf_fills() {
+        let cfg = TcpConfig {
+            rx_buf: 800,
+            mss: 500,
+            ..Default::default()
+        };
+        let (_c, mut s) = handshake(cfg);
+        let base = s.rcv_nxt;
+        let first: Vec<u8> = (0..500u32).map(|i| (i % 13) as u8).collect();
+        let second: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+
+        // Bytes [500, 1000) arrive out of order and are buffered.
+        deliver(&mut s, base.wrapping_add(500), &second);
+        assert_eq!(s.ooo_bytes, 500);
+
+        // Bytes [0, 500) arrive: rx_buf takes them plus 300 drained bytes,
+        // filling up mid-drain. The 200-byte tail must survive in `ooo`.
+        deliver(&mut s, base, &first);
+        assert_eq!(s.rx_buf.len(), 800, "rx_buf filled exactly");
+        assert_eq!(s.rcv_nxt.wrapping_sub(base), 800);
+        assert_eq!(s.ooo_bytes, 200, "un-ingested drain tail kept, not dropped");
+        assert_eq!(
+            s.ooo.get(&base.wrapping_add(800)).map(|d| d.as_slice()),
+            Some(&second[300..]),
+            "tail re-keyed at the new rcv_nxt with the right bytes"
+        );
+
+        // The app reads; the peer fast-retransmits only the first unacked
+        // segment [800, 1000). Together with the kept tail this completes
+        // the stream without retransmitting everything.
+        let mut got = s.recv(usize::MAX);
+        deliver(&mut s, base.wrapping_add(800), &second[300..]);
+        got.extend(s.recv(usize::MAX));
+        assert_eq!(s.rcv_nxt.wrapping_sub(base), 1000, "stream fully acked");
+        assert_eq!(got.len(), 1000);
+        assert_eq!(&got[..500], &first[..]);
+        assert_eq!(&got[500..], &second[..]);
+        assert_eq!(s.ooo_bytes, 0);
+    }
+
+    /// Regression test (duplicate-seq OOO): a retransmitted out-of-order
+    /// segment that *extends* an already-buffered run at the same sequence
+    /// number used to be dropped entirely; the longer payload must win.
+    #[test]
+    fn duplicate_seq_ooo_segment_with_longer_payload_is_kept() {
+        let (_c, mut s) = handshake(TcpConfig::default());
+        let base = s.rcv_nxt;
+        let data: Vec<u8> = (0..400u32).map(|i| (i % 83) as u8).collect();
+
+        deliver(&mut s, base.wrapping_add(500), &data[..100]);
+        assert_eq!(s.ooo_bytes, 100);
+        // Same seq, longer payload (e.g. a TSO-rebatched retransmit): the
+        // longer run replaces the shorter one.
+        deliver(&mut s, base.wrapping_add(500), &data);
+        assert_eq!(s.ooo_bytes, 400, "longer duplicate replaces shorter run");
+        // A shorter duplicate never shrinks the buffered run.
+        deliver(&mut s, base.wrapping_add(500), &data[..50]);
+        assert_eq!(s.ooo_bytes, 400);
+
+        // Filling the hole drains the full 400-byte run.
+        let first = vec![7u8; 500];
+        deliver(&mut s, base, &first);
+        assert_eq!(s.rcv_nxt.wrapping_sub(base), 900);
+        let got = s.recv(usize::MAX);
+        assert_eq!(&got[..500], &first[..]);
+        assert_eq!(&got[500..], &data[..]);
+    }
+
+    /// Regression test (64 KiB window cap): without window scaling the
+    /// 16-bit window field capped inflight data at 64 KiB regardless of the
+    /// receiver's actual buffer, window-limiting high-BDP transfers. With
+    /// the RFC 7323 scale option (negotiated at SYN, same default shift on
+    /// both ends) the sender must be able to keep > 64 KiB in flight.
+    #[test]
+    fn window_scaling_lifts_the_64k_inflight_cap() {
+        let cfg = TcpConfig {
+            rx_buf: 1 << 20,
+            tx_buf: 1 << 20,
+            mss: 1000,
+            ..Default::default()
+        };
+        let (mut c, mut s) = handshake(cfg);
+        assert_eq!(c.snd_wscale, cfg.window_scale, "scale negotiated at SYN");
+        assert_eq!(s.snd_wscale, cfg.window_scale);
+        let total = 600_000usize;
+        assert_eq!(c.send(&vec![5u8; total]), total);
+        let now = SimTime::from_us(10);
+        let mut max_inflight = 0u32;
+        let mut received = 0usize;
+        // Lossless exchange loop: segments the client emits while processing
+        // ACKs are queued for the next delivery round, so nothing is lost.
+        let mut to_s: Vec<SegmentOut> = Vec::new();
+        for _ in 0..400 {
+            let mut out = Vec::new();
+            c.poll_output(now, &mut out);
+            to_s.extend(out);
+            max_inflight = max_inflight.max(c.snd_nxt.wrapping_sub(c.snd_una));
+            let mut to_c = Vec::new();
+            for seg in to_s.drain(..) {
+                s.on_segment(now, seg.ecn, &seg.hdr, &seg.payload, &mut to_c, &mut Vec::new());
+            }
+            received += s.recv(usize::MAX).len();
+            to_c.push(s.window_update());
+            for a in to_c {
+                c.on_segment(now, Ecn::NotEct, &a.hdr, &[], &mut to_s, &mut Vec::new());
+            }
+            max_inflight = max_inflight.max(c.snd_nxt.wrapping_sub(c.snd_una));
+            if received == total {
+                break;
+            }
+        }
+        assert_eq!(received, total, "whole stream delivered");
+        assert!(
+            c.snd_wnd > 65535,
+            "scaled peer window exceeds the 16-bit cap ({})",
+            c.snd_wnd
+        );
+        assert!(
+            max_inflight > 65535,
+            "window scaling lifts the 64 KiB inflight cap (max {max_inflight})"
+        );
+    }
+
+    /// Disabling the scale option (either end) falls back to unscaled
+    /// windows, capped at 64 KiB.
+    #[test]
+    fn window_scaling_disabled_falls_back_to_unscaled() {
+        let cfg = TcpConfig {
+            rx_buf: 1 << 20,
+            window_scale: 0,
+            ..Default::default()
+        };
+        let (mut c, mut s) = handshake(cfg);
+        assert_eq!((c.snd_wscale, c.rcv_wscale), (0, 0));
+        assert_eq!((s.snd_wscale, s.rcv_wscale), (0, 0));
+        c.send(&vec![1u8; 200_000]);
+        pump(SimTime::from_us(10), &mut c, &mut s);
+        assert!(c.snd_wnd <= 65535, "unscaled window stays 16-bit");
+    }
+
     #[test]
     fn fast_retransmit_on_three_dup_acks() {
         let (mut c, mut s) = handshake(TcpConfig {
@@ -1198,12 +1429,62 @@ mod tests {
             ack: 0,
             flags: TcpFlags::RST,
             window: 0,
-            mss: None,
+            mss: None, wscale: None,
         };
         let mut ev = Vec::new();
         c.on_segment(SimTime::from_us(1), Ecn::NotEct, &rst, &[], &mut Vec::new(), &mut ev);
         assert!(c.is_closed());
         assert!(ev.contains(&ConnEvent::Closed));
+    }
+
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The wrapping comparisons agree with arithmetic on unbounded
+            /// integers whenever the two sequence numbers are within half the
+            /// space of each other (the TCP validity window), including
+            /// across the u32 wrap.
+            #[test]
+            fn seq_compare_matches_unbounded_arithmetic(base in any::<u32>(), delta in 0u32..0x7fff_ffff) {
+                let b = base.wrapping_add(delta);
+                prop_assert!(seq_le(base, b));
+                prop_assert!(seq_ge(b, base));
+                prop_assert_eq!(seq_gt(b, base), delta != 0);
+                prop_assert_eq!(seq_le(b, base), delta == 0);
+            }
+
+            /// Reassembly is agnostic to where the stream sits in sequence
+            /// space: segments delivered in arbitrary order with an initial
+            /// receive sequence near u32::MAX reproduce the byte stream
+            /// exactly, with no loss or duplication across the wrap.
+            #[test]
+            fn ingest_reassembles_across_the_u32_wrap(
+                irs_back in 0u32..8000,
+                order in proptest::collection::vec(0usize..8, 8),
+            ) {
+                let (_c, mut s) = handshake(TcpConfig { mss: 1000, ..Default::default() });
+                // Rebase the receive side so the stream spans the wrap.
+                let irs = u32::MAX.wrapping_sub(irs_back);
+                s.rcv_nxt = irs;
+                let stream: Vec<u8> = (0..8000u32).map(|i| (i % 199) as u8).collect();
+                // Deliver the 8 1000-byte segments in the sampled order
+                // (duplicates in `order` exercise redundant delivery too),
+                // then in order to fill any holes.
+                for &idx in &order {
+                    deliver(&mut s, irs.wrapping_add((idx * 1000) as u32), &stream[idx * 1000..(idx + 1) * 1000]);
+                }
+                for idx in 0..8 {
+                    deliver(&mut s, irs.wrapping_add((idx * 1000) as u32), &stream[idx * 1000..(idx + 1) * 1000]);
+                }
+                prop_assert_eq!(s.rcv_nxt, irs.wrapping_add(8000));
+                let got = s.recv(usize::MAX);
+                prop_assert_eq!(got, stream);
+                prop_assert_eq!(s.ooo_bytes, 0);
+            }
+        }
     }
 
     #[test]

@@ -816,7 +816,7 @@ mod tests {
             ack: 42,
             flags: TcpFlags::ACK | TcpFlags::PSH,
             window: 4096,
-            mss: None,
+            mss: None, wscale: None,
         };
         let super_frame = FrameBuilder::tcp(
             MacAddr::from_index(1),
@@ -883,7 +883,7 @@ mod tests {
                     ack: 99,
                     flags: TcpFlags::ACK | TcpFlags::PSH,
                     window: 2000,
-                    mss: None,
+                    mss: None, wscale: None,
                 };
                 let frame = FrameBuilder::tcp(
                     MacAddr::from_index(1),

@@ -233,7 +233,7 @@ mod tests {
             ack: 0,
             flags: TcpFlags::ACK,
             window: 100,
-            mss: None,
+            mss: None, wscale: None,
         };
         let payload = vec![7u8; 1400];
         let frame = FrameBuilder::tcp(

@@ -49,7 +49,7 @@ mod proptests {
                 ack,
                 flags: TcpFlags::ACK | TcpFlags::PSH,
                 window,
-                mss: None,
+                mss: None, wscale: None,
             };
             let frame = FrameBuilder::tcp(src_mac, dst_mac, src_ip, dst_ip, Ecn::Ect0, &tcp, &payload);
             let parsed = ParsedFrame::parse(&frame).unwrap();
@@ -94,7 +94,7 @@ mod proptests {
         fn corrupting_a_byte_breaks_a_checksum(pos in 0usize..60) {
             let tcp = TcpHeader {
                 src_port: 10, dst_port: 20, seq: 1, ack: 2,
-                flags: TcpFlags::ACK, window: 1000, mss: None,
+                flags: TcpFlags::ACK, window: 1000, mss: None, wscale: None,
             };
             let mut frame = FrameBuilder::tcp(
                 MacAddr::from_index(1), MacAddr::from_index(2),

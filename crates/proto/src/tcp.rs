@@ -46,7 +46,8 @@ impl BitOrAssign for TcpFlags {
     }
 }
 
-/// A TCP header. The only option the simulated stack uses is MSS (on SYN).
+/// A TCP header. The options the simulated stack uses are MSS and window
+/// scale (both SYN-only, RFC 793 / RFC 7323).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TcpHeader {
     pub src_port: u16,
@@ -57,16 +58,19 @@ pub struct TcpHeader {
     pub window: u16,
     /// Maximum segment size option (SYN segments only).
     pub mss: Option<u16>,
+    /// Window scale shift option (SYN segments only). The advertised shift
+    /// applies to window fields of the sender's *subsequent* non-SYN
+    /// segments; RFC 7323 caps it at 14.
+    pub wscale: Option<u8>,
 }
 
 impl TcpHeader {
-    /// Header length including options, in bytes.
+    /// Header length including options, in bytes. Each option is padded to a
+    /// four-byte boundary (window scale is 3 bytes + 1 NOP).
     pub fn header_len(&self) -> usize {
-        if self.mss.is_some() {
-            TCP_HEADER_LEN + 4
-        } else {
-            TCP_HEADER_LEN
-        }
+        TCP_HEADER_LEN
+            + if self.mss.is_some() { 4 } else { 0 }
+            + if self.wscale.is_some() { 4 } else { 0 }
     }
 
     /// Serialize the header plus payload as the L4 part of an IPv4 packet,
@@ -88,6 +92,12 @@ impl TcpHeader {
             out.push(2); // kind: MSS
             out.push(4); // length
             out.extend_from_slice(&mss.to_be_bytes());
+        }
+        if let Some(ws) = self.wscale {
+            out.push(3); // kind: window scale
+            out.push(3); // length
+            out.push(ws);
+            out.push(1); // NOP padding to a 4-byte boundary
         }
         out.extend_from_slice(payload);
         let mut c = Checksum::new();
@@ -114,6 +124,7 @@ impl TcpHeader {
             return None;
         }
         let mut mss = None;
+        let mut wscale = None;
         let mut opt = &data[TCP_HEADER_LEN..data_off];
         while !opt.is_empty() {
             match opt[0] {
@@ -122,6 +133,11 @@ impl TcpHeader {
                 2 if opt.len() >= 4 => {
                     mss = Some(u16::from_be_bytes([opt[2], opt[3]]));
                     opt = &opt[4..];
+                }
+                3 if opt.len() >= 3 => {
+                    // RFC 7323 caps the shift at 14.
+                    wscale = Some(opt[2].min(14));
+                    opt = &opt[3..];
                 }
                 _ => {
                     if opt.len() < 2 || opt[1] as usize > opt.len() || opt[1] < 2 {
@@ -140,6 +156,7 @@ impl TcpHeader {
             flags: TcpFlags(data[13]),
             window: u16::from_be_bytes([data[14], data[15]]),
             mss,
+            wscale,
         };
         let mut c = Checksum::new();
         c.add_pseudo_header(src, dst, 6, data.len() as u16);
@@ -177,7 +194,7 @@ mod tests {
             ack: 0x12345678,
             flags: TcpFlags::ACK | TcpFlags::PSH,
             window: 8192,
-            mss: None,
+            mss: None, wscale: None,
         };
         let seg = h.build_segment(SRC, DST, b"data bytes");
         let (parsed, payload, ok) = TcpHeader::parse(&seg, SRC, DST).unwrap();
@@ -195,7 +212,7 @@ mod tests {
             ack: 0,
             flags: TcpFlags::SYN,
             window: 65535,
-            mss: Some(1460),
+            mss: Some(1460), wscale: None,
         };
         assert_eq!(h.header_len(), 24);
         let seg = h.build_segment(SRC, DST, &[]);
@@ -203,6 +220,35 @@ mod tests {
         assert!(ok);
         assert_eq!(parsed.mss, Some(1460));
         assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn syn_with_mss_and_window_scale_options() {
+        let h = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: 100,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            mss: Some(1460),
+            wscale: Some(7),
+        };
+        assert_eq!(h.header_len(), 28);
+        let seg = h.build_segment(SRC, DST, &[]);
+        let (parsed, payload, ok) = TcpHeader::parse(&seg, SRC, DST).unwrap();
+        assert!(ok, "options keep the checksum valid");
+        assert_eq!(parsed, h);
+        assert!(payload.is_empty());
+
+        // Window scale alone (no MSS) also round-trips, and an out-of-range
+        // shift is clamped to the RFC 7323 maximum of 14 on parse.
+        let h2 = TcpHeader { mss: None, wscale: Some(44), ..h };
+        let seg2 = h2.build_segment(SRC, DST, b"x");
+        let (parsed2, payload2, ok2) = TcpHeader::parse(&seg2, SRC, DST).unwrap();
+        assert!(ok2);
+        assert_eq!(parsed2.wscale, Some(14));
+        assert_eq!(payload2, b"x");
     }
 
     #[test]
@@ -214,7 +260,7 @@ mod tests {
             ack: 1,
             flags: TcpFlags::ACK,
             window: 100,
-            mss: None,
+            mss: None, wscale: None,
         };
         let mut seg = h.build_segment(SRC, DST, b"abcdef");
         seg[TCP_HEADER_LEN] ^= 0x01;
@@ -231,7 +277,7 @@ mod tests {
             ack: 1,
             flags: TcpFlags::ACK,
             window: 100,
-            mss: None,
+            mss: None, wscale: None,
         };
         let seg = h.build_segment(SRC, DST, b"abcdef");
         let (_, _, ok) = TcpHeader::parse(&seg, SRC, Ipv4Addr::new(10, 0, 0, 3)).unwrap();
@@ -248,7 +294,7 @@ mod tests {
             ack: 0,
             flags: TcpFlags::SYN,
             window: 0,
-            mss: None,
+            mss: None, wscale: None,
         }
         .build_segment(SRC, DST, &[]);
         seg[12] = 0xf0; // data offset 60 > segment length

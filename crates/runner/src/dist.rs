@@ -36,12 +36,30 @@
 //! | frame    | direction      | payload                                      |
 //! |----------|----------------|----------------------------------------------|
 //! | `HELLO`  | worker → orch  | partition name                               |
-//! | `LINKS`  | worker → orch  | listener address per owned cross link        |
+//! | `LINKS`  | worker → orch  | rendezvous address per owned cross link      |
 //! | `ADDRS`  | orch → worker  | full link-name → address map                 |
 //! | `READY`  | worker → orch  | (empty) partition built, proxies wired       |
 //! | `GO`     | orch → worker  | (empty) barrier release, start simulating    |
 //! | `RESULT` | worker → orch  | wall seconds + per-component stats and logs  |
 //! | `DONE`   | orch → worker  | (empty) all results in, tear down            |
+//!
+//! ## Channel transports
+//!
+//! Each cross-partition link is carried by a pluggable transport
+//! ([`crate::transport`]): the §5.4 sockets proxy over loopback/real TCP, or
+//! — the paper's same-host fast path — a file-backed shared-memory ring pair
+//! ([`crate::shm`]). Selection (`--transport` in harnesses,
+//! [`DistOptions::transport`], environment `SIMBRICKS_TRANSPORT`) is
+//! negotiated per link over the existing control protocol: the owning side
+//! advertises a scheme-prefixed rendezvous address in `LINKS`
+//! (`tcp:127.0.0.1:PORT` or `shm:/path/to/region`), and the connecting side
+//! follows that scheme. `auto` resolves to shared memory whenever the
+//! platform supports it. Region files live in a per-run directory that the
+//! orchestrator creates before spawning workers and removes when workers are
+//! reaped (normally or on abort); the creating worker additionally unlinks
+//! its regions on clean teardown. The §5.5 synchronization protocol makes
+//! the merged event log bit-identical under either transport — the property
+//! the CI loopback smoke test pins for both.
 //!
 //! Limitations (documented, not silent): distributed runs require
 //! synchronized experiments (the emulation-mode stop flag and the global
@@ -51,6 +69,7 @@
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -60,9 +79,10 @@ use simbricks_hostsim::{Application, HostConfig};
 
 use crate::experiment::{AnyModel, Execution, Experiment, RunResult};
 use crate::proxy::{
-    read_handshake, spawn_tcp_forwarder, write_handshake, ProxyCounters, ProxyHandle, ProxyKind,
-    ShutdownSignal,
+    read_handshake, write_handshake, ProxyCounters, ProxyHandle, ProxyKind, ShutdownSignal,
 };
+use crate::shm;
+use crate::transport::{spawn_transport_forwarder, TcpTransport, TransportKind};
 
 /// Environment variable carrying the orchestrator's control-socket address;
 /// its presence is what makes [`maybe_worker`] take over the process.
@@ -74,6 +94,14 @@ pub const ENV_SCENARIO: &str = "SIMBRICKS_DIST_SCENARIO";
 /// Environment variable selecting the in-worker executor
 /// ([`Execution::parse`] syntax).
 pub const ENV_EXEC: &str = "SIMBRICKS_DIST_EXEC";
+/// Environment variable carrying the orchestrator-resolved cross-partition
+/// transport (`tcp` or `shm`) for the links a worker *owns*. The connecting
+/// side of each link follows the owner's advertised address scheme instead,
+/// so transport is negotiated per link over the existing control protocol.
+pub const ENV_DIST_TRANSPORT: &str = "SIMBRICKS_DIST_TRANSPORT";
+/// Environment variable naming the per-run directory for shared-memory
+/// region files (created and removed by the orchestrator).
+pub const ENV_SHM_DIR: &str = "SIMBRICKS_DIST_SHM_DIR";
 
 const MSG_HELLO: u8 = 1;
 const MSG_LINKS: u8 = 2;
@@ -137,6 +165,10 @@ pub struct PartitionBuilder {
     listeners: HashMap<String, TcpListener>,
     addr_map: HashMap<String, String>,
     proxies: Vec<ProxyHandle>,
+    /// Transport for links this worker owns (resolved, never `Auto`).
+    transport: TransportKind,
+    /// Per-run directory for shm region files (worker mode with shm links).
+    shm_dir: Option<PathBuf>,
 }
 
 /// A channel endpoint whose peer is already gone (used as a placeholder for
@@ -157,6 +189,8 @@ impl PartitionBuilder {
             listeners: HashMap::new(),
             addr_map: HashMap::new(),
             proxies: Vec::new(),
+            transport: TransportKind::Tcp,
+            shm_dir: None,
         }
     }
 
@@ -258,15 +292,85 @@ impl PartitionBuilder {
         }
     }
 
-    /// Worker-side half of a cross-partition proxy: a local channel stub
-    /// whose other end is forwarded over TCP by a dedicated thread. The
-    /// listening (`a`) side accepts lazily on its pre-bound listener so the
-    /// build never blocks on connection ordering.
+    /// Worker-side half of a cross-partition link: a local channel stub
+    /// whose other end is forwarded by a dedicated transport thread. The
+    /// owning (`a`) side uses the worker's resolved transport — a pre-bound
+    /// TCP listener accepted lazily, or an shm region created here and
+    /// attached lazily by the peer — and the connecting (`b`) side follows
+    /// the scheme of the owner's advertised address (`tcp:`/`shm:`), so the
+    /// transport is negotiated per link and the build never blocks on
+    /// connection ordering.
     fn cross_end(&mut self, link: &str, params: ChannelParams, listen: bool) -> ChannelEnd {
         let (component_end, proxy_local) = channel_pair(params);
         let counters = Arc::new(ProxyCounters::default());
         let shutdown = Arc::new(ShutdownSignal::default());
-        let thread = if listen {
+        if listen && self.transport == TransportKind::Shm {
+            // Owner side, shared memory: create + publish the region now
+            // (header carries the SBPX handshake metadata); the forwarding
+            // thread waits for the peer to attach before forwarding.
+            let dir = self.shm_dir.clone().unwrap_or_else(std::env::temp_dir);
+            let path = shm::region_path(&dir, link);
+            let endpoint = shm::create_region(&path, link, params)
+                .unwrap_or_else(|e| panic!("create shm region for link {link:?}: {e}"));
+            let transport =
+                shm::ShmTransport::await_peer(endpoint, Instant::now() + CONNECT_TIMEOUT);
+            let thread = spawn_transport_forwarder(
+                format!("dist-{link}"),
+                Box::new(transport),
+                proxy_local,
+                counters.clone(),
+                shutdown.clone(),
+            );
+            self.proxies
+                .push(ProxyHandle::from_parts(ProxyKind::Shm, counters, shutdown, vec![thread]));
+            return component_end;
+        }
+        if !listen {
+            let addr = self
+                .addr_map
+                .get(link)
+                .unwrap_or_else(|| panic!("no peer address for link {link:?}"))
+                .clone();
+            if let Some(path) = addr.strip_prefix("shm:") {
+                // Owner advertised a shared-memory region: attach lazily (the
+                // owner may not have built it yet) on the forwarding thread.
+                let transport = shm::ShmTransport::attach(
+                    PathBuf::from(path),
+                    link,
+                    params,
+                    Instant::now() + CONNECT_TIMEOUT,
+                );
+                let thread = spawn_transport_forwarder(
+                    format!("dist-{link}"),
+                    Box::new(transport),
+                    proxy_local,
+                    counters.clone(),
+                    shutdown.clone(),
+                );
+                self.proxies
+                    .push(ProxyHandle::from_parts(ProxyKind::Shm, counters, shutdown, vec![thread]));
+                return component_end;
+            }
+            // TCP (scheme-prefixed or legacy bare address).
+            let addr = addr.strip_prefix("tcp:").unwrap_or(&addr).to_string();
+            let mut stream = TcpStream::connect(&addr)
+                .unwrap_or_else(|e| panic!("connect cross link {link:?} at {addr}: {e}"));
+            write_handshake(&mut stream, link, &params)
+                .unwrap_or_else(|e| panic!("handshake on link {link:?}: {e}"));
+            stream.set_nodelay(true).ok();
+            shutdown.register_stream(&stream);
+            let thread = spawn_transport_forwarder(
+                format!("dist-{link}"),
+                Box::new(TcpTransport::new(stream)),
+                proxy_local,
+                counters.clone(),
+                shutdown.clone(),
+            );
+            self.proxies
+                .push(ProxyHandle::from_parts(ProxyKind::Tcp, counters, shutdown, vec![thread]));
+            return component_end;
+        }
+        let thread = {
             let listener = self
                 .listeners
                 .remove(link)
@@ -317,25 +421,6 @@ impl PartitionBuilder {
                     shutdown.signal();
                 })
                 .expect("spawn dist proxy thread")
-        } else {
-            let addr = self
-                .addr_map
-                .get(link)
-                .unwrap_or_else(|| panic!("no peer address for link {link:?}"))
-                .clone();
-            let mut stream = TcpStream::connect(&addr)
-                .unwrap_or_else(|e| panic!("connect cross link {link:?} at {addr}: {e}"));
-            write_handshake(&mut stream, link, &params)
-                .unwrap_or_else(|e| panic!("handshake on link {link:?}: {e}"));
-            stream.set_nodelay(true).ok();
-            shutdown.register_stream(&stream);
-            spawn_tcp_forwarder(
-                format!("dist-{link}"),
-                proxy_local,
-                stream,
-                counters.clone(),
-                shutdown.clone(),
-            )
         };
         self.proxies
             .push(ProxyHandle::from_parts(ProxyKind::Tcp, counters, shutdown, vec![thread]));
@@ -413,6 +498,12 @@ pub struct DistOptions {
     pub scenario: String,
     /// Executor each worker uses for its partition.
     pub exec: Execution,
+    /// Cross-partition channel transport ([`TransportKind::Auto`] picks
+    /// shared memory on platforms that support it, TCP otherwise). The
+    /// orchestrator resolves this once and hands the result to every worker;
+    /// the connecting side of each link then follows the owner's advertised
+    /// address scheme, so mixed-transport topologies remain possible.
+    pub transport: TransportKind,
     /// Extra command-line arguments for the self-`exec`ed worker processes.
     /// Harness binaries use the default hidden `--dist-worker` flag; test
     /// binaries route to their worker-entry test instead.
@@ -421,12 +512,15 @@ pub struct DistOptions {
 
 impl DistOptions {
     /// Options for `partitions` workers running `scenario` with the
-    /// sequential in-worker executor and the default `--dist-worker` argv.
+    /// sequential in-worker executor, the transport selected by
+    /// `SIMBRICKS_TRANSPORT` (default `auto`), and the default
+    /// `--dist-worker` argv.
     pub fn new(partitions: Vec<String>, scenario: impl Into<String>) -> Self {
         DistOptions {
             partitions,
             scenario: scenario.into(),
             exec: Execution::Sequential,
+            transport: TransportKind::from_env_or(TransportKind::Auto),
             worker_args: vec!["--dist-worker".into()],
         }
     }
@@ -434,6 +528,12 @@ impl DistOptions {
     /// Select the executor used inside each worker.
     pub fn with_exec(mut self, exec: Execution) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Select the cross-partition channel transport.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -683,9 +783,22 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
         .as_deref()
         .and_then(Execution::parse)
         .unwrap_or(Execution::Sequential);
+    // The orchestrator hands every worker the resolved transport for the
+    // links it owns; a worker spawned by an older orchestrator (no env)
+    // falls back to TCP, the wire-compatible default.
+    let transport = std::env::var(ENV_DIST_TRANSPORT)
+        .ok()
+        .as_deref()
+        .and_then(TransportKind::parse)
+        .unwrap_or(TransportKind::Tcp)
+        .resolve_local();
+    let shm_dir = std::env::var_os(ENV_SHM_DIR)
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
 
-    // Discovery pass: learn the cross-link set so listeners for owned links
-    // can be bound before any partner tries to connect.
+    // Discovery pass: learn the cross-link set so the rendezvous point for
+    // every owned link — a bound TCP listener or an shm region path — can be
+    // advertised before any partner tries to connect.
     let mut pb = PartitionBuilder::new(BuildMode::Discover, Some(partition.clone()));
     build(&scenario, &mut pb);
     let links = pb.links;
@@ -694,9 +807,17 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     let mut my_links = Vec::new();
     for l in &links {
         if l.a == partition && l.b != partition {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            my_links.push((l.name.clone(), listener.local_addr()?.to_string()));
-            listeners.insert(l.name.clone(), listener);
+            match transport {
+                TransportKind::Shm => {
+                    let path = shm::region_path(&shm_dir, &l.name);
+                    my_links.push((l.name.clone(), format!("shm:{}", path.display())));
+                }
+                _ => {
+                    let listener = TcpListener::bind("127.0.0.1:0")?;
+                    my_links.push((l.name.clone(), format!("tcp:{}", listener.local_addr()?)));
+                    listeners.insert(l.name.clone(), listener);
+                }
+            }
         }
     }
 
@@ -726,6 +847,8 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     let mut pb = PartitionBuilder::new(BuildMode::Worker, Some(partition.clone()));
     pb.listeners = listeners;
     pb.addr_map = addr_map;
+    pb.transport = transport;
+    pb.shm_dir = Some(shm_dir);
     build(&scenario, &mut pb);
     let mut exp = pb.exp.take().expect("build function must call init()");
     if !exp.is_synchronized() {
@@ -762,21 +885,59 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
 // Orchestrator
 // ---------------------------------------------------------------------------
 
-/// Kills still-running workers when the orchestrator bails out early.
-struct ChildGuard(Vec<(String, Child)>);
+/// Kills still-running workers when the orchestrator bails out early, and
+/// removes the per-run shm region directory in every exit path — normal
+/// completion, early error, and child reaping alike — so crashed or killed
+/// runs never leak region files.
+struct ChildGuard {
+    children: Vec<(String, Child)>,
+    shm_dir: Option<PathBuf>,
+}
 
 impl ChildGuard {
     fn disarm(&mut self) -> Vec<(String, Child)> {
-        std::mem::take(&mut self.0)
+        std::mem::take(&mut self.children)
     }
 }
 
 impl Drop for ChildGuard {
     fn drop(&mut self) {
-        for (_, child) in &mut self.0 {
+        for (_, child) in &mut self.children {
             let _ = child.kill();
             let _ = child.wait();
         }
+        if let Some(dir) = self.shm_dir.take() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Resolve the requested transport for this run, creating the per-run shm
+/// region directory when shared memory is selected. `Auto` falls back to TCP
+/// when the directory cannot be created; an explicit `shm` request fails
+/// loudly instead.
+fn resolve_run_transport(
+    requested: TransportKind,
+) -> io::Result<(TransportKind, Option<PathBuf>)> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_RUN: AtomicU64 = AtomicU64::new(0);
+    match requested.resolve_local() {
+        TransportKind::Shm => {
+            let dir = std::env::temp_dir().join(format!(
+                "simbricks-dist-{}-{}",
+                std::process::id(),
+                NEXT_RUN.fetch_add(1, Ordering::Relaxed)
+            ));
+            match std::fs::create_dir_all(&dir) {
+                Ok(()) => Ok((TransportKind::Shm, Some(dir))),
+                Err(e) if requested == TransportKind::Auto => {
+                    eprintln!("dist: shm region dir unavailable ({e}), falling back to tcp");
+                    Ok((TransportKind::Tcp, None))
+                }
+                Err(e) => Err(e),
+            }
+        }
+        kind => Ok((kind, None)),
     }
 }
 
@@ -802,22 +963,30 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
     }
     let expected_components = pb.next_global;
 
+    let (transport, shm_dir) = resolve_run_transport(opts.transport)?;
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let control_addr = listener.local_addr()?;
     let exe = std::env::current_exe()?;
-    let mut guard = ChildGuard(Vec::new());
+    let mut guard = ChildGuard {
+        children: Vec::new(),
+        shm_dir: shm_dir.clone(),
+    };
     for p in &opts.partitions {
-        let child = Command::new(&exe)
-            .args(&opts.worker_args)
+        let mut cmd = Command::new(&exe);
+        cmd.args(&opts.worker_args)
             .env(ENV_CONTROL, control_addr.to_string())
             .env(ENV_PARTITION, p)
             .env(ENV_SCENARIO, &opts.scenario)
             .env(ENV_EXEC, opts.exec.to_arg())
+            .env(ENV_DIST_TRANSPORT, transport.to_arg())
             .stdin(Stdio::null())
             .stdout(Stdio::null())
-            .stderr(Stdio::inherit())
-            .spawn()?;
-        guard.0.push((p.clone(), child));
+            .stderr(Stdio::inherit());
+        if let Some(dir) = &shm_dir {
+            cmd.env(ENV_SHM_DIR, dir);
+        }
+        let child = cmd.spawn()?;
+        guard.children.push((p.clone(), child));
     }
 
     // Accept one control connection per worker (with a deadline so a worker
@@ -829,7 +998,7 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
         if Instant::now() > deadline {
             return Err(io::Error::new(io::ErrorKind::TimedOut, "workers did not connect"));
         }
-        for (name, child) in &mut guard.0 {
+        for (name, child) in &mut guard.children {
             if let Some(status) = child.try_wait()? {
                 return Err(io::Error::new(
                     io::ErrorKind::BrokenPipe,

@@ -12,6 +12,8 @@ pub mod dist;
 pub mod executor;
 pub mod experiment;
 pub mod proxy;
+pub mod shm;
+pub mod transport;
 
 pub use build::{attach_host_nic, attach_host_nvme, host_component, nic_model, NetworkKind};
 pub use dist::{maybe_worker, run_distributed, run_local, DistOptions, DistResult, PartitionBuilder};
@@ -21,3 +23,5 @@ pub use proxy::{
     proxy_channel_over_tcp, proxy_pair, read_handshake, write_handshake, ProxyHandle, ProxyKind,
     ProxyStats,
 };
+pub use shm::{shm_supported, ShmEndpoint, ShmPushError, ShmTransport};
+pub use transport::{Transport, TransportKind, ENV_TRANSPORT};

@@ -7,7 +7,9 @@
 //! only one extra hop of forwarding latency (hidden inside the modelled link
 //! latency) and one proxy thread per side are added.
 //!
-//! The paper implements two proxy flavours, and so does this reimplementation:
+//! The paper implements two proxy flavours, and so does this reimplementation
+//! (plus the co-located shared-memory transport the paper uses *instead of*
+//! proxies for same-host links):
 //!
 //! * **Sockets** ([`proxy_channel_over_tcp`], [`ProxyKind::Tcp`]) — messages
 //!   are serialized to the wire format and streamed over a TCP connection
@@ -18,6 +20,11 @@
 //!   this as direct placement into the peer component's queue with no
 //!   serialization step, preserving the property that matters: lower
 //!   per-message CPU overhead and latency than the sockets proxy.
+//! * **Shared memory** ([`ProxyKind::Shm`]) — a file-backed mmap region
+//!   carrying one fixed-slot SPSC ring per direction (`crate::shm`), the
+//!   §5.2 queue layout made cross-process. No serialization and no syscalls
+//!   on the data path; this is what `crate::dist` uses for co-located
+//!   partitions (`--transport shm`/`auto`, see [`crate::transport`]).
 //!
 //! Both flavours report [`ProxyStats`] so harnesses can show batching
 //! behaviour and forwarded volume (§7.4.2).
@@ -44,11 +51,15 @@ pub enum ProxyKind {
     Tcp,
     /// Directly place messages into the remote queue (RDMA-write stand-in).
     Rdma,
+    /// Memory-mapped shared-memory SPSC rings (`crate::shm`): the paper's
+    /// co-located fast path — no serialization, no syscalls per message.
+    Shm,
 }
 
-/// Counters shared by the two forwarding threads of a proxy pair.
+/// Counters shared by the forwarding threads of a proxy pair or transport
+/// (snapshot through [`ProxyStats`]).
 #[derive(Debug, Default)]
-pub(crate) struct ProxyCounters {
+pub struct ProxyCounters {
     forwarded: AtomicU64,
     bytes: AtomicU64,
     batches: AtomicU64,
@@ -62,7 +73,7 @@ pub(crate) struct ProxyCounters {
 /// otherwise spin forever waiting for a stalled peer. Registered TCP streams
 /// are also shut down, which turns any in-flight read into an immediate EOF.
 #[derive(Default)]
-pub(crate) struct ShutdownSignal {
+pub struct ShutdownSignal {
     flag: AtomicBool,
     streams: Mutex<Vec<TcpStream>>,
 }
@@ -197,7 +208,7 @@ impl Drop for ProxyHandle {
 }
 
 impl ProxyCounters {
-    fn record_batch(&self, msgs: u64, bytes: u64) {
+    pub(crate) fn record_batch(&self, msgs: u64, bytes: u64) {
         if msgs == 0 {
             return;
         }
@@ -289,7 +300,54 @@ pub fn proxy_pair(
     match kind {
         ProxyKind::Tcp => proxy_pair_tcp(params),
         ProxyKind::Rdma => Ok(proxy_pair_rdma(params)),
+        ProxyKind::Shm => proxy_pair_shm(params),
     }
+}
+
+/// Bridge a channel over a file-backed shared-memory ring pair (the paper's
+/// co-located transport). Both sides map the same region; the attach step
+/// validates the same handshake metadata as the TCP proxy's SBPX frame.
+fn proxy_pair_shm(
+    params: ChannelParams,
+) -> std::io::Result<(ChannelEnd, ChannelEnd, ProxyHandle)> {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let (for_component_a, proxy_a_local) = channel_pair(params);
+    let (for_component_b, proxy_b_local) = channel_pair(params);
+    let path = std::env::temp_dir().join(format!(
+        "simbricks-proxy-{}-{}.shm",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let shutdown = Arc::new(ShutdownSignal::default());
+    let a_end = crate::shm::create_region(&path, "proxy-pair", params)?;
+    let b_end = crate::shm::attach_region(
+        &path,
+        "proxy-pair",
+        params,
+        std::time::Instant::now() + std::time::Duration::from_secs(5),
+        &shutdown,
+    )?;
+    let counters = Arc::new(ProxyCounters::default());
+    let h1 = crate::transport::spawn_transport_forwarder(
+        "proxy-shm-a".into(),
+        Box::new(crate::shm::ShmTransport::ready(a_end)),
+        proxy_a_local,
+        counters.clone(),
+        shutdown.clone(),
+    );
+    let h2 = crate::transport::spawn_transport_forwarder(
+        "proxy-shm-b".into(),
+        Box::new(crate::shm::ShmTransport::ready(b_end)),
+        proxy_b_local,
+        counters.clone(),
+        shutdown.clone(),
+    );
+    Ok((
+        for_component_a,
+        for_component_b,
+        ProxyHandle::from_parts(ProxyKind::Shm, counters, shutdown, vec![h1, h2]),
+    ))
 }
 
 /// Bridge a channel over TCP (sockets proxy). Compatibility wrapper around
@@ -581,6 +639,16 @@ mod tests {
     }
 
     #[test]
+    #[cfg(unix)]
+    fn messages_cross_the_shm_proxy_in_order_and_both_directions() {
+        let (got, sync_seen, stats) = exchange_over(ProxyKind::Shm);
+        assert_eq!(got, (0..50).collect::<Vec<_>>(), "in order, none lost");
+        assert!(sync_seen, "reverse direction works too");
+        assert_eq!(stats.forwarded, 51, "50 data + 1 sync");
+        assert!(stats.batches <= stats.forwarded);
+    }
+
+    #[test]
     fn legacy_tcp_wrapper_still_works() {
         let (mut a, mut b, _threads) =
             proxy_channel_over_tcp(ChannelParams::default_sync()).unwrap();
@@ -654,7 +722,10 @@ mod tests {
     /// Explicit shutdown stops the forwarders while both endpoints are alive.
     #[test]
     fn explicit_shutdown_stops_live_proxies() {
-        for kind in [ProxyKind::Tcp, ProxyKind::Rdma] {
+        for kind in [ProxyKind::Tcp, ProxyKind::Rdma, ProxyKind::Shm] {
+            if kind == ProxyKind::Shm && !crate::shm::shm_supported() {
+                continue;
+            }
             let (_a, _b, handle) = proxy_pair(kind, ChannelParams::default_sync()).unwrap();
             // Neither endpoint is dropped; without the signal this would hang.
             let _ = handle.shutdown();

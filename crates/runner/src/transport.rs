@@ -1,0 +1,191 @@
+//! Pluggable cross-partition channel transports.
+//!
+//! The paper's deployment model (§5.2, §5.4) connects co-located simulator
+//! processes through optimized *shared-memory* message queues and reserves
+//! socket/RDMA proxies for links that cross physical machines. This module
+//! extracts that choice into a small trait: a [`Transport`] is one connected
+//! side of a cross-partition link, bridging the local component's channel
+//! stub to the peer partition. Two implementations exist:
+//!
+//! * [`TcpTransport`] — the §5.4 sockets proxy (serialize + stream over TCP),
+//!   the cross-host / explicit fallback;
+//! * [`crate::shm::ShmTransport`] — a file-backed mmap SPSC ring per link for
+//!   partitions on the same host (no serialization, no syscalls on the data
+//!   path).
+//!
+//! Both preserve the proxy layer's contract: the handshake metadata (link
+//! name + [`simbricks_base::ChannelParams`]) is validated before any
+//! simulation message flows, everything the local component sent is flushed
+//! before the forwarder exits, and exits poison the shared
+//! [`ShutdownSignal`] so sibling forwarders wind down (no half-dead pairs).
+//!
+//! [`TransportKind`] is the user-facing selector (`--transport tcp|shm|auto`,
+//! environment `SIMBRICKS_TRANSPORT`); `auto` picks shared memory whenever
+//! the platform supports it, which for this single-machine orchestrator is
+//! every link.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use simbricks_base::ChannelEnd;
+
+use crate::proxy::{tcp_forward_loop, ProxyCounters, ShutdownSignal};
+
+/// Environment variable selecting the default cross-partition transport
+/// ([`TransportKind::parse`] syntax) for harnesses and distributed runs.
+pub const ENV_TRANSPORT: &str = "SIMBRICKS_TRANSPORT";
+
+/// Which transport carries cross-partition channels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Serialize messages and stream them over TCP (works across hosts).
+    Tcp,
+    /// Memory-mapped shared-memory SPSC rings (same host only).
+    Shm,
+    /// Pick [`TransportKind::Shm`] when the platform supports it, otherwise
+    /// fall back to [`TransportKind::Tcp`].
+    #[default]
+    Auto,
+}
+
+impl TransportKind {
+    /// Parse `tcp`, `shm`, or `auto` (case-insensitive).
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcp" => Some(TransportKind::Tcp),
+            "shm" => Some(TransportKind::Shm),
+            "auto" => Some(TransportKind::Auto),
+            _ => None,
+        }
+    }
+
+    /// Canonical argument string (`TransportKind::parse` round-trips it).
+    pub fn to_arg(self) -> &'static str {
+        match self {
+            TransportKind::Tcp => "tcp",
+            TransportKind::Shm => "shm",
+            TransportKind::Auto => "auto",
+        }
+    }
+
+    /// The kind selected by [`ENV_TRANSPORT`], or `default` when unset or
+    /// unparseable.
+    pub fn from_env_or(default: TransportKind) -> TransportKind {
+        std::env::var(ENV_TRANSPORT)
+            .ok()
+            .as_deref()
+            .and_then(TransportKind::parse)
+            .unwrap_or(default)
+    }
+
+    /// Resolve `Auto` to a concrete transport for links between co-located
+    /// partitions: shared memory where the platform supports it (unix),
+    /// otherwise TCP.
+    pub fn resolve_local(self) -> TransportKind {
+        match self {
+            TransportKind::Auto => {
+                if cfg!(unix) {
+                    TransportKind::Shm
+                } else {
+                    TransportKind::Tcp
+                }
+            }
+            k => k,
+        }
+    }
+}
+
+/// One connected side of a cross-partition link. Implementations carry the
+/// already-handshaken medium (a TCP stream, an attached shm region); the
+/// forwarding contract is uniform:
+///
+/// * forward every local message (data and SYNC) to the peer, preserving
+///   order, batching opportunistically, and counting into `counters`;
+/// * inject every peer message into the local channel stub, retrying on
+///   backpressure;
+/// * exit once the local component endpoint is gone (after flushing
+///   everything it sent), the peer side closed, or `shutdown` is signalled;
+/// * never drop or reorder a message.
+pub trait Transport: Send {
+    /// Short transport name for diagnostics (`"tcp"`, `"shm"`).
+    fn name(&self) -> &'static str;
+
+    /// Run the forwarding loop until close/shutdown (see trait docs).
+    fn forward(
+        self: Box<Self>,
+        local: ChannelEnd,
+        counters: Arc<ProxyCounters>,
+        shutdown: Arc<ShutdownSignal>,
+    );
+}
+
+/// The §5.4 sockets proxy as a [`Transport`]: a connected, handshaken TCP
+/// stream (registered with the shutdown signal by the caller).
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wrap a connected stream. The caller has already performed the SBPX
+    /// handshake and registered the stream with the shutdown signal.
+    pub fn new(stream: TcpStream) -> Self {
+        TcpTransport { stream }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn forward(
+        self: Box<Self>,
+        local: ChannelEnd,
+        counters: Arc<ProxyCounters>,
+        shutdown: Arc<ShutdownSignal>,
+    ) {
+        tcp_forward_loop(local, self.stream, &counters, &shutdown);
+    }
+}
+
+/// Spawn a named thread running `transport`'s forwarding loop; when the loop
+/// exits (for any reason) the shared shutdown signal is poisoned so sibling
+/// forwarders wind down too.
+pub(crate) fn spawn_transport_forwarder(
+    name: String,
+    transport: Box<dyn Transport>,
+    local: ChannelEnd,
+    counters: Arc<ProxyCounters>,
+    shutdown: Arc<ShutdownSignal>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            transport.forward(local, counters, shutdown.clone());
+            shutdown.signal();
+        })
+        .expect("spawn transport forwarder thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for k in [TransportKind::Tcp, TransportKind::Shm, TransportKind::Auto] {
+            assert_eq!(TransportKind::parse(k.to_arg()), Some(k));
+        }
+        assert_eq!(TransportKind::parse("TCP"), Some(TransportKind::Tcp));
+        assert_eq!(TransportKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_kind() {
+        let r = TransportKind::Auto.resolve_local();
+        assert!(matches!(r, TransportKind::Tcp | TransportKind::Shm));
+        assert_eq!(TransportKind::Tcp.resolve_local(), TransportKind::Tcp);
+        assert_eq!(TransportKind::Shm.resolve_local(), TransportKind::Shm);
+    }
+}

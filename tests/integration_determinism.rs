@@ -8,7 +8,7 @@ use simbricks::base::EventLog;
 use simbricks::hostsim::{HostConfig, HostKind};
 use simbricks::netsim::{SwitchBm, SwitchConfig};
 use simbricks::runner::dist::{self, DistOptions, PartitionBuilder};
-use simbricks::runner::{attach_host_nic, Execution, Experiment};
+use simbricks::runner::{attach_host_nic, Execution, Experiment, TransportKind};
 use simbricks::SimTime;
 
 fn run_once(mode: Execution) -> (u64, usize) {
@@ -116,34 +116,41 @@ fn dist_worker_entry() {
     dist::maybe_worker(&dist_build);
 }
 
-#[test]
-fn dist_two_partition_run_matches_sequential_event_log() {
-    // In-process sequential baseline.
-    let local = dist::run_local("", &dist_build, Execution::Sequential);
-    let merged = local.merged_log();
-    assert!(merged.len() > 100, "logs actually contain events ({})", merged.len());
-
-    // Real 2-worker-process run over loopback TCP proxies.
-    let opts = DistOptions::new(vec!["p0".into(), "p1".into()], "").with_worker_args(vec![
+/// Options for a 2-worker-process run that re-enters this test binary.
+fn dist_opts() -> DistOptions {
+    DistOptions::new(vec!["p0".into(), "p1".into()], "").with_worker_args(vec![
         "dist_worker_entry".into(),
         "--exact".into(),
         "--include-ignored".into(),
         // Worker diagnostics must reach our stderr, not a captured buffer
         // that dies with the worker.
         "--nocapture".into(),
-    ]);
+    ])
+}
+
+/// Assert a distributed run with the given options reproduces the in-process
+/// sequential baseline bit for bit. The baseline is computed once by the
+/// caller — it is transport-independent by construction.
+fn assert_dist_matches_baseline(
+    local: &simbricks::runner::RunResult,
+    opts: DistOptions,
+    label: &str,
+) {
+    let merged = local.merged_log();
+    assert!(merged.len() > 100, "logs actually contain events ({})", merged.len());
+
     let dist = dist::run_distributed(&opts, &dist_build).expect("distributed run");
 
     assert_eq!(
         dist.component_names, local.component_names,
-        "components reassembled in global build order"
+        "components reassembled in global build order ({label})"
     );
     let dist_merged = dist.merged_log();
-    assert_eq!(merged.len(), dist_merged.len(), "same event count");
+    assert_eq!(merged.len(), dist_merged.len(), "same event count ({label})");
     assert_eq!(
         merged.fingerprint(),
         dist_merged.fingerprint(),
-        "distributed and in-process sequential event logs bit-identical"
+        "distributed ({label}) and in-process sequential event logs bit-identical"
     );
     // Stats travelled back too: the distributed run delivered the same
     // data messages as the baseline.
@@ -151,4 +158,25 @@ fn dist_two_partition_run_matches_sequential_event_log() {
     let dt = dist.total_stats();
     assert_eq!(lt.msgs_delivered, dt.msgs_delivered);
     assert_eq!(lt.final_time, dt.final_time);
+}
+
+/// Transport from `SIMBRICKS_TRANSPORT` (default auto) — the CI smoke step
+/// runs this test once with `tcp` and once with `shm`.
+#[test]
+fn dist_two_partition_run_matches_sequential_event_log() {
+    let t = TransportKind::from_env_or(TransportKind::Auto);
+    let local = dist::run_local("", &dist_build, Execution::Sequential);
+    assert_dist_matches_baseline(&local, dist_opts().with_transport(t), t.to_arg());
+}
+
+/// Both concrete transports — loopback TCP proxies and mmap shared-memory
+/// rings — must reproduce the identical merged event log: the §5.5 protocol
+/// makes results independent of how promises travel between processes.
+#[test]
+fn dist_tcp_and_shm_transports_both_match_sequential_event_log() {
+    let local = dist::run_local("", &dist_build, Execution::Sequential);
+    assert_dist_matches_baseline(&local, dist_opts().with_transport(TransportKind::Tcp), "tcp");
+    if simbricks::runner::shm_supported() {
+        assert_dist_matches_baseline(&local, dist_opts().with_transport(TransportKind::Shm), "shm");
+    }
 }
