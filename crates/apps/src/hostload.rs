@@ -3,6 +3,7 @@
 //! dominated by synchronization events) and a `dd`-style CPU burn (the host
 //! is always busy, so synchronization is amortized).
 
+use simbricks_base::snap::{SnapReader, SnapResult, SnapWriter};
 use simbricks_base::SimTime;
 use simbricks_hostsim::{Application, OsServices};
 use simbricks_netstack::SocketEvent;
@@ -41,6 +42,14 @@ impl Application for SleepLoad {
     }
     fn done(&self) -> bool {
         self.finished
+    }
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.bool(self.finished);
+        Ok(())
+    }
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.finished = r.bool()?;
+        Ok(())
     }
 }
 
@@ -90,5 +99,17 @@ impl Application for DdLoad {
     }
     fn done(&self) -> bool {
         self.finished
+    }
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.time(self.elapsed);
+        w.u64(self.slices);
+        w.bool(self.finished);
+        Ok(())
+    }
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.elapsed = r.time()?;
+        self.slices = r.u64()?;
+        self.finished = r.bool()?;
+        Ok(())
     }
 }

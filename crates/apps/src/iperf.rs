@@ -1,10 +1,13 @@
 //! iperf-style traffic generators (TCP stream and rate-paced UDP).
 
+use simbricks_base::snap::{SnapReader, SnapResult, SnapWriter};
 use simbricks_base::time::SEC;
 use simbricks_base::SimTime;
 use simbricks_hostsim::{Application, OsServices};
 use simbricks_netstack::{SocketAddr, SocketEvent, SocketId};
 use simbricks_proto::Ipv4Addr;
+
+use crate::netperf::{restore_sock, snap_sock};
 
 const TOK_SEND: u64 = 1;
 const TOK_STOP: u64 = 2;
@@ -71,6 +74,22 @@ impl Application for IperfTcpServer {
             self.bytes_received,
             self.goodput_gbps()
         )
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        snap_sock(w, self.listener);
+        w.u64(self.bytes_received);
+        w.opt_time(self.first_byte);
+        w.time(self.last_byte);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.listener = restore_sock(r)?;
+        self.bytes_received = r.u64()?;
+        self.first_byte = r.opt_time()?;
+        self.last_byte = r.time()?;
+        Ok(())
     }
 }
 
@@ -155,6 +174,22 @@ impl Application for IperfTcpClient {
     fn done(&self) -> bool {
         self.stopped
     }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        snap_sock(w, self.sock);
+        w.time(self.started_at);
+        w.u64(self.bytes_sent);
+        w.bool(self.stopped);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.sock = restore_sock(r)?;
+        self.started_at = r.time()?;
+        self.bytes_sent = r.u64()?;
+        self.stopped = r.bool()?;
+        Ok(())
+    }
 }
 
 /// Rate-paced UDP sender (iperf UDP mode).
@@ -223,6 +258,20 @@ impl Application for IperfUdpClient {
     fn done(&self) -> bool {
         self.stopped
     }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        snap_sock(w, self.sock);
+        w.u64(self.datagrams_sent);
+        w.bool(self.stopped);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.sock = restore_sock(r)?;
+        self.datagrams_sent = r.u64()?;
+        self.stopped = r.bool()?;
+        Ok(())
+    }
 }
 
 /// UDP sink counting received datagrams and bytes.
@@ -282,5 +331,23 @@ impl Application for IperfUdpServer {
             self.bytes,
             self.goodput_gbps()
         )
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        snap_sock(w, self.sock);
+        w.u64(self.datagrams);
+        w.u64(self.bytes);
+        w.opt_time(self.first);
+        w.time(self.last);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.sock = restore_sock(r)?;
+        self.datagrams = r.u64()?;
+        self.bytes = r.u64()?;
+        self.first = r.opt_time()?;
+        self.last = r.time()?;
+        Ok(())
     }
 }

@@ -4,9 +4,12 @@
 
 use std::collections::HashMap;
 
+use simbricks_base::snap::{SnapReader, SnapResult, SnapWriter};
 use simbricks_base::SimTime;
 use simbricks_hostsim::{Application, OsServices};
 use simbricks_netstack::{SocketAddr, SocketEvent, SocketId};
+
+use crate::netperf::{restore_sock, snap_sock};
 
 pub const MEMCACHE_PORT: u16 = 11211;
 
@@ -76,6 +79,33 @@ impl Application for MemcachedServer {
 
     fn report(&self) -> String {
         format!("memcached requests={} keys={}", self.requests, self.store.len())
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        snap_sock(w, self.sock);
+        w.u64(self.requests);
+        w.time(self.service_time);
+        let mut keys: Vec<&Vec<u8>> = self.store.keys().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.bytes(k);
+            w.bytes(&self.store[k]);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.sock = restore_sock(r)?;
+        self.requests = r.u64()?;
+        self.service_time = r.time()?;
+        self.store.clear();
+        for _ in 0..r.usize()? {
+            let k = r.bytes()?;
+            let v = r.bytes()?;
+            self.store.insert(k, v);
+        }
+        Ok(())
     }
 }
 
@@ -177,7 +207,10 @@ impl Application for MemaslapClient {
         if let SocketEvent::DataAvailable(s) = ev {
             while let Some((_, _reply)) = os.udp_recv_from(s) {
                 // Match the oldest outstanding request (FIFO completion).
-                if let Some((&id, _)) = self.outstanding.iter().min_by_key(|(_, t)| **t) {
+                // Ties broken by request id: hash-map iteration order must
+                // never decide the match, or runs would diverge across
+                // processes and across checkpoint/restore.
+                if let Some((&id, _)) = self.outstanding.iter().min_by_key(|(id, t)| (**t, **id)) {
                     let t0 = self.outstanding.remove(&id).unwrap();
                     self.completed += 1;
                     self.latency_total += os.now() - t0;
@@ -215,5 +248,39 @@ impl Application for MemaslapClient {
 
     fn done(&self) -> bool {
         self.stopped
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        snap_sock(w, self.sock);
+        let mut outstanding: Vec<(u64, SimTime)> =
+            self.outstanding.iter().map(|(id, t)| (*id, *t)).collect();
+        outstanding.sort_unstable_by_key(|(id, _)| *id);
+        w.usize(outstanding.len());
+        for (id, t) in outstanding {
+            w.u64(id);
+            w.time(t);
+        }
+        w.u64(self.next_req);
+        w.time(self.started);
+        w.bool(self.stopped);
+        w.u64(self.completed);
+        w.time(self.latency_total);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.sock = restore_sock(r)?;
+        self.outstanding.clear();
+        for _ in 0..r.usize()? {
+            let id = r.u64()?;
+            let t = r.time()?;
+            self.outstanding.insert(id, t);
+        }
+        self.next_req = r.u64()?;
+        self.started = r.time()?;
+        self.stopped = r.bool()?;
+        self.completed = r.u64()?;
+        self.latency_total = r.time()?;
+        Ok(())
     }
 }

@@ -1,6 +1,7 @@
 //! netperf-style benchmark: a TCP_STREAM throughput phase followed by a
 //! TCP_RR request/response latency phase (the workload of Tab. 1 / Tab. 3).
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::SimTime;
 use simbricks_hostsim::{Application, OsServices};
 use simbricks_netstack::{SocketEvent, SocketId};
@@ -8,6 +9,24 @@ use simbricks_proto::Ipv4Addr;
 
 const TOK_END_STREAM: u64 = 1;
 const TOK_END_RR: u64 = 2;
+
+pub(crate) fn snap_sock(w: &mut SnapWriter, s: Option<SocketId>) {
+    match s {
+        Some(s) => {
+            w.bool(true);
+            w.u64(s.0);
+        }
+        None => w.bool(false),
+    }
+}
+
+pub(crate) fn restore_sock(r: &mut SnapReader) -> SnapResult<Option<SocketId>> {
+    Ok(if r.bool()? {
+        Some(SocketId(r.u64()?))
+    } else {
+        None
+    })
+}
 
 /// netperf server: sinks stream data on one port and echoes 1-byte
 /// request/response transactions on another.
@@ -60,6 +79,20 @@ impl Application for NetperfServer {
             "netperf-server stream_bytes={} rr_transactions={}",
             self.stream_bytes, self.rr_transactions
         )
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        snap_sock(w, self.rr_listener);
+        w.u64(self.stream_bytes);
+        w.u64(self.rr_transactions);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.rr_listener = restore_sock(r)?;
+        self.stream_bytes = r.u64()?;
+        self.rr_transactions = r.u64()?;
+        Ok(())
     }
 }
 
@@ -216,5 +249,36 @@ impl Application for NetperfClient {
 
     fn done(&self) -> bool {
         self.phase == Phase::Done
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u8(match self.phase {
+            Phase::Stream => 0,
+            Phase::Rr => 1,
+            Phase::Done => 2,
+        });
+        snap_sock(w, self.stream_sock);
+        snap_sock(w, self.rr_sock);
+        w.u64(self.stream_bytes);
+        w.opt_time(self.rr_outstanding_since);
+        w.u64(self.rr_count);
+        w.time(self.rr_latency_total);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.phase = match r.u8()? {
+            0 => Phase::Stream,
+            1 => Phase::Rr,
+            2 => Phase::Done,
+            v => return Err(SnapError::Corrupt(format!("bad netperf phase tag {v}"))),
+        };
+        self.stream_sock = restore_sock(r)?;
+        self.rr_sock = restore_sock(r)?;
+        self.stream_bytes = r.u64()?;
+        self.rr_outstanding_since = r.opt_time()?;
+        self.rr_count = r.u64()?;
+        self.rr_latency_total = r.time()?;
+        Ok(())
     }
 }

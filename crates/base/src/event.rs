@@ -1,22 +1,44 @@
 //! Discrete-event queue used by component simulators and the kernel.
 //!
-//! Events are ordered by time; ties are broken by insertion order so that
+//! Events are ordered by time; ties are broken by schedule order so that
 //! repeated runs process same-time events identically (a requirement for the
-//! determinism property evaluated in §7.6).
+//! determinism property evaluated in §7.6). The schedule-order sequence
+//! numbers are preserved across checkpoint/restore, so a restored run breaks
+//! same-time ties exactly like the uninterrupted one.
 
 use std::cmp::Ordering;
+use std::collections::HashSet;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
+use crate::snap::{SnapReader, SnapResult, SnapWriter};
 use crate::time::SimTime;
 
-/// Identifier of a scheduled event, usable for cancellation.
+/// Process-wide sequence source. Making event ids globally unique (not
+/// per-queue counters) means an [`EventId`] can never be confused between
+/// queues: cancelling an id that belongs to a *different* queue is a safe
+/// no-op instead of silently cancelling an unrelated local event that
+/// happened to share a per-queue counter value. Only the *relative* order of
+/// ids scheduled on the same queue matters for determinism, and that is
+/// preserved regardless of how ids interleave across queues.
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Raise the global sequence floor to at least `floor`. Called when
+/// restoring a checkpoint so that events scheduled *after* the restore
+/// always order behind restored events scheduled at the same time — exactly
+/// as they would have in the uninterrupted run.
+pub(crate) fn bump_seq_floor(floor: u64) {
+    NEXT_SEQ.fetch_max(floor, AtomicOrdering::Relaxed);
+}
+
+/// Identifier of a scheduled event, usable for cancellation. Ids are unique
+/// across all queues of the process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
 struct Entry<T> {
     time: SimTime,
     seq: u64,
-    cancelled: bool,
     data: T,
 }
 
@@ -44,9 +66,10 @@ impl<T> Ord for Entry<T> {
 /// A time-ordered event queue with stable ordering and O(log n) cancellation.
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
-    cancelled: std::collections::HashSet<u64>,
-    next_seq: u64,
-    live: usize,
+    /// Ids of pending (schedulable, not yet fired or cancelled) events.
+    pending: HashSet<u64>,
+    /// Ids cancelled while still in the heap (removed lazily).
+    cancelled: HashSet<u64>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -60,33 +83,26 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
-            next_seq: 0,
-            live: 0,
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 
     /// Schedule `data` to fire at absolute time `time`.
     pub fn schedule(&mut self, time: SimTime, data: T) -> EventId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry {
-            time,
-            seq,
-            cancelled: false,
-            data,
-        });
-        self.live += 1;
+        let seq = NEXT_SEQ.fetch_add(1, AtomicOrdering::Relaxed);
+        self.heap.push(Entry { time, seq, data });
+        self.pending.insert(seq);
         EventId(seq)
     }
 
-    /// Cancel a previously scheduled event. Returns true if the event was
-    /// still pending.
+    /// Cancel a previously scheduled event. Returns true iff the event was
+    /// still pending **in this queue**: cancelling an id that already fired,
+    /// was already cancelled, or belongs to another queue is a no-op that
+    /// returns false.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.cancelled.insert(id.0) {
-            if self.live > 0 {
-                self.live -= 1;
-            }
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
             true
         } else {
             false
@@ -105,7 +121,7 @@ impl<T> EventQueue<T> {
         match self.heap.peek() {
             Some(e) if e.time <= now => {
                 let e = self.heap.pop().unwrap();
-                self.live -= 1;
+                self.pending.remove(&e.seq);
                 Some((e.time, e.data))
             }
             _ => None,
@@ -114,23 +130,68 @@ impl<T> EventQueue<T> {
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.pending.len()
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.pending.is_empty()
     }
 
     fn skip_cancelled(&mut self) {
         while let Some(e) = self.heap.peek() {
-            if e.cancelled || self.cancelled.contains(&e.seq) {
+            if self.cancelled.contains(&e.seq) {
                 let e = self.heap.pop().unwrap();
                 self.cancelled.remove(&e.seq);
             } else {
                 break;
             }
         }
+    }
+
+    /// Encode the pending events (time, sequence number, payload via `enc`)
+    /// in deterministic (time, seq) order, dropping already-cancelled
+    /// entries. Sequence numbers are preserved so restored events keep their
+    /// same-time tie-break order; restore raises the process-wide sequence
+    /// floor so post-restore events order behind them.
+    pub fn snapshot_with(
+        &self,
+        w: &mut SnapWriter,
+        enc: impl Fn(&T, &mut SnapWriter),
+    ) -> SnapResult<()> {
+        let mut live: Vec<&Entry<T>> = self
+            .heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .collect();
+        live.sort_by_key(|e| (e.time, e.seq));
+        w.usize(live.len());
+        for e in live {
+            w.time(e.time);
+            w.u64(e.seq);
+            enc(&e.data, w);
+        }
+        Ok(())
+    }
+
+    /// Rebuild a queue from [`EventQueue::snapshot_with`] output.
+    pub fn restore_with(
+        r: &mut SnapReader,
+        dec: impl Fn(&mut SnapReader) -> SnapResult<T>,
+    ) -> SnapResult<Self> {
+        let n = r.usize()?;
+        let mut q = EventQueue::new();
+        let mut max_seq = 0u64;
+        for _ in 0..n {
+            let time = r.time()?;
+            let seq = r.u64()?;
+            let data = dec(r)?;
+            max_seq = max_seq.max(seq);
+            q.heap.push(Entry { time, seq, data });
+            q.pending.insert(seq);
+        }
+        bump_seq_floor(max_seq.saturating_add(1));
+        Ok(q)
     }
 }
 
@@ -188,7 +249,7 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.next_time(), Some(SimTime::from_ns(20)));
         assert_eq!(q.pop_due(SimTime::MAX).unwrap().1, "b");
-        assert!(!q.cancel(b) || true);
+        assert!(!q.cancel(b), "cancel after pop is a no-op");
         assert!(q.is_empty());
     }
 
@@ -200,5 +261,82 @@ mod tests {
         let _b = q.schedule(SimTime::from_ns(10), 2);
         assert_eq!(q.pop_due(SimTime::MAX).unwrap().1, 2);
         assert!(q.pop_due(SimTime::MAX).is_none());
+    }
+
+    /// Regression (checkpoint hardening): cancelling an event that already
+    /// fired must be a no-op returning false — it used to return true and
+    /// corrupt the live-event count, leaking a phantom entry into the
+    /// cancelled set.
+    #[test]
+    fn cancel_of_already_fired_event_is_a_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(10), "a");
+        let b = q.schedule(SimTime::from_ns(20), "b");
+        assert_eq!(q.pop_due(SimTime::from_ns(15)).unwrap().1, "a");
+        assert!(!q.cancel(a), "already-fired id cannot be cancelled");
+        assert_eq!(q.len(), 1, "live count untouched by the bogus cancel");
+        assert!(q.cancel(b));
+        assert!(q.is_empty());
+    }
+
+    /// Regression (checkpoint hardening): an [`EventId`] from a *different*
+    /// queue must never cancel a local event. Ids are globally unique, so a
+    /// foreign id is simply unknown here.
+    #[test]
+    fn cancel_of_foreign_event_id_is_a_noop() {
+        let mut q1 = EventQueue::new();
+        let mut q2 = EventQueue::new();
+        let local = q1.schedule(SimTime::from_ns(10), "mine");
+        let foreign = q2.schedule(SimTime::from_ns(10), "theirs");
+        assert_ne!(local, foreign, "event ids are globally unique");
+        assert!(!q1.cancel(foreign), "foreign id is unknown to this queue");
+        assert_eq!(q1.len(), 1, "local event survives");
+        assert_eq!(q1.pop_due(SimTime::MAX).unwrap().1, "mine");
+        assert_eq!(q2.pop_due(SimTime::MAX).unwrap().1, "theirs");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_order_and_drops_cancelled() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 1u64);
+        let c = q.schedule(SimTime::from_ns(10), 2u64);
+        q.schedule(SimTime::from_ns(10), 3u64);
+        q.schedule(SimTime::from_ns(5), 4u64);
+        q.cancel(c);
+        let mut w = SnapWriter::new();
+        q.snapshot_with(&mut w, |v, w| w.u64(*v)).unwrap();
+        let buf = w.into_vec();
+        let mut r = SnapReader::new(&buf);
+        let mut back: EventQueue<u64> =
+            EventQueue::restore_with(&mut r, |r| r.u64()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.len(), 3);
+        let mut order = Vec::new();
+        while let Some((_, v)) = back.pop_due(SimTime::MAX) {
+            order.push(v);
+        }
+        assert_eq!(order, vec![4, 1, 3], "time order, then original schedule order");
+    }
+
+    /// Same-time tie-break order must survive a snapshot: events scheduled
+    /// *after* a restore always order behind restored events at the same
+    /// time, exactly as in the uninterrupted run.
+    #[test]
+    fn post_restore_events_order_behind_restored_same_time_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(50), "restored-1");
+        q.schedule(SimTime::from_ns(50), "restored-2");
+        let mut w = SnapWriter::new();
+        q.snapshot_with(&mut w, |v, w| w.str(v)).unwrap();
+        let buf = w.into_vec();
+        let mut r = SnapReader::new(&buf);
+        let mut back: EventQueue<String> =
+            EventQueue::restore_with(&mut r, |r| r.str()).unwrap();
+        back.schedule(SimTime::from_ns(50), "new".to_string());
+        let mut order = Vec::new();
+        while let Some((_, v)) = back.pop_due(SimTime::MAX) {
+            order.push(v);
+        }
+        assert_eq!(order, vec!["restored-1", "restored-2", "new"]);
     }
 }

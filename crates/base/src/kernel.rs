@@ -22,6 +22,7 @@ use crate::channel::ChannelEnd;
 use crate::event::{EventId, EventQueue};
 use crate::log::EventLog;
 use crate::slot::{MsgType, OwnedMsg};
+use crate::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use crate::stats::KernelStats;
 use crate::sync::SyncPort;
 use crate::time::SimTime;
@@ -56,6 +57,13 @@ pub enum StepOutcome {
     /// No progress possible until a peer sends a promise; the [`WakeHint`]
     /// tells the executor when and whether to try again.
     Blocked(WakeHint),
+    /// The component is quiesced at a checkpoint pause time (see
+    /// [`Kernel::set_pause_at`]): every event strictly below the pause time
+    /// has been processed, nothing at or beyond it has, and a promise
+    /// covering the pause time has been sent to every peer. The kernel stays
+    /// paused (polling its ports so in-flight messages drain) until
+    /// [`Kernel::clear_pause`].
+    Paused,
     /// The component reached the end of its simulation.
     Finished,
 }
@@ -76,6 +84,26 @@ pub trait Model: Send {
 
     /// Called once when the simulation ends (end time reached or quit).
     fn finish(&mut self, _k: &mut Kernel) {}
+
+    /// Checkpoint support: append this model's dynamic state to `w` (see
+    /// [`Snapshot`]). The default declines, so checkpointing an experiment
+    /// that contains a model without snapshot support fails with a clear
+    /// error instead of silently losing state.
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        let _ = w;
+        Err(SnapError::Unsupported(
+            "model does not implement Model::snapshot".into(),
+        ))
+    }
+
+    /// Checkpoint support: load state written by [`Model::snapshot`] back
+    /// into this freshly rebuilt model.
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        let _ = r;
+        Err(SnapError::Unsupported(
+            "model does not implement Model::restore".into(),
+        ))
+    }
 }
 
 /// The per-component simulation kernel.
@@ -91,6 +119,12 @@ pub struct Kernel {
     started: bool,
     finished: bool,
     quit: bool,
+    /// Checkpoint pause: virtual time at which the kernel must quiesce (all
+    /// events strictly below processed, nothing at or beyond touched).
+    pause_at: Option<SimTime>,
+    /// Set once the kernel reached its pause time and emitted the pause
+    /// promise on every port.
+    paused: bool,
     stop_flag: Option<Arc<AtomicBool>>,
     /// Emulation-mode wall-clock anchor: virtual nanoseconds the clock may
     /// advance per elapsed wall-clock nanosecond. `None` (the default) leaves
@@ -114,6 +148,8 @@ impl Kernel {
             started: false,
             finished: false,
             quit: false,
+            pause_at: None,
+            paused: false,
             stop_flag: None,
             wall_scale: None,
             wall_start: None,
@@ -250,6 +286,117 @@ impl Kernel {
         self.ports.iter().any(|p| p.has_raw_input())
     }
 
+    // ----- checkpointing --------------------------------------------------------
+
+    /// Arm a checkpoint pause at virtual time `t` (exclusive: every event
+    /// strictly below `t` is processed before pausing, nothing at or beyond
+    /// `t` is touched). [`Kernel::step`] returns [`StepOutcome::Paused`]
+    /// once quiesced; [`Kernel::clear_pause`] resumes.
+    pub fn set_pause_at(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "cannot pause in the past");
+        self.pause_at = Some(t);
+    }
+
+    /// Resume after a checkpoint pause (or disarm one that never fired).
+    pub fn clear_pause(&mut self) {
+        self.pause_at = None;
+        self.paused = false;
+    }
+
+    /// Whether the kernel is currently quiesced at its pause time.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Poll every port (drain the shared queues, flush buffered sends)
+    /// without running the model — used while quiescing for a checkpoint so
+    /// in-flight messages settle into the ports' pending buffers.
+    pub fn checkpoint_poll(&mut self) {
+        for p in &mut self.ports {
+            p.poll();
+        }
+    }
+
+    /// Whether this kernel is fully quiesced for a checkpoint at time `t`:
+    /// paused (or already finished), with every synchronized port flushed,
+    /// drained, and holding the peer's `t + Δ` pause promise, so all
+    /// in-flight channel state lives in the ports' pending buffers.
+    pub fn quiesced_at(&self, t: SimTime) -> bool {
+        (self.paused || self.finished) && self.ports.iter().all(|p| p.quiesced_at(t))
+    }
+
+    /// Serialize the kernel's complete dynamic state: clock, lifecycle
+    /// flags, timer queue (with tie-break sequence numbers), per-port
+    /// synchronization state including in-flight messages, the event log,
+    /// and statistics. Static configuration (name, end time, port count and
+    /// channel parameters) is written only for validation — restore rebuilds
+    /// it from the experiment definition and rejects mismatches.
+    pub fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u8(1); // kernel record version
+        w.str(&self.name);
+        w.time(self.now);
+        w.time(self.end);
+        w.bool(self.started);
+        w.bool(self.finished);
+        w.bool(self.quit);
+        self.stats.snapshot(w)?;
+        self.log.snapshot(w)?;
+        self.timers.snapshot_with(w, |tok, w| w.u64(*tok))?;
+        w.usize(self.ports.len());
+        for p in &self.ports {
+            p.snapshot(w)?;
+        }
+        Ok(())
+    }
+
+    /// Load state written by [`Kernel::snapshot`] into this freshly rebuilt
+    /// kernel. The kernel must have been reconstructed with the same name,
+    /// end time, and port topology; mismatches are rejected with a clear
+    /// error rather than silently misrestoring.
+    pub fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        let ver = r.u8()?;
+        if ver != 1 {
+            return Err(SnapError::Version {
+                found: ver as u16,
+                expected: 1,
+            });
+        }
+        let name = r.str()?;
+        if name != self.name {
+            return Err(SnapError::Corrupt(format!(
+                "component name mismatch: snapshot has {name:?}, experiment built {:?}",
+                self.name
+            )));
+        }
+        self.now = r.time()?;
+        let end = r.time()?;
+        if end != self.end {
+            return Err(SnapError::Corrupt(format!(
+                "component {name:?}: end time mismatch (snapshot {end}, built {})",
+                self.end
+            )));
+        }
+        self.started = r.bool()?;
+        self.finished = r.bool()?;
+        self.quit = r.bool()?;
+        self.stats.restore(r)?;
+        self.log.restore(r)?;
+        self.timers = EventQueue::restore_with(r, |r| r.u64())?;
+        let nports = r.usize()?;
+        if nports != self.ports.len() {
+            return Err(SnapError::Corrupt(format!(
+                "component {name:?}: port count mismatch (snapshot {nports}, built {})",
+                self.ports.len()
+            )));
+        }
+        for p in &mut self.ports {
+            p.restore(r)?;
+        }
+        self.pause_at = None;
+        self.paused = false;
+        Ok(())
+    }
+
     // ----- execution ------------------------------------------------------------
 
     /// Run to completion on the current thread, yielding whenever blocked.
@@ -260,6 +407,10 @@ impl Kernel {
                 StepOutcome::Finished => break,
                 StepOutcome::Progressed => {}
                 StepOutcome::Blocked(_) => std::thread::yield_now(),
+                // Checkpoint pauses are orchestrated by the runner's
+                // cooperative quiesce loop; a free-running thread simply
+                // stops here and the orchestrator takes over.
+                StepOutcome::Paused => break,
             }
         }
         self.stats
@@ -270,6 +421,15 @@ impl Kernel {
     pub fn step(&mut self, model: &mut dyn Model, max_steps: usize) -> StepOutcome {
         if self.finished {
             return StepOutcome::Finished;
+        }
+        if self.paused {
+            // Quiesced at the pause time: keep draining/flushing the ports
+            // (peers may still be sending their pre-pause messages) but run
+            // nothing model-visible.
+            for p in &mut self.ports {
+                p.poll();
+            }
+            return StepOutcome::Paused;
         }
         if !self.started {
             self.started = true;
@@ -355,7 +515,10 @@ impl Kernel {
             // component with an open-ended horizon (`end == MAX`, typical for
             // unsynchronized emulation) never finishes this way; it waits for
             // messages until its peers disappear or the orchestrator stops it.
-            if bound >= self.end && t_model >= self.end {
+            if bound >= self.end
+                && t_model >= self.end
+                && self.pause_at.is_none_or(|p| p >= self.end)
+            {
                 if !self.end.is_max() {
                     self.now = self.end;
                     self.do_finish(model);
@@ -372,9 +535,34 @@ impl Kernel {
                 }
             }
 
+            // Checkpoint pause: once every peer has promised the pause time
+            // and nothing model-visible remains strictly below it, advance
+            // the clock to exactly the pause time, promise `pause + Δ` to
+            // every peer (so they can quiesce too), and stop without
+            // finishing. Events at or beyond the pause time stay queued —
+            // they belong to the resumed run.
+            if let Some(pause) = self.pause_at {
+                if bound >= pause && t_model >= pause {
+                    if pause > self.now {
+                        self.now = pause;
+                        self.stats.advances += 1;
+                    }
+                    self.paused = true;
+                    let now = self.now;
+                    for p in &mut self.ports {
+                        p.emit_promise(now);
+                        p.poll();
+                    }
+                    return StepOutcome::Paused;
+                }
+            }
+            let pause_limit = self.pause_at.unwrap_or(SimTime::MAX);
+
             let wall_ok = |t: SimTime| wall_limit.is_none_or(|w| t <= w);
-            let can_model = t_model < bound && t_model < self.end && wall_ok(t_model);
-            let can_sync = t_sync <= bound && t_sync < self.end && wall_ok(t_sync);
+            let can_model =
+                t_model < bound && t_model < self.end && t_model < pause_limit && wall_ok(t_model);
+            let can_sync =
+                t_sync <= bound && t_sync < self.end && t_sync < pause_limit && wall_ok(t_sync);
 
             let target = match (can_model, can_sync) {
                 (true, true) => t_model.min(t_sync),
@@ -770,6 +958,158 @@ mod tests {
         let mut m = C { fired: 0 };
         k.run(&mut m);
         assert_eq!(m.fired, 1);
+    }
+
+    /// Checkpoint pause: both kernels of a synchronized pair quiesce at
+    /// exactly the pause time, a snapshot round-trips their state into fresh
+    /// kernels, and the resumed pair delivers the identical remaining
+    /// messages at the identical virtual times.
+    #[test]
+    fn pause_snapshot_restore_resumes_identically() {
+        use crate::snap::{SnapReader, SnapWriter};
+
+        let params = ChannelParams::default_sync();
+        let end = SimTime::from_us(100);
+        let pause = SimTime::from_ns(550);
+
+        // Reference: uninterrupted run.
+        let (ra, rb) = run_pair(end, params, 10, 0);
+        assert_eq!(rb.received.len(), 10);
+        let _ = ra;
+
+        // Checkpointed run: pause both kernels at `pause`.
+        let (ca, cb) = channel_pair(params);
+        let mut ka = Kernel::new("a", end);
+        let mut kb = Kernel::new("b", end);
+        let pa = ka.add_port(ca);
+        let pb = kb.add_port(cb);
+        let mut a = Pinger::new(pa, 10, SimTime::from_ns(100));
+        let mut b = Pinger::new(pb, 0, SimTime::from_ns(100));
+        ka.set_pause_at(pause);
+        kb.set_pause_at(pause);
+        for _ in 0..10_000 {
+            let ra = ka.step(&mut a, 64);
+            let rb = kb.step(&mut b, 64);
+            if ra == StepOutcome::Paused && rb == StepOutcome::Paused {
+                break;
+            }
+        }
+        assert!(ka.is_paused() && kb.is_paused(), "both quiesced");
+        assert_eq!(ka.now(), pause);
+        assert_eq!(kb.now(), pause);
+        // Drain in-flight messages into the ports' pending buffers.
+        for _ in 0..16 {
+            ka.checkpoint_poll();
+            kb.checkpoint_poll();
+        }
+        assert!(ka.quiesced_at(pause) && kb.quiesced_at(pause));
+        // b has received the messages due before 550 ns (sent at 0 ns,
+        // arriving at 500 ns); the one arriving at 600 ns is in flight.
+        assert_eq!(b.received.len(), 1);
+
+        let mut wa = SnapWriter::new();
+        ka.snapshot(&mut wa).unwrap();
+        let mut wb = SnapWriter::new();
+        kb.snapshot(&mut wb).unwrap();
+        let (ba, bb) = (wa.into_vec(), wb.into_vec());
+
+        // Restore into freshly built kernels over a fresh channel pair and
+        // run to completion.
+        let (ca2, cb2) = channel_pair(params);
+        let mut ka2 = Kernel::new("a", end);
+        let mut kb2 = Kernel::new("b", end);
+        let pa2 = ka2.add_port(ca2);
+        let pb2 = kb2.add_port(cb2);
+        ka2.restore(&mut SnapReader::new(&ba)).unwrap();
+        kb2.restore(&mut SnapReader::new(&bb)).unwrap();
+        assert_eq!(ka2.now(), pause);
+        // The models' own state carries over directly in this test.
+        let mut a2 = Pinger { port: pa2, ..a };
+        let mut b2 = Pinger { port: pb2, ..b };
+        loop {
+            let ra = ka2.step(&mut a2, 64);
+            let rb = kb2.step(&mut b2, 64);
+            if ra == StepOutcome::Finished && rb == StepOutcome::Finished {
+                break;
+            }
+            assert!(
+                !(matches!(ra, StepOutcome::Blocked(_)) && matches!(rb, StepOutcome::Blocked(_))),
+                "deadlock after restore"
+            );
+        }
+        assert_eq!(b2.received, rb.received, "continuation identical to uninterrupted run");
+    }
+
+    /// Regression (checkpoint hardening): [`Kernel::cancel`] of a timer
+    /// that already fired, or of an [`EventId`] belonging to a different
+    /// kernel, must be a safe no-op returning false — never cancelling an
+    /// unrelated local timer.
+    #[test]
+    fn kernel_cancel_of_fired_or_foreign_timer_is_a_noop() {
+        struct C {
+            fired: Vec<u64>,
+            first: Option<EventId>,
+        }
+        impl Model for C {
+            fn init(&mut self, k: &mut Kernel) {
+                self.first = Some(k.schedule_at(SimTime::from_ns(100), 1));
+                k.schedule_at(SimTime::from_ns(200), 2);
+            }
+            fn on_msg(&mut self, _k: &mut Kernel, _p: PortId, _m: OwnedMsg) {}
+            fn on_timer(&mut self, k: &mut Kernel, token: u64) {
+                self.fired.push(token);
+                if token == 1 {
+                    // Cancelling the timer that is firing right now (already
+                    // popped) must not succeed or disturb the next one.
+                    let id = self.first.unwrap();
+                    assert!(!k.cancel(id), "already-fired timer cannot be cancelled");
+                }
+            }
+        }
+        // A sibling kernel whose EventId must be foreign to `k`.
+        let mut other = Kernel::new("other", SimTime::from_us(1));
+        let foreign = other.schedule_at(SimTime::from_ns(50), 9);
+
+        let mut k = Kernel::new("c", SimTime::from_us(1));
+        let mut m = C {
+            fired: Vec::new(),
+            first: None,
+        };
+        assert!(!k.cancel(foreign), "foreign EventId is unknown to this kernel");
+        k.run(&mut m);
+        assert_eq!(m.fired, vec![1, 2], "both local timers fired exactly once");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_topology() {
+        use crate::snap::{SnapError, SnapReader, SnapWriter};
+        let k = Kernel::new("x", SimTime::from_us(1));
+        let mut w = SnapWriter::new();
+        k.snapshot(&mut w).unwrap();
+        let blob = w.into_vec();
+        // Wrong name.
+        let mut other = Kernel::new("y", SimTime::from_us(1));
+        assert!(matches!(
+            other.restore(&mut SnapReader::new(&blob)),
+            Err(SnapError::Corrupt(_))
+        ));
+        // Wrong end time.
+        let mut other = Kernel::new("x", SimTime::from_us(2));
+        assert!(matches!(
+            other.restore(&mut SnapReader::new(&blob)),
+            Err(SnapError::Corrupt(_))
+        ));
+        // Wrong port count.
+        let (ca, _cb) = channel_pair(ChannelParams::default_sync());
+        let mut other = Kernel::new("x", SimTime::from_us(1));
+        other.add_port(ca);
+        assert!(matches!(
+            other.restore(&mut SnapReader::new(&blob)),
+            Err(SnapError::Corrupt(_))
+        ));
+        // Truncated blob.
+        let mut other = Kernel::new("x", SimTime::from_us(1));
+        assert!(other.restore(&mut SnapReader::new(&blob[..blob.len() - 1])).is_err());
     }
 
     #[test]

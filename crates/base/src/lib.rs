@@ -15,6 +15,8 @@
 //! * [`kernel`] — the component kernel ("SimBricks adapter" + event loop)
 //!   driving a [`Model`].
 //! * [`log`] — timestamped event logs for the accuracy/determinism checks.
+//! * [`snap`] — deterministic checkpoint/restore wire format and the
+//!   [`Snapshot`] trait implemented by every stateful component.
 //! * [`stats`] — per-component run statistics.
 //!
 //! Component simulators (hosts, NICs, networks, storage) live in the other
@@ -29,6 +31,7 @@ pub mod event;
 pub mod kernel;
 pub mod log;
 pub mod slot;
+pub mod snap;
 pub mod spsc;
 pub mod stats;
 pub mod sync;
@@ -39,8 +42,9 @@ pub use barrier::{BarrierMember, EpochController};
 pub use channel::{channel_pair, ChannelEnd, ChannelParams};
 pub use event::{EventId, EventQueue};
 pub use kernel::{Kernel, Model, PortId, StepOutcome, WakeHint};
-pub use log::{EventLog, LogEntry};
+pub use log::{intern_tag, EventLog, LogEntry};
 pub use slot::{MsgType, OwnedMsg, MAX_PAYLOAD, MSG_SYNC};
+pub use snap::{fnv1a, SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 pub use spsc::{Consumer, Producer, SendError};
 pub use stats::KernelStats;
 pub use sync::{PortStats, SyncPort};
@@ -115,6 +119,101 @@ mod proptests {
                 n += 1;
             }
             prop_assert_eq!(n, times.len());
+        }
+
+        /// Snapshot round trip: an [`EventLog`] with arbitrary entries
+        /// decodes back bit-identically (`decode(encode(s)) == s`).
+        #[test]
+        fn event_log_snapshot_roundtrip(entries in proptest::collection::vec(
+            (any::<u64>(), 0usize..4, any::<u64>(), any::<u64>()), 0..100)) {
+            let tags = ["tx", "rx", "irq", "mark"];
+            let mut log = EventLog::enabled();
+            for (t, tag, a, b) in &entries {
+                log.record(SimTime::from_ps(*t), tags[*tag], *a, *b);
+            }
+            let mut w = SnapWriter::new();
+            log.snapshot(&mut w).unwrap();
+            let buf = w.into_vec();
+            let mut back = EventLog::disabled();
+            back.restore(&mut SnapReader::new(&buf)).unwrap();
+            prop_assert_eq!(back.entries(), log.entries());
+            prop_assert_eq!(back.fingerprint(), log.fingerprint());
+        }
+
+        /// Snapshot round trip: [`KernelStats`] counters survive exactly.
+        #[test]
+        fn kernel_stats_snapshot_roundtrip(f in proptest::collection::vec(any::<u64>(), 12)) {
+            let s = KernelStats {
+                final_time: SimTime::from_ps(f[0]),
+                msgs_delivered: f[1],
+                timers_fired: f[2],
+                advances: f[3],
+                blocked_polls: f[4],
+                barrier_waits: f[5],
+                data_sent: f[6],
+                data_received: f[7],
+                syncs_sent: f[8],
+                syncs_received: f[9],
+                backpressured: f[10],
+                syncs_coalesced: f[11],
+            };
+            let mut w = SnapWriter::new();
+            s.snapshot(&mut w).unwrap();
+            let buf = w.into_vec();
+            let mut back = KernelStats::default();
+            back.restore(&mut SnapReader::new(&buf)).unwrap();
+            prop_assert_eq!(back, s);
+        }
+
+        /// Snapshot round trip: an [`EventQueue`] preserves content and —
+        /// crucially for determinism — the (time, schedule-order) pop order
+        /// of same-time events.
+        #[test]
+        fn event_queue_snapshot_roundtrip(times in proptest::collection::vec(0u64..1000, 1..64)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ps(*t), i as u64);
+            }
+            let mut w = SnapWriter::new();
+            q.snapshot_with(&mut w, |v, w| w.u64(*v)).unwrap();
+            let buf = w.into_vec();
+            let mut back: EventQueue<u64> =
+                EventQueue::restore_with(&mut SnapReader::new(&buf), |r| r.u64()).unwrap();
+            let mut expect = Vec::new();
+            while let Some(e) = q.pop_due(SimTime::MAX) { expect.push(e); }
+            let mut got = Vec::new();
+            while let Some(e) = back.pop_due(SimTime::MAX) { got.push(e); }
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Snapshot round trip: a [`SyncPort`] with arbitrary pending
+        /// messages and horizon state restores exactly.
+        #[test]
+        fn sync_port_snapshot_roundtrip(msgs in proptest::collection::vec(
+            (0u64..1_000_000u64, 1u8..=127, proptest::collection::vec(any::<u8>(), 0..64)), 0..32)) {
+            let params = ChannelParams::default_sync().with_queue_len(256);
+            let (a, b) = channel_pair(params);
+            let mut a = SyncPort::new(a);
+            let mut b = SyncPort::new(b);
+            let mut sorted = msgs.clone();
+            sorted.sort_by_key(|(t, _, _)| *t);
+            for (t, ty, data) in &sorted {
+                a.send_data(SimTime::from_ns(*t), *ty, data);
+            }
+            b.poll();
+            let mut w = SnapWriter::new();
+            b.snapshot(&mut w).unwrap();
+            let buf = w.into_vec();
+            let (_a2, b2) = channel_pair(params);
+            let mut back = SyncPort::new(b2);
+            back.restore(&mut SnapReader::new(&buf)).unwrap();
+            prop_assert_eq!(back.horizon(), b.horizon());
+            prop_assert_eq!(back.stats(), b.stats());
+            loop {
+                let (x, y) = (back.pop_due(SimTime::MAX), b.pop_due(SimTime::MAX));
+                prop_assert_eq!(&x, &y);
+                if x.is_none() { break; }
+            }
         }
 
         /// Sending over a synchronized port always stamps messages with the

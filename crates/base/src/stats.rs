@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use crate::sync::PortStats;
 use crate::time::SimTime;
 
@@ -137,6 +138,46 @@ impl KernelStats {
             out.syncs_coalesced += s.syncs_coalesced;
         }
         out
+    }
+}
+
+impl Snapshot for KernelStats {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.raw(&self.to_wire());
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        let buf = r.take(Self::WIRE_LEN)?;
+        *self = KernelStats::from_wire(buf)
+            .ok_or_else(|| SnapError::Corrupt("kernel stats encoding".into()))?;
+        Ok(())
+    }
+}
+
+impl Snapshot for PortStats {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        for v in [
+            self.data_sent,
+            self.data_received,
+            self.syncs_sent,
+            self.syncs_received,
+            self.backpressured,
+            self.syncs_coalesced,
+        ] {
+            w.u64(v);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.data_sent = r.u64()?;
+        self.data_received = r.u64()?;
+        self.syncs_sent = r.u64()?;
+        self.syncs_received = r.u64()?;
+        self.backpressured = r.u64()?;
+        self.syncs_coalesced = r.u64()?;
+        Ok(())
     }
 }
 

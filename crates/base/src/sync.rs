@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 
 use crate::channel::ChannelEnd;
 use crate::slot::{MsgType, OwnedMsg, MSG_SYNC};
+use crate::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use crate::spsc::SendError;
 use crate::time::SimTime;
 
@@ -235,6 +236,22 @@ impl SyncPort {
         self.chan.peek_timestamp().is_some()
     }
 
+    /// Unconditionally emit a SYNC promise at local time `now` (checkpoint
+    /// quiesce): the peer learns nothing will be sent before `now + Δ`, so it
+    /// can deliver every event strictly below `now` and then pause too.
+    /// Early emission is always safe (the promise is monotonic in `now`); the
+    /// adaptive interval is left untouched so the post-restore cadence
+    /// matches the saved state.
+    pub fn emit_promise(&mut self, now: SimTime) {
+        if !self.sync_enabled() || self.finalized {
+            return;
+        }
+        let ts = now.saturating_add(self.latency());
+        self.enqueue(ts, MSG_SYNC, &[]);
+        self.stats.syncs_sent += 1;
+        self.next_sync_due = self.next_sync_due.max(now.saturating_add(self.cur_interval));
+    }
+
     /// Send the final "end of time" promise so the peer never waits for this
     /// component again after it finishes.
     pub fn finalize(&mut self) {
@@ -271,6 +288,20 @@ impl SyncPort {
         self.outbox.push_back((ts, ty, payload.to_vec()));
     }
 
+    /// Whether this port is fully quiesced for a checkpoint at time `t`:
+    /// every outgoing message reached the shared queue, nothing raw is
+    /// waiting to be polled, and the peer has promised at least `t + Δ`
+    /// (its own pause promise), so every in-flight message is already in
+    /// this port's pending buffer.
+    pub fn quiesced_at(&self, t: SimTime) -> bool {
+        if !self.sync_enabled() {
+            return true;
+        }
+        self.flushed()
+            && !self.has_raw_input()
+            && self.horizon() >= t.saturating_add(self.latency())
+    }
+
     fn flush_outbox(&mut self) {
         while let Some((ts, ty, payload)) = self.outbox.front() {
             match self.chan.send_raw(*ts, *ty, payload) {
@@ -283,6 +314,58 @@ impl SyncPort {
                 Err(_) => break,
             }
         }
+    }
+}
+
+impl Snapshot for SyncPort {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.time(self.in_horizon);
+        w.usize(self.pending.len());
+        for m in &self.pending {
+            w.time(m.timestamp);
+            w.u8(m.ty);
+            w.bytes(&m.data);
+        }
+        w.time(self.next_sync_due);
+        w.usize(self.outbox.len());
+        for (ts, ty, payload) in &self.outbox {
+            w.time(*ts);
+            w.u8(*ty);
+            w.bytes(payload);
+        }
+        w.bool(self.finalized);
+        w.time(self.cur_interval);
+        self.stats.snapshot(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.in_horizon = r.time()?;
+        let n = r.usize()?;
+        if n > 1 << 24 {
+            return Err(SnapError::Corrupt(format!("absurd pending count {n}")));
+        }
+        self.pending.clear();
+        for _ in 0..n {
+            let timestamp = r.time()?;
+            let ty = r.u8()?;
+            let data = r.bytes()?;
+            self.pending.push_back(OwnedMsg::new(timestamp, ty, data));
+        }
+        self.next_sync_due = r.time()?;
+        let n = r.usize()?;
+        if n > 1 << 24 {
+            return Err(SnapError::Corrupt(format!("absurd outbox count {n}")));
+        }
+        self.outbox.clear();
+        for _ in 0..n {
+            let ts = r.time()?;
+            let ty = r.u8()?;
+            let payload = r.bytes()?;
+            self.outbox.push_back((ts, ty, payload));
+        }
+        self.finalized = r.bool()?;
+        self.cur_interval = r.time()?;
+        self.stats.restore(r)
     }
 }
 
@@ -397,6 +480,42 @@ mod tests {
         }
         assert_eq!(got, (0..10u8).collect::<Vec<_>>());
         assert!(a.flushed());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_protocol_state() {
+        let (mut a, mut b) = pair();
+        a.send_data(SimTime::from_ns(10), 1, b"one");
+        a.send_data(SimTime::from_ns(20), 2, b"two");
+        a.maybe_send_sync(SimTime::from_ns(600));
+        b.poll();
+        // b now holds pending messages and a raised horizon.
+        let mut w = SnapWriter::new();
+        b.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        // Restore into a freshly built port over a new channel pair.
+        let (_a2, b2) = channel_pair(ChannelParams::default_sync());
+        let mut b2 = SyncPort::new(b2);
+        b2.restore(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(b2.horizon(), b.horizon());
+        assert_eq!(b2.next_pending(), b.next_pending());
+        assert_eq!(b2.stats(), b.stats());
+        let m1 = b2.pop_due(SimTime::MAX).unwrap();
+        assert_eq!((m1.ty, m1.data.as_slice()), (1, b"one".as_slice()));
+        let m2 = b2.pop_due(SimTime::MAX).unwrap();
+        assert_eq!((m2.ty, m2.data.as_slice()), (2, b"two".as_slice()));
+    }
+
+    #[test]
+    fn emit_promise_raises_peer_horizon_and_keeps_interval() {
+        let (mut a, mut b) = pair();
+        let before = a.effective_sync_interval();
+        a.emit_promise(SimTime::from_ns(100));
+        assert_eq!(a.effective_sync_interval(), before, "no adaptive widening");
+        b.poll();
+        assert_eq!(b.horizon(), SimTime::from_ns(600));
+        assert!(b.quiesced_at(SimTime::from_ns(100)));
+        assert!(!b.quiesced_at(SimTime::from_ns(101)));
     }
 
     #[test]

@@ -111,12 +111,21 @@ pub fn netperf_config(
     }
 }
 
-/// Result of a dctcp fixed-threshold run: aggregate goodput in Gbps of two
-/// flows sharing a single 10 Gbps bottleneck link between two switches (the
-/// Fig. 1 topology: 2 clients and 2 servers, one shared bottleneck, ECN
-/// marking threshold K at the bottleneck queue).
-pub fn dctcp_end_to_end(k_packets: usize, duration: SimTime, host: HostKind) -> f64 {
+/// Build the Fig. 1 end-to-end dctcp experiment (2 client/server pairs, one
+/// shared 10 G bottleneck with ECN threshold `k_packets`); returns the
+/// experiment plus the server-host component ids whose iperf reports carry
+/// the per-flow goodput. `log` enables event logging (bit-identity checks,
+/// checkpoint demos).
+pub fn dctcp_e2e_build(
+    k_packets: usize,
+    duration: SimTime,
+    host: HostKind,
+    log: bool,
+) -> (Experiment, Vec<usize>) {
     let mut exp = Experiment::new("dctcp-e2e", duration + SimTime::from_ms(5));
+    if log {
+        exp = exp.with_logging();
+    }
     let mut client_eth = Vec::new();
     let mut server_eth = Vec::new();
     let mut servers = Vec::new();
@@ -147,9 +156,14 @@ pub fn dctcp_end_to_end(k_packets: usize, duration: SimTime, host: HostKind) -> 
     server_eth.push(uplink_r);
     exp.add("switch-clients", Box::new(SwitchBm::new(sw_cfg)), client_eth);
     exp.add("switch-servers", Box::new(SwitchBm::new(sw_cfg)), server_eth);
-    let r = exp.run(Execution::Sequential);
+    (exp, servers)
+}
+
+/// Aggregate goodput (Gbps) reported by the server hosts of a completed
+/// [`dctcp_e2e_build`] run.
+pub fn dctcp_goodput(r: &simbricks::runner::RunResult, servers: &[usize]) -> f64 {
     let mut total = 0.0;
-    for s in servers {
+    for &s in servers {
         let host: &HostModel = r.model(s).unwrap();
         let report = host.app_report();
         let g = report
@@ -159,6 +173,35 @@ pub fn dctcp_end_to_end(k_packets: usize, duration: SimTime, host: HostKind) -> 
         total += g;
     }
     total
+}
+
+/// Result of a dctcp fixed-threshold run: aggregate goodput in Gbps of two
+/// flows sharing a single 10 Gbps bottleneck link between two switches (the
+/// Fig. 1 topology: 2 clients and 2 servers, one shared bottleneck, ECN
+/// marking threshold K at the bottleneck queue).
+pub fn dctcp_end_to_end(k_packets: usize, duration: SimTime, host: HostKind) -> f64 {
+    let (exp, servers) = dctcp_e2e_build(k_packets, duration, host, false);
+    let r = exp.run(Execution::Sequential);
+    dctcp_goodput(&r, &servers)
+}
+
+/// The standard determinism-check configuration (§7.6): two gem5-like hosts
+/// running netperf through the behavioural switch, with event logging on.
+pub fn netperf_logged_experiment(stream: SimTime, rr: SimTime) -> Experiment {
+    let total = stream + rr + SimTime::from_ms(2);
+    let mut exp = Experiment::new("sec76-netperf", total).with_logging();
+    let server_cfg = HostConfig::new(HostKind::Gem5Timing, 0);
+    let client_cfg = HostConfig::new(HostKind::Gem5Timing, 1);
+    let server_app = Box::new(NetperfServer::new(5201, 5202));
+    let client_app = Box::new(NetperfClient::new(server_cfg.ip, 5201, 5202, stream, rr));
+    let (_s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, false);
+    let (_c, _, c_eth) = attach_host_nic(&mut exp, "client", client_cfg, client_app, false);
+    exp.add(
+        "switch",
+        Box::new(SwitchBm::new(SwitchConfig { ports: 2, ..Default::default() })),
+        vec![s_eth, c_eth],
+    );
+    exp
 }
 
 /// An iperf-like endpoint running directly inside the DES network simulator —

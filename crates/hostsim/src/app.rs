@@ -1,6 +1,7 @@
 //! Application runtime: the interface between guest applications (iperf,
 //! netperf, memcached, NOPaxos, ...) and the simulated OS.
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::SimTime;
 use simbricks_netstack::{NetStack, SocketAddr, SocketEvent, SocketId};
 use simbricks_proto::Ipv4Addr;
@@ -119,6 +120,24 @@ pub trait Application: Send {
     fn done(&self) -> bool {
         false
     }
+
+    /// Checkpoint support: append this application's dynamic state to `w`.
+    /// The default declines, so checkpointing a host whose application lacks
+    /// snapshot support fails with a clear error instead of losing state.
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        let _ = w;
+        Err(SnapError::Unsupported(
+            "application does not implement Application::snapshot".into(),
+        ))
+    }
+
+    /// Checkpoint support: load state written by [`Application::snapshot`].
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        let _ = r;
+        Err(SnapError::Unsupported(
+            "application does not implement Application::restore".into(),
+        ))
+    }
 }
 
 /// An application that does nothing (used for idle hosts and as a
@@ -129,4 +148,10 @@ impl Application for NullApp {
     fn start(&mut self, _os: &mut OsServices) {}
     fn on_socket_event(&mut self, _os: &mut OsServices, _ev: SocketEvent) {}
     fn on_timer(&mut self, _os: &mut OsServices, _token: u64) {}
+    fn snapshot(&self, _w: &mut SnapWriter) -> SnapResult<()> {
+        Ok(())
+    }
+    fn restore(&mut self, _r: &mut SnapReader) -> SnapResult<()> {
+        Ok(())
+    }
 }

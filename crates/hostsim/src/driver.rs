@@ -10,6 +10,7 @@
 //! Driver methods do not perform I/O themselves; they return [`DriverOp`]s
 //! that the host model turns into PCIe messages (and charges CPU time for).
 
+use simbricks_base::snap::{SnapReader, SnapResult, SnapWriter, Snapshot};
 use simbricks_nicsim::regs::*;
 use simbricks_nicsim::NicVariant;
 
@@ -370,6 +371,42 @@ impl NicDriver {
             });
         }
         out
+    }
+}
+
+impl Snapshot for NicDriver {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u64(self.tx_base);
+        w.u64(self.rx_base);
+        w.u64(self.tx_bufs);
+        w.u64(self.rx_bufs);
+        w.u32(self.tx_tail);
+        w.u32(self.tx_clean);
+        w.u32(self.rx_next);
+        w.u32(self.rx_tail);
+        w.u64(self.itr_ns);
+        w.bool(self.initialized);
+        w.u64(self.tx_dropped_ring_full);
+        w.u64(self.tx_packets);
+        w.u64(self.rx_packets);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.tx_base = r.u64()?;
+        self.rx_base = r.u64()?;
+        self.tx_bufs = r.u64()?;
+        self.rx_bufs = r.u64()?;
+        self.tx_tail = r.u32()?;
+        self.tx_clean = r.u32()?;
+        self.rx_next = r.u32()?;
+        self.rx_tail = r.u32()?;
+        self.itr_ns = r.u64()?;
+        self.initialized = r.bool()?;
+        self.tx_dropped_ring_full = r.u64()?;
+        self.tx_packets = r.u64()?;
+        self.rx_packets = r.u64()?;
+        Ok(())
     }
 }
 

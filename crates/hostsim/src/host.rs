@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
 use simbricks_netstack::{CongestionControl, NetStack, StackConfig};
 use simbricks_pcie::{DevToHost, HostToDev, IntStatus, OutstandingRequests};
@@ -537,6 +538,143 @@ impl Model for HostModel {
             return;
         }
         self.run_work(k, work);
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        self.mem.snapshot(w)?;
+        self.driver.snapshot(w)?;
+        self.stack.snapshot(w)?;
+        match &self.app {
+            Some(app) => {
+                w.bool(true);
+                app.snapshot(w)?;
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.app_done);
+        w.time(self.cpu_busy_until);
+
+        w.u64(self.mmio_pending.next_id());
+        let pending = self.mmio_pending.entries();
+        w.usize(pending.len());
+        for (id, purpose) in pending {
+            w.u64(id);
+            match purpose {
+                MmioPurpose::Posted => w.u8(0),
+                MmioPurpose::DriverRead(p) => {
+                    w.u8(1);
+                    w.u8(match p {
+                        ReadPurpose::RxHead => 0,
+                        ReadPurpose::TxHead => 1,
+                        ReadPurpose::Icr => 2,
+                    });
+                }
+            }
+        }
+
+        let mut works: Vec<(&u64, &Work)> = self.works.iter().collect();
+        works.sort_unstable_by_key(|(id, _)| **id);
+        w.usize(works.len());
+        for (id, work) in works {
+            w.u64(*id);
+            match work {
+                Work::Irq => w.u8(0),
+                Work::StackTimer => w.u8(1),
+                Work::AppTimer(tok) => {
+                    w.u8(2);
+                    w.u64(*tok);
+                }
+                Work::AppStart => w.u8(3),
+                Work::OsTick => w.u8(4),
+            }
+        }
+        w.u64(self.next_work);
+        w.opt_time(self.stack_timer_at);
+        w.bool(self.irq_work_pending);
+        w.u64(self.rng);
+
+        for v in [
+            self.stats.interrupts,
+            self.stats.rx_frames,
+            self.stats.tx_frames,
+            self.stats.mmio_read_stalls,
+            self.stats.mmio_writes,
+            self.stats.gro_merged,
+            self.stats.os_ticks,
+        ] {
+            w.u64(v);
+        }
+        w.time(self.stats.cpu_busy);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.mem.restore(r)?;
+        self.driver.restore(r)?;
+        self.stack.restore(r)?;
+        if r.bool()? {
+            match &mut self.app {
+                Some(app) => app.restore(r)?,
+                None => {
+                    return Err(SnapError::Corrupt(
+                        "snapshot has an application, rebuilt host does not".into(),
+                    ))
+                }
+            }
+        } else {
+            self.app = None;
+        }
+        self.app_done = r.bool()?;
+        self.cpu_busy_until = r.time()?;
+
+        let next_id = r.u64()?;
+        let n = r.usize()?;
+        let mut items = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let id = r.u64()?;
+            let purpose = match r.u8()? {
+                0 => MmioPurpose::Posted,
+                1 => MmioPurpose::DriverRead(match r.u8()? {
+                    0 => ReadPurpose::RxHead,
+                    1 => ReadPurpose::TxHead,
+                    2 => ReadPurpose::Icr,
+                    v => {
+                        return Err(SnapError::Corrupt(format!("bad read purpose tag {v}")))
+                    }
+                }),
+                v => return Err(SnapError::Corrupt(format!("bad mmio purpose tag {v}"))),
+            };
+            items.push((id, purpose));
+        }
+        self.mmio_pending = OutstandingRequests::restore_parts(next_id, items);
+
+        self.works.clear();
+        for _ in 0..r.usize()? {
+            let id = r.u64()?;
+            let work = match r.u8()? {
+                0 => Work::Irq,
+                1 => Work::StackTimer,
+                2 => Work::AppTimer(r.u64()?),
+                3 => Work::AppStart,
+                4 => Work::OsTick,
+                v => return Err(SnapError::Corrupt(format!("bad work tag {v}"))),
+            };
+            self.works.insert(id, work);
+        }
+        self.next_work = r.u64()?;
+        self.stack_timer_at = r.opt_time()?;
+        self.irq_work_pending = r.bool()?;
+        self.rng = r.u64()?;
+
+        self.stats.interrupts = r.u64()?;
+        self.stats.rx_frames = r.u64()?;
+        self.stats.tx_frames = r.u64()?;
+        self.stats.mmio_read_stalls = r.u64()?;
+        self.stats.mmio_writes = r.u64()?;
+        self.stats.gro_merged = r.u64()?;
+        self.stats.os_ticks = r.u64()?;
+        self.stats.cpu_busy = r.time()?;
+        Ok(())
     }
 }
 

@@ -1,5 +1,12 @@
 //! Simulated host physical memory, the target of device DMA.
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
+
+/// Snapshot page granularity: only pages containing a non-zero byte are
+/// encoded, so a checkpoint of a mostly-untouched multi-megabyte memory
+/// stays proportional to the memory actually used.
+const SNAP_PAGE: usize = 4096;
+
 /// A flat physical memory of fixed size. Descriptor rings and packet buffers
 /// allocated by drivers live here; NIC and NVMe models read and write it via
 /// DMA messages which the host adapter services against this array.
@@ -53,6 +60,52 @@ impl PhysMem {
     }
 }
 
+impl Snapshot for PhysMem {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u64(self.next_alloc);
+        w.usize(self.mem.len());
+        // Sparse page encoding: (page index, raw page) for non-zero pages.
+        let pages: Vec<usize> = self
+            .mem
+            .chunks(SNAP_PAGE)
+            .enumerate()
+            .filter(|(_, page)| page.iter().any(|b| *b != 0))
+            .map(|(i, _)| i)
+            .collect();
+        w.usize(pages.len());
+        for i in pages {
+            let start = i * SNAP_PAGE;
+            let end = (start + SNAP_PAGE).min(self.mem.len());
+            w.u64(i as u64);
+            w.bytes(&self.mem[start..end]);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.next_alloc = r.u64()?;
+        let size = r.usize()?;
+        if size != self.mem.len() {
+            return Err(SnapError::Corrupt(format!(
+                "physical memory size mismatch (snapshot {size}, built {})",
+                self.mem.len()
+            )));
+        }
+        self.mem.fill(0);
+        for _ in 0..r.usize()? {
+            let i = r.u64()? as usize;
+            let page = r.bytes()?;
+            let start = i.checked_mul(SNAP_PAGE).ok_or(SnapError::Truncated)?;
+            let end = start.checked_add(page.len()).ok_or(SnapError::Truncated)?;
+            if end > self.mem.len() || page.len() > SNAP_PAGE {
+                return Err(SnapError::Corrupt(format!("page {i} out of bounds")));
+            }
+            self.mem[start..end].copy_from_slice(&page);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +136,32 @@ mod tests {
     fn exhaustion_panics() {
         let mut m = PhysMem::new(0x2000);
         let _ = m.alloc(0x2000, 8);
+    }
+
+    #[test]
+    fn snapshot_is_sparse_and_roundtrips() {
+        let mut m = PhysMem::new(1 << 20);
+        let a = m.alloc(256, 64);
+        m.write(a, &[0xabu8; 256]);
+        m.write(1 << 19, &[7u8; 10]);
+        let mut w = SnapWriter::new();
+        m.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        assert!(
+            buf.len() < 3 * SNAP_PAGE,
+            "sparse encoding: {} bytes for 1 MiB with 2 touched pages",
+            buf.len()
+        );
+        let mut back = PhysMem::new(1 << 20);
+        back.restore(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(back.read(a, 256), m.read(a, 256));
+        assert_eq!(back.read(1 << 19, 10), &[7u8; 10]);
+        assert_eq!(back.read(0, 16), &[0u8; 16], "untouched pages stay zero");
+        // Allocator position carries over: new allocations do not overlap.
+        let b = back.alloc(64, 64);
+        assert!(b >= a + 256);
+        // Size mismatch is rejected.
+        let mut wrong = PhysMem::new(1 << 19);
+        assert!(wrong.restore(&mut SnapReader::new(&buf)).is_err());
     }
 }

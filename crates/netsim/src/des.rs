@@ -686,7 +686,7 @@ mod tests {
                 .unwrap();
             loop {
                 match self.kernel.step(&mut self.net, 512) {
-                    StepOutcome::Blocked(_) | StepOutcome::Finished => break,
+                    StepOutcome::Blocked(_) | StepOutcome::Paused | StepOutcome::Finished => break,
                     StepOutcome::Progressed => {}
                 }
             }

@@ -9,6 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
 use simbricks_eth::{send_packet, serialization_delay, EthPacket};
 use simbricks_proto::{frame_dst, frame_src, Ecn, Ipv4Header, MacAddr, ETH_HEADER_LEN};
@@ -275,6 +276,74 @@ impl Model for SwitchBm {
     fn on_timer(&mut self, k: &mut Kernel, token: u64) {
         self.depart(k, token as usize);
     }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        // MAC table in canonical (address) order, TTL state included.
+        let mut macs: Vec<(&MacAddr, &MacEntry)> = self.mac_table.iter().collect();
+        macs.sort_unstable_by_key(|(mac, _)| **mac);
+        w.usize(macs.len());
+        for (mac, e) in macs {
+            w.raw(mac.as_bytes());
+            w.usize(e.port);
+            w.time(e.last_seen);
+        }
+        w.usize(self.egress.len());
+        for q in &self.egress {
+            w.usize(q.queue.len());
+            for frame in &q.queue {
+                w.bytes(frame);
+            }
+            w.time(q.busy_until);
+            w.bool(q.departing);
+        }
+        for v in [
+            self.stats.forwarded,
+            self.stats.flooded,
+            self.stats.dropped,
+            self.stats.ecn_marked,
+            self.stats.mac_aged,
+            self.stats.mac_evicted,
+        ] {
+            w.u64(v);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.mac_table.clear();
+        for _ in 0..r.usize()? {
+            let mac = MacAddr::from_slice(r.take(6)?)
+                .ok_or_else(|| SnapError::Corrupt("mac address".into()))?;
+            let port = r.usize()?;
+            let last_seen = r.time()?;
+            self.mac_table.insert(mac, MacEntry { port, last_seen });
+        }
+        let n = r.usize()?;
+        if n != self.egress.len() {
+            return Err(SnapError::Corrupt(format!(
+                "switch egress port count mismatch (snapshot {n}, built {})",
+                self.egress.len()
+            )));
+        }
+        for q in &mut self.egress {
+            q.queue.clear();
+            q.queued_bytes = 0;
+            for _ in 0..r.usize()? {
+                let frame = r.bytes()?;
+                q.queued_bytes += frame.len();
+                q.queue.push_back(frame);
+            }
+            q.busy_until = r.time()?;
+            q.departing = r.bool()?;
+        }
+        self.stats.forwarded = r.u64()?;
+        self.stats.flooded = r.u64()?;
+        self.stats.dropped = r.u64()?;
+        self.stats.ecn_marked = r.u64()?;
+        self.stats.mac_aged = r.u64()?;
+        self.stats.mac_evicted = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -322,7 +391,7 @@ mod tests {
             }
             loop {
                 match self.kernel.step(&mut self.switch, 256) {
-                    StepOutcome::Blocked(_) | StepOutcome::Finished => break,
+                    StepOutcome::Blocked(_) | StepOutcome::Paused | StepOutcome::Finished => break,
                     StepOutcome::Progressed => {}
                 }
             }

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use simbricks_base::SimTime;
 use simbricks_proto::{
     ArpOp, ArpPacket, Ecn, FrameBuilder, IpProto, Ipv4Addr, MacAddr, ParsedFrame, ParsedL4,
@@ -363,7 +364,12 @@ impl NetStack {
     pub fn on_timer(&mut self, now: SimTime) {
         self.now = self.now.max(now);
         let now = self.now;
-        let ids: Vec<SocketId> = self.sockets.keys().copied().collect();
+        // Sorted id order: hash-map iteration order must never decide the
+        // order in which same-deadline connections emit segments — that
+        // would diverge across processes (distributed workers) and across
+        // checkpoint/restore.
+        let mut ids: Vec<SocketId> = self.sockets.keys().copied().collect();
+        ids.sort_unstable();
         for id in ids {
             let (segs, events, remote_ip) = match self.sockets.get_mut(&id) {
                 Some(Sock::Tcp(c)) => {
@@ -561,6 +567,56 @@ impl NetStack {
         }
     }
 
+    fn snapshot_event(ev: &SocketEvent, w: &mut SnapWriter) {
+        match ev {
+            SocketEvent::Connected(s) => {
+                w.u8(0);
+                w.u64(s.0);
+            }
+            SocketEvent::Accepted { listener, socket } => {
+                w.u8(1);
+                w.u64(listener.0);
+                w.u64(socket.0);
+            }
+            SocketEvent::DataAvailable(s) => {
+                w.u8(2);
+                w.u64(s.0);
+            }
+            SocketEvent::SendSpace(s) => {
+                w.u8(3);
+                w.u64(s.0);
+            }
+            SocketEvent::PeerClosed(s) => {
+                w.u8(4);
+                w.u64(s.0);
+            }
+            SocketEvent::Closed(s) => {
+                w.u8(5);
+                w.u64(s.0);
+            }
+            SocketEvent::ConnectFailed(s) => {
+                w.u8(6);
+                w.u64(s.0);
+            }
+        }
+    }
+
+    fn restore_event(r: &mut SnapReader) -> SnapResult<SocketEvent> {
+        Ok(match r.u8()? {
+            0 => SocketEvent::Connected(SocketId(r.u64()?)),
+            1 => SocketEvent::Accepted {
+                listener: SocketId(r.u64()?),
+                socket: SocketId(r.u64()?),
+            },
+            2 => SocketEvent::DataAvailable(SocketId(r.u64()?)),
+            3 => SocketEvent::SendSpace(SocketId(r.u64()?)),
+            4 => SocketEvent::PeerClosed(SocketId(r.u64()?)),
+            5 => SocketEvent::Closed(SocketId(r.u64()?)),
+            6 => SocketEvent::ConnectFailed(SocketId(r.u64()?)),
+            v => return Err(SnapError::Corrupt(format!("bad socket event tag {v}"))),
+        })
+    }
+
     fn alloc_ephemeral(&mut self) -> u16 {
         for _ in 0..16384 {
             let p = self.next_ephemeral;
@@ -574,6 +630,208 @@ impl NetStack {
             }
         }
         49152
+    }
+}
+
+impl Snapshot for NetStack {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.time(self.now);
+        w.u64(self.next_id);
+        w.u16(self.next_ephemeral);
+        w.bool(self.rx_checksum_offload);
+        for v in [
+            self.stats.frames_sent,
+            self.stats.frames_received,
+            self.stats.arp_requests_sent,
+            self.stats.arp_replies_sent,
+            self.stats.tcp_retransmits,
+            self.stats.tcp_segments_sent,
+            self.stats.tcp_bytes_received,
+            self.stats.udp_datagrams_sent,
+            self.stats.udp_datagrams_received,
+            self.stats.checksum_failures,
+        ] {
+            w.u64(v);
+        }
+
+        // Sockets in id order (canonical; hash-map order never leaks).
+        let mut ids: Vec<SocketId> = self.sockets.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in &ids {
+            w.u64(id.0);
+            match &self.sockets[id] {
+                Sock::TcpListener { _port } => {
+                    w.u8(0);
+                    w.u16(*_port);
+                }
+                Sock::Tcp(c) => {
+                    w.u8(1);
+                    c.snapshot(w)?;
+                }
+                Sock::Udp(u) => {
+                    w.u8(2);
+                    u.snapshot(w)?;
+                }
+            }
+        }
+
+        let mut pending: Vec<(u64, u64)> = self
+            .pending_accept
+            .iter()
+            .map(|(s, l)| (s.0, l.0))
+            .collect();
+        pending.sort_unstable();
+        w.usize(pending.len());
+        for (s, l) in pending {
+            w.u64(s);
+            w.u64(l);
+        }
+
+        let mut arp: Vec<(u32, MacAddr)> =
+            self.arp.iter().map(|(ip, mac)| (ip.to_u32(), *mac)).collect();
+        arp.sort_unstable_by_key(|(ip, _)| *ip);
+        w.usize(arp.len());
+        for (ip, mac) in arp {
+            w.u32(ip);
+            w.raw(mac.as_bytes());
+        }
+
+        type PendingSends = [(IpProto, Ecn, Vec<u8>)];
+        let mut arp_pending: Vec<(u32, &PendingSends)> = self
+            .arp_pending
+            .iter()
+            .map(|(ip, v)| (ip.to_u32(), v.as_slice()))
+            .collect();
+        arp_pending.sort_unstable_by_key(|(ip, _)| *ip);
+        w.usize(arp_pending.len());
+        for (ip, queued) in arp_pending {
+            w.u32(ip);
+            w.usize(queued.len());
+            for (proto, ecn, l4) in queued {
+                w.u8(proto.to_u8());
+                w.u8(ecn.to_bits());
+                w.bytes(l4);
+            }
+        }
+
+        let mut arp_last: Vec<(u32, SimTime)> = self
+            .arp_last_request
+            .iter()
+            .map(|(ip, t)| (ip.to_u32(), *t))
+            .collect();
+        arp_last.sort_unstable_by_key(|(ip, _)| *ip);
+        w.usize(arp_last.len());
+        for (ip, t) in arp_last {
+            w.u32(ip);
+            w.time(t);
+        }
+
+        w.usize(self.out.len());
+        for frame in &self.out {
+            w.bytes(frame);
+        }
+        w.usize(self.events.len());
+        for ev in &self.events {
+            Self::snapshot_event(ev, w);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.now = r.time()?;
+        self.next_id = r.u64()?;
+        self.next_ephemeral = r.u16()?;
+        self.rx_checksum_offload = r.bool()?;
+        self.stats = StackStats {
+            frames_sent: r.u64()?,
+            frames_received: r.u64()?,
+            arp_requests_sent: r.u64()?,
+            arp_replies_sent: r.u64()?,
+            tcp_retransmits: r.u64()?,
+            tcp_segments_sent: r.u64()?,
+            tcp_bytes_received: r.u64()?,
+            udp_datagrams_sent: r.u64()?,
+            udp_datagrams_received: r.u64()?,
+            checksum_failures: r.u64()?,
+        };
+
+        self.sockets.clear();
+        self.tcp_index.clear();
+        self.listeners.clear();
+        self.udp_ports.clear();
+        let n = r.usize()?;
+        if n > 1 << 24 {
+            return Err(SnapError::Corrupt(format!("absurd socket count {n}")));
+        }
+        for _ in 0..n {
+            let id = SocketId(r.u64()?);
+            match r.u8()? {
+                0 => {
+                    let port = r.u16()?;
+                    self.sockets.insert(id, Sock::TcpListener { _port: port });
+                    self.listeners.insert(port, id);
+                }
+                1 => {
+                    let conn = TcpConn::restore(r)?;
+                    self.tcp_index
+                        .insert((conn.local.port, conn.remote.ip, conn.remote.port), id);
+                    self.sockets.insert(id, Sock::Tcp(Box::new(conn)));
+                }
+                2 => {
+                    let mut u = UdpSocket::new(0);
+                    u.restore(r)?;
+                    self.udp_ports.insert(u.local_port, id);
+                    self.sockets.insert(id, Sock::Udp(u));
+                }
+                v => return Err(SnapError::Corrupt(format!("bad socket kind tag {v}"))),
+            }
+        }
+
+        self.pending_accept.clear();
+        for _ in 0..r.usize()? {
+            let s = SocketId(r.u64()?);
+            let l = SocketId(r.u64()?);
+            self.pending_accept.insert(s, l);
+        }
+
+        self.arp.clear();
+        for _ in 0..r.usize()? {
+            let ip = Ipv4Addr::from_u32(r.u32()?);
+            let mac = MacAddr::from_slice(r.take(6)?)
+                .ok_or_else(|| SnapError::Corrupt("mac address".into()))?;
+            self.arp.insert(ip, mac);
+        }
+
+        self.arp_pending.clear();
+        for _ in 0..r.usize()? {
+            let ip = Ipv4Addr::from_u32(r.u32()?);
+            let mut queued = Vec::new();
+            for _ in 0..r.usize()? {
+                let proto = IpProto::from_u8(r.u8()?);
+                let ecn = Ecn::from_bits(r.u8()?);
+                let l4 = r.bytes()?;
+                queued.push((proto, ecn, l4));
+            }
+            self.arp_pending.insert(ip, queued);
+        }
+
+        self.arp_last_request.clear();
+        for _ in 0..r.usize()? {
+            let ip = Ipv4Addr::from_u32(r.u32()?);
+            let t = r.time()?;
+            self.arp_last_request.insert(ip, t);
+        }
+
+        self.out.clear();
+        for _ in 0..r.usize()? {
+            self.out.push_back(r.bytes()?);
+        }
+        self.events.clear();
+        for _ in 0..r.usize()? {
+            self.events.push_back(Self::restore_event(r)?);
+        }
+        Ok(())
     }
 }
 
@@ -673,6 +931,72 @@ mod tests {
         let f = a.poll_transmit().unwrap();
         b.handle_frame(SimTime::from_us(1), &f);
         assert_eq!(b.stats().udp_datagrams_received, 0);
+    }
+
+    /// Snapshot a stack mid-handshake (pending connection, queued frames,
+    /// learned ARP entries, undrained events) and restore it into a freshly
+    /// built stack: the restored stack completes the connection exactly.
+    #[test]
+    fn snapshot_roundtrip_mid_connection() {
+        let mut a = NetStack::new(cfg(1, 1));
+        let mut b = NetStack::new(cfg(2, 2));
+        a.add_arp_entry(b.ip(), b.mac());
+        b.add_arp_entry(a.ip(), a.mac());
+        b.tcp_listen(80);
+        let c = a.tcp_connect(SimTime::from_us(1), b.ip(), 80);
+        // Deliver the SYN to b (b now has a SynReceived conn + SYN-ACK out),
+        // but leave the SYN-ACK in flight inside b's out queue.
+        while let Some(f) = a.poll_transmit() {
+            b.handle_frame(SimTime::from_us(2), &f);
+        }
+        let snap = |s: &NetStack| {
+            let mut w = SnapWriter::new();
+            s.snapshot(&mut w).unwrap();
+            w.into_vec()
+        };
+        let (ba, bb) = (snap(&a), snap(&b));
+        let mut a2 = NetStack::new(cfg(1, 1));
+        let mut b2 = NetStack::new(cfg(2, 2));
+        a2.restore(&mut SnapReader::new(&ba)).unwrap();
+        b2.restore(&mut SnapReader::new(&bb)).unwrap();
+        assert_eq!(a2.tcp_state(c), Some(TcpState::SynSent));
+        // Finish the handshake on the restored pair.
+        for _ in 0..4 {
+            while let Some(f) = b2.poll_transmit() {
+                a2.handle_frame(SimTime::from_us(3), &f);
+            }
+            while let Some(f) = a2.poll_transmit() {
+                b2.handle_frame(SimTime::from_us(3), &f);
+            }
+        }
+        assert_eq!(a2.tcp_state(c), Some(TcpState::Established));
+        let evs = a2.poll_events();
+        assert!(evs.contains(&SocketEvent::Connected(c)));
+        let evs_b = b2.poll_events();
+        assert!(
+            evs_b.iter().any(|e| matches!(e, SocketEvent::Accepted { .. })),
+            "restored pending_accept still maps the passive open to its listener"
+        );
+        // Data flows on the restored connection.
+        a2.tcp_send(c, b"hello");
+        while let Some(f) = a2.poll_transmit() {
+            b2.handle_frame(SimTime::from_us(4), &f);
+        }
+        let sb = *b2.tcp_index.values().next().unwrap();
+        assert_eq!(b2.tcp_recv(sb, usize::MAX), b"hello");
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_truncation() {
+        let mut a = NetStack::new(cfg(1, 1));
+        a.udp_bind(9);
+        let mut w = SnapWriter::new();
+        a.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        let mut fresh = NetStack::new(cfg(1, 1));
+        for cut in [1usize, buf.len() / 2, buf.len() - 1] {
+            assert!(fresh.restore(&mut SnapReader::new(&buf[..cut])).is_err());
+        }
     }
 
     #[test]

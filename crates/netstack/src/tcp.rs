@@ -19,6 +19,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::SimTime;
 use simbricks_proto::{Ecn, TcpFlags, TcpHeader};
 
@@ -896,6 +897,178 @@ impl TcpConn {
         self.rto_deadline = Some(now + backoff);
     }
 
+    // ------------------------------------------------------------------
+    // Checkpoint/restore
+    // ------------------------------------------------------------------
+
+    /// Serialize the complete connection state — negotiated configuration,
+    /// sequence space (`snd_una`/`snd_nxt`/`rcv_nxt`), send and receive
+    /// buffers, out-of-order reassembly runs, negotiated window scale,
+    /// congestion control (Reno + DCTCP α window), RTT estimator, timers,
+    /// and counters — so a restored run continues bit-identically.
+    pub fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        // Negotiated/clamped configuration (MSS shrinks at SYN time).
+        w.usize(self.cfg.mss);
+        w.u8(match self.cfg.congestion {
+            CongestionControl::Reno => 0,
+            CongestionControl::Dctcp => 1,
+        });
+        w.usize(self.cfg.tx_buf);
+        w.usize(self.cfg.rx_buf);
+        w.time(self.cfg.rto_min);
+        w.time(self.cfg.rto_initial);
+        w.time(self.cfg.delayed_ack);
+        w.f64(self.cfg.dctcp_g);
+        w.u8(self.cfg.window_scale);
+        w.usize(self.cfg.tso_size);
+
+        w.u8(tcp_state_to_u8(self.state));
+        w.u32(self.local.ip.to_u32());
+        w.u16(self.local.port);
+        w.u32(self.remote.ip.to_u32());
+        w.u16(self.remote.port);
+
+        w.u32(self.snd_una);
+        w.u32(self.snd_nxt);
+        w.u32(self.snd_wnd);
+        let tx: Vec<u8> = self.tx_buf.iter().copied().collect();
+        w.bytes(&tx);
+        w.bool(self.fin_queued);
+        w.bool(self.fin_sent);
+        w.u32(self.fin_seq);
+
+        w.u32(self.rcv_nxt);
+        let rx: Vec<u8> = self.rx_buf.iter().copied().collect();
+        w.bytes(&rx);
+        w.usize(self.ooo.len());
+        for (seq, data) in &self.ooo {
+            w.u32(*seq);
+            w.bytes(data);
+        }
+        match self.peer_fin {
+            Some(s) => {
+                w.bool(true);
+                w.u32(s);
+            }
+            None => w.bool(false),
+        }
+        w.u8(self.snd_wscale);
+        w.u8(self.rcv_wscale);
+
+        w.u64(self.cwnd);
+        w.u64(self.ssthresh);
+        w.u32(self.dup_acks);
+        w.bool(self.in_recovery);
+        w.u32(self.recover);
+
+        w.f64(self.alpha);
+        w.u64(self.win_bytes_acked);
+        w.u64(self.win_bytes_marked);
+        w.u32(self.win_end);
+        w.bool(self.ce_to_echo);
+
+        w.f64(self.srtt_ns);
+        w.f64(self.rttvar_ns);
+        w.time(self.rto);
+        w.u32(self.rto_backoff);
+        w.opt_time(self.rto_deadline);
+        match self.rtt_probe {
+            Some((seq, at)) => {
+                w.bool(true);
+                w.u32(seq);
+                w.time(at);
+            }
+            None => w.bool(false),
+        }
+        w.u32(self.ack_pending);
+        w.opt_time(self.delack_deadline);
+
+        w.u64(self.retransmits);
+        w.u64(self.segs_sent);
+        w.u64(self.segs_received);
+        w.u64(self.bytes_sent);
+        w.u64(self.bytes_received);
+        w.u64(self.ce_marks_seen);
+        Ok(())
+    }
+
+    /// Rebuild a connection from [`TcpConn::snapshot`] output.
+    pub fn restore(r: &mut SnapReader) -> SnapResult<TcpConn> {
+        let cfg = TcpConfig {
+            mss: r.usize()?,
+            congestion: match r.u8()? {
+                0 => CongestionControl::Reno,
+                1 => CongestionControl::Dctcp,
+                v => return Err(SnapError::Corrupt(format!("bad congestion tag {v}"))),
+            },
+            tx_buf: r.usize()?,
+            rx_buf: r.usize()?,
+            rto_min: r.time()?,
+            rto_initial: r.time()?,
+            delayed_ack: r.time()?,
+            dctcp_g: r.f64()?,
+            window_scale: r.u8()?,
+            tso_size: r.usize()?,
+        };
+        let state = tcp_state_from_u8(r.u8()?)?;
+        let local = SocketAddr::new(simbricks_proto::Ipv4Addr::from_u32(r.u32()?), r.u16()?);
+        let remote = SocketAddr::new(simbricks_proto::Ipv4Addr::from_u32(r.u32()?), r.u16()?);
+        let mut c = TcpConn::base(local, remote, cfg, state);
+        c.snd_una = r.u32()?;
+        c.snd_nxt = r.u32()?;
+        c.snd_wnd = r.u32()?;
+        c.tx_buf = VecDeque::from(r.bytes()?);
+        c.fin_queued = r.bool()?;
+        c.fin_sent = r.bool()?;
+        c.fin_seq = r.u32()?;
+        c.rcv_nxt = r.u32()?;
+        c.rx_buf = VecDeque::from(r.bytes()?);
+        let n = r.usize()?;
+        if n > 1 << 20 {
+            return Err(SnapError::Corrupt(format!("absurd ooo run count {n}")));
+        }
+        c.ooo = BTreeMap::new();
+        c.ooo_bytes = 0;
+        for _ in 0..n {
+            let seq = r.u32()?;
+            let data = r.bytes()?;
+            c.ooo_bytes += data.len();
+            c.ooo.insert(seq, data);
+        }
+        c.peer_fin = if r.bool()? { Some(r.u32()?) } else { None };
+        c.snd_wscale = r.u8()?;
+        c.rcv_wscale = r.u8()?;
+        c.cwnd = r.u64()?;
+        c.ssthresh = r.u64()?;
+        c.dup_acks = r.u32()?;
+        c.in_recovery = r.bool()?;
+        c.recover = r.u32()?;
+        c.alpha = r.f64()?;
+        c.win_bytes_acked = r.u64()?;
+        c.win_bytes_marked = r.u64()?;
+        c.win_end = r.u32()?;
+        c.ce_to_echo = r.bool()?;
+        c.srtt_ns = r.f64()?;
+        c.rttvar_ns = r.f64()?;
+        c.rto = r.time()?;
+        c.rto_backoff = r.u32()?;
+        c.rto_deadline = r.opt_time()?;
+        c.rtt_probe = if r.bool()? {
+            Some((r.u32()?, r.time()?))
+        } else {
+            None
+        };
+        c.ack_pending = r.u32()?;
+        c.delack_deadline = r.opt_time()?;
+        c.retransmits = r.u64()?;
+        c.segs_sent = r.u64()?;
+        c.segs_received = r.u64()?;
+        c.bytes_sent = r.u64()?;
+        c.bytes_received = r.u64()?;
+        c.ce_marks_seen = r.u64()?;
+        Ok(c)
+    }
+
     /// Earliest time at which [`TcpConn::on_timer`] must be called.
     pub fn next_deadline(&self) -> Option<SimTime> {
         match (self.rto_deadline, self.delack_deadline) {
@@ -950,6 +1123,35 @@ impl TcpConn {
         }
         self.poll_output(now, out);
     }
+}
+
+fn tcp_state_to_u8(s: TcpState) -> u8 {
+    match s {
+        TcpState::SynSent => 0,
+        TcpState::SynReceived => 1,
+        TcpState::Established => 2,
+        TcpState::FinWait1 => 3,
+        TcpState::FinWait2 => 4,
+        TcpState::CloseWait => 5,
+        TcpState::LastAck => 6,
+        TcpState::Closing => 7,
+        TcpState::Closed => 8,
+    }
+}
+
+fn tcp_state_from_u8(v: u8) -> SnapResult<TcpState> {
+    Ok(match v {
+        0 => TcpState::SynSent,
+        1 => TcpState::SynReceived,
+        2 => TcpState::Established,
+        3 => TcpState::FinWait1,
+        4 => TcpState::FinWait2,
+        5 => TcpState::CloseWait,
+        6 => TcpState::LastAck,
+        7 => TcpState::Closing,
+        8 => TcpState::Closed,
+        v => return Err(SnapError::Corrupt(format!("bad tcp state tag {v}"))),
+    })
 }
 
 #[cfg(test)]
@@ -1419,6 +1621,62 @@ mod tests {
         assert!(c.cwnd() <= 20_000, "cwnd stays small under persistent marking");
     }
 
+    /// Mid-transfer snapshot: a connection with in-flight data, buffered
+    /// out-of-order runs, and armed timers restores to a state that
+    /// completes the stream exactly like the original.
+    #[test]
+    fn snapshot_mid_transfer_restores_and_completes() {
+        let cfg = TcpConfig {
+            mss: 500,
+            ..Default::default()
+        };
+        let (mut c, mut s) = handshake(cfg);
+        let msg: Vec<u8> = (0..4000u32).map(|i| (i % 211) as u8).collect();
+        c.send(&msg);
+        let mut segs = Vec::new();
+        c.poll_output(SimTime::from_us(1), &mut segs);
+        // Deliver only segments 2.. so the server buffers OOO state, then
+        // snapshot both sides mid-recovery.
+        for seg in &segs[2..] {
+            s.on_segment(SimTime::from_us(2), seg.ecn, &seg.hdr, &seg.payload, &mut Vec::new(), &mut Vec::new());
+        }
+        assert!(s.ooo_bytes > 0, "server holds out-of-order runs");
+        let snap = |conn: &TcpConn| {
+            let mut w = SnapWriter::new();
+            conn.snapshot(&mut w).unwrap();
+            w.into_vec()
+        };
+        let (bc, bs) = (snap(&c), snap(&s));
+        let mut c2 = TcpConn::restore(&mut SnapReader::new(&bc)).unwrap();
+        let mut s2 = TcpConn::restore(&mut SnapReader::new(&bs)).unwrap();
+        assert_eq!(c2.snd_nxt, c.snd_nxt);
+        assert_eq!(c2.tx_buf, c.tx_buf);
+        assert_eq!(s2.ooo, s.ooo);
+        assert_eq!(s2.ooo_bytes, s.ooo_bytes);
+        assert_eq!(s2.next_deadline(), s.next_deadline());
+        // Replay the missing head segments into the restored server and pump
+        // to completion: the byte stream must come out exactly.
+        for seg in &segs[..2] {
+            s2.on_segment(SimTime::from_us(3), seg.ecn, &seg.hdr, &seg.payload, &mut Vec::new(), &mut Vec::new());
+        }
+        pump(SimTime::from_us(5), &mut c2, &mut s2);
+        let got = s2.recv(usize::MAX);
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corrupt_input() {
+        let (c, _s) = handshake(TcpConfig::default());
+        let mut w = SnapWriter::new();
+        c.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        assert!(TcpConn::restore(&mut SnapReader::new(&buf[..10])).is_err());
+        let mut bad = buf.clone();
+        // Corrupt the congestion-control tag (offset 8: right after mss).
+        bad[8] = 0xfe;
+        assert!(TcpConn::restore(&mut SnapReader::new(&bad)).is_err());
+    }
+
     #[test]
     fn rst_aborts_connection() {
         let (mut c, _s) = handshake(TcpConfig::default());
@@ -1483,6 +1741,50 @@ mod tests {
                 let got = s.recv(usize::MAX);
                 prop_assert_eq!(got, stream);
                 prop_assert_eq!(s.ooo_bytes, 0);
+            }
+
+            /// Snapshot round trip (`decode(encode(s)) == s`): a connection
+            /// driven into an arbitrary mid-transfer state — random payload,
+            /// random subset of segments delivered out of order — restores
+            /// with identical sequence space, buffers, reassembly runs, and
+            /// timer deadlines.
+            #[test]
+            fn tcp_conn_snapshot_roundtrip(
+                payload_len in 0usize..5000,
+                deliver_mask in any::<u16>(),
+            ) {
+                let cfg = TcpConfig { mss: 400, ..Default::default() };
+                let (mut c, mut s) = handshake(cfg);
+                let msg: Vec<u8> = (0..payload_len).map(|i| (i % 239) as u8).collect();
+                c.send(&msg);
+                let mut segs = Vec::new();
+                c.poll_output(SimTime::from_us(1), &mut segs);
+                for (i, seg) in segs.iter().enumerate().rev() {
+                    if deliver_mask & (1 << (i % 16)) != 0 {
+                        s.on_segment(SimTime::from_us(2), seg.ecn, &seg.hdr, &seg.payload,
+                                     &mut Vec::new(), &mut Vec::new());
+                    }
+                }
+                for conn in [&c, &s] {
+                    let mut w = SnapWriter::new();
+                    conn.snapshot(&mut w).unwrap();
+                    let buf = w.into_vec();
+                    let mut r = SnapReader::new(&buf);
+                    let back = TcpConn::restore(&mut r).unwrap();
+                    prop_assert!(r.is_empty(), "every byte consumed");
+                    prop_assert_eq!(back.state, conn.state);
+                    prop_assert_eq!(back.snd_una, conn.snd_una);
+                    prop_assert_eq!(back.snd_nxt, conn.snd_nxt);
+                    prop_assert_eq!(back.rcv_nxt, conn.rcv_nxt);
+                    prop_assert_eq!(&back.tx_buf, &conn.tx_buf);
+                    prop_assert_eq!(&back.rx_buf, &conn.rx_buf);
+                    prop_assert_eq!(&back.ooo, &conn.ooo);
+                    prop_assert_eq!(back.ooo_bytes, conn.ooo_bytes);
+                    prop_assert_eq!(back.cwnd, conn.cwnd);
+                    prop_assert_eq!(back.next_deadline(), conn.next_deadline());
+                    prop_assert_eq!(back.segs_sent, conn.segs_sent);
+                    prop_assert_eq!(back.bytes_received, conn.bytes_received);
+                }
             }
         }
     }

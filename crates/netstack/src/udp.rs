@@ -2,6 +2,9 @@
 
 use std::collections::VecDeque;
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
+use simbricks_proto::Ipv4Addr;
+
 use crate::socket::SocketAddr;
 
 /// Maximum datagrams buffered per UDP socket before tail drop (mimics a
@@ -46,10 +49,41 @@ impl UdpSocket {
     }
 }
 
+impl Snapshot for UdpSocket {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u16(self.local_port);
+        w.u64(self.dropped);
+        w.usize(self.rx.len());
+        for (from, payload) in &self.rx {
+            w.u32(from.ip.to_u32());
+            w.u16(from.port);
+            w.bytes(payload);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.local_port = r.u16()?;
+        self.dropped = r.u64()?;
+        let n = r.usize()?;
+        if n > UDP_RX_QUEUE_LIMIT {
+            return Err(SnapError::Corrupt(format!(
+                "udp rx queue length {n} exceeds limit {UDP_RX_QUEUE_LIMIT}"
+            )));
+        }
+        self.rx.clear();
+        for _ in 0..n {
+            let from = SocketAddr::new(Ipv4Addr::from_u32(r.u32()?), r.u16()?);
+            let payload = r.bytes()?;
+            self.rx.push_back((from, payload));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simbricks_proto::Ipv4Addr;
 
     fn addr(last: u8, port: u16) -> SocketAddr {
         SocketAddr::new(Ipv4Addr::new(10, 0, 0, last), port)
@@ -74,5 +108,23 @@ mod tests {
         }
         assert_eq!(s.pending(), UDP_RX_QUEUE_LIMIT);
         assert_eq!(s.dropped, 10);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut s = UdpSocket::new(7000);
+        s.deliver(addr(1, 1111), vec![1, 2, 3]);
+        s.deliver(addr(2, 2222), vec![4]);
+        s.dropped = 5;
+        let mut w = SnapWriter::new();
+        s.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        let mut back = UdpSocket::new(0);
+        back.restore(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(back.local_port, 7000);
+        assert_eq!(back.dropped, 5);
+        assert_eq!(back.recv(), Some((addr(1, 1111), vec![1, 2, 3])));
+        assert_eq!(back.recv(), Some((addr(2, 2222), vec![4])));
+        assert_eq!(back.recv(), None);
     }
 }

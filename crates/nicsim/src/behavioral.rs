@@ -16,6 +16,7 @@
 
 use std::collections::VecDeque;
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
 use simbricks_eth::{send_packet, serialization_delay, EthPacket};
 use simbricks_pcie::{DevToHost, DeviceInfo, HostToDev};
@@ -84,6 +85,7 @@ pub struct NicStats {
 }
 
 /// DMA contexts of the data path.
+#[derive(Clone)]
 enum DmaCtx {
     TxDescFetch { idx: u32 },
     TxBufFetch { idx: u32, tso: bool },
@@ -434,6 +436,56 @@ impl BehavioralNic {
     }
 }
 
+fn dma_ctx_snapshot(ctx: &DmaCtx, w: &mut SnapWriter) {
+    match ctx {
+        DmaCtx::TxDescFetch { idx } => {
+            w.u8(0);
+            w.u32(*idx);
+        }
+        DmaCtx::TxBufFetch { idx, tso } => {
+            w.u8(1);
+            w.u32(*idx);
+            w.bool(*tso);
+        }
+        DmaCtx::TxWriteback => w.u8(2),
+        DmaCtx::RxDescFetch { idx, frame } => {
+            w.u8(3);
+            w.u32(*idx);
+            w.bytes(frame);
+        }
+        DmaCtx::RxDataWrite { idx, len } => {
+            w.u8(4);
+            w.u32(*idx);
+            w.u16(*len);
+        }
+        DmaCtx::RxWriteback { idx } => {
+            w.u8(5);
+            w.u32(*idx);
+        }
+    }
+}
+
+fn dma_ctx_restore(r: &mut SnapReader) -> SnapResult<DmaCtx> {
+    Ok(match r.u8()? {
+        0 => DmaCtx::TxDescFetch { idx: r.u32()? },
+        1 => DmaCtx::TxBufFetch {
+            idx: r.u32()?,
+            tso: r.bool()?,
+        },
+        2 => DmaCtx::TxWriteback,
+        3 => DmaCtx::RxDescFetch {
+            idx: r.u32()?,
+            frame: r.bytes()?,
+        },
+        4 => DmaCtx::RxDataWrite {
+            idx: r.u32()?,
+            len: r.u16()?,
+        },
+        5 => DmaCtx::RxWriteback { idx: r.u32()? },
+        v => return Err(SnapError::Corrupt(format!("bad dma context tag {v}"))),
+    })
+}
+
 impl Model for BehavioralNic {
     fn init(&mut self, k: &mut Kernel) {
         // Device discovery: announce ourselves to the host (INIT_DEV).
@@ -497,6 +549,100 @@ impl Model for BehavioralNic {
             TOK_ITR => self.itr.on_timer(k),
             _ => {}
         }
+    }
+
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.bool(self.enabled);
+        w.u64(self.mac);
+        w.u64(self.flags);
+        w.u64(self.icr);
+        w.u32(self.tso_mss);
+        for v in [
+            self.queue.tx_base,
+            self.queue.rx_base,
+        ] {
+            w.u64(v);
+        }
+        for v in [
+            self.queue.tx_len,
+            self.queue.tx_tail,
+            self.queue.tx_head,
+            self.queue.tx_fetch_next,
+            self.queue.tx_inflight,
+            self.queue.rx_len,
+            self.queue.rx_tail,
+            self.queue.rx_head,
+            self.queue.rx_fetch_next,
+            self.queue.rx_inflight,
+        ] {
+            w.u32(v);
+        }
+        self.dma.snapshot_with(w, dma_ctx_snapshot)?;
+        self.itr.snapshot(w)?;
+        w.usize(self.tx_fifo.len());
+        for f in &self.tx_fifo {
+            w.bytes(f);
+        }
+        w.time(self.tx_busy_until);
+        w.bool(self.tx_xmit_scheduled);
+        w.usize(self.rx_fifo.len());
+        for f in &self.rx_fifo {
+            w.bytes(f);
+        }
+        for v in [
+            self.stats.tx_packets,
+            self.stats.tx_bytes,
+            self.stats.rx_packets,
+            self.stats.rx_bytes,
+            self.stats.rx_dropped_no_buffer,
+            self.stats.interrupts,
+            self.stats.mmio_reads,
+            self.stats.mmio_writes,
+        ] {
+            w.u64(v);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.enabled = r.bool()?;
+        self.mac = r.u64()?;
+        self.flags = r.u64()?;
+        self.icr = r.u64()?;
+        self.tso_mss = r.u32()?;
+        self.queue.tx_base = r.u64()?;
+        self.queue.rx_base = r.u64()?;
+        self.queue.tx_len = r.u32()?;
+        self.queue.tx_tail = r.u32()?;
+        self.queue.tx_head = r.u32()?;
+        self.queue.tx_fetch_next = r.u32()?;
+        self.queue.tx_inflight = r.u32()?;
+        self.queue.rx_len = r.u32()?;
+        self.queue.rx_tail = r.u32()?;
+        self.queue.rx_head = r.u32()?;
+        self.queue.rx_fetch_next = r.u32()?;
+        self.queue.rx_inflight = r.u32()?;
+        self.dma.restore_with(r, dma_ctx_restore)?;
+        self.itr.restore(r)?;
+        self.tx_fifo.clear();
+        for _ in 0..r.usize()? {
+            self.tx_fifo.push_back(r.bytes()?);
+        }
+        self.tx_busy_until = r.time()?;
+        self.tx_xmit_scheduled = r.bool()?;
+        self.rx_fifo.clear();
+        for _ in 0..r.usize()? {
+            self.rx_fifo.push_back(r.bytes()?);
+        }
+        self.stats.tx_packets = r.u64()?;
+        self.stats.tx_bytes = r.u64()?;
+        self.stats.rx_packets = r.u64()?;
+        self.stats.rx_bytes = r.u64()?;
+        self.stats.rx_dropped_no_buffer = r.u64()?;
+        self.stats.interrupts = r.u64()?;
+        self.stats.mmio_reads = r.u64()?;
+        self.stats.mmio_writes = r.u64()?;
+        Ok(())
     }
 }
 

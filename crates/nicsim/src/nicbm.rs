@@ -2,6 +2,7 @@
 //! a DMA engine tracking outstanding PCIe requests and an MSI-X interrupt
 //! moderation helper.
 
+use simbricks_base::snap::{SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{Kernel, PortId, SimTime};
 use simbricks_pcie::{DevToHost, IntKind, OutstandingRequests};
 
@@ -52,6 +53,46 @@ impl<C> DmaEngine<C> {
 
     pub fn in_flight(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Checkpoint: encode counters plus the in-flight requests (id order)
+    /// with their contexts via `enc`.
+    pub fn snapshot_with(
+        &self,
+        w: &mut SnapWriter,
+        enc: impl Fn(&C, &mut SnapWriter),
+    ) -> SnapResult<()> {
+        w.u64(self.reads_issued);
+        w.u64(self.writes_issued);
+        w.u64(self.outstanding.next_id());
+        let entries = self.outstanding.entries();
+        w.usize(entries.len());
+        for (id, ctx) in entries {
+            w.u64(id);
+            enc(ctx, w);
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: rebuild the engine state written by
+    /// [`DmaEngine::snapshot_with`], decoding contexts via `dec`.
+    pub fn restore_with(
+        &mut self,
+        r: &mut SnapReader,
+        dec: impl Fn(&mut SnapReader) -> SnapResult<C>,
+    ) -> SnapResult<()> {
+        self.reads_issued = r.u64()?;
+        self.writes_issued = r.u64()?;
+        let next_id = r.u64()?;
+        let n = r.usize()?;
+        let mut items = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let id = r.u64()?;
+            let ctx = dec(r)?;
+            items.push((id, ctx));
+        }
+        self.outstanding = OutstandingRequests::restore_parts(next_id, items);
+        Ok(())
     }
 }
 
@@ -115,6 +156,29 @@ impl IntModeration {
             self.pending = false;
             self.fire(k);
         }
+    }
+
+    /// Checkpoint: encode the dynamic moderation state (the interval is
+    /// driver-programmed at run time, so it is dynamic too).
+    pub fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.time(self.interval);
+        w.opt_time(self.last_fired);
+        w.bool(self.pending);
+        w.bool(self.timer_armed);
+        w.u64(self.fired);
+        w.u64(self.coalesced);
+        Ok(())
+    }
+
+    /// Checkpoint: restore state written by [`IntModeration::snapshot`].
+    pub fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.interval = r.time()?;
+        self.last_fired = r.opt_time()?;
+        self.pending = r.bool()?;
+        self.timer_armed = r.bool()?;
+        self.fired = r.u64()?;
+        self.coalesced = r.u64()?;
+        Ok(())
     }
 
     fn fire(&mut self, k: &mut Kernel) {

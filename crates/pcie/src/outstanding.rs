@@ -63,6 +63,35 @@ impl<T> OutstandingRequests<T> {
     pub fn high_water_mark(&self) -> usize {
         self.max_inflight
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore support
+    // ------------------------------------------------------------------
+
+    /// All in-flight requests in ascending id order (canonical for
+    /// snapshot encoding — hash-map iteration order never leaks).
+    pub fn entries(&self) -> Vec<(u64, &T)> {
+        let mut v: Vec<(u64, &T)> = self.inflight.iter().map(|(id, t)| (*id, t)).collect();
+        v.sort_unstable_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Rebuild a table from snapshot parts: the next id to hand out and the
+    /// in-flight (id, context) pairs.
+    pub fn restore_parts(next_id: u64, items: Vec<(u64, T)>) -> Self {
+        let inflight: HashMap<u64, T> = items.into_iter().collect();
+        let max_inflight = inflight.len();
+        OutstandingRequests {
+            next_id,
+            inflight,
+            max_inflight,
+        }
+    }
+
+    /// The id the next [`OutstandingRequests::insert`] will use.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
 }
 
 #[cfg(test)]

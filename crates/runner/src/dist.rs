@@ -38,8 +38,10 @@
 //! | `HELLO`  | worker → orch  | partition name                               |
 //! | `LINKS`  | worker → orch  | rendezvous address per owned cross link      |
 //! | `ADDRS`  | orch → worker  | full link-name → address map                 |
+//! | `CKPT`   | orch → worker  | ckpt presence + time, restore presence + blob|
 //! | `READY`  | worker → orch  | (empty) partition built, proxies wired       |
 //! | `GO`     | orch → worker  | (empty) barrier release, start simulating    |
+//! | `CKPT_SAVE` | worker → orch | partition snapshot captured mid-run       |
 //! | `RESULT` | worker → orch  | wall seconds + per-component stats and logs  |
 //! | `DONE`   | orch → worker  | (empty) all results in, tear down            |
 //!
@@ -110,6 +112,13 @@ const MSG_READY: u8 = 4;
 const MSG_GO: u8 = 5;
 const MSG_RESULT: u8 = 6;
 const MSG_DONE: u8 = 7;
+/// Orchestrator → worker, after `ADDRS`: checkpoint configuration — the
+/// virtual time to checkpoint at (0 = none) plus, when restoring, the
+/// partition's encoded snapshot container.
+const MSG_CKPT: u8 = 8;
+/// Worker → orchestrator, before `RESULT`: the partition's encoded snapshot
+/// container captured at the configured checkpoint time.
+const MSG_CKPT_SAVE: u8 = 9;
 
 /// Upper bound on one control frame (results carry whole event logs).
 const MAX_FRAME: usize = 256 * 1024 * 1024;
@@ -508,6 +517,14 @@ pub struct DistOptions {
     /// Harness binaries use the default hidden `--dist-worker` flag; test
     /// binaries route to their worker-entry test instead.
     pub worker_args: Vec<String>,
+    /// Mid-run checkpoint: quiesce every partition at the given virtual time
+    /// and write one region file per partition (`<dir>/<partition>.ckpt`)
+    /// into the given directory. Snapshots travel from the workers to the
+    /// orchestrator over the control socket.
+    pub checkpoint: Option<(SimTime, PathBuf)>,
+    /// Restore every partition from `<dir>/<partition>.ckpt` before the
+    /// start barrier; the run then resumes at the checkpoint's virtual time.
+    pub restore_from: Option<PathBuf>,
 }
 
 impl DistOptions {
@@ -522,7 +539,22 @@ impl DistOptions {
             exec: Execution::Sequential,
             transport: TransportKind::from_env_or(TransportKind::Auto),
             worker_args: vec!["--dist-worker".into()],
+            checkpoint: None,
+            restore_from: None,
         }
+    }
+
+    /// Request a mid-run checkpoint at virtual time `at`, written as one
+    /// file per partition into `dir`.
+    pub fn with_checkpoint(mut self, at: SimTime, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some((at, dir.into()));
+        self
+    }
+
+    /// Restore all partitions from the per-partition files in `dir`.
+    pub fn with_restore(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.restore_from = Some(dir.into());
+        self
     }
 
     /// Select the executor used inside each worker.
@@ -863,12 +895,36 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     let local_globals = std::mem::take(&mut pb.local_globals);
     let proxies = std::mem::take(&mut pb.proxies);
 
+    // Checkpoint configuration: the orchestrator tells every worker whether
+    // (and when) to quiesce, and hands it its restore snapshot, if any.
+    let ckpt_cfg = expect_frame(&mut ctrl, MSG_CKPT)?;
+    let mut d = Dec::new(&ckpt_cfg);
+    let has_ckpt = d.take(1)?[0] != 0;
+    let ckpt_at = d.u64()?;
+    let has_restore = d.take(1)?[0] != 0;
+    if has_restore {
+        let blob = d.take(ckpt_cfg.len() - d.off)?.to_vec();
+        exp.restore_from_blob(&blob).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("restoring partition {partition:?}: {e}"),
+            )
+        })?;
+    }
+    if has_ckpt {
+        exp.checkpoint_at(SimTime::from_ps(ckpt_at), None);
+    }
+
     // Barrier-synchronized start: report readiness, wait for the release.
     write_frame(&mut ctrl, MSG_READY, &[])?;
     expect_frame(&mut ctrl, MSG_GO)?;
 
     let result = exp.run(exec);
 
+    if has_ckpt {
+        let blob = result.checkpoint.as_deref().unwrap_or(&[]);
+        write_frame(&mut ctrl, MSG_CKPT_SAVE, blob)?;
+    }
     let payload = encode_result(&result, &local_globals);
     write_frame(&mut ctrl, MSG_RESULT, &payload)?;
     // Keep proxies alive until every worker has reported: our forwarders have
@@ -1051,6 +1107,29 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
         write_frame(conns.get_mut(p).unwrap(), MSG_ADDRS, &payload)?;
     }
 
+    // Checkpoint configuration: an explicit presence byte plus the quiesce
+    // time, then — when restoring — each partition's own snapshot file
+    // shipped over the control socket. The presence byte (not a zero-time
+    // sentinel) keys both sides, so a checkpoint at virtual time 0 works.
+    if let Some((_, dir)) = &opts.checkpoint {
+        std::fs::create_dir_all(dir)?;
+    }
+    for p in &opts.partitions {
+        let mut payload = Vec::new();
+        payload.push(opts.checkpoint.is_some() as u8);
+        let ckpt_at = opts.checkpoint.as_ref().map(|(at, _)| at.as_ps()).unwrap_or(0);
+        payload.extend_from_slice(&ckpt_at.to_le_bytes());
+        match &opts.restore_from {
+            Some(dir) => {
+                let blob = std::fs::read(dir.join(format!("{p}.ckpt")))?;
+                payload.push(1);
+                payload.extend_from_slice(&blob);
+            }
+            None => payload.push(0),
+        }
+        write_frame(conns.get_mut(p).unwrap(), MSG_CKPT, &payload)?;
+    }
+
     // Barrier-synchronized start: wait until every partition is built and
     // its proxies are wired, then release all workers together.
     for p in &opts.partitions {
@@ -1064,6 +1143,17 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
     let mut partition_walls = Vec::new();
     let mut all: Vec<(usize, String, KernelStats, EventLog)> = Vec::new();
     for p in &opts.partitions {
+        if let Some((_, dir)) = &opts.checkpoint {
+            let blob = expect_frame(conns.get_mut(p).unwrap(), MSG_CKPT_SAVE)?;
+            if blob.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("worker {p:?} reported an empty checkpoint"),
+                ));
+            }
+            crate::checkpoint::write_blob(&dir.join(format!("{p}.ckpt")), &blob)
+                .map_err(|e| io::Error::other(format!("writing checkpoint of {p:?}: {e}")))?;
+        }
         let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_RESULT)?;
         let report = decode_result(&payload)?;
         partition_walls.push(report.wall_seconds);

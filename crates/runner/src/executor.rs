@@ -220,6 +220,13 @@ fn try_step(
             *parked = hint.parkable;
             false
         }
+        // Checkpoint pauses are orchestrated by the experiment's cooperative
+        // quiesce loop before the sharded phase starts; a kernel reporting
+        // Paused here is simply not runnable yet.
+        StepOutcome::Paused => {
+            *parked = false;
+            false
+        }
     }
 }
 

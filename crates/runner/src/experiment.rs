@@ -1,22 +1,30 @@
 //! Experiment assembly and execution.
 
 use std::any::Any;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{
     BarrierMember, ChannelEnd, ChannelParams, EpochController, EventLog, Kernel, KernelStats,
     Model, SimTime, StepOutcome,
 };
 
+use crate::checkpoint::CheckpointFile;
+
 /// A model that can also be downcast back to its concrete type after the run
 /// (to read application reports, switch statistics, ...).
 pub trait AnyModel: Model + Any {
     fn as_model(&mut self) -> &mut dyn Model;
+    fn as_model_ref(&self) -> &dyn Model;
     fn as_any(&self) -> &dyn Any;
 }
 
 impl<T: Model + Any> AnyModel for T {
     fn as_model(&mut self) -> &mut dyn Model {
+        self
+    }
+    fn as_model_ref(&self) -> &dyn Model {
         self
     }
     fn as_any(&self) -> &dyn Any {
@@ -104,6 +112,11 @@ pub struct RunResult {
     pub component_names: Vec<String>,
     pub stats: Vec<KernelStats>,
     pub logs: Vec<EventLog>,
+    /// Encoded checkpoint container captured mid-run, when the experiment
+    /// was configured with [`Experiment::checkpoint_at`] (also written to
+    /// the configured path, if any). Distributed workers ship this blob to
+    /// the orchestrator over the control socket.
+    pub checkpoint: Option<Vec<u8>>,
     models: Vec<Box<dyn AnyModel>>,
 }
 
@@ -167,6 +180,11 @@ pub struct Experiment {
     log_enabled: bool,
     external_inputs: bool,
     components: Vec<Component>,
+    /// Checkpoint request: quiesce at the given virtual time mid-run, encode
+    /// every component, optionally write the file, then continue.
+    checkpoint: Option<(SimTime, Option<PathBuf>)>,
+    /// Virtual time a restore fast-forwarded this experiment to (reporting).
+    restored_at: Option<SimTime>,
     barrier: Option<std::sync::Arc<EpochController>>,
     /// Shared stop flag. In unsynchronized (emulation) runs there is no common
     /// virtual end time: the run ends when the first component finishes (the
@@ -194,6 +212,8 @@ impl Experiment {
             log_enabled: false,
             external_inputs: false,
             components: Vec::new(),
+            checkpoint: None,
+            restored_at: None,
             barrier: None,
             stop: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
@@ -334,6 +354,183 @@ impl Experiment {
         self.components.len()
     }
 
+    // ------------------------------------------------------------------
+    // Checkpoint/restore
+    // ------------------------------------------------------------------
+
+    /// Request a deterministic checkpoint: the run quiesces every component
+    /// at virtual time `at` (all events strictly below processed, nothing at
+    /// or beyond touched, in-flight channel messages drained into port
+    /// buffers), encodes the complete state, writes it to `path` (when
+    /// given; distributed workers pass `None` and ship the blob over the
+    /// control socket instead), and then **continues** to the configured end
+    /// time. The continuation — and any later run restored from the file —
+    /// is bit-identical to an uninterrupted run.
+    ///
+    /// Requires a synchronized experiment without the global barrier, run
+    /// under the sequential or sharded executor (the quiesce phase itself is
+    /// cooperative); `run` panics with a descriptive message otherwise.
+    pub fn checkpoint_at(&mut self, at: SimTime, path: Option<PathBuf>) {
+        assert!(
+            at < self.end,
+            "checkpoint time {at} must lie before the experiment end {}",
+            self.end
+        );
+        self.checkpoint = Some((at, path));
+    }
+
+    /// Restore this experiment from a checkpoint file previously written by
+    /// [`Experiment::checkpoint_at`]. Must be called after every component
+    /// has been added, with the experiment rebuilt by the same build code
+    /// (same names, topology, and parameters — mismatches are rejected).
+    /// Returns the checkpoint's virtual time; a following [`Experiment::run`]
+    /// resumes from there, skipping everything already simulated.
+    pub fn restore(&mut self, path: &std::path::Path) -> SnapResult<SimTime> {
+        let file = CheckpointFile::read_from(path)?;
+        self.apply_checkpoint(&file)
+    }
+
+    /// Like [`Experiment::restore`], from an in-memory encoded container
+    /// (used by distributed workers receiving their partition's snapshot
+    /// over the control socket).
+    pub fn restore_from_blob(&mut self, blob: &[u8]) -> SnapResult<SimTime> {
+        let file = CheckpointFile::decode(blob)?;
+        self.apply_checkpoint(&file)
+    }
+
+    /// Virtual time this experiment was fast-forwarded to by a restore, if
+    /// any (reporting; the run itself resumes there automatically).
+    pub fn restored_at(&self) -> Option<SimTime> {
+        self.restored_at
+    }
+
+    fn apply_checkpoint(&mut self, file: &CheckpointFile) -> SnapResult<SimTime> {
+        if file.name != self.name {
+            return Err(SnapError::Corrupt(format!(
+                "experiment name mismatch: checkpoint is of {:?}, this experiment is {:?}",
+                file.name, self.name
+            )));
+        }
+        if file.components.len() != self.components.len() {
+            return Err(SnapError::Corrupt(format!(
+                "component count mismatch: checkpoint has {}, experiment built {}",
+                file.components.len(),
+                self.components.len()
+            )));
+        }
+        for (c, (cname, blob)) in self.components.iter_mut().zip(&file.components) {
+            if *cname != c.name {
+                return Err(SnapError::Corrupt(format!(
+                    "component order mismatch: checkpoint has {cname:?} where experiment built {:?}",
+                    c.name
+                )));
+            }
+            let mut r = SnapReader::new(blob);
+            c.kernel.restore(&mut r)?;
+            c.model.as_model().restore(&mut r).map_err(|e| match e {
+                SnapError::Unsupported(_) => SnapError::Unsupported(format!(
+                    "component {cname:?} cannot be restored: its model does not implement Model::restore"
+                )),
+                e => e,
+            })?;
+            if !r.is_empty() {
+                return Err(SnapError::Corrupt(format!(
+                    "component {cname:?}: {} trailing bytes after model state",
+                    r.remaining()
+                )));
+            }
+        }
+        self.restored_at = Some(file.at);
+        Ok(file.at)
+    }
+
+    /// Quiesce every component at `at` and encode the checkpoint container.
+    /// Cooperative and single-threaded: determinism of the saved state does
+    /// not depend on the executor the surrounding run uses.
+    fn quiesce_and_encode(&mut self, at: SimTime) -> SnapResult<Vec<u8>> {
+        assert!(
+            self.synchronized && self.barrier.is_none(),
+            "checkpointing requires pairwise-synchronized experiments \
+             (unsynchronized emulation and global-barrier modes have no \
+             quiescable virtual time)"
+        );
+        for c in &mut self.components {
+            c.kernel.set_pause_at(at);
+        }
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut idle_rounds: u64 = 0;
+        loop {
+            let mut any_progress = false;
+            for c in &mut self.components {
+                match c.kernel.step(c.model.as_model(), 512) {
+                    StepOutcome::Progressed => any_progress = true,
+                    StepOutcome::Finished => any_progress = true,
+                    StepOutcome::Paused | StepOutcome::Blocked(_) => {}
+                }
+            }
+            // Settle in-flight messages into the ports' pending buffers.
+            for c in &mut self.components {
+                c.kernel.checkpoint_poll();
+            }
+            if self
+                .components
+                .iter()
+                .all(|c| c.kernel.quiesced_at(at))
+            {
+                break;
+            }
+            if any_progress {
+                idle_rounds = 0;
+                continue;
+            }
+            idle_rounds += 1;
+            if self.external_inputs {
+                // Remote partitions quiesce on their own wall-clock schedule;
+                // their pause promises arrive through the proxy threads.
+                std::thread::yield_now();
+                if Instant::now() > deadline {
+                    return Err(SnapError::Io(
+                        "timed out waiting for remote partitions to quiesce".into(),
+                    ));
+                }
+            } else if idle_rounds > 10_000 {
+                let stuck: Vec<String> = self
+                    .components
+                    .iter()
+                    .filter(|c| !c.kernel.quiesced_at(at))
+                    .map(|c| format!("{}@{}", c.name, c.kernel.now()))
+                    .collect();
+                return Err(SnapError::Io(format!(
+                    "experiment failed to quiesce at {at}: {}",
+                    stuck.join(", ")
+                )));
+            }
+        }
+
+        let mut components = Vec::with_capacity(self.components.len());
+        for c in &self.components {
+            let mut w = SnapWriter::new();
+            c.kernel.snapshot(&mut w)?;
+            c.model.as_model_ref().snapshot(&mut w).map_err(|e| match e {
+                SnapError::Unsupported(_) => SnapError::Unsupported(format!(
+                    "component {:?} cannot be checkpointed: its model does not implement Model::snapshot",
+                    c.name
+                )),
+                e => e,
+            })?;
+            components.push((c.name.clone(), w.into_vec()));
+        }
+        for c in &mut self.components {
+            c.kernel.clear_pause();
+        }
+        let file = CheckpointFile {
+            name: self.name.clone(),
+            at,
+            components,
+        };
+        Ok(file.encode())
+    }
+
     /// Execute the experiment and collect results.
     pub fn run(mut self, mode: Execution) -> RunResult {
         // Global-barrier mode: now that the component count is known, create
@@ -349,6 +546,30 @@ impl Experiment {
         }
 
         let start = Instant::now();
+        // Phase 1 (only with a checkpoint request): run cooperatively up to
+        // the checkpoint time, quiesce, encode, optionally write the file.
+        let checkpoint = match self.checkpoint.take() {
+            Some((at, path)) => {
+                assert!(
+                    mode != Execution::Threads,
+                    "checkpointing is supported under the sequential and sharded \
+                     executors (thread-per-component runs cannot be quiesced \
+                     cooperatively); restoring works under every executor"
+                );
+                let blob = match self.quiesce_and_encode(at) {
+                    Ok(b) => b,
+                    Err(e) => panic!("checkpoint of experiment '{}' failed: {e}", self.name),
+                };
+                if let Some(path) = path {
+                    if let Err(e) = crate::checkpoint::write_blob(&path, &blob) {
+                        panic!("writing checkpoint {}: {e}", path.display());
+                    }
+                }
+                Some(blob)
+            }
+            None => None,
+        };
+        // Phase 2: run (or continue) under the requested executor.
         match mode {
             Execution::Sequential => self.run_sequential(),
             Execution::Threads => self.run_threads(),
@@ -376,6 +597,7 @@ impl Experiment {
             component_names: names,
             stats,
             logs,
+            checkpoint,
             models,
         }
     }
@@ -405,6 +627,11 @@ impl Experiment {
                         any_progress = true;
                     }
                     StepOutcome::Blocked(_) => {
+                        all_finished = false;
+                    }
+                    // Pauses are handled by the dedicated quiesce loop; a
+                    // kernel still paused here is waiting for clear_pause.
+                    StepOutcome::Paused => {
                         all_finished = false;
                     }
                 }

@@ -8,6 +8,7 @@
 //! reports) are collected for the evaluation harness.
 
 pub mod build;
+pub mod checkpoint;
 pub mod dist;
 pub mod executor;
 pub mod experiment;
@@ -16,6 +17,7 @@ pub mod shm;
 pub mod transport;
 
 pub use build::{attach_host_nic, attach_host_nvme, host_component, nic_model, NetworkKind};
+pub use checkpoint::{CheckpointFile, CKPT_MAGIC, CKPT_VERSION};
 pub use dist::{maybe_worker, run_distributed, run_local, DistOptions, DistResult, PartitionBuilder};
 pub use executor::{default_workers, ShardedOptions};
 pub use experiment::{Execution, Experiment, RunResult};
