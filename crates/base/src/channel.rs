@@ -6,6 +6,7 @@
 //! (§5.5), which the synchronization layer uses to timestamp outgoing
 //! messages and to decide when SYNC messages must be emitted.
 
+use crate::pktbuf::BufPool;
 use crate::slot::{MsgType, OwnedMsg};
 use crate::spsc::{self, Consumer, Producer, SendError, DEFAULT_QUEUE_LEN};
 use crate::time::SimTime;
@@ -163,6 +164,17 @@ impl ChannelEnd {
     /// The channel's static configuration.
     pub fn params(&self) -> ChannelParams {
         self.params
+    }
+
+    /// Install the buffer pool received payloads are allocated from (the
+    /// owning kernel's per-component arena).
+    pub fn set_pool(&mut self, pool: BufPool) {
+        self.rx.set_pool(pool);
+    }
+
+    /// The buffer pool received payloads are allocated from.
+    pub fn pool(&self) -> &BufPool {
+        self.rx.pool()
     }
 
     /// Link latency Δ of the channel.

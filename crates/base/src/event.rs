@@ -7,8 +7,8 @@
 //! same-time ties exactly like the uninterrupted one.
 
 use std::cmp::Ordering;
-use std::collections::HashSet;
 use std::collections::BinaryHeap;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use crate::snap::{SnapReader, SnapResult, SnapWriter};
@@ -63,12 +63,20 @@ impl<T> Ord for Entry<T> {
     }
 }
 
-/// A time-ordered event queue with stable ordering and O(log n) cancellation.
+/// A time-ordered event queue with stable ordering.
+///
+/// Bookkeeping is sized for the overwhelmingly common never-cancelled case:
+/// `schedule` and `pop_due` touch only the heap and a live-event counter —
+/// no per-event hash-set insert/remove. Cancellation is the rare path: it
+/// validates the id against the heap itself (ids are globally unique, so a
+/// foreign or already-fired id simply is not found) and records it in a
+/// small lazily-drained cancelled set.
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
-    /// Ids of pending (schedulable, not yet fired or cancelled) events.
-    pending: HashSet<u64>,
-    /// Ids cancelled while still in the heap (removed lazily).
+    /// Number of live (non-cancelled) events in the heap.
+    live: usize,
+    /// Ids cancelled while still in the heap (removed lazily; empty in the
+    /// never-cancelled steady state).
     cancelled: HashSet<u64>,
 }
 
@@ -83,7 +91,7 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            live: 0,
             cancelled: HashSet::new(),
         }
     }
@@ -92,7 +100,7 @@ impl<T> EventQueue<T> {
     pub fn schedule(&mut self, time: SimTime, data: T) -> EventId {
         let seq = NEXT_SEQ.fetch_add(1, AtomicOrdering::Relaxed);
         self.heap.push(Entry { time, seq, data });
-        self.pending.insert(seq);
+        self.live += 1;
         EventId(seq)
     }
 
@@ -100,13 +108,21 @@ impl<T> EventQueue<T> {
     /// still pending **in this queue**: cancelling an id that already fired,
     /// was already cancelled, or belongs to another queue is a no-op that
     /// returns false.
+    ///
+    /// This is the rare path: validity is established by scanning the heap
+    /// for the (globally unique) id, so the hot `schedule`/`pop_due` pair
+    /// carries no per-event set bookkeeping. O(n) in the number of queued
+    /// events, which is small for every component model.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.pending.remove(&id.0) {
-            self.cancelled.insert(id.0);
-            true
-        } else {
-            false
+        if self.cancelled.contains(&id.0) {
+            return false;
         }
+        if !self.heap.iter().any(|e| e.seq == id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        self.live -= 1;
+        true
     }
 
     /// Time of the earliest pending (non-cancelled) event.
@@ -121,7 +137,7 @@ impl<T> EventQueue<T> {
         match self.heap.peek() {
             Some(e) if e.time <= now => {
                 let e = self.heap.pop().unwrap();
-                self.pending.remove(&e.seq);
+                self.live -= 1;
                 Some((e.time, e.data))
             }
             _ => None,
@@ -130,12 +146,12 @@ impl<T> EventQueue<T> {
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     fn skip_cancelled(&mut self) {
@@ -188,7 +204,7 @@ impl<T> EventQueue<T> {
             let data = dec(r)?;
             max_seq = max_seq.max(seq);
             q.heap.push(Entry { time, seq, data });
-            q.pending.insert(seq);
+            q.live += 1;
         }
         bump_seq_floor(max_seq.saturating_add(1));
         Ok(q)

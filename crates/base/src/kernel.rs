@@ -21,6 +21,7 @@ use crate::barrier::BarrierMember;
 use crate::channel::ChannelEnd;
 use crate::event::{EventId, EventQueue};
 use crate::log::EventLog;
+use crate::pktbuf::{BufPool, PktBuf};
 use crate::slot::{MsgType, OwnedMsg};
 use crate::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use crate::stats::KernelStats;
@@ -131,6 +132,9 @@ pub struct Kernel {
     /// clock advancement purely event-driven (synchronized simulation).
     wall_scale: Option<f64>,
     wall_start: Option<std::time::Instant>,
+    /// Per-component packet-buffer arena, shared by every port attached to
+    /// this kernel (and available to the model through [`Kernel::pool`]).
+    pool: BufPool,
 }
 
 impl Kernel {
@@ -153,11 +157,15 @@ impl Kernel {
             stop_flag: None,
             wall_scale: None,
             wall_start: None,
+            pool: BufPool::new(),
         }
     }
 
     /// Attach a channel endpoint; returns the port id used in [`Model::on_msg`].
-    pub fn add_port(&mut self, chan: ChannelEnd) -> PortId {
+    /// The endpoint's receive side is rebased onto this kernel's buffer pool
+    /// so pool counters aggregate per component.
+    pub fn add_port(&mut self, mut chan: ChannelEnd) -> PortId {
+        chan.set_pool(self.pool.clone());
         self.ports.push(SyncPort::new(chan));
         PortId(self.ports.len() - 1)
     }
@@ -223,6 +231,21 @@ impl Kernel {
         self.ports[port.0].send_data(now, ty, payload);
     }
 
+    /// Send a data message whose payload the model already owns as a
+    /// [`PktBuf`]; on queue backpressure the buffer moves into the port's
+    /// outbox without a copy.
+    pub fn send_buf(&mut self, port: PortId, ty: MsgType, payload: PktBuf) {
+        let now = self.now;
+        self.ports[port.0].send_data_buf(now, ty, payload);
+    }
+
+    /// This component's packet-buffer arena. Models allocate transmit
+    /// buffers from it so the whole component shares one freelist (and one
+    /// set of pool counters in [`KernelStats`]).
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
     /// Schedule a timer at absolute virtual time `at`.
     pub fn schedule_at(&mut self, at: SimTime, token: u64) -> EventId {
         debug_assert!(at >= self.now, "cannot schedule a timer in the past");
@@ -259,9 +282,12 @@ impl Kernel {
 
     // ----- results ------------------------------------------------------------
 
-    /// Run statistics accumulated so far (complete once finished).
+    /// Run statistics accumulated so far (complete once finished). Pool
+    /// counters always reflect the live arena.
     pub fn stats(&self) -> KernelStats {
-        self.stats
+        let mut s = self.stats;
+        s.absorb_pool(self.pool.stats());
+        s
     }
 
     /// The component's timestamped event log.
@@ -714,6 +740,7 @@ impl Kernel {
         for ps in port_stats {
             self.stats.absorb_port(ps);
         }
+        self.stats.absorb_pool(self.pool.stats());
     }
 }
 
@@ -751,7 +778,7 @@ mod tests {
             }
         }
         fn on_msg(&mut self, k: &mut Kernel, _port: PortId, msg: OwnedMsg) {
-            self.received.push((k.now().max(msg.timestamp), msg.data));
+            self.received.push((k.now().max(msg.timestamp), msg.data.to_vec()));
         }
         fn on_timer(&mut self, k: &mut Kernel, _token: u64) {
             let payload = self.seq.to_le_bytes();

@@ -15,6 +15,8 @@
 //! * [`kernel`] — the component kernel ("SimBricks adapter" + event loop)
 //!   driving a [`Model`].
 //! * [`log`] — timestamped event logs for the accuracy/determinism checks.
+//! * [`pktbuf`] — pooled, reference-counted packet buffers ([`PktBuf`]):
+//!   the zero-copy payload type carried by every message on the hot path.
 //! * [`snap`] — deterministic checkpoint/restore wire format and the
 //!   [`Snapshot`] trait implemented by every stateful component.
 //! * [`stats`] — per-component run statistics.
@@ -30,6 +32,7 @@ pub mod channel;
 pub mod event;
 pub mod kernel;
 pub mod log;
+pub mod pktbuf;
 pub mod slot;
 pub mod snap;
 pub mod spsc;
@@ -43,6 +46,7 @@ pub use channel::{channel_pair, ChannelEnd, ChannelParams};
 pub use event::{EventId, EventQueue};
 pub use kernel::{Kernel, Model, PortId, StepOutcome, WakeHint};
 pub use log::{intern_tag, EventLog, LogEntry};
+pub use pktbuf::{BufPool, PktBuf, PoolStats, DEFAULT_HEADROOM, SEG_CAPACITY};
 pub use slot::{MsgType, OwnedMsg, MAX_PAYLOAD, MSG_SYNC};
 pub use snap::{fnv1a, SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 pub use spsc::{Consumer, Producer, SendError};
@@ -142,7 +146,7 @@ mod proptests {
 
         /// Snapshot round trip: [`KernelStats`] counters survive exactly.
         #[test]
-        fn kernel_stats_snapshot_roundtrip(f in proptest::collection::vec(any::<u64>(), 12)) {
+        fn kernel_stats_snapshot_roundtrip(f in proptest::collection::vec(any::<u64>(), 15)) {
             let s = KernelStats {
                 final_time: SimTime::from_ps(f[0]),
                 msgs_delivered: f[1],
@@ -156,6 +160,9 @@ mod proptests {
                 syncs_received: f[9],
                 backpressured: f[10],
                 syncs_coalesced: f[11],
+                pool_hits: f[12],
+                pool_misses: f[13],
+                pool_fallbacks: f[14],
             };
             let mut w = SnapWriter::new();
             s.snapshot(&mut w).unwrap();

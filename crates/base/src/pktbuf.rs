@@ -1,0 +1,845 @@
+//! Pooled, reference-counted packet buffers.
+//!
+//! The per-message cost that dominates a steady-state SimBricks run is not
+//! simulation logic but allocator traffic: every hop used to heap-allocate a
+//! fresh `Vec<u8>`, copy the payload into it, and free it a few nanoseconds
+//! later. [`PktBuf`] replaces that with fixed-capacity segments recycled
+//! through a freelist arena:
+//!
+//! * **alloc** pops a ready-to-use segment off the current thread's freelist
+//!   (a *hit*); only a cold freelist pays for a real heap allocation (a
+//!   *miss*),
+//! * **clone** is a reference-count bump — a switch flooding a frame to N
+//!   ports performs N pointer copies, zero byte copies,
+//! * **drop** of the last reference pushes the segment back onto the
+//!   freelist instead of freeing it — no locks, no atomic read-modify-writes,
+//! * segments carry **headroom** so protocol code can prepend Ethernet/IP/TCP
+//!   headers in place, and **tailroom** so GRO-style coalescing can extend a
+//!   buffer without reallocating,
+//! * payloads larger than [`SEG_CAPACITY`] fall back to a plain heap
+//!   allocation (a *fallback*), so jumbo paths stay correct, just not pooled.
+//!
+//! The freelist is **thread-local** (segments allocated and dropped on the
+//! same thread — the overwhelmingly common case, since each kernel runs on
+//! one thread at a time — never touch shared state), while each [`BufPool`]
+//! handle carries its own hit/miss/fallback counters so allocator behaviour
+//! is attributable per component in
+//! [`KernelStats`](crate::stats::KernelStats).
+//!
+//! Buffer pooling is invisible to simulation results: it changes where bytes
+//! live, never what they contain or when they are delivered, so determinism
+//! (§7.6) is unaffected. Snapshots serialize buffer *contents*; a restored
+//! buffer is rebuilt as a fresh (heap-backed) segment with identical bytes.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Capacity in bytes of one pooled segment: a jumbo slot payload
+/// ([`crate::slot::MAX_PAYLOAD`] = 9216 B) plus [`DEFAULT_HEADROOM`], so any
+/// message that fits a queue slot can be received into a pooled segment with
+/// full headroom intact.
+pub const SEG_CAPACITY: usize = 9216 + DEFAULT_HEADROOM;
+
+/// Default headroom reserved at the front of a freshly allocated segment:
+/// enough for Ethernet (14 B) + IPv4 (20 B) + TCP with options (60 B), with
+/// slack for encapsulation experiments.
+pub const DEFAULT_HEADROOM: usize = 128;
+
+/// Bound on segments parked per thread. Segments released beyond this bound
+/// are genuinely freed, so idle threads shrink back (at most ~2.4 MiB of
+/// parked segments per thread).
+const MAX_FREE_PER_THREAD: usize = 256;
+
+thread_local! {
+    /// Per-thread freelist of ready-to-reuse segments. Thread-local by
+    /// design: the recycle path is a plain `Vec` push with zero atomics.
+    static FREELIST: RefCell<Vec<Arc<Seg>>> = const { RefCell::new(Vec::new()) };
+    /// Segments recycled on this thread so far (telemetry).
+    static RECYCLED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Pop a unique, ready segment off the current thread's freelist.
+fn freelist_pop() -> Option<Arc<Seg>> {
+    FREELIST.with(|f| f.borrow_mut().pop())
+}
+
+/// Park a unique segment on the current thread's freelist (or free it when
+/// the list is at capacity).
+fn freelist_push(seg: Arc<Seg>) {
+    FREELIST.with(|f| {
+        let mut v = f.borrow_mut();
+        if v.len() < MAX_FREE_PER_THREAD {
+            v.push(seg);
+            RECYCLED.with(|r| r.set(r.get() + 1));
+        }
+        // else: drop here — the storage is genuinely freed.
+    });
+}
+
+/// Counters describing a [`BufPool`]'s allocator behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from the freelist (no heap traffic).
+    pub hits: u64,
+    /// Allocations that had to create a fresh segment (cold freelist).
+    pub misses: u64,
+    /// Allocations that exceeded [`SEG_CAPACITY`] and fell back to a plain
+    /// heap buffer (never pooled).
+    pub fallbacks: u64,
+    /// Segments recycled into the freelist on drop — on the calling thread
+    /// (freelists are thread-local).
+    pub recycled: u64,
+    /// Segments currently parked in the calling thread's freelist
+    /// (instantaneous occupancy).
+    pub free: u64,
+}
+
+impl PoolStats {
+    /// Fraction of pooled allocations served from the freelist, in `0..=1`.
+    /// 1.0 when no allocation happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct PoolCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+/// Relaxed load+store increment: a pool is used by one thread at a time (a
+/// kernel's pool migrates with the kernel, with happens-before provided by
+/// the executor handoff), so counters avoid the much costlier atomic
+/// read-modify-write. Under exotic concurrent sharing this can undercount —
+/// counters are telemetry, never correctness.
+#[inline]
+fn bump(c: &AtomicU64) {
+    c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+}
+
+/// A handle onto the packet-buffer arena, carrying per-component allocation
+/// counters. Cloning the handle shares the counters; each kernel owns one
+/// handle (shared by all its ports), so allocator behaviour lands in that
+/// component's [`KernelStats`](crate::stats::KernelStats). The backing
+/// freelist itself is per-thread and shared by all pools on that thread.
+#[derive(Clone)]
+pub struct BufPool {
+    counters: Arc<PoolCounters>,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufPool").field("stats", &self.stats()).finish()
+    }
+}
+
+impl BufPool {
+    /// A new counter scope over the thread-local arena.
+    pub fn new() -> Self {
+        BufPool {
+            counters: Arc::new(PoolCounters {
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                fallbacks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Snapshot of this handle's counters plus the calling thread's freelist
+    /// occupancy.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
+            recycled: RECYCLED.with(|r| r.get()),
+            free: FREELIST.with(|f| f.borrow().len()) as u64,
+        }
+    }
+
+    /// Pop a unique, pool-owned segment (hit) or create one (miss).
+    fn take_seg(&self) -> Arc<Seg> {
+        if let Some(seg) = freelist_pop() {
+            bump(&self.counters.hits);
+            debug_assert_eq!(Arc::strong_count(&seg), 1);
+            return seg;
+        }
+        bump(&self.counters.misses);
+        new_seg()
+    }
+
+    /// An empty buffer with `headroom` bytes reserved at the front.
+    pub fn alloc_headroom(&self, headroom: usize) -> PktBuf {
+        let headroom = headroom.min(SEG_CAPACITY);
+        PktBuf {
+            seg: Some(self.take_seg()),
+            off: headroom as u32,
+            len: 0,
+        }
+    }
+
+    /// An empty buffer with [`DEFAULT_HEADROOM`] reserved.
+    pub fn alloc(&self) -> PktBuf {
+        self.alloc_headroom(DEFAULT_HEADROOM)
+    }
+
+    /// An empty buffer able to hold at least `capacity` bytes: pooled when it
+    /// fits a segment, otherwise a heap fallback (counted).
+    pub fn alloc_capacity(&self, capacity: usize, headroom: usize) -> PktBuf {
+        if capacity + headroom <= SEG_CAPACITY {
+            self.alloc_headroom(headroom)
+        } else if capacity <= SEG_CAPACITY {
+            self.alloc_headroom(SEG_CAPACITY - capacity)
+        } else {
+            bump(&self.counters.fallbacks);
+            PktBuf::heap_with_capacity(capacity + headroom, headroom)
+        }
+    }
+
+    /// Copy `data` into a pooled buffer (heap fallback for jumbo payloads).
+    pub fn copy_from_slice(&self, data: &[u8]) -> PktBuf {
+        let mut b = self.alloc_capacity(data.len(), DEFAULT_HEADROOM);
+        b.extend_from_slice(data);
+        b
+    }
+}
+
+fn new_seg() -> Arc<Seg> {
+    Arc::new(Seg {
+        storage: vec![0u8; SEG_CAPACITY].into_boxed_slice(),
+    })
+}
+
+/// Refcounted segment storage. While parked in a thread's freelist the list
+/// holds the only reference; while in flight, every [`PktBuf`] clone shares
+/// one `Arc`. A segment is recyclable iff its storage has exactly
+/// [`SEG_CAPACITY`] bytes (heap fallbacks and `from_vec` wrappers differ and
+/// are simply freed).
+struct Seg {
+    storage: Box<[u8]>,
+}
+
+/// A cheaply clonable, pool-backed byte buffer with headroom and tailroom.
+///
+/// `PktBuf` dereferences to `[u8]`, so read paths treat it exactly like a
+/// byte slice. Clones share the underlying segment (refcount bump); mutation
+/// through [`PktBuf::make_mut`], [`PktBuf::prepend`] or
+/// [`PktBuf::extend_from_slice`] is in-place while the buffer is uniquely
+/// owned and degrades to copy-on-write when shared.
+pub struct PktBuf {
+    /// `None` encodes the empty buffer (no allocation — SYNC messages are the
+    /// most frequent payloads in a synchronized run).
+    seg: Option<Arc<Seg>>,
+    off: u32,
+    len: u32,
+}
+
+impl PktBuf {
+    /// The empty buffer. Allocation-free.
+    pub const fn empty() -> PktBuf {
+        PktBuf {
+            seg: None,
+            off: 0,
+            len: 0,
+        }
+    }
+
+    fn heap_with_capacity(capacity: usize, headroom: usize) -> PktBuf {
+        PktBuf {
+            seg: Some(Arc::new(Seg {
+                storage: vec![0u8; capacity.max(1)].into_boxed_slice(),
+            })),
+            off: headroom.min(capacity) as u32,
+            len: 0,
+        }
+    }
+
+    /// Wrap an existing vector without copying (heap-backed, not pooled).
+    pub fn from_vec(v: Vec<u8>) -> PktBuf {
+        if v.is_empty() {
+            return PktBuf::empty();
+        }
+        let len = v.len() as u32;
+        PktBuf {
+            seg: Some(Arc::new(Seg {
+                storage: v.into_boxed_slice(),
+            })),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Number of readable bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the buffer holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The readable bytes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.seg {
+            Some(s) => &s.storage[self.off as usize..(self.off + self.len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Bytes available in front of the data for in-place [`PktBuf::prepend`].
+    pub fn headroom(&self) -> usize {
+        self.off as usize
+    }
+
+    /// Bytes available behind the data for in-place
+    /// [`PktBuf::extend_from_slice`].
+    pub fn tailroom(&self) -> usize {
+        match &self.seg {
+            Some(s) => s.storage.len() - (self.off + self.len) as usize,
+            None => 0,
+        }
+    }
+
+    /// Whether this buffer is the only reference to its segment (mutation is
+    /// in-place; a shared buffer copies on write).
+    pub fn is_unique(&self) -> bool {
+        match &self.seg {
+            Some(s) => Arc::strong_count(s) == 1,
+            None => true,
+        }
+    }
+
+    /// A sub-view of `self` covering `start..end` (refcount bump, no copy).
+    pub fn slice(&self, start: usize, end: usize) -> PktBuf {
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        if start == end {
+            return PktBuf::empty();
+        }
+        PktBuf {
+            seg: self.seg.clone(),
+            off: self.off + start as u32,
+            len: (end - start) as u32,
+        }
+    }
+
+    /// Mutable access to the readable bytes, copying into a fresh segment
+    /// first if the buffer is shared (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        if self.len == 0 {
+            return &mut [];
+        }
+        if !self.is_unique() {
+            self.reallocate(self.len(), self.headroom());
+        }
+        let off = self.off as usize;
+        let len = self.len as usize;
+        let seg = Arc::get_mut(self.seg.as_mut().expect("non-empty buffer has a segment"))
+            .expect("buffer was made unique above");
+        &mut seg.storage[off..off + len]
+    }
+
+    /// Append `data`, in place when uniquely owned with enough tailroom,
+    /// otherwise relocating into a larger (pooled when possible) segment.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.extend_with(data.len(), |dst| dst.copy_from_slice(data));
+    }
+
+    /// Append `n` bytes produced by `fill` (which receives the tail region):
+    /// the one-copy path for reading out of raw memory (mmap regions, guest
+    /// memory) straight into a pooled buffer.
+    pub fn extend_with(&mut self, n: usize, fill: impl FnOnce(&mut [u8])) {
+        if n == 0 {
+            return;
+        }
+        if self.seg.is_none() {
+            // Empty buffer: materialize a segment (recycled if the size
+            // permits; pooled callers allocate via `BufPool::alloc*`).
+            *self = if n + DEFAULT_HEADROOM <= SEG_CAPACITY {
+                PktBuf {
+                    seg: Some(freelist_pop().unwrap_or_else(new_seg)),
+                    off: DEFAULT_HEADROOM as u32,
+                    len: 0,
+                }
+            } else {
+                PktBuf::heap_with_capacity(n + DEFAULT_HEADROOM, DEFAULT_HEADROOM)
+            };
+        }
+        if !self.is_unique() || self.tailroom() < n {
+            let need = self.len() + n;
+            self.reallocate(need, self.headroom().min(DEFAULT_HEADROOM));
+        }
+        let off = self.off as usize;
+        let len = self.len as usize;
+        let seg = Arc::get_mut(self.seg.as_mut().expect("segment present"))
+            .expect("unique after reallocate");
+        fill(&mut seg.storage[off + len..off + len + n]);
+        self.len += n as u32;
+    }
+
+    /// Prepend `data` in front of the current bytes, in place when uniquely
+    /// owned with enough headroom, otherwise relocating.
+    pub fn prepend(&mut self, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        if self.seg.is_none() || !self.is_unique() || self.headroom() < data.len() {
+            let mut fresh = PktBuf::empty();
+            fresh.extend_with(data.len() + self.len(), |dst| {
+                dst[..data.len()].copy_from_slice(data);
+                dst[data.len()..].copy_from_slice(self.as_slice());
+            });
+            *self = fresh;
+            return;
+        }
+        let off = self.off as usize - data.len();
+        let seg = Arc::get_mut(self.seg.as_mut().expect("segment present"))
+            .expect("unique checked above");
+        seg.storage[off..off + data.len()].copy_from_slice(data);
+        self.off = off as u32;
+        self.len += data.len() as u32;
+    }
+
+    /// Keep only the first `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.len = len as u32;
+        }
+    }
+
+    /// Drop the first `n` bytes (view adjustment, no copy).
+    pub fn advance(&mut self, n: usize) {
+        let n = n.min(self.len()) as u32;
+        self.off += n;
+        self.len -= n;
+    }
+
+    /// Copy the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Move the data into a new segment of at least `capacity` bytes with
+    /// `headroom` in front, recycling a thread-local segment when the size
+    /// permits.
+    fn reallocate(&mut self, capacity: usize, headroom: usize) {
+        let mut fresh = if capacity + headroom <= SEG_CAPACITY {
+            PktBuf {
+                seg: Some(freelist_pop().unwrap_or_else(new_seg)),
+                off: headroom as u32,
+                len: 0,
+            }
+        } else {
+            PktBuf::heap_with_capacity(capacity + headroom, headroom)
+        };
+        fresh.extend_from_slice(self.as_slice());
+        *self = fresh;
+    }
+}
+
+impl Drop for PktBuf {
+    fn drop(&mut self) {
+        if let Some(seg) = self.seg.take() {
+            // Fast path: last reference to a standard-size segment — park the
+            // whole `Arc` (storage included) in the thread's freelist instead
+            // of freeing it. `strong_count == 1` is definitive: we hold the
+            // only handle.
+            if Arc::strong_count(&seg) == 1 && seg.storage.len() == SEG_CAPACITY {
+                freelist_push(seg);
+            }
+        }
+    }
+}
+
+impl Clone for PktBuf {
+    fn clone(&self) -> Self {
+        PktBuf {
+            seg: self.seg.clone(),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Default for PktBuf {
+    fn default() -> Self {
+        PktBuf::empty()
+    }
+}
+
+impl Deref for PktBuf {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PktBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for PktBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PktBuf({} B", self.len())?;
+        if self.len() <= 16 {
+            write!(f, ": {:02x?}", self.as_slice())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u8>> for PktBuf {
+    fn from(v: Vec<u8>) -> Self {
+        PktBuf::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for PktBuf {
+    fn from(s: &[u8]) -> Self {
+        let mut b = PktBuf::empty();
+        b.extend_from_slice(s);
+        b
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for PktBuf {
+    fn from(s: &[u8; N]) -> Self {
+        PktBuf::from(&s[..])
+    }
+}
+
+impl PartialEq for PktBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for PktBuf {}
+
+impl PartialEq<[u8]> for PktBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for PktBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for PktBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<PktBuf> for Vec<u8> {
+    fn eq(&self, other: &PktBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for PktBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for PktBuf {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_is_allocation_free() {
+        let b = PktBuf::empty();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.as_slice(), &[] as &[u8]);
+        let c = b.clone();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn pool_recycles_segments() {
+        let pool = BufPool::new();
+        let free0 = pool.stats().free;
+        let a = pool.copy_from_slice(b"hello");
+        let (h0, m0) = (pool.stats().hits, pool.stats().misses);
+        assert_eq!(h0 + m0, 1, "exactly one allocation so far");
+        drop(a);
+        assert_eq!(pool.stats().free, free0 + 1, "segment parked on drop");
+        let b = pool.copy_from_slice(b"world");
+        assert_eq!(pool.stats().hits, h0 + 1, "second allocation reuses it");
+        assert_eq!(pool.stats().free, free0);
+        assert_eq!(b, b"world");
+    }
+
+    #[test]
+    fn clone_shares_and_last_drop_recycles() {
+        let pool = BufPool::new();
+        let a = pool.copy_from_slice(&[1, 2, 3]);
+        let free_live = pool.stats().free;
+        let b = a.clone();
+        let c = b.clone();
+        assert!(!a.is_unique());
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().free, free_live, "live reference keeps the segment");
+        assert_eq!(c, [1, 2, 3]);
+        drop(c);
+        assert_eq!(pool.stats().free, free_live + 1, "last drop recycles");
+    }
+
+    #[test]
+    fn headroom_prepend_in_place() {
+        let pool = BufPool::new();
+        let mut b = pool.copy_from_slice(b"payload");
+        assert_eq!(b.headroom(), DEFAULT_HEADROOM);
+        let allocs = pool.stats().hits + pool.stats().misses;
+        b.prepend(b"hdr:");
+        assert_eq!(b, b"hdr:payload");
+        assert_eq!(b.headroom(), DEFAULT_HEADROOM - 4);
+        assert_eq!(
+            pool.stats().hits + pool.stats().misses,
+            allocs,
+            "prepend with headroom does not reallocate"
+        );
+    }
+
+    #[test]
+    fn prepend_on_shared_buffer_copies_on_write() {
+        let pool = BufPool::new();
+        let mut a = pool.copy_from_slice(b"data");
+        let b = a.clone();
+        a.prepend(b"x");
+        assert_eq!(a, b"xdata");
+        assert_eq!(b, b"data", "shared clone unaffected");
+    }
+
+    #[test]
+    fn extend_uses_tailroom_then_grows() {
+        let pool = BufPool::new();
+        let mut b = pool.alloc();
+        b.extend_from_slice(&[7u8; 100]);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.tailroom(), SEG_CAPACITY - DEFAULT_HEADROOM - 100);
+        // Exceeding segment capacity falls back to the heap.
+        let big = vec![9u8; SEG_CAPACITY + 1];
+        let mut j = pool.copy_from_slice(&big);
+        assert_eq!(pool.stats().fallbacks, 1);
+        assert_eq!(j.len(), big.len());
+        j.extend_from_slice(&[1]);
+        assert_eq!(j.len(), big.len() + 1);
+        assert_eq!(&j[big.len()..], &[1]);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let pool = BufPool::new();
+        let b = pool.copy_from_slice(b"abcdefgh");
+        let s = b.slice(2, 6);
+        assert_eq!(s, b"cdef");
+        assert!(!b.is_unique(), "slice shares the segment");
+        let empty = b.slice(3, 3);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn make_mut_copy_on_write_isolates_clones() {
+        let pool = BufPool::new();
+        let mut a = pool.copy_from_slice(&[1, 2, 3, 4]);
+        let b = a.clone();
+        a.make_mut()[0] = 99;
+        assert_eq!(a, [99, 2, 3, 4]);
+        assert_eq!(b, [1, 2, 3, 4]);
+        // Unique mutation is in place (no new allocations).
+        let before = pool.stats().hits + pool.stats().misses;
+        a.make_mut()[1] = 98;
+        assert_eq!(pool.stats().hits + pool.stats().misses, before);
+    }
+
+    #[test]
+    fn truncate_and_advance_adjust_the_view() {
+        let pool = BufPool::new();
+        let mut b = pool.copy_from_slice(b"0123456789");
+        b.advance(3);
+        assert_eq!(b, b"3456789");
+        b.truncate(4);
+        assert_eq!(b, b"3456");
+        b.advance(100);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy_and_not_recycled() {
+        let pool = BufPool::new();
+        let free0 = pool.stats().free;
+        let v = vec![5u8; 32];
+        let b = PktBuf::from_vec(v.clone());
+        assert_eq!(b, v);
+        drop(b);
+        assert_eq!(
+            pool.stats().free,
+            free0,
+            "odd-size heap buffers never enter the freelist"
+        );
+    }
+
+    #[test]
+    fn freelist_is_bounded_per_thread() {
+        let bufs: Vec<PktBuf> = {
+            let pool = BufPool::new();
+            (0..MAX_FREE_PER_THREAD + 50)
+                .map(|i| pool.copy_from_slice(&[(i % 251) as u8]))
+                .collect()
+        };
+        drop(bufs);
+        let free = FREELIST.with(|f| f.borrow().len());
+        assert!(free <= MAX_FREE_PER_THREAD, "freelist bounded, got {free}");
+    }
+
+    #[test]
+    fn dropping_the_pool_does_not_invalidate_live_buffers() {
+        let pool = BufPool::new();
+        let b = pool.copy_from_slice(b"survivor");
+        drop(pool);
+        assert_eq!(b, b"survivor");
+        drop(b); // recycles onto the thread freelist; nothing dangles
+    }
+
+    #[test]
+    fn equality_against_common_byte_containers() {
+        let pool = BufPool::new();
+        let b = pool.copy_from_slice(&[1, 2, 3]);
+        assert_eq!(b, vec![1, 2, 3]);
+        assert_eq!(vec![1, 2, 3], b);
+        assert_eq!(b, [1, 2, 3]);
+        assert_eq!(b, &[1u8, 2, 3][..]);
+        assert_eq!(b, PktBuf::from(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn extend_with_fills_exactly_the_new_tail() {
+        let pool = BufPool::new();
+        let mut b = pool.copy_from_slice(b"head");
+        b.extend_with(4, |dst| {
+            assert_eq!(dst.len(), 4);
+            dst.copy_from_slice(b"tail");
+        });
+        assert_eq!(b, b"headtail");
+        b.extend_with(0, |_| panic!("never called for n == 0"));
+        assert_eq!(b, b"headtail");
+    }
+
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One random operation against the buffer-vs-model pair.
+        #[derive(Clone, Debug)]
+        enum Op {
+            Extend(Vec<u8>),
+            Prepend(Vec<u8>),
+            Truncate(usize),
+            Advance(usize),
+            Slice(usize, usize),
+            CloneIt,
+            DropClone,
+            Mutate(u8),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 0..200).prop_map(Op::Extend),
+                proptest::collection::vec(any::<u8>(), 0..64).prop_map(Op::Prepend),
+                (0usize..300).prop_map(Op::Truncate),
+                (0usize..300).prop_map(Op::Advance),
+                (0usize..100, 0usize..100).prop_map(|(a, b)| Op::Slice(a, b)),
+                Just(Op::CloneIt),
+                Just(Op::DropClone),
+                any::<u8>().prop_map(Op::Mutate),
+            ]
+        }
+
+        proptest! {
+            /// Random split/chain/clone/drop/mutate sequences behave exactly
+            /// like a `Vec<u8>` model, clones stay isolated under mutation,
+            /// and the freelist never leaks or double-frees a segment (a
+            /// double-free or use-after-recycle would corrupt the contents
+            /// checked after every step, or abort).
+            #[test]
+            fn pktbuf_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+                let pool = BufPool::new();
+                let mut buf = pool.alloc();
+                let mut model: Vec<u8> = Vec::new();
+                let mut clones: Vec<(PktBuf, Vec<u8>)> = Vec::new();
+                for op in ops {
+                    match op {
+                        Op::Extend(d) => { buf.extend_from_slice(&d); model.extend_from_slice(&d); }
+                        Op::Prepend(d) => {
+                            buf.prepend(&d);
+                            let mut m = d.clone();
+                            m.extend_from_slice(&model);
+                            model = m;
+                        }
+                        Op::Truncate(n) => { buf.truncate(n); model.truncate(n.min(model.len())); }
+                        Op::Advance(n) => {
+                            buf.advance(n);
+                            let n = n.min(model.len());
+                            model.drain(..n);
+                        }
+                        Op::Slice(a, b) => {
+                            let (a, b) = (a.min(model.len()), b.min(model.len()));
+                            let (a, b) = (a.min(b), a.max(b));
+                            let s = buf.slice(a, b);
+                            prop_assert_eq!(s.as_slice(), &model[a..b]);
+                        }
+                        Op::CloneIt => clones.push((buf.clone(), model.clone())),
+                        Op::DropClone => { clones.pop(); }
+                        Op::Mutate(v) => {
+                            if !model.is_empty() {
+                                buf.make_mut()[0] = v;
+                                model[0] = v;
+                            }
+                        }
+                    }
+                    prop_assert_eq!(buf.as_slice(), model.as_slice());
+                }
+                // Clones were never disturbed by mutations of the original.
+                for (c, m) in &clones {
+                    prop_assert_eq!(c.as_slice(), m.as_slice());
+                }
+                drop(buf);
+                drop(clones);
+                // The thread freelist stays within its bound — segments are
+                // recycled at most once (a double recycle would blow past the
+                // number of live allocations long before tripping the bound).
+                let free = FREELIST.with(|f| f.borrow().len());
+                prop_assert!(free <= MAX_FREE_PER_THREAD);
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use crate::pktbuf::{BufPool, PktBuf};
 use crate::time::SimTime;
 
 /// Maximum payload carried by one message slot.
@@ -104,32 +105,38 @@ impl Slot {
 
 /// A message copied out of a queue slot: the receiver-side timestamp, the
 /// seven-bit message type, and the payload bytes.
+///
+/// The payload is a [`PktBuf`]: receive paths copy the slot bytes into a
+/// pooled segment (no heap traffic on a warm pool) and every downstream hop
+/// hands the buffer on by reference-count bump instead of reallocating.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OwnedMsg {
     /// Receiver-side virtual time at which the message must be processed.
     pub timestamp: SimTime,
     /// Seven-bit message type ([`MSG_SYNC`] = pure synchronization).
     pub ty: MsgType,
-    /// Payload bytes.
-    pub data: Vec<u8>,
+    /// Payload bytes (pooled; see [`PktBuf`]).
+    pub data: PktBuf,
 }
 
 impl OwnedMsg {
-    /// Assemble a message from its parts.
-    pub fn new(timestamp: SimTime, ty: MsgType, data: Vec<u8>) -> Self {
+    /// Assemble a message from its parts. Accepts a [`PktBuf`] directly or
+    /// anything convertible into one (e.g. a `Vec<u8>`).
+    pub fn new(timestamp: SimTime, ty: MsgType, data: impl Into<PktBuf>) -> Self {
         OwnedMsg {
             timestamp,
             ty,
-            data,
+            data: data.into(),
         }
     }
 
     /// A pure SYNC message carrying only the timestamp promise.
+    /// Allocation-free.
     pub fn sync(timestamp: SimTime) -> Self {
         OwnedMsg {
             timestamp,
             ty: MSG_SYNC,
-            data: Vec::new(),
+            data: PktBuf::empty(),
         }
     }
 
@@ -151,8 +158,24 @@ impl OwnedMsg {
 
     /// Parse a message from its wire encoding. Returns the message and the
     /// number of bytes consumed, or `None` if `buf` does not contain a
-    /// complete message yet.
+    /// complete message yet. The payload lands in a heap-backed buffer; hot
+    /// paths that decode in a loop should use
+    /// [`OwnedMsg::from_wire_pooled`] instead.
     pub fn from_wire(buf: &[u8]) -> Option<(OwnedMsg, usize)> {
+        Self::decode_wire(buf, None)
+    }
+
+    /// Like [`OwnedMsg::from_wire`], but the payload is copied into a
+    /// segment from `pool` (no heap allocation on a warm pool).
+    pub fn from_wire_pooled(buf: &[u8], pool: &BufPool) -> Option<(OwnedMsg, usize)> {
+        Self::decode_wire(buf, Some(pool))
+    }
+
+    /// Borrow a message straight out of its wire encoding without
+    /// materializing it: returns `(timestamp, type, payload, bytes consumed)`
+    /// where the payload is a sub-slice of `buf`. The zero-allocation path
+    /// for forwarders that immediately copy the payload into a queue slot.
+    pub fn peek_wire(buf: &[u8]) -> Option<(SimTime, MsgType, &[u8], usize)> {
         if buf.len() < 13 {
             return None;
         }
@@ -162,13 +185,26 @@ impl OwnedMsg {
         if buf.len() < 13 + len {
             return None;
         }
+        Some((SimTime::from_ps(ts), ty, &buf[13..13 + len], 13 + len))
+    }
+
+    fn decode_wire(buf: &[u8], pool: Option<&BufPool>) -> Option<(OwnedMsg, usize)> {
+        let (timestamp, ty, payload, used) = Self::peek_wire(buf)?;
+        let data = if payload.is_empty() {
+            PktBuf::empty()
+        } else {
+            match pool {
+                Some(p) => p.copy_from_slice(payload),
+                None => PktBuf::from(payload),
+            }
+        };
         Some((
             OwnedMsg {
-                timestamp: SimTime::from_ps(ts),
+                timestamp,
                 ty,
-                data: buf[13..13 + len].to_vec(),
+                data,
             },
-            13 + len,
+            used,
         ))
     }
 }

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::pktbuf::{BufPool, PktBuf};
 use crate::slot::{MsgType, OwnedMsg, Slot, MAX_PAYLOAD};
 use crate::time::SimTime;
 
@@ -44,6 +45,7 @@ pub fn queue(len: usize) -> (Producer, Consumer) {
             shared,
             head: 0,
             received: 0,
+            pool: BufPool::new(),
         },
     )
 }
@@ -95,7 +97,10 @@ impl Producer {
             dst[..payload.len()].copy_from_slice(payload);
         }
         slot.publish(ty);
-        self.tail = (self.tail + 1) % self.shared.slots.len();
+        self.tail += 1;
+        if self.tail == self.shared.slots.len() {
+            self.tail = 0;
+        }
         self.sent += 1;
         Ok(())
     }
@@ -132,10 +137,24 @@ pub struct Consumer {
     shared: Arc<Shared>,
     head: usize,
     received: u64,
+    /// Arena for received payloads; replaced by the owning kernel's pool via
+    /// [`Consumer::set_pool`] so pool counters aggregate per component.
+    pool: BufPool,
 }
 
 impl Consumer {
-    /// Attempt to dequeue one message, copying it out of the slot.
+    /// Install the buffer pool that received payloads are allocated from.
+    pub fn set_pool(&mut self, pool: BufPool) {
+        self.pool = pool;
+    }
+
+    /// The buffer pool received payloads are allocated from.
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
+    /// Attempt to dequeue one message, copying it out of the slot into a
+    /// pooled buffer (empty payloads — SYNC messages — are allocation-free).
     pub fn try_recv(&mut self) -> Option<OwnedMsg> {
         let slot = &self.shared.slots[self.head];
         if !slot.consumer_owned() {
@@ -144,14 +163,18 @@ impl Consumer {
         let msg = unsafe {
             let hdr = *slot.header.get();
             let payload = &*slot.payload.get();
-            OwnedMsg::new(
-                SimTime::from_ps(hdr.timestamp),
-                slot.msg_type(),
-                payload[..hdr.len as usize].to_vec(),
-            )
+            let data = if hdr.len == 0 {
+                PktBuf::empty()
+            } else {
+                self.pool.copy_from_slice(&payload[..hdr.len as usize])
+            };
+            OwnedMsg::new(SimTime::from_ps(hdr.timestamp), slot.msg_type(), data)
         };
         slot.release();
-        self.head = (self.head + 1) % self.shared.slots.len();
+        self.head += 1;
+        if self.head == self.shared.slots.len() {
+            self.head = 0;
+        }
         self.received += 1;
         Some(msg)
     }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::pktbuf::PoolStats;
 use crate::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use crate::sync::PortStats;
 use crate::time::SimTime;
@@ -35,6 +36,14 @@ pub struct KernelStats {
     /// SYNC messages emitted ahead of schedule by batched emission (subset of
     /// `syncs_sent`).
     pub syncs_coalesced: u64,
+    /// Packet-buffer allocations served from the component's freelist arena
+    /// (no heap traffic).
+    pub pool_hits: u64,
+    /// Packet-buffer allocations that had to create a fresh segment.
+    pub pool_misses: u64,
+    /// Packet-buffer allocations that exceeded the segment capacity and fell
+    /// back to a plain heap buffer.
+    pub pool_fallbacks: u64,
 }
 
 impl KernelStats {
@@ -46,6 +55,25 @@ impl KernelStats {
         self.syncs_received += p.syncs_received;
         self.backpressured += p.backpressured;
         self.syncs_coalesced += p.syncs_coalesced;
+    }
+
+    /// Overwrite the pool counters from the component's arena (the arena's
+    /// counters are already cumulative, so this is a set, not an add).
+    pub fn absorb_pool(&mut self, p: PoolStats) {
+        self.pool_hits = p.hits;
+        self.pool_misses = p.misses;
+        self.pool_fallbacks = p.fallbacks;
+    }
+
+    /// Fraction of pooled allocations served from the freelist, in `0..=1`
+    /// (1.0 when nothing was allocated).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
     }
 
     /// Total messages that crossed this component's channels (both kinds and
@@ -65,9 +93,9 @@ impl KernelStats {
     }
 
     /// Size in bytes of the wire encoding produced by [`KernelStats::to_wire`].
-    pub const WIRE_LEN: usize = 13 * 8;
+    pub const WIRE_LEN: usize = 16 * 8;
 
-    /// Serialize the counters as 13 little-endian `u64`s (final time in
+    /// Serialize the counters as 16 little-endian `u64`s (final time in
     /// picoseconds first, then the counters in declaration order). Used by
     /// distributed runs to ship per-component statistics from worker
     /// processes back to the orchestrator over the control socket.
@@ -85,6 +113,9 @@ impl KernelStats {
             self.syncs_received,
             self.backpressured,
             self.syncs_coalesced,
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_fallbacks,
             0, // reserved
         ];
         let mut out = [0u8; Self::WIRE_LEN];
@@ -100,7 +131,7 @@ impl KernelStats {
         if buf.len() < Self::WIRE_LEN {
             return None;
         }
-        let mut f = [0u64; 13];
+        let mut f = [0u64; 16];
         for (i, v) in f.iter_mut().enumerate() {
             *v = u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
         }
@@ -117,6 +148,9 @@ impl KernelStats {
             syncs_received: f[9],
             backpressured: f[10],
             syncs_coalesced: f[11],
+            pool_hits: f[12],
+            pool_misses: f[13],
+            pool_fallbacks: f[14],
         })
     }
 
@@ -136,6 +170,9 @@ impl KernelStats {
             out.syncs_received += s.syncs_received;
             out.backpressured += s.backpressured;
             out.syncs_coalesced += s.syncs_coalesced;
+            out.pool_hits += s.pool_hits;
+            out.pool_misses += s.pool_misses;
+            out.pool_fallbacks += s.pool_fallbacks;
         }
         out
     }
@@ -240,6 +277,9 @@ mod tests {
             syncs_received: 9,
             backpressured: 10,
             syncs_coalesced: 11,
+            pool_hits: 12,
+            pool_misses: 13,
+            pool_fallbacks: 14,
         };
         let w = s.to_wire();
         assert_eq!(KernelStats::from_wire(&w), Some(s));

@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use crate::channel::ChannelEnd;
+use crate::pktbuf::PktBuf;
 use crate::slot::{MsgType, OwnedMsg, MSG_SYNC};
 use crate::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use crate::spsc::SendError;
@@ -52,8 +53,10 @@ pub struct SyncPort {
     /// Local time at which a SYNC must be sent if nothing else was sent.
     next_sync_due: SimTime,
     /// Locally buffered outgoing messages that did not fit in the shared
-    /// queue yet (drained opportunistically, preserving order).
-    outbox: VecDeque<(SimTime, MsgType, Vec<u8>)>,
+    /// queue yet (drained opportunistically, preserving order). Payloads are
+    /// pooled buffers: overflowing the queue costs a refcount move (or one
+    /// pooled copy for borrowed payloads), never a heap allocation.
+    outbox: VecDeque<(SimTime, MsgType, PktBuf)>,
     /// Set once the final (end-of-simulation) sync has been emitted.
     finalized: bool,
     /// Effective synchronization interval. Starts at the configured δ and,
@@ -182,6 +185,18 @@ impl SyncPort {
         self.next_sync_due = now.saturating_add(self.cur_interval);
     }
 
+    /// Like [`SyncPort::send_data`], but takes an owned [`PktBuf`]: if the
+    /// shared queue is momentarily full, the buffer moves into the outbox
+    /// without any copy.
+    pub fn send_data_buf(&mut self, now: SimTime, ty: MsgType, payload: PktBuf) {
+        debug_assert!(ty != MSG_SYNC, "type 0 is reserved for SYNC messages");
+        let ts = now.saturating_add(self.latency());
+        self.enqueue_buf(ts, ty, payload);
+        self.stats.data_sent += 1;
+        self.cur_interval = self.sync_interval();
+        self.next_sync_due = now.saturating_add(self.cur_interval);
+    }
+
     /// Emit a SYNC message if one is due at local time `now` (§5.5: liveness).
     pub fn maybe_send_sync(&mut self, now: SimTime) {
         self.maybe_send_sync_batched(now, SimTime::ZERO);
@@ -273,19 +288,44 @@ impl SyncPort {
     }
 
     fn enqueue(&mut self, ts: SimTime, ty: MsgType, payload: &[u8]) {
-        if self.outbox.is_empty() {
-            match self.chan.send_raw(ts, ty, payload) {
-                Ok(()) => return,
-                Err(SendError::Disconnected) => return,
-                Err(SendError::TooLarge) => {
-                    panic!("message payload of {} bytes exceeds slot size", payload.len())
-                }
-                Err(SendError::Full) => {
-                    self.stats.backpressured += 1;
-                }
+        if self.try_send_direct(ts, ty, payload) {
+            return;
+        }
+        // Overflow: park a pooled copy (no heap traffic on a warm pool).
+        let buf = if payload.is_empty() {
+            PktBuf::empty()
+        } else {
+            self.chan.pool().copy_from_slice(payload)
+        };
+        self.outbox.push_back((ts, ty, buf));
+    }
+
+    fn enqueue_buf(&mut self, ts: SimTime, ty: MsgType, payload: PktBuf) {
+        if self.try_send_direct(ts, ty, &payload) {
+            return;
+        }
+        // Overflow: the owned buffer moves into the outbox, zero copies.
+        self.outbox.push_back((ts, ty, payload));
+    }
+
+    /// Try to place a message directly into the shared queue. Returns true
+    /// when the message needs no outbox entry (sent, or peer gone); false on
+    /// backpressure.
+    fn try_send_direct(&mut self, ts: SimTime, ty: MsgType, payload: &[u8]) -> bool {
+        if !self.outbox.is_empty() {
+            return false;
+        }
+        match self.chan.send_raw(ts, ty, payload) {
+            Ok(()) => true,
+            Err(SendError::Disconnected) => true,
+            Err(SendError::TooLarge) => {
+                panic!("message payload of {} bytes exceeds slot size", payload.len())
+            }
+            Err(SendError::Full) => {
+                self.stats.backpressured += 1;
+                false
             }
         }
-        self.outbox.push_back((ts, ty, payload.to_vec()));
     }
 
     /// Whether this port is fully quiesced for a checkpoint at time `t`:
@@ -361,7 +401,7 @@ impl Snapshot for SyncPort {
             let ts = r.time()?;
             let ty = r.u8()?;
             let payload = r.bytes()?;
-            self.outbox.push_back((ts, ty, payload));
+            self.outbox.push_back((ts, ty, PktBuf::from_vec(payload)));
         }
         self.finalized = r.bool()?;
         self.cur_interval = r.time()?;

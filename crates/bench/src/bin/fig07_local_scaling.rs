@@ -17,7 +17,7 @@
 use simbricks::hostsim::HostKind;
 use simbricks::runner::default_workers;
 use simbricks::{Execution, SimTime};
-use simbricks_bench::udp_scaleup_with;
+use simbricks_bench::udp_scaleup_stats;
 
 struct Row {
     hosts: usize,
@@ -25,6 +25,11 @@ struct Row {
     seq_syncs: u64,
     sharded_wall: f64,
     sharded_syncs: u64,
+    /// Allocator-facing counters of the sequential run (pooled packet
+    /// buffers): freelist hits, cold misses, jumbo heap fallbacks.
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_fallbacks: u64,
 }
 
 fn main() {
@@ -82,23 +87,31 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &hosts in &hosts_list {
-        let (seq_wall, seq_syncs) =
-            udp_scaleup_with(hosts, HostKind::Gem5Timing, duration, false, Execution::Sequential);
-        let (sharded_wall, sharded_syncs) = udp_scaleup_with(
+        let (seq_wall, seq_stats) =
+            udp_scaleup_stats(hosts, HostKind::Gem5Timing, duration, false, Execution::Sequential);
+        let (sharded_wall, sharded_stats) = udp_scaleup_stats(
             hosts,
             HostKind::Gem5Timing,
             duration,
             false,
             Execution::Sharded { workers },
         );
+        let seq_syncs = seq_stats.syncs_sent + seq_stats.barrier_waits;
+        let sharded_syncs = sharded_stats.syncs_sent + sharded_stats.barrier_waits;
         let speedup = if sharded_wall > 0.0 {
             seq_wall / sharded_wall
         } else {
             0.0
         };
         println!(
-            "{:>6} {:>12.2} {:>12.2} {:>8.2}x {:>14} {:>14}",
-            hosts, seq_wall, sharded_wall, speedup, seq_syncs, sharded_syncs
+            "{:>6} {:>12.2} {:>12.2} {:>8.2}x {:>14} {:>14}  pool {:.1}% hit",
+            hosts,
+            seq_wall,
+            sharded_wall,
+            speedup,
+            seq_syncs,
+            sharded_syncs,
+            seq_stats.pool_hit_rate() * 100.0,
         );
         rows.push(Row {
             hosts,
@@ -106,6 +119,9 @@ fn main() {
             seq_syncs,
             sharded_wall,
             sharded_syncs,
+            pool_hits: seq_stats.pool_hits,
+            pool_misses: seq_stats.pool_misses,
+            pool_fallbacks: seq_stats.pool_fallbacks,
         });
     }
 
@@ -130,13 +146,17 @@ fn main() {
         for (i, r) in rows.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"hosts\": {}, \"sequential_wall_s\": {:.4}, \"sharded_wall_s\": {:.4}, \
-                 \"speedup\": {:.4}, \"sequential_syncs\": {}, \"sharded_syncs\": {}}}{}\n",
+                 \"speedup\": {:.4}, \"sequential_syncs\": {}, \"sharded_syncs\": {}, \
+                 \"pool_hits\": {}, \"pool_misses\": {}, \"pool_fallbacks\": {}}}{}\n",
                 r.hosts,
                 r.seq_wall,
                 r.sharded_wall,
                 if r.sharded_wall > 0.0 { r.seq_wall / r.sharded_wall } else { 0.0 },
                 r.seq_syncs,
                 r.sharded_syncs,
+                r.pool_hits,
+                r.pool_misses,
+                r.pool_fallbacks,
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }

@@ -537,6 +537,20 @@ pub fn udp_scaleup_with(
     barrier: bool,
     exec: Execution,
 ) -> (f64, u64) {
+    let (wall, stats) = udp_scaleup_stats(hosts, host_kind, duration, barrier, exec);
+    (wall, stats.syncs_sent + stats.barrier_waits)
+}
+
+/// Like [`udp_scaleup_with`], returning the merged per-component kernel
+/// statistics (sync counts, allocator-facing pool counters) alongside the
+/// wall time.
+pub fn udp_scaleup_stats(
+    hosts: usize,
+    host_kind: HostKind,
+    duration: SimTime,
+    barrier: bool,
+    exec: Execution,
+) -> (f64, simbricks::base::KernelStats) {
     let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
     if barrier {
         exp = exp.with_global_barrier();
@@ -567,5 +581,5 @@ pub fn udp_scaleup_with(
         eth,
     );
     let r = exp.run(exec);
-    (r.wall_seconds(), r.total_stats().syncs_sent + r.total_stats().barrier_waits)
+    (r.wall_seconds(), r.total_stats())
 }

@@ -6,20 +6,26 @@
 //! bandwidth and propagation latency are channel parameters; serialization
 //! delay is modelled by the sending component.
 
-use simbricks_base::{Kernel, MsgType, OwnedMsg, PortId, SimTime};
+use simbricks_base::{Kernel, MsgType, OwnedMsg, PktBuf, PortId, SimTime};
 
 /// Message type for Ethernet packets.
 pub const MSG_ETH_PACKET: MsgType = 0x40;
 
 /// An Ethernet frame crossing a SimBricks channel.
+///
+/// The frame bytes live in a pooled [`PktBuf`]: cloning the packet (e.g. a
+/// switch flooding it out of several ports) is a reference-count bump, not a
+/// copy.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EthPacket {
-    pub frame: Vec<u8>,
+    pub frame: PktBuf,
 }
 
 impl EthPacket {
-    pub fn new(frame: Vec<u8>) -> Self {
-        EthPacket { frame }
+    pub fn new(frame: impl Into<PktBuf>) -> Self {
+        EthPacket {
+            frame: frame.into(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -37,7 +43,8 @@ impl EthPacket {
         (MSG_ETH_PACKET, &self.frame)
     }
 
-    /// Decode a received SimBricks message into an Ethernet packet.
+    /// Decode a received SimBricks message into an Ethernet packet (refcount
+    /// bump on the shared buffer, no byte copy).
     pub fn decode(msg: &OwnedMsg) -> Option<EthPacket> {
         if msg.ty == MSG_ETH_PACKET {
             Some(EthPacket {
@@ -61,6 +68,12 @@ impl EthPacket {
 /// Send an Ethernet frame on `port` of `kernel` at the current virtual time.
 pub fn send_packet(kernel: &mut Kernel, port: PortId, frame: &[u8]) {
     kernel.send(port, MSG_ETH_PACKET, frame);
+}
+
+/// Send an Ethernet frame the caller already owns as a [`PktBuf`]; on queue
+/// backpressure the buffer moves into the port's outbox without a copy.
+pub fn send_packet_buf(kernel: &mut Kernel, port: PortId, frame: PktBuf) {
+    kernel.send_buf(port, MSG_ETH_PACKET, frame);
 }
 
 /// Compute the serialization (transmission) delay of a frame at `bits_per_sec`,

@@ -10,6 +10,7 @@
 //! Driver methods do not perform I/O themselves; they return [`DriverOp`]s
 //! that the host model turns into PCIe messages (and charges CPU time for).
 
+use simbricks_base::{BufPool, PktBuf};
 use simbricks_base::snap::{SnapReader, SnapResult, SnapWriter, Snapshot};
 use simbricks_nicsim::regs::*;
 use simbricks_nicsim::NicVariant;
@@ -44,8 +45,9 @@ pub enum ReadPurpose {
 /// Result of letting the driver process an interrupt or a completed read.
 #[derive(Default)]
 pub struct DriverOutcome {
-    /// Received frames to hand to the network stack.
-    pub frames: Vec<Vec<u8>>,
+    /// Received frames to hand to the network stack (pooled buffers read
+    /// straight out of the receive rings).
+    pub frames: Vec<PktBuf>,
     /// Follow-up MMIO operations.
     pub ops: Vec<DriverOp>,
     /// Number of MMIO read stalls this step introduced (reporting).
@@ -82,6 +84,8 @@ pub struct NicDriver {
     pub tx_dropped_ring_full: u64,
     pub tx_packets: u64,
     pub rx_packets: u64,
+    /// Arena receive frames are copied into out of guest memory.
+    pool: BufPool,
 }
 
 impl NicDriver {
@@ -97,6 +101,7 @@ impl NicDriver {
             tx_clean: 0,
             rx_next: 0,
             rx_tail: 0,
+            pool: BufPool::new(),
             itr_ns,
             initialized: false,
             tx_dropped_ring_full: 0,
@@ -107,6 +112,12 @@ impl NicDriver {
 
     pub fn kind(&self) -> NicModelKind {
         self.kind
+    }
+
+    /// Rebase the driver onto an external buffer pool (the owning kernel's
+    /// per-component arena), so ring-read allocations count per host.
+    pub fn set_pool(&mut self, pool: BufPool) {
+        self.pool = pool;
     }
 
     /// Whether the bound NIC model supports TCP segmentation offload (only
@@ -326,7 +337,7 @@ impl NicDriver {
                 break;
             }
             let buf = self.rx_bufs + idx as u64 * BUF_SIZE;
-            out.frames.push(mem.read(buf, d.len as usize).to_vec());
+            out.frames.push(self.pool.copy_from_slice(mem.read(buf, d.len as usize)));
             self.rx_packets += 1;
             // Re-arm the descriptor and advance.
             let fresh = Descriptor {
@@ -359,7 +370,7 @@ impl NicDriver {
             // the Ethernet/IP headers to recover the frame length.
             let raw = mem.read(buf, BUF_SIZE as usize);
             let len = frame_length(raw).unwrap_or(64).min(BUF_SIZE as usize);
-            out.frames.push(raw[..len].to_vec());
+            out.frames.push(self.pool.copy_from_slice(&raw[..len]));
             self.rx_packets += 1;
             self.rx_next = (self.rx_next + 1) % RING_ENTRIES;
             self.rx_tail = (self.rx_tail + 1) % RING_ENTRIES;

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
+use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime};
 use simbricks_netstack::{CongestionControl, NetStack, StackConfig};
 use simbricks_pcie::{DevToHost, HostToDev, IntStatus, OutstandingRequests};
 use simbricks_proto::{Ipv4Addr, MacAddr};
@@ -277,7 +277,7 @@ impl HostModel {
                         req_id,
                         bar: 0,
                         offset,
-                        data: value.to_le_bytes().to_vec(),
+                        data: value.to_le_bytes().to_vec().into(),
                     }
                     .encode();
                     k.send(self.pcie, ty, &p);
@@ -307,7 +307,7 @@ impl HostModel {
         }
     }
 
-    fn handle_rx_frames(&mut self, k: &mut Kernel, frames: Vec<Vec<u8>>) {
+    fn handle_rx_frames(&mut self, k: &mut Kernel, frames: Vec<PktBuf>) {
         let now = k.now();
         // Driver/DMA costs are paid per wire frame.
         for frame in &frames {
@@ -322,7 +322,7 @@ impl HostModel {
         // GRO: coalesce back-to-back TCP segments of the same flow, so the
         // protocol-stack cost is paid per coalesced segment — the software
         // offload that lets one core keep up with line rate.
-        let gro = simbricks_netstack::gro::coalesce(frames);
+        let gro = simbricks_netstack::gro::coalesce(self.stack.pool(), frames);
         self.stats.gro_merged += gro.merged as u64;
         for frame in gro.frames {
             self.charge(now, self.cost.per_segment);
@@ -451,6 +451,12 @@ impl HostModel {
 
 impl Model for HostModel {
     fn init(&mut self, k: &mut Kernel) {
+        // One arena per host: stack (tx frames, GRO flushes) and driver
+        // (ring reads) allocate from the kernel's pool, so every pooled
+        // allocation this component performs lands in its
+        // `KernelStats::pool_*` counters.
+        self.stack.set_pool(k.pool().clone());
+        self.driver.set_pool(k.pool().clone());
         if self.cfg.os_tick > SimTime::ZERO {
             let at = k.now() + self.cfg.os_tick;
             self.defer(k, Work::OsTick, at);
@@ -458,7 +464,7 @@ impl Model for HostModel {
     }
 
     fn on_msg(&mut self, k: &mut Kernel, _port: PortId, msg: OwnedMsg) {
-        match DevToHost::decode(msg.ty, &msg.data) {
+        match DevToHost::decode_buf(msg.ty, &msg.data) {
             Some(DevToHost::DevInfo(_info)) => {
                 // PCI enumeration found the NIC: initialize the driver, tell
                 // the device which interrupt mechanisms are enabled, then
@@ -476,15 +482,20 @@ impl Model for HostModel {
                 self.defer(k, Work::AppStart, at);
             }
             Some(DevToHost::DmaRead { req_id, addr, len }) => {
-                let data = self.mem.read(addr, len).to_vec();
-                let (ty, p) = HostToDev::DmaComplete { req_id, data }.encode();
-                k.send(self.pcie, ty, &p);
+                // One write pass: guest memory straight into a pooled
+                // message envelope, no intermediate vector.
+                let (ty, p) = HostToDev::encode_dma_complete_pooled(
+                    k.pool(),
+                    req_id,
+                    self.mem.read(addr, len),
+                );
+                k.send_buf(self.pcie, ty, p);
             }
             Some(DevToHost::DmaWrite { req_id, addr, data }) => {
                 self.mem.write(addr, &data);
                 let (ty, p) = HostToDev::DmaComplete {
                     req_id,
-                    data: Vec::new(),
+                    data: PktBuf::empty(),
                 }
                 .encode();
                 k.send(self.pcie, ty, &p);

@@ -261,7 +261,7 @@ impl StorageHostModel {
             req_id,
             bar: 0,
             offset,
-            data: value.to_le_bytes().to_vec(),
+            data: value.to_le_bytes().to_vec().into(),
         }
         .encode();
         k.send(self.pcie, ty, &p);
@@ -406,14 +406,14 @@ impl Model for StorageHostModel {
             }
             Some(DevToHost::DmaRead { req_id, addr, len }) => {
                 let data = self.mem.read(addr, len).to_vec();
-                let (ty, p) = HostToDev::DmaComplete { req_id, data }.encode();
+                let (ty, p) = HostToDev::DmaComplete { req_id, data: data.into() }.encode();
                 k.send(self.pcie, ty, &p);
             }
             Some(DevToHost::DmaWrite { req_id, addr, data }) => {
                 self.mem.write(addr, &data);
                 let (ty, p) = HostToDev::DmaComplete {
                     req_id,
-                    data: Vec::new(),
+                    data: simbricks_base::PktBuf::empty(),
                 }
                 .encode();
                 k.send(self.pcie, ty, &p);

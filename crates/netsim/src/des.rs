@@ -20,7 +20,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
+use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf};
 use simbricks_eth::{send_packet, serialization_delay, EthPacket};
 use simbricks_netstack::{NetStack, SocketEvent, StackConfig};
 use simbricks_proto::{frame_dst, frame_src, Ecn, Ipv4Header, MacAddr, ETH_HEADER_LEN};
@@ -140,7 +140,7 @@ struct Node {
 }
 
 struct LinkDir {
-    queue: VecDeque<Vec<u8>>,
+    queue: VecDeque<PktBuf>,
     queued_bytes: usize,
     busy_until: SimTime,
     departing: bool,
@@ -198,7 +198,7 @@ pub struct DesNetwork {
     external_ports: HashMap<usize, NodeId>,
     /// Frames that left a link and are propagating: (arrival time,
     /// destination node, ingress port at the destination, frame).
-    pending_deliveries: VecDeque<(SimTime, NodeId, usize, Vec<u8>)>,
+    pending_deliveries: VecDeque<(SimTime, NodeId, usize, PktBuf)>,
     stats: DesStats,
     started: bool,
 }
@@ -297,14 +297,14 @@ impl DesNetwork {
     // ------------------------------------------------------------------
 
     /// Send a frame out of `node` on its `port_idx`-th attachment.
-    fn emit(&mut self, k: &mut Kernel, node: NodeId, port_idx: usize, frame: Vec<u8>) {
+    fn emit(&mut self, k: &mut Kernel, node: NodeId, port_idx: usize, frame: PktBuf) {
         let Some(&(link_idx, side)) = self.nodes[node.0].ports.get(port_idx) else {
             return;
         };
         self.enqueue_on_link(k, link_idx, side as usize, frame);
     }
 
-    fn enqueue_on_link(&mut self, k: &mut Kernel, link_idx: usize, dir: usize, mut frame: Vec<u8>) {
+    fn enqueue_on_link(&mut self, k: &mut Kernel, link_idx: usize, dir: usize, mut frame: PktBuf) {
         let link = &mut self.links[link_idx];
         let q = &mut link.dirs[dir];
         if q.queued_bytes + frame.len() > link.params.queue.capacity() {
@@ -321,7 +321,7 @@ impl DesNetwork {
                 let thresh = link.params.queue.threshold().unwrap_or(usize::MAX);
                 if q.queue.len() >= thresh
                     && is_ect
-                    && Ipv4Header::set_ecn_in_place(&mut frame, ETH_HEADER_LEN, Ecn::Ce)
+                    && Ipv4Header::set_ecn_in_place(frame.make_mut(), ETH_HEADER_LEN, Ecn::Ce)
                 {
                     self.stats.ecn_marked += 1;
                     k.log("net_mark", link_idx as u64, q.queue.len() as u64);
@@ -345,7 +345,7 @@ impl DesNetwork {
                 };
                 if congested {
                     if is_ect
-                        && Ipv4Header::set_ecn_in_place(&mut frame, ETH_HEADER_LEN, Ecn::Ce)
+                        && Ipv4Header::set_ecn_in_place(frame.make_mut(), ETH_HEADER_LEN, Ecn::Ce)
                     {
                         self.stats.ecn_marked += 1;
                         k.log("net_mark", link_idx as u64, depth as u64);
@@ -413,7 +413,7 @@ impl DesNetwork {
         }
     }
 
-    fn deliver_from(&mut self, k: &mut Kernel, node: NodeId, ingress_port: usize, frame: Vec<u8>) {
+    fn deliver_from(&mut self, k: &mut Kernel, node: NodeId, ingress_port: usize, frame: PktBuf) {
         enum Action {
             External(usize),
             Endpoint,
@@ -470,7 +470,7 @@ impl DesNetwork {
     // Endpoint plumbing
     // ------------------------------------------------------------------
 
-    fn endpoint_rx(&mut self, k: &mut Kernel, node: NodeId, frame: Vec<u8>) {
+    fn endpoint_rx(&mut self, k: &mut Kernel, node: NodeId, frame: PktBuf) {
         let now = k.now();
         // Timestamped per-endpoint packet log: this is what the §7.5 accuracy
         // check compares between a monolithic network simulation and the same
@@ -587,6 +587,13 @@ impl Model for DesNetwork {
             return;
         }
         self.started = true;
+        // Endpoint stacks allocate from this component's arena so pooled
+        // transmit allocations land in its `KernelStats::pool_*` counters.
+        for node in &mut self.nodes {
+            if let NodeKind::Endpoint { stack, .. } = &mut node.kind {
+                stack.set_pool(k.pool().clone());
+            }
+        }
         // Start all endpoint applications.
         let ids: Vec<NodeId> = (0..self.nodes.len()).map(NodeId).collect();
         for id in ids {

@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
+use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf};
 use simbricks_eth::{send_packet, EthPacket};
 use simbricks_proto::{frame_dst, frame_src, MacAddr};
 
@@ -41,7 +41,7 @@ impl Default for RmtConfig {
 struct InFlight {
     remaining_cycles: u64,
     in_port: usize,
-    frame: Vec<u8>,
+    frame: PktBuf,
 }
 
 /// The cycle-driven pipeline model.
@@ -116,7 +116,7 @@ impl RmtPipeline {
         }
     }
 
-    fn forward(&mut self, k: &mut Kernel, in_port: usize, frame: Vec<u8>) {
+    fn forward(&mut self, k: &mut Kernel, in_port: usize, frame: PktBuf) {
         if let Some(src) = frame_src(&frame) {
             if !src.is_multicast() {
                 self.mac_table.insert(src, in_port);

@@ -10,8 +10,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
-use simbricks_eth::{send_packet, serialization_delay, EthPacket};
+use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime};
+use simbricks_eth::{send_packet_buf, serialization_delay, EthPacket};
 use simbricks_proto::{frame_dst, frame_src, Ecn, Ipv4Header, MacAddr, ETH_HEADER_LEN};
 
 /// Switch configuration.
@@ -56,7 +56,9 @@ impl Default for SwitchConfig {
 }
 
 struct EgressQueue {
-    queue: VecDeque<Vec<u8>>,
+    /// Queued frames: pooled buffers, so a flood enqueues N references to
+    /// one shared segment instead of N byte copies.
+    queue: VecDeque<PktBuf>,
     queued_bytes: usize,
     /// Time when the link becomes free after the packet currently serializing.
     busy_until: SimTime,
@@ -172,7 +174,7 @@ impl SwitchBm {
         }
     }
 
-    fn enqueue(&mut self, k: &mut Kernel, port: usize, mut frame: Vec<u8>) {
+    fn enqueue(&mut self, k: &mut Kernel, port: usize, mut frame: PktBuf) {
         let q = &mut self.egress[port];
         if q.queued_bytes + frame.len() > self.cfg.queue_capacity {
             self.stats.dropped += 1;
@@ -186,7 +188,7 @@ impl SwitchBm {
                 let is_ect = Ipv4Header::parse(&frame[ETH_HEADER_LEN.min(frame.len())..])
                     .map(|(h, _, _)| h.ecn.is_ect())
                     .unwrap_or(false);
-                if is_ect && Ipv4Header::set_ecn_in_place(&mut frame, ETH_HEADER_LEN, Ecn::Ce) {
+                if is_ect && Ipv4Header::set_ecn_in_place(frame.make_mut(), ETH_HEADER_LEN, Ecn::Ce) {
                     self.stats.ecn_marked += 1;
                     k.log("sw_mark", port as u64, q.queue.len() as u64);
                 }
@@ -224,7 +226,7 @@ impl SwitchBm {
             }
         };
         k.log("sw_tx", port as u64, frame.len() as u64);
-        send_packet(k, PortId(port), &frame);
+        send_packet_buf(k, PortId(port), frame);
         self.schedule_departure(k, port);
     }
 }
@@ -262,11 +264,20 @@ impl Model for SwitchBm {
             }
             Some(_) => { /* destination is on the ingress port: drop */ }
             None => {
-                // Flood to all other ports.
+                // Flood to all other ports: every egress enqueue is a
+                // refcount bump on the shared buffer; the frame is *moved*
+                // (not cloned) into the last egress port.
                 self.stats.flooded += 1;
+                let last = (0..self.cfg.ports).rev().find(|p| *p != in_port);
+                let mut frame = Some(pkt.frame);
                 for p in 0..self.cfg.ports {
-                    if p != in_port {
-                        self.enqueue(k, p, pkt.frame.clone());
+                    if p == in_port {
+                        continue;
+                    }
+                    if Some(p) == last {
+                        self.enqueue(k, p, frame.take().expect("moved once"));
+                    } else {
+                        self.enqueue(k, p, frame.clone().expect("still present"));
                     }
                 }
             }
@@ -329,7 +340,7 @@ impl Model for SwitchBm {
             q.queue.clear();
             q.queued_bytes = 0;
             for _ in 0..r.usize()? {
-                let frame = r.bytes()?;
+                let frame = PktBuf::from_vec(r.bytes()?);
                 q.queued_bytes += frame.len();
                 q.queue.push_back(frame);
             }
@@ -401,7 +412,7 @@ mod tests {
             let mut out = Vec::new();
             while let Some(m) = self.peers[port].recv_raw() {
                 if m.ty == MSG_ETH_PACKET {
-                    out.push((m.timestamp, m.data));
+                    out.push((m.timestamp, m.data.to_vec()));
                 }
             }
             out
@@ -508,6 +519,65 @@ mod tests {
         h.run_until(SimTime::from_us(25));
         assert_eq!(h.switch.stats().flooded, flooded_before, "mac 3 still unicast");
         assert_eq!(h.collect(0).len(), 2);
+    }
+
+    /// Regression (pooled buffers): flooding moves the frame into the last
+    /// egress port and refcount-shares it into the others — every egress
+    /// port must still emit bytes identical to the injected frame, exactly
+    /// as the old clone-per-port code did.
+    #[test]
+    fn flood_emits_identical_bytes_on_every_egress_port() {
+        let mut h = Harness::new(4, SwitchConfig {
+            ports: 4,
+            ..Default::default()
+        });
+        let frame = test_frame(1, 99, 300); // mac 99 unknown: floods
+        h.inject(0, &frame, SimTime::from_us(1));
+        h.run_until(SimTime::from_us(50));
+        assert_eq!(h.collect(0).len(), 0, "never echoed to the ingress port");
+        for p in 1..4 {
+            let got = h.collect(p);
+            assert_eq!(got.len(), 1, "port {p} got the flood");
+            assert_eq!(got[0].1, frame, "port {p} bytes identical");
+        }
+        assert_eq!(h.switch.stats().flooded, 1);
+    }
+
+    /// Regression (pooled buffers): when one egress queue ECN-marks a
+    /// flooded frame, the mark must not leak into the sibling ports' shared
+    /// copies (copy-on-write isolation).
+    #[test]
+    fn ecn_mark_on_one_flood_copy_does_not_leak_into_siblings() {
+        let mut h = Harness::new(3, SwitchConfig {
+            ports: 3,
+            ecn_threshold_pkts: Some(0), // mark everything queued
+            ..Default::default()
+        });
+        let ip_frame = FrameBuilder::udp(
+            MacAddr::from_index(100),
+            MacAddr::from_index(200), // unknown: floods to ports 1 and 2
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ecn::Ect0,
+            1,
+            2,
+            &vec![0u8; 400],
+        );
+        h.inject(0, &ip_frame, SimTime::from_us(1));
+        h.run_until(SimTime::from_us(50));
+        for p in 1..3 {
+            let got = h.collect(p);
+            assert_eq!(got.len(), 1);
+            let parsed = ParsedFrame::parse(&got[0].1).unwrap();
+            assert_eq!(parsed.ipv4.unwrap().ecn, Ecn::Ce, "port {p} marked");
+            assert!(parsed.checksums_ok, "mark kept checksums valid");
+        }
+        // Both egress copies were marked independently; the original
+        // injected frame (still owned by the test) is untouched.
+        assert_eq!(
+            ParsedFrame::parse(&ip_frame).unwrap().ipv4.unwrap().ecn,
+            Ecn::Ect0
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
+use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf};
 use simbricks_eth::{send_packet, serialization_delay, EthPacket};
 use simbricks_proto::{
     frame_dst, frame_src, FrameBuilder, MacAddr, ParsedFrame, ParsedL4, UdpHeader,
@@ -63,7 +63,7 @@ pub struct TofinoStats {
 }
 
 struct Egress {
-    queue: VecDeque<Vec<u8>>,
+    queue: VecDeque<PktBuf>,
     queued_bytes: usize,
     busy_until: SimTime,
     departing: bool,
@@ -75,7 +75,7 @@ pub struct TofinoSwitch {
     mac_table: HashMap<MacAddr, usize>,
     egress: Vec<Egress>,
     /// Packets traversing the pipeline: ready time and (ingress, frame).
-    in_pipeline: VecDeque<(SimTime, usize, Vec<u8>)>,
+    in_pipeline: VecDeque<(SimTime, usize, PktBuf)>,
     next_seqno: u64,
     stats: TofinoStats,
 }
@@ -110,7 +110,7 @@ impl TofinoSwitch {
         self.cfg.stage_latency.mul(self.cfg.pipeline_stages as u64)
     }
 
-    fn enqueue(&mut self, k: &mut Kernel, port: usize, frame: Vec<u8>) {
+    fn enqueue(&mut self, k: &mut Kernel, port: usize, frame: PktBuf) {
         if port >= self.egress.len() {
             return;
         }
@@ -139,7 +139,7 @@ impl TofinoSwitch {
     }
 
     /// The match-action program: returns the set of (port, frame) outputs.
-    fn process(&mut self, k: &mut Kernel, in_port: usize, frame: Vec<u8>) -> Vec<(usize, Vec<u8>)> {
+    fn process(&mut self, k: &mut Kernel, in_port: usize, frame: PktBuf) -> Vec<(usize, PktBuf)> {
         // MAC learning happens regardless of the program.
         if let Some(src) = frame_src(&frame) {
             if !src.is_multicast() {
@@ -172,6 +172,9 @@ impl TofinoSwitch {
                             ip.ecn,
                             &l4,
                         );
+                        // Replicate by refcount bump: one shared buffer,
+                        // one reference per replica port.
+                        let out_frame = PktBuf::from_vec(out_frame);
                         return seq_cfg
                             .replica_ports
                             .iter()
@@ -288,7 +291,7 @@ mod tests {
             let mut out = Vec::new();
             while let Some(m) = self.peers[port].recv_raw() {
                 if m.ty == MSG_ETH_PACKET {
-                    out.push(m.data);
+                    out.push(m.data.to_vec());
                 }
             }
             out

@@ -9,7 +9,11 @@
 //! pass over each received batch; the host model charges per-wire-frame
 //! driver costs but only per-coalesced-segment stack costs.
 
-use simbricks_proto::{Ecn, FrameBuilder, ParsedFrame, ParsedL4, TcpFlags};
+use simbricks_base::{BufPool, PktBuf};
+use simbricks_proto::{
+    tcp_payload_range, Ecn, EthHeader, FrameBuilder, Ipv4Header, ParsedFrame, ParsedL4,
+    TcpHeader, TcpFlags,
+};
 
 /// Upper bound on the coalesced payload (same as Linux: 64 KiB minus room
 /// for headers, and at most `MAX_SEGS` wire segments).
@@ -22,7 +26,7 @@ pub const GRO_MAX_SEGS: usize = 44;
 pub struct GroResult {
     /// Frames to hand to the protocol stack (coalesced where possible, other
     /// traffic passed through unchanged, original relative order preserved).
-    pub frames: Vec<Vec<u8>>,
+    pub frames: Vec<PktBuf>,
     /// Number of wire frames that entered the pass.
     pub wire_frames: usize,
     /// Number of wire frames that were merged into a predecessor (i.e.
@@ -30,27 +34,55 @@ pub struct GroResult {
     pub merged: usize,
 }
 
+/// A batch being built: header state from the first segment plus a *chain*
+/// of zero-copy payload views into the original wire buffers. Nothing is
+/// copied while segments join the batch; the chain is flattened exactly once
+/// (into one pooled frame) when the batch flushes.
 struct Pending {
-    frame: ParsedFrame,
-    payload: Vec<u8>,
+    /// The first wire frame, unmodified (flushed as-is for 1-segment
+    /// batches: the overwhelmingly common case at low rate costs nothing).
+    first: PktBuf,
+    eth: EthHeader,
+    ip: Ipv4Header,
+    tcp: TcpHeader,
+    /// Zero-copy payload views, in arrival order (refcount bumps on the
+    /// received buffers, no byte copies).
+    chain: Vec<PktBuf>,
+    payload_len: usize,
     segs: usize,
 }
 
 impl Pending {
-    fn flush(self, out: &mut Vec<Vec<u8>>) {
-        let (hdr, ecn) = match (&self.frame.l4, &self.frame.ipv4) {
-            (ParsedL4::Tcp { header, .. }, Some(ip)) => (*header, ip.ecn),
-            _ => unreachable!("only TCP frames are held for coalescing"),
-        };
-        let ip = self.frame.ipv4.expect("tcp frame has ipv4");
-        out.push(FrameBuilder::tcp(
-            self.frame.eth.src,
-            self.frame.eth.dst,
-            ip.src,
-            ip.dst,
-            ecn,
-            &hdr,
-            &self.payload,
+    fn new(raw: PktBuf, range: (usize, usize), eth: EthHeader, ip: Ipv4Header, tcp: TcpHeader) -> Pending {
+        let view = raw.slice(range.0, range.1);
+        Pending {
+            eth,
+            ip,
+            tcp,
+            payload_len: view.len(),
+            chain: vec![view],
+            first: raw,
+            segs: 1,
+        }
+    }
+
+    fn flush(self, pool: &BufPool, out: &mut Vec<PktBuf>) {
+        if self.segs == 1 {
+            // Nothing merged: pass the original wire buffer through (move,
+            // zero copies, no rebuild).
+            out.push(self.first);
+            return;
+        }
+        let chunks: Vec<&[u8]> = self.chain.iter().map(|c| c.as_slice()).collect();
+        out.push(FrameBuilder::tcp_chain_pooled(
+            pool,
+            self.eth.src,
+            self.eth.dst,
+            self.ip.src,
+            self.ip.dst,
+            self.ip.ecn,
+            &self.tcp,
+            &chunks,
         ));
     }
 }
@@ -83,10 +115,7 @@ fn ack_ge(new: u32, old: u32) -> bool {
 /// Linux GRO coalesces them — but an ACK that moves *backwards* breaks the
 /// batch (stale information must not overwrite fresher state).
 fn continues(held: &Pending, held_payload_len: usize, next: &ParsedFrame) -> bool {
-    let (h_hdr, h_ip) = match (&held.frame.l4, &held.frame.ipv4) {
-        (ParsedL4::Tcp { header, .. }, Some(ip)) => (header, ip),
-        _ => return false,
-    };
+    let (h_hdr, h_ip) = (&held.tcp, &held.ip);
     let (n_hdr, n_payload, n_ip) = match (&next.l4, &next.ipv4) {
         (ParsedL4::Tcp { header, payload }, Some(ip)) => (header, payload, ip),
         _ => return false,
@@ -105,10 +134,12 @@ fn continues(held: &Pending, held_payload_len: usize, next: &ParsedFrame) -> boo
 /// Run one GRO pass over a batch of received wire frames.
 ///
 /// Consecutive in-order TCP data segments of the same flow with identical ECN
-/// marking are merged into one frame (checksums are regenerated); everything
+/// marking are merged into one frame — by *chaining* zero-copy payload views
+/// and flattening once at flush (checksums are regenerated there); everything
 /// else — ARP, UDP, out-of-order data, control segments, frames that fail to
-/// parse — is passed through unmodified in its original position.
-pub fn coalesce(wire: Vec<Vec<u8>>) -> GroResult {
+/// parse — is passed through unmodified (and uncopied) in its original
+/// position. Merged frames are built in `pool`.
+pub fn coalesce(pool: &BufPool, wire: Vec<PktBuf>) -> GroResult {
     let mut result = GroResult {
         wire_frames: wire.len(),
         ..Default::default()
@@ -116,57 +147,52 @@ pub fn coalesce(wire: Vec<Vec<u8>>) -> GroResult {
     let mut held: Option<Pending> = None;
 
     for raw in wire {
-        let parsed = match ParsedFrame::parse(&raw) {
-            Ok(p) if mergeable(&p) => p,
+        // A frame joins a batch only if it parses as a mergeable TCP data
+        // segment AND its payload byte range can be located for zero-copy
+        // slicing; anything else passes through unmodified (and uncopied).
+        let (parsed, range) = match (ParsedFrame::parse(&raw), tcp_payload_range(&raw)) {
+            (Ok(p), Some(r)) if mergeable(&p) => (p, r),
             _ => {
                 if let Some(p) = held.take() {
-                    p.flush(&mut result.frames);
+                    p.flush(pool, &mut result.frames);
                 }
                 result.frames.push(raw);
                 continue;
             }
         };
-        let payload = match &parsed.l4 {
-            ParsedL4::Tcp { payload, .. } => payload.clone(),
-            _ => unreachable!(),
-        };
         match held.take() {
-            Some(mut p) if continues(&p, p.payload.len(), &parsed) => {
-                p.payload.extend_from_slice(&payload);
+            Some(mut p) if continues(&p, p.payload_len, &parsed) => {
+                let (start, end) = range;
+                p.payload_len += end - start;
+                p.chain.push(raw.slice(start, end));
                 p.segs += 1;
                 result.merged += 1;
                 // The coalesced segment must carry the *latest* ACK / window /
                 // PSH information, as Linux GRO does.
-                if let (
-                    ParsedL4::Tcp { header: h, .. },
-                    ParsedL4::Tcp { header: n, .. },
-                ) = (&mut p.frame.l4, &parsed.l4)
-                {
-                    h.ack = n.ack;
-                    h.window = n.window;
-                    h.flags = TcpFlags(h.flags.0 | n.flags.0);
+                if let ParsedL4::Tcp { header: n, .. } = &parsed.l4 {
+                    p.tcp.ack = n.ack;
+                    p.tcp.window = n.window;
+                    p.tcp.flags = TcpFlags(p.tcp.flags.0 | n.flags.0);
                 }
                 held = Some(p);
             }
-            Some(p) => {
-                p.flush(&mut result.frames);
-                held = Some(Pending {
-                    frame: parsed,
-                    payload,
-                    segs: 1,
-                });
-            }
-            None => {
-                held = Some(Pending {
-                    frame: parsed,
-                    payload,
-                    segs: 1,
-                });
+            prev => {
+                if let Some(p) = prev {
+                    p.flush(pool, &mut result.frames);
+                }
+                // `mergeable` guarantees an IPv4/TCP frame; a frame that
+                // still fails to destructure passes through unmodified.
+                match (&parsed.l4, parsed.ipv4) {
+                    (ParsedL4::Tcp { header, .. }, Some(ip)) => {
+                        held = Some(Pending::new(raw, range, parsed.eth, ip, *header));
+                    }
+                    _ => result.frames.push(raw),
+                }
             }
         }
     }
     if let Some(p) = held.take() {
-        p.flush(&mut result.frames);
+        p.flush(pool, &mut result.frames);
     }
     result
 }
@@ -180,6 +206,12 @@ pub fn frame_ecn(raw: &[u8]) -> Option<Ecn> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test helper: run a pass over plain byte-vector frames.
+    fn coalesce_vecs(frames: Vec<Vec<u8>>) -> GroResult {
+        let pool = BufPool::new();
+        coalesce(&pool, frames.into_iter().map(PktBuf::from_vec).collect())
+    }
     use simbricks_proto::{Ipv4Addr, MacAddr, TcpHeader};
 
     fn data_frame(seq: u32, payload: &[u8], ecn: Ecn, flags: TcpFlags) -> Vec<u8> {
@@ -217,7 +249,7 @@ mod tests {
             data_frame(600, &[2u8; 500], Ecn::Ect0, TcpFlags::ACK),
             data_frame(1100, &[3u8; 500], Ecn::Ect0, TcpFlags::ACK | TcpFlags::PSH),
         ];
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.wire_frames, 3);
         assert_eq!(r.merged, 2);
         assert_eq!(r.frames.len(), 1);
@@ -266,7 +298,7 @@ mod tests {
             data_frame_ack(600, 8000, &[2u8; 500]),
             data_frame_ack(1100, 9000, &[3u8; 500]),
         ];
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.wire_frames, 3);
         assert_eq!(r.merged, 2, "ACK-advancing train coalesces");
         assert_eq!(r.frames.len(), 1);
@@ -285,7 +317,7 @@ mod tests {
             data_frame_ack(100, 7000, &[1u8; 500]),
             data_frame_ack(600, 6999, &[2u8; 500]),
         ];
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.merged, 0, "regressing ACK never merges");
         assert_eq!(r.frames.len(), 2);
 
@@ -294,7 +326,7 @@ mod tests {
             data_frame_ack(100, u32::MAX - 10, &[1u8; 100]),
             data_frame_ack(200, 5, &[2u8; 100]),
         ];
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.merged, 1, "wrapping ACK advance merges");
         match ParsedFrame::parse(&r.frames[0]).unwrap().l4 {
             ParsedL4::Tcp { header, .. } => assert_eq!(header.ack, 5),
@@ -308,7 +340,7 @@ mod tests {
             data_frame(100, &[1u8; 500], Ecn::Ect0, TcpFlags::ACK),
             data_frame(1100, &[2u8; 500], Ecn::Ect0, TcpFlags::ACK), // hole at 600
         ];
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.frames.len(), 2);
         assert_eq!(r.merged, 0);
     }
@@ -322,7 +354,7 @@ mod tests {
             data_frame(600, &[2u8; 500], Ecn::Ce, TcpFlags::ACK),
             data_frame(1100, &[3u8; 500], Ecn::Ce, TcpFlags::ACK),
         ];
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.frames.len(), 2, "unmarked | marked+marked");
         assert_eq!(r.merged, 1);
         assert_eq!(frame_ecn(&r.frames[0]), Some(Ecn::Ect0));
@@ -337,7 +369,7 @@ mod tests {
         let fin = data_frame(100, &[4u8; 20], Ecn::NotEct, TcpFlags::FIN | TcpFlags::ACK);
         let junk = vec![0u8; 30];
         let frames = vec![syn.clone(), pure_ack.clone(), fin.clone(), junk.clone()];
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.frames, vec![syn, pure_ack, fin, junk]);
         assert_eq!(r.merged, 0);
     }
@@ -366,7 +398,7 @@ mod tests {
             &[2u8; 100],
         );
         let a2 = data_frame(200, &[3u8; 100], Ecn::NotEct, TcpFlags::ACK);
-        let r = coalesce(vec![a1, b1, a2]);
+        let r = coalesce_vecs(vec![a1, b1, a2]);
         // The interleaving flushes flow A, so nothing merges.
         assert_eq!(r.frames.len(), 3);
         assert_eq!(r.merged, 0);
@@ -383,7 +415,7 @@ mod tests {
                 TcpFlags::ACK,
             ));
         }
-        let r = coalesce(frames);
+        let r = coalesce_vecs(frames);
         assert_eq!(r.wire_frames, GRO_MAX_SEGS + 5);
         assert_eq!(r.frames.len(), 2, "one full batch plus the remainder");
         assert_eq!(payload_of(&r.frames[0]).len(), GRO_MAX_SEGS * 100);
@@ -392,7 +424,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_empty_output() {
-        let r = coalesce(Vec::new());
+        let r = coalesce_vecs(Vec::new());
         assert!(r.frames.is_empty());
         assert_eq!(r.wire_frames, 0);
         assert_eq!(r.merged, 0);
@@ -435,7 +467,7 @@ mod tests {
                 }
                 let marked_bytes: usize = chunks.iter().filter(|(_, m)| *m).map(|(l, _)| *l).sum();
 
-                let r = coalesce(wire);
+                let r = coalesce_vecs(wire);
                 prop_assert_eq!(r.wire_frames, chunks.len());
                 prop_assert!(r.frames.len() <= chunks.len());
                 prop_assert_eq!(r.merged, chunks.len() - r.frames.len());

@@ -35,7 +35,7 @@ mod harness_tests {
     //! delay, reorder, drop, or ECN-mark frames.
 
     use super::*;
-    use simbricks_base::SimTime;
+    use simbricks_base::{PktBuf, SimTime};
     use simbricks_proto::{Ecn, Ipv4Addr, Ipv4Header, MacAddr, ParsedFrame, ParsedL4};
     use std::collections::VecDeque;
 
@@ -46,7 +46,7 @@ mod harness_tests {
         pub b: NetStack,
         delay: SimTime,
         /// frames in flight: (deliver_time, to_a, frame)
-        inflight: VecDeque<(SimTime, bool, Vec<u8>)>,
+        inflight: VecDeque<(SimTime, bool, PktBuf)>,
         pub now: SimTime,
         /// Mark CE on frames larger than this (simulates a marking queue).
         pub mark_above_bytes: Option<usize>,
@@ -83,7 +83,7 @@ mod harness_tests {
 
         fn pump_out(&mut self) {
             let delay = self.delay;
-            let mut staged: Vec<(bool, Vec<u8>)> = Vec::new();
+            let mut staged: Vec<(bool, PktBuf)> = Vec::new();
             while let Some(f) = self.a.poll_transmit() {
                 staged.push((false, f));
             }
@@ -100,7 +100,7 @@ mod harness_tests {
                 if let Some(limit) = self.mark_above_bytes {
                     if f.len() > limit {
                         // Mark CE like a congested ECN queue would.
-                        Ipv4Header::set_ecn_in_place(&mut f, 14, Ecn::Ce);
+                        Ipv4Header::set_ecn_in_place(f.make_mut(), 14, Ecn::Ce);
                     }
                 }
                 self.inflight.push_back((self.now + delay, to_a, f));

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
-use simbricks_base::SimTime;
+use simbricks_base::{BufPool, PktBuf, SimTime};
 use simbricks_proto::{
     ArpOp, ArpPacket, Ecn, FrameBuilder, IpProto, Ipv4Addr, MacAddr, ParsedFrame, ParsedL4,
     TcpHeader, UdpHeader,
@@ -85,7 +85,8 @@ pub struct NetStack {
     arp: HashMap<Ipv4Addr, MacAddr>,
     arp_pending: HashMap<Ipv4Addr, Vec<(IpProto, Ecn, Vec<u8>)>>,
     arp_last_request: HashMap<Ipv4Addr, SimTime>,
-    out: VecDeque<Vec<u8>>,
+    /// Outgoing frames, built in place inside pooled buffers.
+    out: VecDeque<PktBuf>,
     events: VecDeque<SocketEvent>,
     stats: StackStats,
     /// Passively opened connections whose handshake has not completed yet,
@@ -94,6 +95,8 @@ pub struct NetStack {
     /// When true, incoming TCP/UDP checksums are assumed to have been
     /// verified by NIC receive checksum offload.
     pub rx_checksum_offload: bool,
+    /// Packet-buffer arena all transmit frames are built in.
+    pool: BufPool,
 }
 
 impl NetStack {
@@ -115,7 +118,20 @@ impl NetStack {
             stats: StackStats::default(),
             pending_accept: HashMap::new(),
             rx_checksum_offload: false,
+            pool: BufPool::new(),
         }
+    }
+
+    /// The stack's packet-buffer arena (shared with the owning host model so
+    /// pool counters aggregate per host).
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
+    /// Rebase the stack onto an external buffer pool (e.g. the owning
+    /// kernel's per-component arena).
+    pub fn set_pool(&mut self, pool: BufPool) {
+        self.pool = pool;
     }
 
     pub fn config(&self) -> &StackConfig {
@@ -302,10 +318,19 @@ impl NetStack {
             Some(Sock::Udp(u)) => u.local_port,
             _ => return,
         };
-        let l4 = UdpHeader::new(src_port, to.port, payload.len())
-            .build_datagram(self.cfg.ip, to.ip, payload);
         self.stats.udp_datagrams_sent += 1;
-        self.send_ip(to.ip, IpProto::Udp, Ecn::NotEct, l4);
+        if let Some(mac) = self.resolved_mac(to.ip) {
+            // Fast path: build the whole frame in place in a pooled buffer.
+            let frame = FrameBuilder::udp_pooled(
+                &self.pool, self.cfg.mac, mac, self.cfg.ip, to.ip, Ecn::NotEct,
+                src_port, to.port, payload,
+            );
+            self.out.push_back(frame);
+        } else {
+            let l4 = UdpHeader::new(src_port, to.port, payload.len())
+                .build_datagram(self.cfg.ip, to.ip, payload);
+            self.queue_unresolved(to.ip, IpProto::Udp, Ecn::NotEct, l4);
+        }
     }
 
     /// Receive one UDP datagram, if any.
@@ -333,8 +358,9 @@ impl NetStack {
     // Frame I/O (owner-driven)
     // ------------------------------------------------------------------
 
-    /// Next outgoing Ethernet frame, if any.
-    pub fn poll_transmit(&mut self) -> Option<Vec<u8>> {
+    /// Next outgoing Ethernet frame, if any (a pooled buffer; hand it on by
+    /// move or refcount bump).
+    pub fn poll_transmit(&mut self) -> Option<PktBuf> {
         let f = self.out.pop_front();
         if f.is_some() {
             self.stats.frames_sent += 1;
@@ -451,7 +477,7 @@ impl NetStack {
         self.flush_arp_pending(arp.sender_ip);
         if arp.op == ArpOp::Request && arp.target_ip == self.cfg.ip {
             let reply = arp.reply_to(self.cfg.mac, self.cfg.ip);
-            let frame = FrameBuilder::arp(self.cfg.mac, arp.sender_mac, &reply);
+            let frame = FrameBuilder::arp_pooled(&self.pool, self.cfg.mac, arp.sender_mac, &reply);
             self.stats.arp_replies_sent += 1;
             self.out.push_back(frame);
         }
@@ -523,39 +549,58 @@ impl NetStack {
     }
 
     fn emit_tcp_segment(&mut self, remote_ip: Ipv4Addr, seg: &SegmentOut) {
-        let l4 = seg.hdr.build_segment(self.cfg.ip, remote_ip, &seg.payload);
-        self.send_ip(remote_ip, IpProto::Tcp, seg.ecn, l4);
+        if let Some(mac) = self.resolved_mac(remote_ip) {
+            // Fast path: headers and payload go straight into one pooled
+            // buffer — no intermediate L4 vector, no frame reallocation.
+            let frame = FrameBuilder::tcp_pooled(
+                &self.pool, self.cfg.mac, mac, self.cfg.ip, remote_ip, seg.ecn,
+                &seg.hdr, &seg.payload,
+            );
+            self.out.push_back(frame);
+        } else {
+            let l4 = seg.hdr.build_segment(self.cfg.ip, remote_ip, &seg.payload);
+            self.queue_unresolved(remote_ip, IpProto::Tcp, seg.ecn, l4);
+        }
     }
 
-    fn send_ip(&mut self, dst: Ipv4Addr, proto: IpProto, ecn: Ecn, l4: Vec<u8>) {
-        let dst_mac = if dst.is_broadcast() {
+    /// Destination MAC when no ARP resolution is needed (broadcast or cached).
+    fn resolved_mac(&self, dst: Ipv4Addr) -> Option<MacAddr> {
+        if dst.is_broadcast() {
             Some(MacAddr::BROADCAST)
         } else {
             self.arp.get(&dst).copied()
-        };
-        match dst_mac {
+        }
+    }
+
+    fn send_ip(&mut self, dst: Ipv4Addr, proto: IpProto, ecn: Ecn, l4: Vec<u8>) {
+        match self.resolved_mac(dst) {
             Some(mac) => {
-                let frame =
-                    FrameBuilder::ipv4(self.cfg.mac, mac, self.cfg.ip, dst, proto, ecn, &l4);
+                let frame = FrameBuilder::ipv4_pooled(
+                    &self.pool, self.cfg.mac, mac, self.cfg.ip, dst, proto, ecn, &l4,
+                );
                 self.out.push_back(frame);
             }
-            None => {
-                self.arp_pending
-                    .entry(dst)
-                    .or_default()
-                    .push((proto, ecn, l4));
-                let due = match self.arp_last_request.get(&dst) {
-                    Some(last) => self.now >= *last + self.cfg.arp_retry,
-                    None => true,
-                };
-                if due {
-                    let req = ArpPacket::request(self.cfg.mac, self.cfg.ip, dst);
-                    let frame = FrameBuilder::arp(self.cfg.mac, MacAddr::BROADCAST, &req);
-                    self.out.push_back(frame);
-                    self.stats.arp_requests_sent += 1;
-                    self.arp_last_request.insert(dst, self.now);
-                }
-            }
+            None => self.queue_unresolved(dst, proto, ecn, l4),
+        }
+    }
+
+    /// Park an L4 payload until ARP resolves `dst`, emitting a (rate-limited)
+    /// ARP request.
+    fn queue_unresolved(&mut self, dst: Ipv4Addr, proto: IpProto, ecn: Ecn, l4: Vec<u8>) {
+        self.arp_pending
+            .entry(dst)
+            .or_default()
+            .push((proto, ecn, l4));
+        let due = match self.arp_last_request.get(&dst) {
+            Some(last) => self.now >= *last + self.cfg.arp_retry,
+            None => true,
+        };
+        if due {
+            let req = ArpPacket::request(self.cfg.mac, self.cfg.ip, dst);
+            let frame = FrameBuilder::arp_pooled(&self.pool, self.cfg.mac, MacAddr::BROADCAST, &req);
+            self.out.push_back(frame);
+            self.stats.arp_requests_sent += 1;
+            self.arp_last_request.insert(dst, self.now);
         }
     }
 
@@ -825,7 +870,7 @@ impl Snapshot for NetStack {
 
         self.out.clear();
         for _ in 0..r.usize()? {
-            self.out.push_back(r.bytes()?);
+            self.out.push_back(PktBuf::from_vec(r.bytes()?));
         }
         self.events.clear();
         for _ in 0..r.usize()? {

@@ -16,9 +16,10 @@
 
 use std::collections::VecDeque;
 
+use simbricks_base::pktbuf::PktBuf;
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
-use simbricks_eth::{send_packet, serialization_delay, EthPacket};
+use simbricks_eth::{send_packet_buf, serialization_delay, EthPacket};
 use simbricks_pcie::{DevToHost, DeviceInfo, HostToDev};
 
 use crate::nicbm::{DmaEngine, IntModeration};
@@ -90,7 +91,7 @@ enum DmaCtx {
     TxDescFetch { idx: u32 },
     TxBufFetch { idx: u32, tso: bool },
     TxWriteback,
-    RxDescFetch { idx: u32, frame: Vec<u8> },
+    RxDescFetch { idx: u32, frame: PktBuf },
     RxDataWrite { idx: u32, len: u16 },
     RxWriteback { idx: u32 },
 }
@@ -153,12 +154,14 @@ pub struct BehavioralNic {
     queue: QueuePair,
     dma: DmaEngine<DmaCtx>,
     itr: IntModeration,
-    /// Frames fetched from host memory, waiting for the egress link.
-    tx_fifo: VecDeque<Vec<u8>>,
+    /// Frames fetched from host memory, waiting for the egress link
+    /// (pooled buffers handed on by refcount move, never copied).
+    tx_fifo: VecDeque<PktBuf>,
     tx_busy_until: SimTime,
     tx_xmit_scheduled: bool,
-    /// Frames received from the network, waiting for RX descriptors/DMA.
-    rx_fifo: VecDeque<Vec<u8>>,
+    /// Frames received from the network, waiting for RX descriptors/DMA
+    /// (pooled buffers, zero-copy from the Ethernet channel).
+    rx_fifo: VecDeque<PktBuf>,
     stats: NicStats,
     pcie_port: PortId,
     eth_port: PortId,
@@ -305,10 +308,11 @@ impl BehavioralNic {
         );
     }
 
-    fn tx_buf_fetched(&mut self, k: &mut Kernel, idx: u32, tso: bool, frame: Vec<u8>) {
-        // Segmentation offload: cut a TCP super-segment into wire segments.
+    fn tx_buf_fetched(&mut self, k: &mut Kernel, idx: u32, tso: bool, frame: PktBuf) {
+        // Segmentation offload: cut a TCP super-segment into wire segments
+        // (built in place inside pooled buffers).
         let wire_frames = if tso && self.cfg.variant == NicVariant::I40e && self.tso_mss > 0 {
-            segment_tso(&frame, self.tso_mss as usize).unwrap_or_else(|| vec![frame])
+            segment_tso(k.pool(), &frame, self.tso_mss as usize).unwrap_or_else(|| vec![frame])
         } else {
             vec![frame]
         };
@@ -357,7 +361,7 @@ impl BehavioralNic {
             self.stats.tx_packets += 1;
             self.stats.tx_bytes += frame.len() as u64;
             k.log("nic_tx", frame.len() as u64, 0);
-            send_packet(k, self.eth_port, &frame);
+            send_packet_buf(k, self.eth_port, frame);
         }
     }
 
@@ -386,7 +390,7 @@ impl BehavioralNic {
         }
     }
 
-    fn rx_desc_fetched(&mut self, k: &mut Kernel, idx: u32, frame: Vec<u8>, data: &[u8]) {
+    fn rx_desc_fetched(&mut self, k: &mut Kernel, idx: u32, frame: PktBuf, data: &[u8]) {
         let Some(desc) = Descriptor::from_bytes(data) else {
             self.queue.rx_inflight = self.queue.rx_inflight.saturating_sub(1);
             return;
@@ -475,7 +479,7 @@ fn dma_ctx_restore(r: &mut SnapReader) -> SnapResult<DmaCtx> {
         2 => DmaCtx::TxWriteback,
         3 => DmaCtx::RxDescFetch {
             idx: r.u32()?,
-            frame: r.bytes()?,
+            frame: PktBuf::from_vec(r.bytes()?),
         },
         4 => DmaCtx::RxDataWrite {
             idx: r.u32()?,
@@ -507,11 +511,12 @@ impl Model for BehavioralNic {
             }
             return;
         }
-        // PCIe message from the host.
-        match HostToDev::decode(msg.ty, &msg.data) {
+        // PCIe message from the host (zero-copy decode: bulk payloads are
+        // slice views into the received buffer).
+        match HostToDev::decode_buf(msg.ty, &msg.data) {
             Some(HostToDev::MmioRead { req_id, offset, len, .. }) => {
                 let v = self.reg_read(offset);
-                let data = v.to_le_bytes()[..len.min(8)].to_vec();
+                let data = PktBuf::from(&v.to_le_bytes()[..len.min(8)]);
                 let (ty, p) = DevToHost::MmioComplete { req_id, data }.encode();
                 k.send(self.pcie_port, ty, &p);
             }
@@ -522,7 +527,7 @@ impl Model for BehavioralNic {
                 self.reg_write(k, offset, u64::from_le_bytes(buf));
                 let (ty, p) = DevToHost::MmioComplete {
                     req_id,
-                    data: Vec::new(),
+                    data: PktBuf::empty(),
                 }
                 .encode();
                 k.send(self.pcie_port, ty, &p);
@@ -626,13 +631,13 @@ impl Model for BehavioralNic {
         self.itr.restore(r)?;
         self.tx_fifo.clear();
         for _ in 0..r.usize()? {
-            self.tx_fifo.push_back(r.bytes()?);
+            self.tx_fifo.push_back(PktBuf::from_vec(r.bytes()?));
         }
         self.tx_busy_until = r.time()?;
         self.tx_xmit_scheduled = r.bool()?;
         self.rx_fifo.clear();
         for _ in 0..r.usize()? {
-            self.rx_fifo.push_back(r.bytes()?);
+            self.rx_fifo.push_back(PktBuf::from_vec(r.bytes()?));
         }
         self.stats.tx_packets = r.u64()?;
         self.stats.tx_bytes = r.u64()?;
@@ -651,17 +656,20 @@ impl Model for BehavioralNic {
 /// — what the TSO engine of a real NIC does. Returns `None` (caller transmits
 /// the frame unmodified) if the frame is not an IPv4/TCP data frame or does
 /// not exceed one wire segment.
-fn segment_tso(frame: &[u8], mss: usize) -> Option<Vec<Vec<u8>>> {
-    use simbricks_proto::{FrameBuilder, ParsedFrame, ParsedL4, TcpFlags};
+fn segment_tso(pool: &simbricks_base::BufPool, frame: &PktBuf, mss: usize) -> Option<Vec<PktBuf>> {
+    use simbricks_proto::{tcp_payload_range, FrameBuilder, ParsedFrame, ParsedL4, TcpFlags};
     if mss == 0 {
         return None;
     }
     let parsed = ParsedFrame::parse(frame).ok()?;
     let ip = parsed.ipv4?;
-    let (hdr, payload) = match &parsed.l4 {
-        ParsedL4::Tcp { header, payload } => (header, payload),
+    let hdr = match &parsed.l4 {
+        ParsedL4::Tcp { header, .. } => header,
         _ => return None,
     };
+    // Zero-copy payload view into the super-segment buffer.
+    let (pstart, pend) = tcp_payload_range(frame)?;
+    let payload = frame.slice(pstart, pend);
     if payload.len() <= mss {
         return None;
     }
@@ -676,7 +684,8 @@ fn segment_tso(frame: &[u8], mss: usize) -> Option<Vec<Vec<u8>>> {
             // FIN/PSH only apply to the final wire segment.
             seg_hdr.flags = TcpFlags(seg_hdr.flags.0 & !(TcpFlags::FIN.0 | TcpFlags::PSH.0));
         }
-        out.push(FrameBuilder::tcp(
+        out.push(FrameBuilder::tcp_pooled(
+            pool,
             parsed.eth.src,
             parsed.eth.dst,
             ip.src,
@@ -746,7 +755,7 @@ mod tests {
                 req_id: self.next_req,
                 bar: 0,
                 offset,
-                data: value.to_le_bytes().to_vec(),
+                data: value.to_le_bytes().to_vec().into(),
             }
             .encode();
             self.next_req += 1;
@@ -760,14 +769,14 @@ mod tests {
                 match DevToHost::decode(m.ty, &m.data) {
                     Some(DevToHost::DmaRead { req_id, addr, len }) => {
                         let data = self.mem[addr as usize..addr as usize + len].to_vec();
-                        replies.push(HostToDev::DmaComplete { req_id, data });
+                        replies.push(HostToDev::DmaComplete { req_id, data: data.into() });
                     }
                     Some(DevToHost::DmaWrite { req_id, addr, data }) => {
                         self.mem[addr as usize..addr as usize + data.len()]
                             .copy_from_slice(&data);
                         replies.push(HostToDev::DmaComplete {
                             req_id,
-                            data: Vec::new(),
+                            data: PktBuf::empty(),
                         });
                     }
                     Some(DevToHost::Interrupt { .. }) => self.interrupts += 1,
@@ -788,7 +797,7 @@ mod tests {
 
     fn run_nic(
         variant: NicVariant,
-    ) -> (BehavioralNic, MiniHost, Vec<Vec<u8>>, simbricks_base::Kernel) {
+    ) -> (BehavioralNic, MiniHost, Vec<PktBuf>, simbricks_base::Kernel) {
         let cfg = match variant {
             NicVariant::I40e => NicConfig::i40e(),
             NicVariant::Corundum => NicConfig::corundum(),
@@ -973,7 +982,9 @@ mod tests {
             &hdr,
             &payload,
         );
-        let segs = segment_tso(&super_frame, 1460).expect("segmented");
+        let pool = simbricks_base::BufPool::new();
+        let super_frame: PktBuf = super_frame.into();
+        let segs = segment_tso(&pool, &super_frame, 1460).expect("segmented");
         assert_eq!(segs.len(), 4, "5000 bytes at 1460 MSS = 4 wire segments");
         let mut reassembled = Vec::new();
         for (i, seg) in segs.iter().enumerate() {
@@ -1002,9 +1013,9 @@ mod tests {
         }
         assert_eq!(reassembled, payload, "payload is preserved byte for byte");
         // Frames at or below the MSS, or non-TCP frames, are left alone.
-        assert!(segment_tso(&segs[0], 1460).is_none());
-        assert!(segment_tso(&[0u8; 40], 1460).is_none());
-        assert!(segment_tso(&super_frame, 0).is_none());
+        assert!(segment_tso(&pool, &segs[0], 1460).is_none());
+        assert!(segment_tso(&pool, &PktBuf::from(&[0u8; 40]), 1460).is_none());
+        assert!(segment_tso(&pool, &super_frame, 0).is_none());
     }
 
     #[cfg(feature = "proptest")]

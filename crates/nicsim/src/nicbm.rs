@@ -33,17 +33,14 @@ impl<C> DmaEngine<C> {
         k.send(self.pcie_port, ty, &payload);
     }
 
-    /// Issue a DMA write to host memory.
+    /// Issue a DMA write to host memory. The message envelope is built in
+    /// one pass inside a pooled buffer (no intermediate allocation).
     pub fn write(&mut self, k: &mut Kernel, addr: u64, data: &[u8], ctx: C) {
         let req_id = self.outstanding.insert(ctx);
         self.writes_issued += 1;
-        let (ty, payload) = DevToHost::DmaWrite {
-            req_id,
-            addr,
-            data: data.to_vec(),
-        }
-        .encode();
-        k.send(self.pcie_port, ty, &payload);
+        let (ty, payload) =
+            DevToHost::encode_dma_write_pooled(k.pool(), req_id, addr, data);
+        k.send_buf(self.pcie_port, ty, payload);
     }
 
     /// Match a completion back to its context.
@@ -261,7 +258,7 @@ mod tests {
                     Some(DevToHost::DmaRead { req_id, len, .. }) => {
                         let (ty, p) = HostToDev::DmaComplete {
                             req_id,
-                            data: vec![0xab; len],
+                            data: vec![0xab; len].into(),
                         }
                         .encode();
                         host_end.send_raw(stamp, ty, &p).unwrap();
@@ -269,7 +266,7 @@ mod tests {
                     Some(DevToHost::DmaWrite { req_id, .. }) => {
                         let (ty, p) = HostToDev::DmaComplete {
                             req_id,
-                            data: vec![],
+                            data: simbricks_base::PktBuf::empty(),
                         }
                         .encode();
                         host_end.send_raw(stamp, ty, &p).unwrap();

@@ -170,7 +170,7 @@ mod tests {
             req_id: 1,
             bar: 0,
             offset: REG_CTRL,
-            data: 1u64.to_le_bytes().to_vec(),
+            data: 1u64.to_le_bytes().to_vec().into(),
         }
         .encode();
         host.send_raw(SimTime::from_us(1), ty, &p).unwrap();
@@ -228,7 +228,7 @@ mod tests {
             req_id: 1,
             bar: 0,
             offset: REG_CTRL,
-            data: 1u64.to_le_bytes().to_vec(),
+            data: 1u64.to_le_bytes().to_vec().into(),
         }
         .encode();
         host.send_raw(SimTime::from_us(1), ty, &p).unwrap();

@@ -106,7 +106,7 @@ impl NvmeDev {
         let (ty, p) = DevToHost::DmaWrite {
             req_id,
             addr,
-            data: data.to_vec(),
+            data: data.to_vec().into(),
         }
         .encode();
         k.send(PortId(0), ty, &p);
@@ -222,7 +222,7 @@ impl Model for NvmeDev {
                 }
                 let (ty, p) = DevToHost::MmioComplete {
                     req_id,
-                    data: Vec::new(),
+                    data: simbricks_base::PktBuf::empty(),
                 }
                 .encode();
                 k.send(PortId(0), ty, &p);
@@ -237,7 +237,7 @@ impl Model for NvmeDev {
                 };
                 let (ty, p) = DevToHost::MmioComplete {
                     req_id,
-                    data: v.to_le_bytes()[..len.min(8)].to_vec(),
+                    data: v.to_le_bytes()[..len.min(8)].to_vec().into(),
                 }
                 .encode();
                 k.send(PortId(0), ty, &p);
@@ -319,7 +319,7 @@ mod tests {
                 req_id: req,
                 bar: 0,
                 offset: off,
-                data: val.to_le_bytes().to_vec(),
+                data: val.to_le_bytes().to_vec().into(),
             }
             .encode();
             req += 1;
@@ -338,7 +338,7 @@ mod tests {
                 match DevToHost::decode(m.ty, &m.data) {
                     Some(DevToHost::DmaRead { req_id, addr, len }) => {
                         let data = mem[addr as usize..addr as usize + len].to_vec();
-                        let (ty, p) = HostToDev::DmaComplete { req_id, data }.encode();
+                        let (ty, p) = HostToDev::DmaComplete { req_id, data: data.into() }.encode();
                         host.send_raw(stamp, ty, &p).unwrap();
                     }
                     Some(DevToHost::DmaWrite { req_id, addr, data }) => {
@@ -348,7 +348,7 @@ mod tests {
                         }
                         let (ty, p) = HostToDev::DmaComplete {
                             req_id,
-                            data: Vec::new(),
+                            data: simbricks_base::PktBuf::empty(),
                         }
                         .encode();
                         host.send_raw(stamp, ty, &p).unwrap();

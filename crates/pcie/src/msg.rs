@@ -1,6 +1,11 @@
 //! PCIe interface message definitions and their slot encoding.
+//!
+//! Bulk payloads (DMA reads/writes, MMIO data) are carried as pooled
+//! [`PktBuf`]s. Decoding through [`DevToHost::decode_buf`] /
+//! [`HostToDev::decode_buf`] yields payload fields that are zero-copy slice
+//! views into the received message buffer (a refcount bump, no allocation).
 
-use simbricks_base::MsgType;
+use simbricks_base::{MsgType, PktBuf};
 
 /// Message type space for device → host messages (Fig. 4, top table).
 pub const MSG_DEV_TO_HOST_BASE: MsgType = 0x10;
@@ -145,9 +150,9 @@ pub enum DevToHost {
     /// Device-initiated DMA read of host memory.
     DmaRead { req_id: u64, addr: u64, len: usize },
     /// Device-initiated DMA write to host memory.
-    DmaWrite { req_id: u64, addr: u64, data: Vec<u8> },
+    DmaWrite { req_id: u64, addr: u64, data: PktBuf },
     /// Completion of an earlier host MMIO read/write.
-    MmioComplete { req_id: u64, data: Vec<u8> },
+    MmioComplete { req_id: u64, data: PktBuf },
     /// Raise an interrupt.
     Interrupt { kind: IntKind, vector: u16 },
 }
@@ -156,11 +161,11 @@ pub enum DevToHost {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum HostToDev {
     /// Completion of an earlier device DMA read (carries data) or write.
-    DmaComplete { req_id: u64, data: Vec<u8> },
+    DmaComplete { req_id: u64, data: PktBuf },
     /// Host-initiated MMIO read of a device BAR.
     MmioRead { req_id: u64, bar: u8, offset: u64, len: usize },
     /// Host-initiated MMIO write to a device BAR.
-    MmioWrite { req_id: u64, bar: u8, offset: u64, data: Vec<u8> },
+    MmioWrite { req_id: u64, bar: u8, offset: u64, data: PktBuf },
     /// Report which interrupt mechanisms the OS enabled.
     IntStatus(IntStatus),
 }
@@ -196,11 +201,26 @@ impl Writer {
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding straight from a received [`PktBuf`], `bytes()` returns
+    /// zero-copy slice views of it instead of fresh allocations.
+    src: Option<&'a PktBuf>,
 }
 
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            src: None,
+        }
+    }
+
+    fn new_buf(src: &'a PktBuf) -> Self {
+        Reader {
+            buf: src.as_slice(),
+            pos: 0,
+            src: Some(src),
+        }
     }
     fn u8(&mut self) -> Option<u8> {
         let v = *self.buf.get(self.pos)?;
@@ -217,11 +237,15 @@ impl<'a> Reader<'a> {
         self.pos += 8;
         Some(u64::from_le_bytes(s.try_into().unwrap()))
     }
-    fn bytes(&mut self) -> Option<Vec<u8>> {
+    fn bytes(&mut self) -> Option<PktBuf> {
         let len = self.u64()? as usize;
         let s = self.buf.get(self.pos..self.pos + len)?;
+        let out = match self.src {
+            Some(src) => src.slice(self.pos, self.pos + len),
+            None => PktBuf::from(s),
+        };
         self.pos += len;
-        Some(s.to_vec())
+        Some(out)
     }
 }
 
@@ -274,10 +298,37 @@ impl DevToHost {
         }
     }
 
+    /// Encode a `DmaWrite` directly from borrowed payload bytes into a
+    /// pooled buffer: one write pass, no intermediate envelope allocation.
+    /// Wire-identical to `DevToHost::DmaWrite { .. }.encode()`.
+    pub fn encode_dma_write_pooled(
+        pool: &simbricks_base::BufPool,
+        req_id: u64,
+        addr: u64,
+        data: &[u8],
+    ) -> (MsgType, PktBuf) {
+        let mut b = pool.alloc_capacity(24 + data.len(), 0);
+        b.extend_from_slice(&req_id.to_le_bytes());
+        b.extend_from_slice(&addr.to_le_bytes());
+        b.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        b.extend_from_slice(data);
+        (MSG_D2H_DMA_WRITE, b)
+    }
+
+    /// Decode straight from a received message buffer: bulk payload fields
+    /// come out as zero-copy slice views of `payload` (refcount bump).
+    pub fn decode_buf(ty: MsgType, payload: &PktBuf) -> Option<DevToHost> {
+        Self::decode_reader(ty, Reader::new_buf(payload))
+    }
+
     /// Decode from a (message type, payload) pair; `None` for foreign types
-    /// or malformed payloads.
+    /// or malformed payloads. Bulk payload fields are copied; prefer
+    /// [`DevToHost::decode_buf`] on hot paths.
     pub fn decode(ty: MsgType, payload: &[u8]) -> Option<DevToHost> {
-        let mut r = Reader::new(payload);
+        Self::decode_reader(ty, Reader::new(payload))
+    }
+
+    fn decode_reader(ty: MsgType, mut r: Reader<'_>) -> Option<DevToHost> {
         match ty {
             MSG_D2H_DEV_INFO => {
                 let vendor_id = r.u16()?;
@@ -379,9 +430,34 @@ impl HostToDev {
         }
     }
 
-    /// Decode from a (message type, payload) pair.
+    /// Encode a `DmaComplete` directly from borrowed payload bytes into a
+    /// pooled buffer: one write pass, no intermediate envelope allocation.
+    /// Wire-identical to `HostToDev::DmaComplete { .. }.encode()`.
+    pub fn encode_dma_complete_pooled(
+        pool: &simbricks_base::BufPool,
+        req_id: u64,
+        data: &[u8],
+    ) -> (MsgType, PktBuf) {
+        let mut b = pool.alloc_capacity(16 + data.len(), 0);
+        b.extend_from_slice(&req_id.to_le_bytes());
+        b.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        b.extend_from_slice(data);
+        (MSG_H2D_DMA_COMPL, b)
+    }
+
+    /// Decode straight from a received message buffer: bulk payload fields
+    /// come out as zero-copy slice views of `payload` (refcount bump).
+    pub fn decode_buf(ty: MsgType, payload: &PktBuf) -> Option<HostToDev> {
+        Self::decode_reader(ty, Reader::new_buf(payload))
+    }
+
+    /// Decode from a (message type, payload) pair. Bulk payload fields are
+    /// copied; prefer [`HostToDev::decode_buf`] on hot paths.
     pub fn decode(ty: MsgType, payload: &[u8]) -> Option<HostToDev> {
-        let mut r = Reader::new(payload);
+        Self::decode_reader(ty, Reader::new(payload))
+    }
+
+    fn decode_reader(ty: MsgType, mut r: Reader<'_>) -> Option<HostToDev> {
         match ty {
             MSG_H2D_DMA_COMPL => Some(HostToDev::DmaComplete {
                 req_id: r.u64()?,
@@ -494,7 +570,7 @@ mod tests {
         let m = DevToHost::DmaWrite {
             req_id: 42,
             addr: 0xdead_beef_0000,
-            data: data.clone(),
+            data: data.clone().into(),
         };
         let (ty, p) = m.encode();
         match DevToHost::decode(ty, &p).unwrap() {

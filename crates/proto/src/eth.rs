@@ -60,9 +60,16 @@ impl EthHeader {
 
     /// Append the 14 header bytes to `out`.
     pub fn write(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(self.dst.as_bytes());
-        out.extend_from_slice(self.src.as_bytes());
-        out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.to_array());
+    }
+
+    /// The serialized 14 header bytes (allocation-free).
+    pub fn to_array(&self) -> [u8; ETH_HEADER_LEN] {
+        let mut b = [0u8; ETH_HEADER_LEN];
+        b[0..6].copy_from_slice(self.dst.as_bytes());
+        b[6..12].copy_from_slice(self.src.as_bytes());
+        b[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        b
     }
 
     /// Parse a header from the start of `frame`, returning it and the payload.

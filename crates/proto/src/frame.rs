@@ -3,16 +3,22 @@
 //! These combine the Ethernet, IPv4, TCP/UDP and ARP modules so component
 //! simulators can construct and inspect complete frames with one call.
 
+use simbricks_base::{BufPool, PktBuf};
+
 use crate::addr::{Ipv4Addr, MacAddr};
 use crate::arp::ArpPacket;
+use crate::checksum::Checksum;
 use crate::eth::{EthHeader, EtherType, ETH_HEADER_LEN};
 use crate::ipv4::{Ecn, IpProto, Ipv4Header, IPV4_HEADER_LEN};
 use crate::tcp::TcpHeader;
-use crate::udp::UdpHeader;
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
 
 /// Minimum Ethernet payload (frames are padded up to this, as a real NIC
 /// MAC would, so byte counts in the simulation match physical behaviour).
 pub const MIN_ETH_PAYLOAD: usize = 46;
+
+/// Headroom reserved in pooled frames (room for re-framing/encapsulation).
+const FRAME_HEADROOM: usize = 64;
 
 /// Builders for complete Ethernet frames.
 pub struct FrameBuilder;
@@ -83,6 +89,200 @@ impl FrameBuilder {
             frame.resize(min, 0);
         }
     }
+
+    // ------------------------------------------------------------------
+    // In-place pooled builders: construct the frame directly inside a
+    // pooled [`PktBuf`] segment (one write pass, no intermediate L4
+    // vector, no heap allocation on a warm pool).
+    // ------------------------------------------------------------------
+
+    /// Build an Ethernet+IPv4+TCP frame into a pooled buffer. Byte-identical
+    /// to [`FrameBuilder::tcp`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_pooled(
+        pool: &BufPool,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        ecn: Ecn,
+        tcp: &TcpHeader,
+        payload: &[u8],
+    ) -> PktBuf {
+        Self::tcp_chain_pooled(pool, src_mac, dst_mac, src_ip, dst_ip, ecn, tcp, &[payload])
+    }
+
+    /// Build an Ethernet+IPv4+TCP frame whose payload is scattered over
+    /// `chunks` (e.g. a GRO chain of zero-copy segment views), flattening it
+    /// exactly once into the pooled output frame. Byte-identical to
+    /// [`FrameBuilder::tcp`] over the concatenated chunks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_chain_pooled(
+        pool: &BufPool,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        ecn: Ecn,
+        tcp: &TcpHeader,
+        chunks: &[&[u8]],
+    ) -> PktBuf {
+        let payload_len: usize = chunks.iter().map(|c| c.len()).sum();
+        let mut tcp_hdr = [0u8; TcpHeader::MAX_HEADER_LEN];
+        let tcp_hlen = tcp.write_header(&mut tcp_hdr);
+        let l4_len = tcp_hlen + payload_len;
+        let total = (ETH_HEADER_LEN + IPV4_HEADER_LEN + l4_len).max(ETH_HEADER_LEN + MIN_ETH_PAYLOAD);
+        let mut buf = pool.alloc_capacity(total, FRAME_HEADROOM);
+        let eth = EthHeader::new(dst_mac, src_mac, EtherType::Ipv4);
+        buf.extend_from_slice(&eth.to_array());
+        let ip = Ipv4Header::new(src_ip, dst_ip, IpProto::Tcp, ecn, l4_len);
+        buf.extend_from_slice(&ip.to_array());
+        buf.extend_from_slice(&tcp_hdr[..tcp_hlen]);
+        for c in chunks {
+            buf.extend_from_slice(c);
+        }
+        // TCP checksum over pseudo header + the contiguous L4 region.
+        let l4_off = ETH_HEADER_LEN + IPV4_HEADER_LEN;
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src_ip, dst_ip, 6, l4_len as u16);
+        c.add_bytes(&buf[l4_off..l4_off + l4_len]);
+        let csum = c.finish();
+        {
+            let bytes = buf.make_mut();
+            bytes[l4_off + 16] = (csum >> 8) as u8;
+            bytes[l4_off + 17] = csum as u8;
+        }
+        Self::pad_pooled(&mut buf);
+        buf
+    }
+
+    /// Build an Ethernet+IPv4+UDP frame into a pooled buffer. Byte-identical
+    /// to [`FrameBuilder::udp`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn udp_pooled(
+        pool: &BufPool,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        ecn: Ecn,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> PktBuf {
+        let udp = UdpHeader::new(src_port, dst_port, payload.len());
+        let l4_len = UDP_HEADER_LEN + payload.len();
+        let total = (ETH_HEADER_LEN + IPV4_HEADER_LEN + l4_len).max(ETH_HEADER_LEN + MIN_ETH_PAYLOAD);
+        let mut buf = pool.alloc_capacity(total, FRAME_HEADROOM);
+        let eth = EthHeader::new(dst_mac, src_mac, EtherType::Ipv4);
+        buf.extend_from_slice(&eth.to_array());
+        let ip = Ipv4Header::new(src_ip, dst_ip, IpProto::Udp, ecn, l4_len);
+        buf.extend_from_slice(&ip.to_array());
+        buf.extend_from_slice(&udp.src_port.to_be_bytes());
+        buf.extend_from_slice(&udp.dst_port.to_be_bytes());
+        buf.extend_from_slice(&udp.length.to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(payload);
+        let l4_off = ETH_HEADER_LEN + IPV4_HEADER_LEN;
+        let mut c = Checksum::new();
+        c.add_pseudo_header(src_ip, dst_ip, 17, udp.length);
+        c.add_bytes(&buf[l4_off..l4_off + l4_len]);
+        let mut csum = c.finish();
+        if csum == 0 {
+            csum = 0xffff; // RFC 768: zero means "no checksum"
+        }
+        {
+            let bytes = buf.make_mut();
+            bytes[l4_off + 6] = (csum >> 8) as u8;
+            bytes[l4_off + 7] = csum as u8;
+        }
+        Self::pad_pooled(&mut buf);
+        buf
+    }
+
+    /// Build an Ethernet+IPv4 frame around an already-serialized L4 payload,
+    /// into a pooled buffer. Byte-identical to [`FrameBuilder::ipv4`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn ipv4_pooled(
+        pool: &BufPool,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        proto: IpProto,
+        ecn: Ecn,
+        l4: &[u8],
+    ) -> PktBuf {
+        let total =
+            (ETH_HEADER_LEN + IPV4_HEADER_LEN + l4.len()).max(ETH_HEADER_LEN + MIN_ETH_PAYLOAD);
+        let mut buf = pool.alloc_capacity(total, FRAME_HEADROOM);
+        let eth = EthHeader::new(dst_mac, src_mac, EtherType::Ipv4);
+        buf.extend_from_slice(&eth.to_array());
+        let ip = Ipv4Header::new(src_ip, dst_ip, proto, ecn, l4.len());
+        buf.extend_from_slice(&ip.to_array());
+        buf.extend_from_slice(l4);
+        Self::pad_pooled(&mut buf);
+        buf
+    }
+
+    /// Build an Ethernet+ARP frame into a pooled buffer. Byte-identical to
+    /// [`FrameBuilder::arp`].
+    pub fn arp_pooled(
+        pool: &BufPool,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        arp: &ArpPacket,
+    ) -> PktBuf {
+        let mut buf =
+            pool.alloc_capacity(ETH_HEADER_LEN + MIN_ETH_PAYLOAD, FRAME_HEADROOM);
+        let eth = EthHeader::new(dst_mac, src_mac, EtherType::Arp);
+        buf.extend_from_slice(&eth.to_array());
+        buf.extend_from_slice(&arp.to_bytes());
+        Self::pad_pooled(&mut buf);
+        buf
+    }
+
+    fn pad_pooled(frame: &mut PktBuf) {
+        const ZEROS: [u8; ETH_HEADER_LEN + MIN_ETH_PAYLOAD] = [0; ETH_HEADER_LEN + MIN_ETH_PAYLOAD];
+        let min = ETH_HEADER_LEN + MIN_ETH_PAYLOAD;
+        if frame.len() < min {
+            let missing = min - frame.len();
+            frame.extend_from_slice(&ZEROS[..missing]);
+        }
+    }
+}
+
+/// Byte range of the TCP payload within a raw IPv4/TCP Ethernet frame,
+/// bounded by the IP total length (excludes Ethernet padding). Used for
+/// zero-copy payload slicing (GRO segment chaining, TSO cutting); `None`
+/// when the frame is not a well-formed IPv4/TCP frame.
+pub fn tcp_payload_range(frame: &[u8]) -> Option<(usize, usize)> {
+    if frame.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
+        return None;
+    }
+    if u16::from_be_bytes([frame[12], frame[13]]) != 0x0800 {
+        return None;
+    }
+    let ip = &frame[ETH_HEADER_LEN..];
+    if ip[0] >> 4 != 4 {
+        return None;
+    }
+    let ihl = (ip[0] & 0x0f) as usize * 4;
+    let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    if ihl < IPV4_HEADER_LEN || total_len < ihl || ip.len() < total_len || ip[9] != 6 {
+        return None;
+    }
+    let l4 = &ip[ihl..total_len];
+    if l4.len() < 20 {
+        return None;
+    }
+    let data_off = ((l4[12] >> 4) as usize) * 4;
+    if data_off < 20 || l4.len() < data_off {
+        return None;
+    }
+    let start = ETH_HEADER_LEN + ihl + data_off;
+    let end = ETH_HEADER_LEN + total_len;
+    Some((start, end))
 }
 
 /// Parsed layer-4 content of a frame.
@@ -282,5 +482,104 @@ mod tests {
         fn eq(&self, other: &Self) -> bool {
             self.eth == other.eth && self.ipv4 == other.ipv4 && self.l4 == other.l4
         }
+    }
+
+    /// The pooled in-place builders must produce byte-identical frames to
+    /// the `Vec`-based builders — pooling is an allocator change, never a
+    /// wire-format change.
+    #[test]
+    fn pooled_builders_match_vec_builders_bit_for_bit() {
+        let pool = simbricks_base::BufPool::new();
+        let (sm, dm) = (MacAddr::from_index(1), MacAddr::from_index(2));
+        let (si, di) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        for payload_len in [0usize, 1, 45, 46, 100, 1400] {
+            let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+            let tcp = TcpHeader {
+                src_port: 40000,
+                dst_port: 5201,
+                seq: 0xdead_beef,
+                ack: 0x1234_5678,
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: 8192,
+                mss: Some(1460),
+                wscale: Some(7),
+            };
+            let v = FrameBuilder::tcp(sm, dm, si, di, Ecn::Ect0, &tcp, &payload);
+            let p = FrameBuilder::tcp_pooled(&pool, sm, dm, si, di, Ecn::Ect0, &tcp, &payload);
+            assert_eq!(p.as_slice(), v.as_slice(), "tcp len {payload_len}");
+            // Chained payload (split at an odd boundary) flattens identically.
+            let cut = payload_len / 3;
+            let pc = FrameBuilder::tcp_chain_pooled(
+                &pool, sm, dm, si, di, Ecn::Ect0, &tcp,
+                &[&payload[..cut], &payload[cut..]],
+            );
+            assert_eq!(pc.as_slice(), v.as_slice(), "tcp chain len {payload_len}");
+
+            let v = FrameBuilder::udp(sm, dm, si, di, Ecn::Ce, 7, 9, &payload);
+            let p = FrameBuilder::udp_pooled(&pool, sm, dm, si, di, Ecn::Ce, 7, 9, &payload);
+            assert_eq!(p.as_slice(), v.as_slice(), "udp len {payload_len}");
+
+            let v = FrameBuilder::ipv4(sm, dm, si, di, IpProto::Other(89), Ecn::NotEct, &payload);
+            let p = FrameBuilder::ipv4_pooled(
+                &pool, sm, dm, si, di, IpProto::Other(89), Ecn::NotEct, &payload,
+            );
+            assert_eq!(p.as_slice(), v.as_slice(), "ipv4 len {payload_len}");
+        }
+        let arp = ArpPacket::request(sm, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let v = FrameBuilder::arp(sm, MacAddr::BROADCAST, &arp);
+        let p = FrameBuilder::arp_pooled(&pool, sm, MacAddr::BROADCAST, &arp);
+        assert_eq!(p.as_slice(), v.as_slice(), "arp");
+        assert!(pool.stats().hits + pool.stats().misses > 0, "builders used the pool");
+    }
+
+    #[test]
+    fn tcp_payload_range_matches_parser() {
+        let tcp = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: 500,
+            ack: 7,
+            flags: TcpFlags::ACK,
+            window: 100,
+            mss: None,
+            wscale: None,
+        };
+        let payload: Vec<u8> = (0..333).map(|i| (i % 101) as u8).collect();
+        let frame = FrameBuilder::tcp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ecn::Ect0,
+            &tcp,
+            &payload,
+        );
+        let (start, end) = tcp_payload_range(&frame).unwrap();
+        assert_eq!(&frame[start..end], payload.as_slice());
+        // Padded short frames: the range excludes the Ethernet padding.
+        let short = FrameBuilder::tcp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ecn::Ect0,
+            &tcp,
+            b"xy",
+        );
+        let (s, e) = tcp_payload_range(&short).unwrap();
+        assert_eq!(&short[s..e], b"xy");
+        // Non-TCP traffic yields None.
+        let udp = FrameBuilder::udp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ecn::NotEct,
+            1,
+            2,
+            b"p",
+        );
+        assert!(tcp_payload_range(&udp).is_none());
+        assert!(tcp_payload_range(&[0u8; 10]).is_none());
     }
 }

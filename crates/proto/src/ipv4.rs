@@ -107,26 +107,32 @@ impl Ipv4Header {
 
     /// Serialize the header (with a valid checksum) and append to `out`.
     pub fn write(&self, out: &mut Vec<u8>) {
-        let start = out.len();
-        out.push(0x45); // version 4, IHL 5
-        out.push((self.dscp << 2) | self.ecn.to_bits());
-        out.extend_from_slice(&self.total_len.to_be_bytes());
-        out.extend_from_slice(&self.ident.to_be_bytes());
-        out.extend_from_slice(&[0x40, 0x00]); // flags: DF, fragment offset 0
-        out.push(self.ttl);
-        out.push(self.proto.to_u8());
-        out.extend_from_slice(&[0, 0]); // checksum placeholder
-        out.extend_from_slice(self.src.as_bytes());
-        out.extend_from_slice(self.dst.as_bytes());
-        let csum = checksum(&out[start..start + IPV4_HEADER_LEN]);
-        out[start + 10] = (csum >> 8) as u8;
-        out[start + 11] = csum as u8;
+        out.extend_from_slice(&self.to_array());
+    }
+
+    /// The serialized 20 header bytes with a valid checksum
+    /// (allocation-free).
+    pub fn to_array(&self) -> [u8; IPV4_HEADER_LEN] {
+        let mut b = [0u8; IPV4_HEADER_LEN];
+        b[0] = 0x45; // version 4, IHL 5
+        b[1] = (self.dscp << 2) | self.ecn.to_bits();
+        b[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        b[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        b[6] = 0x40; // flags: DF, fragment offset 0
+        b[7] = 0x00;
+        b[8] = self.ttl;
+        b[9] = self.proto.to_u8();
+        // b[10..12] stays zero: checksum placeholder
+        b[12..16].copy_from_slice(self.src.as_bytes());
+        b[16..20].copy_from_slice(self.dst.as_bytes());
+        let csum = checksum(&b);
+        b[10] = (csum >> 8) as u8;
+        b[11] = csum as u8;
+        b
     }
 
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut v = Vec::with_capacity(IPV4_HEADER_LEN);
-        self.write(&mut v);
-        v
+        self.to_array().to_vec()
     }
 
     /// Parse a header from `data`; returns the header, whether the header

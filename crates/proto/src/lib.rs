@@ -22,7 +22,7 @@ pub mod udp;
 pub use addr::{Ipv4Addr, MacAddr};
 pub use arp::{ArpOp, ArpPacket};
 pub use eth::{frame_dst, frame_src, EthHeader, EtherType, ETH_HEADER_LEN};
-pub use frame::{FrameBuilder, ParsedFrame, ParsedL4};
+pub use frame::{tcp_payload_range, FrameBuilder, ParsedFrame, ParsedL4};
 pub use ipv4::{Ecn, IpProto, Ipv4Header, IPV4_HEADER_LEN};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};

@@ -73,32 +73,48 @@ impl TcpHeader {
             + if self.wscale.is_some() { 4 } else { 0 }
     }
 
+    /// Maximum serialized TCP header length (offset field limit: 15 words).
+    pub const MAX_HEADER_LEN: usize = 60;
+
+    /// Write the header (with options, checksum field zero) into the front
+    /// of `out`, returning the header length. Allocation-free; used by the
+    /// in-place pooled frame builders.
+    pub fn write_header(&self, out: &mut [u8; Self::MAX_HEADER_LEN]) -> usize {
+        let hlen = self.header_len();
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = ((hlen / 4) as u8) << 4;
+        out[13] = self.flags.0;
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..20].fill(0); // checksum placeholder + urgent pointer
+        let mut o = TCP_HEADER_LEN;
+        if let Some(mss) = self.mss {
+            out[o] = 2; // kind: MSS
+            out[o + 1] = 4; // length
+            out[o + 2..o + 4].copy_from_slice(&mss.to_be_bytes());
+            o += 4;
+        }
+        if let Some(ws) = self.wscale {
+            out[o] = 3; // kind: window scale
+            out[o + 1] = 3; // length
+            out[o + 2] = ws;
+            out[o + 3] = 1; // NOP padding to a 4-byte boundary
+            o += 4;
+        }
+        debug_assert_eq!(o, hlen);
+        hlen
+    }
+
     /// Serialize the header plus payload as the L4 part of an IPv4 packet,
     /// computing the TCP checksum over the pseudo header.
     pub fn build_segment(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
-        let hlen = self.header_len();
+        let mut hdr = [0u8; Self::MAX_HEADER_LEN];
+        let hlen = self.write_header(&mut hdr);
         let total = hlen + payload.len();
         let mut out = Vec::with_capacity(total);
-        out.extend_from_slice(&self.src_port.to_be_bytes());
-        out.extend_from_slice(&self.dst_port.to_be_bytes());
-        out.extend_from_slice(&self.seq.to_be_bytes());
-        out.extend_from_slice(&self.ack.to_be_bytes());
-        out.push(((hlen / 4) as u8) << 4);
-        out.push(self.flags.0);
-        out.extend_from_slice(&self.window.to_be_bytes());
-        out.extend_from_slice(&[0, 0]); // checksum placeholder
-        out.extend_from_slice(&[0, 0]); // urgent pointer
-        if let Some(mss) = self.mss {
-            out.push(2); // kind: MSS
-            out.push(4); // length
-            out.extend_from_slice(&mss.to_be_bytes());
-        }
-        if let Some(ws) = self.wscale {
-            out.push(3); // kind: window scale
-            out.push(3); // length
-            out.push(ws);
-            out.push(1); // NOP padding to a 4-byte boundary
-        }
+        out.extend_from_slice(&hdr[..hlen]);
         out.extend_from_slice(payload);
         let mut c = Checksum::new();
         c.add_pseudo_header(src, dst, 6, total as u16);

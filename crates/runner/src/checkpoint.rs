@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   "SBCK"                      4 bytes
-//! version u16 (currently 1)           rejected if unknown
+//! version u16 (currently 2)           rejected if unknown
 //! flags   u16 (reserved, must be 0)
 //! name    u32-prefixed UTF-8          experiment name (validated on restore)
 //! time    u64                         checkpoint virtual time [ps]
@@ -27,8 +27,11 @@ use simbricks_base::SimTime;
 
 /// File magic: "SBCK" (SimBricks ChecKpoint).
 pub const CKPT_MAGIC: [u8; 4] = *b"SBCK";
-/// Format version this build writes and reads.
-pub const CKPT_VERSION: u16 = 1;
+/// Format version this build writes and reads. Bumped to 2 when the
+/// pooled-buffer work extended the `KernelStats` snapshot encoding from 13
+/// to 16 `u64`s: v1 files would pass the magic check and then misparse, so
+/// they are rejected cleanly here instead.
+pub const CKPT_VERSION: u16 = 2;
 
 /// A decoded checkpoint container.
 #[derive(Debug)]

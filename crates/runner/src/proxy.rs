@@ -476,13 +476,16 @@ pub(crate) fn tcp_forward_loop(
             Err(_) => return,
         }
         let mut consumed = 0;
-        while let Some((msg, used)) = OwnedMsg::from_wire(&rx_buf[consumed..]) {
+        // Zero-allocation decode: borrow each message straight out of the
+        // receive buffer and copy its payload directly into the local queue
+        // slot (no intermediate `OwnedMsg` materialization).
+        while let Some((ts, ty, payload, used)) = OwnedMsg::peek_wire(&rx_buf[consumed..]) {
             // Retry until there is queue space (peer component drains).
             loop {
                 if shutdown.is_set() {
                     return;
                 }
-                match local.send_raw(msg.timestamp, msg.ty, &msg.data) {
+                match local.send_raw(ts, ty, payload) {
                     Ok(()) => break,
                     Err(simbricks_base::SendError::Full) => std::thread::yield_now(),
                     Err(_) => return,
@@ -598,7 +601,7 @@ mod tests {
         while got.len() < 50 && std::time::Instant::now() < deadline {
             while let Some(m) = b.recv_raw() {
                 assert_eq!(m.ty, 5);
-                got.push(u64::from_le_bytes(m.data.clone().try_into().unwrap()));
+                got.push(u64::from_le_bytes(m.data.as_slice().try_into().unwrap()));
             }
             std::thread::yield_now();
         }
@@ -687,7 +690,7 @@ mod tests {
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while got.len() < total as usize && std::time::Instant::now() < deadline {
             while let Some(m) = b.recv_raw() {
-                got.push(u64::from_le_bytes(m.data.clone().try_into().unwrap()));
+                got.push(u64::from_le_bytes(m.data.as_slice().try_into().unwrap()));
             }
             std::thread::yield_now();
         }

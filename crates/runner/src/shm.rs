@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use simbricks_base::{ChannelEnd, ChannelParams, OwnedMsg, SimTime, MAX_PAYLOAD};
+use simbricks_base::{BufPool, ChannelEnd, ChannelParams, OwnedMsg, PktBuf, SimTime, MAX_PAYLOAD};
 
 use crate::proxy::{ProxyCounters, ShutdownSignal};
 use crate::transport::Transport;
@@ -428,6 +428,9 @@ pub struct ShmEndpoint {
     side: Side,
     tx_idx: usize,
     rx_idx: usize,
+    /// Arena received payloads are copied into straight out of the mapped
+    /// ring (one copy, no heap allocation on a warm pool).
+    pool: BufPool,
 }
 
 impl ShmEndpoint {
@@ -437,6 +440,7 @@ impl ShmEndpoint {
             side,
             tx_idx: 0,
             rx_idx: 0,
+            pool: BufPool::new(),
         }
     }
 
@@ -474,7 +478,10 @@ impl ShmEndpoint {
             .write_bytes(base + SLOT_OFF_LEN, &(msg.data.len() as u32).to_le_bytes());
         self.region.write_bytes(base + SLOT_OFF_PAYLOAD, &msg.data);
         ctrl.store(OWNER_CONSUMER | (msg.ty & TYPE_MASK), Ordering::Release);
-        self.tx_idx = (self.tx_idx + 1) % self.region.slots;
+        self.tx_idx += 1;
+        if self.tx_idx == self.region.slots {
+            self.tx_idx = 0;
+        }
         Ok(())
     }
 
@@ -491,15 +498,26 @@ impl ShmEndpoint {
         let mut len = [0u8; 4];
         self.region.read_bytes(base + SLOT_OFF_LEN, &mut len);
         let len = (u32::from_le_bytes(len) as usize).min(MAX_PAYLOAD);
-        let mut data = vec![0u8; len];
-        self.region.read_bytes(base + SLOT_OFF_PAYLOAD, &mut data);
+        // One copy: mapped ring straight into a pooled segment (no heap
+        // allocation on a warm pool; SYNCs are allocation-free).
+        let data = if len == 0 {
+            PktBuf::empty()
+        } else {
+            let mut b = self.pool.alloc_capacity(len, 0);
+            let region = &self.region;
+            b.extend_with(len, |dst| region.read_bytes(base + SLOT_OFF_PAYLOAD, dst));
+            b
+        };
         let msg = OwnedMsg::new(
             SimTime::from_ps(u64::from_le_bytes(ts)),
             c & TYPE_MASK,
             data,
         );
         ctrl.store(0, Ordering::Release);
-        self.rx_idx = (self.rx_idx + 1) % self.region.slots;
+        self.rx_idx += 1;
+        if self.rx_idx == self.region.slots {
+            self.rx_idx = 0;
+        }
         Some(msg)
     }
 

@@ -1,0 +1,95 @@
+//! Allocation-regression tests for the pooled packet-buffer hot path: once
+//! the per-thread freelist is warm, a steady-state run must serve virtually
+//! every buffer allocation from the pool (miss count ~0), and pooling must
+//! not change simulation results.
+
+use simbricks::apps::{NetperfClient, NetperfServer};
+use simbricks::base::KernelStats;
+use simbricks::hostsim::{HostConfig, HostKind, NicModelKind};
+use simbricks::netsim::{SwitchBm, SwitchConfig};
+use simbricks::runner::{attach_host_nic, Execution, Experiment};
+use simbricks::SimTime;
+
+/// Run a two-host netperf experiment sequentially (everything on this
+/// thread, so all runs share one thread-local freelist) and return the
+/// merged kernel statistics.
+fn netperf_run(stream_ms: u64) -> KernelStats {
+    let stream = SimTime::from_ms(stream_ms);
+    let mut exp = Experiment::new("pool-netperf", stream + SimTime::from_ms(4));
+    let server_cfg = HostConfig::new(HostKind::QemuTiming, 0).with_nic(NicModelKind::I40e);
+    let client_cfg = HostConfig::new(HostKind::QemuTiming, 1).with_nic(NicModelKind::I40e);
+    let server_app = Box::new(NetperfServer::new(5201, 5202));
+    let client_app = Box::new(NetperfClient::new(
+        server_cfg.ip,
+        5201,
+        5202,
+        stream,
+        SimTime::from_ms(2),
+    ));
+    let (_s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, false);
+    let (_c, _, c_eth) = attach_host_nic(&mut exp, "client", client_cfg, client_app, false);
+    exp.add(
+        "switch",
+        Box::new(SwitchBm::new(SwitchConfig {
+            ports: 2,
+            ..Default::default()
+        })),
+        vec![s_eth, c_eth],
+    );
+    let r = exp.run(Execution::Sequential);
+    r.total_stats()
+}
+
+/// After a warm-up run has populated the thread's freelist, a steady-state
+/// netperf run must be allocation-free on the message path: pool misses stay
+/// ~0 while hits run into the hundreds of thousands (hit rate >= 99%).
+#[test]
+fn steady_state_netperf_pool_misses_are_negligible() {
+    // Warm-up: the first run takes the cold misses that populate the
+    // freelist.
+    let warmup = netperf_run(4);
+    assert!(
+        warmup.pool_hits + warmup.pool_misses > 10_000,
+        "netperf exercises the pooled hot path (got {} allocations)",
+        warmup.pool_hits + warmup.pool_misses
+    );
+
+    // Steady state: same workload, warm freelist.
+    let steady = netperf_run(10);
+    let total = steady.pool_hits + steady.pool_misses;
+    assert!(
+        total > 100_000,
+        "expected a message-heavy run, got {total} pooled allocations"
+    );
+    assert!(
+        steady.pool_hit_rate() >= 0.99,
+        "steady-state pool hit rate must be >= 99%, got {:.4} ({} hits / {} misses)",
+        steady.pool_hit_rate(),
+        steady.pool_hits,
+        steady.pool_misses
+    );
+    // "~0": what little misses remain must be a vanishing fraction, not a
+    // per-message cost.
+    assert!(
+        steady.pool_misses <= total / 100,
+        "misses must not scale with traffic ({} misses / {} allocations)",
+        steady.pool_misses,
+        total
+    );
+}
+
+/// Pooling is an allocator change, not a semantics change: two identical
+/// runs (cold pool vs warm pool) produce identical simulation statistics.
+#[test]
+fn warm_and_cold_pools_simulate_identically() {
+    let a = netperf_run(5);
+    let b = netperf_run(5);
+    assert_eq!(a.final_time, b.final_time);
+    assert_eq!(a.msgs_delivered, b.msgs_delivered);
+    assert_eq!(a.timers_fired, b.timers_fired);
+    assert_eq!(a.data_sent, b.data_sent);
+    assert_eq!(a.syncs_sent, b.syncs_sent);
+    // The allocator-facing counters are the only thing allowed to differ
+    // (the second run is warmer), and only towards more hits.
+    assert!(b.pool_misses <= a.pool_misses);
+}
