@@ -140,10 +140,17 @@ pub struct ChannelEnd {
     tx: Producer,
     rx: Consumer,
     params: ChannelParams,
+    conn_id: u64,
 }
 
-/// Create a connected pair of channel endpoints.
+/// Create a connected pair of channel endpoints. Both endpoints share a
+/// process-wide unique connection id, which lets the runner reconstruct the
+/// channel graph of an experiment (topology-aware sync lookahead, automatic
+/// partitioning) after the endpoints have been moved into their kernels.
 pub fn channel_pair(params: ChannelParams) -> (ChannelEnd, ChannelEnd) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_CONN: AtomicU64 = AtomicU64::new(1);
+    let conn_id = NEXT_CONN.fetch_add(1, Ordering::Relaxed);
     let (pa, ca) = spsc::queue(params.queue_len);
     let (pb, cb) = spsc::queue(params.queue_len);
     (
@@ -151,11 +158,13 @@ pub fn channel_pair(params: ChannelParams) -> (ChannelEnd, ChannelEnd) {
             tx: pa,
             rx: cb,
             params,
+            conn_id,
         },
         ChannelEnd {
             tx: pb,
             rx: ca,
             params,
+            conn_id,
         },
     )
 }
@@ -164,6 +173,11 @@ impl ChannelEnd {
     /// The channel's static configuration.
     pub fn params(&self) -> ChannelParams {
         self.params
+    }
+
+    /// Process-wide unique id shared by both endpoints of this channel.
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
     }
 
     /// Install the buffer pool received payloads are allocated from (the

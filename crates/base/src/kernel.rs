@@ -69,6 +69,29 @@ pub enum StepOutcome {
     Finished,
 }
 
+/// A declared lookahead for hierarchical sync: a bound, asserted by the
+/// model, on how quickly an input can cause a send on a given port. The
+/// kernel turns the declaration into wider promises; a false declaration
+/// breaks causality, so each flavor states its obligation precisely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncLookahead {
+    /// Sends on this port are never an immediate reaction to input on the
+    /// *same* port (no hairpin): every input-triggered send is caused by an
+    /// input on a different port, at least the carried delay earlier.
+    /// Store-and-forward switches satisfy this with a delay of zero — a
+    /// frame is never echoed to its ingress port. Promises widen through
+    /// the exclude-one minimum of the other ports' input horizons.
+    ExcludeSelf(SimTime),
+    /// Every input-triggered send on this port — including replies to input
+    /// on the port itself — happens at least the carried delay after the
+    /// triggering input (a modeled reaction latency). Promises widen
+    /// through the minimum over *all* ports' input horizons plus the delay,
+    /// which is the classic Chandy–Misra lookahead and the only sound
+    /// declaration for a component whose single link both receives requests
+    /// and carries the replies.
+    Reaction(SimTime),
+}
+
 /// A component simulator's behaviour.
 ///
 /// All methods receive the kernel so the model can consult the clock, send
@@ -84,7 +107,36 @@ pub trait Model: Send {
     fn on_timer(&mut self, _k: &mut Kernel, _token: u64) {}
 
     /// Called once when the simulation ends (end time reached or quit).
+    ///
+    /// Under hierarchical sync, widened promises may already cover times
+    /// beyond `now` when this runs, so `finish` must not send data messages
+    /// (none of the built-in models do); emit final state through the log or
+    /// statistics instead.
     fn finish(&mut self, _k: &mut Kernel) {}
+
+    /// Declared forwarding lookahead for hierarchical sync (`None`, the
+    /// default, declares nothing). The kernel uses a declaration to widen
+    /// the port's promises beyond `now + Δ` — see [`SyncLookahead`] for the
+    /// two declaration flavors and the obligations each one places on the
+    /// model. Sends performed by timers the model has already scheduled are
+    /// always covered separately (the widening takes the earliest pending
+    /// timer into account), so declarations only constrain input-triggered
+    /// sends.
+    fn sync_lookahead(&self) -> Option<SyncLookahead> {
+        None
+    }
+
+    /// Per-port refinement of [`Model::sync_lookahead`]: the declaration for
+    /// sends on `port` specifically. The default delegates to the model-wide
+    /// declaration; override it when ports differ — a NIC, for example, can
+    /// declare zero exclude-self lookahead on its Ethernet port (frames
+    /// leave only in response to DMA timers and doorbells on the PCIe side)
+    /// while staying undeclared on PCIe, where a doorbell write can hairpin
+    /// into an immediate DMA read on the same link.
+    fn sync_lookahead_on(&self, port: PortId) -> Option<SyncLookahead> {
+        let _ = port;
+        self.sync_lookahead()
+    }
 
     /// Checkpoint support: append this model's dynamic state to `w` (see
     /// [`Snapshot`]). The default declines, so checkpointing an experiment
@@ -135,6 +187,18 @@ pub struct Kernel {
     /// Per-component packet-buffer arena, shared by every port attached to
     /// this kernel (and available to the model through [`Kernel::pool`]).
     pool: BufPool,
+    /// Hierarchical sync domains enabled (see [`Kernel::enable_hier_sync`]).
+    hier: bool,
+    /// Per-port domain tag (parallel to `ports`); `u32::MAX` means
+    /// "unassigned", grouped automatically by link-latency class.
+    port_domain: Vec<u32>,
+    /// Sealed domain membership: indices into `ports`, one vec per domain,
+    /// built lazily on the first hierarchical step.
+    domains: Vec<Vec<usize>>,
+    domains_built: bool,
+    /// Per-port forwarding-lookahead declarations (parallel to `ports`),
+    /// captured from [`Model::sync_lookahead_on`] alongside the domain build.
+    port_look: Vec<Option<SyncLookahead>>,
 }
 
 impl Kernel {
@@ -158,6 +222,11 @@ impl Kernel {
             wall_scale: None,
             wall_start: None,
             pool: BufPool::new(),
+            hier: false,
+            port_domain: Vec::new(),
+            domains: Vec::new(),
+            domains_built: false,
+            port_look: Vec::new(),
         }
     }
 
@@ -167,7 +236,42 @@ impl Kernel {
     pub fn add_port(&mut self, mut chan: ChannelEnd) -> PortId {
         chan.set_pool(self.pool.clone());
         self.ports.push(SyncPort::new(chan));
+        self.port_domain.push(u32::MAX);
         PortId(self.ports.len() - 1)
+    }
+
+    /// Switch this kernel to hierarchical sync domains: SYNC emission is
+    /// batched per domain epoch instead of per port, promises are widened
+    /// through the earliest local cause of a future send (next timer,
+    /// earliest uncleared input, plus a declared [`Model::sync_lookahead`]),
+    /// and emissions that would not raise the peer's horizon are suppressed.
+    /// Simulation results are bit-identical to the flat protocol — only the
+    /// volume and cadence of SYNC messages changes.
+    pub fn enable_hier_sync(&mut self) {
+        self.hier = true;
+        for p in &mut self.ports {
+            p.set_hier(true);
+        }
+    }
+
+    /// Whether hierarchical sync domains are enabled.
+    pub fn hier_sync_enabled(&self) -> bool {
+        self.hier
+    }
+
+    /// Assign `port` to the sync domain `domain` (hierarchical mode only).
+    /// Ports left unassigned are grouped automatically by link-latency class
+    /// when the domains are sealed on the first step.
+    pub fn set_port_domain(&mut self, port: PortId, domain: u32) {
+        self.port_domain[port.0] = domain;
+        self.domains_built = false;
+    }
+
+    /// Raise the adaptive sync-interval cap of `port` beyond the default
+    /// link latency Δ (hierarchical mode; the runner computes a static
+    /// multi-hop path floor per port from the channel graph).
+    pub fn set_port_sync_cap(&mut self, port: PortId, cap: SimTime) {
+        self.ports[port.0].set_sync_cap(cap);
     }
 
     /// Put this kernel under epoch-based global-barrier synchronization
@@ -222,6 +326,17 @@ impl Kernel {
     /// Link latency Δ of the given port.
     pub fn port_latency(&self, port: PortId) -> SimTime {
         self.ports[port.0].latency()
+    }
+
+    /// Connection id of the channel behind the given port (shared with the
+    /// peer endpoint; used by the runner to reconstruct the channel graph).
+    pub fn port_conn_id(&self, port: PortId) -> u64 {
+        self.ports[port.0].conn_id()
+    }
+
+    /// Whether the given port's channel participates in synchronization.
+    pub fn port_sync_enabled(&self, port: PortId) -> bool {
+        self.ports[port.0].sync_enabled()
     }
 
     /// Send a data message on `port`; it will be processed by the peer at
@@ -481,6 +596,16 @@ impl Kernel {
             _ => None,
         };
 
+        if self.hier && !self.domains_built {
+            // Lookahead declarations are static per model, so capture them
+            // once alongside the domain build (they only matter for
+            // hierarchical promise widening).
+            self.port_look = (0..self.ports.len())
+                .map(|i| model.sync_lookahead_on(PortId(i)))
+                .collect();
+            self.build_domains();
+        }
+
         let mut progressed = false;
         for _ in 0..max_steps {
             if self.quit || self.stop_requested() {
@@ -506,9 +631,21 @@ impl Kernel {
             // which guarantees all same-time messages have already arrived
             // and keeps delivery order deterministic.
             let mut bound = SimTime::MAX;
-            for p in &self.ports {
-                if p.sync_enabled() {
-                    bound = bound.min(p.horizon());
+            if self.hier {
+                // O(domains) fold: one aggregate horizon per sync domain
+                // (every synchronized port belongs to exactly one domain).
+                for members in &self.domains {
+                    let mut dh = SimTime::MAX;
+                    for &i in members {
+                        dh = dh.min(self.ports[i].horizon());
+                    }
+                    bound = bound.min(dh);
+                }
+            } else {
+                for p in &self.ports {
+                    if p.sync_enabled() {
+                        bound = bound.min(p.horizon());
+                    }
                 }
             }
             if let Some(b) = &self.barrier {
@@ -607,6 +744,16 @@ impl Kernel {
                         }
                         self.stats.barrier_waits = b.waits();
                     }
+                    if self.hier {
+                        // Null-message backstop: a blocked kernel forwards any
+                        // horizon gain its inputs imply before parking. This
+                        // is what makes cadences wider than Δ deadlock-free:
+                        // whenever a cycle of kernels is simultaneously
+                        // blocked, at least one port has a promise gain
+                        // (otherwise the per-link latencies telescope into a
+                        // contradiction), so horizons keep rising.
+                        self.emit_hier_promises(true);
+                    }
                     self.stats.blocked_polls += 1;
                     return if progressed {
                         StepOutcome::Progressed
@@ -641,13 +788,17 @@ impl Kernel {
             // one wakeup instead of several closely spaced advances.
             let now = self.now;
             let sync_driven = can_sync && t_sync <= now;
-            for p in &mut self.ports {
-                let slack = if sync_driven {
-                    p.coalesce_slack()
-                } else {
-                    SimTime::ZERO
-                };
-                p.maybe_send_sync_batched(now, slack);
+            if self.hier {
+                self.emit_hier_promises(false);
+            } else {
+                for p in &mut self.ports {
+                    let slack = if sync_driven {
+                        p.coalesce_slack()
+                    } else {
+                        SimTime::ZERO
+                    };
+                    p.maybe_send_sync_batched(now, slack);
+                }
             }
 
             // Deliver model-visible events due at the new time.
@@ -657,6 +808,130 @@ impl Kernel {
             }
         }
         StepOutcome::Progressed
+    }
+
+    /// Seal hierarchical sync domains: synchronized ports with an explicit
+    /// tag group by tag, the rest group by link-latency class. Deterministic
+    /// (sorted by tag, then latency), so domain order never depends on
+    /// execution timing.
+    fn build_domains(&mut self) {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<(u32, u64), Vec<usize>> = BTreeMap::new();
+        for (i, p) in self.ports.iter().enumerate() {
+            if !p.sync_enabled() {
+                continue;
+            }
+            let key = match self.port_domain[i] {
+                u32::MAX => (u32::MAX, p.latency().as_ps()),
+                tag => (tag, 0),
+            };
+            groups.entry(key).or_default().push(i);
+        }
+        self.domains = groups.into_values().collect();
+        self.domains_built = true;
+    }
+
+    /// Hierarchical SYNC emission at the current time.
+    ///
+    /// Every promise is widened through the earliest cause of a future send:
+    /// the next local timer, plus the earliest input no peer has cleared yet
+    /// (any future model invocation happens at or after that time, so any
+    /// send it performs carries at least that time plus Δ). A port with a
+    /// declared lookahead ([`Model::sync_lookahead_on`]) widens further
+    /// according to the declaration flavor — see [`SyncLookahead`].
+    /// Widening requires every attached channel to be synchronized — an
+    /// unsynchronized input could trigger a send at any time.
+    ///
+    /// Emission is batched per domain epoch: once any member of a domain is
+    /// due, every member gets an emission attempt (early members count as
+    /// coalesced, gain-less members as suppressed). With `blocked` set the
+    /// due times are ignored and only ports whose promise would actually
+    /// rise emit — the liveness backstop that keeps a blocked fabric's
+    /// horizons climbing.
+    fn emit_hier_promises(&mut self, blocked: bool) {
+        let now = self.now;
+        let widen_ok = self.ports.iter().all(|p| p.sync_enabled());
+        let t_timer = self.timers.next_time().unwrap_or(SimTime::MAX);
+        // min1/min2 over per-port input floors, so the exclude-one minimum
+        // under a declared lookahead costs one pass instead of O(ports²).
+        let (mut min1, mut min2, mut arg1) = (SimTime::MAX, SimTime::MAX, usize::MAX);
+        if widen_ok {
+            for (i, p) in self.ports.iter().enumerate() {
+                let f = p.horizon().min(p.next_pending().unwrap_or(SimTime::MAX));
+                if f < min1 {
+                    min2 = min1;
+                    min1 = f;
+                    arg1 = i;
+                } else if f < min2 {
+                    min2 = f;
+                }
+            }
+        }
+        let port_look = &self.port_look;
+        let base_for = |i: usize| -> SimTime {
+            if !widen_ok {
+                return now;
+            }
+            let inputs = match port_look.get(i).copied().flatten() {
+                // Exclude-one minimum plus forwarding delay: sends on port i
+                // are caused by inputs on other ports (or timers).
+                Some(SyncLookahead::ExcludeSelf(l)) => {
+                    let m = if arg1 == i { min2 } else { min1 };
+                    m.saturating_add(l)
+                }
+                // Reaction delay: any input (same port included) can cause a
+                // send, but only after the declared latency.
+                Some(SyncLookahead::Reaction(d)) => min1.saturating_add(d),
+                // No declaration: a send can follow any input, including one
+                // on the same port, immediately.
+                None => min1,
+            };
+            t_timer.min(inputs).max(now)
+        };
+        if blocked {
+            for i in 0..self.ports.len() {
+                let ts = base_for(i).saturating_add(self.ports[i].latency());
+                if ts > self.ports[i].last_promise() {
+                    self.ports[i].send_promise(now, ts, false);
+                }
+            }
+            return;
+        }
+        for d in 0..self.domains.len() {
+            let epoch_due = self.domains[d]
+                .iter()
+                .any(|&i| self.ports[i].next_sync_due().is_some_and(|t| t <= now));
+            if !epoch_due {
+                continue;
+            }
+            for m in 0..self.domains[d].len() {
+                let i = self.domains[d][m];
+                let own_due = self.ports[i].next_sync_due().is_some_and(|t| t <= now);
+                let ts = base_for(i).saturating_add(self.ports[i].latency());
+                // Gain gate: emit only when the promise is worth a message —
+                // at least half the port's current idle interval beyond the
+                // standing promise. A due port with a stalled-but-nonzero
+                // gain defers (the gain accumulates; the peer holds the
+                // previous promise and cannot be starved within the cap).
+                let floor = self.ports[i]
+                    .last_promise()
+                    .saturating_add(self.ports[i].coalesce_slack());
+                if own_due {
+                    if ts > floor {
+                        self.ports[i].send_promise(now, ts, false);
+                    } else {
+                        self.ports[i].defer_sync(now);
+                    }
+                } else if ts > floor {
+                    // Sibling pulled into the epoch early: its own due timer
+                    // stays in place unless the widened promise clears the
+                    // gate. Without the gate every domain member re-promises
+                    // at the cadence of the *finest* port in the domain and
+                    // the multi-hop cap never pays off.
+                    self.ports[i].send_promise(now, ts, true);
+                }
+            }
+        }
     }
 
     fn stop_requested(&self) -> bool {
@@ -1137,6 +1412,126 @@ mod tests {
         // Truncated blob.
         let mut other = Kernel::new("x", SimTime::from_us(1));
         assert!(other.restore(&mut SnapReader::new(&blob[..blob.len() - 1])).is_err());
+    }
+
+    /// Hierarchical sync must deliver exactly the same messages at the same
+    /// times as the flat protocol — with no more (and on idle stretches far
+    /// fewer) SYNC messages. Both-blocked rounds are tolerated here: a
+    /// blocked hierarchical kernel still emits widening promises (the
+    /// liveness backstop), so the pair converges without either clock
+    /// creeping through the idle tail at δ steps.
+    #[test]
+    fn hier_sync_pair_matches_flat_results_with_fewer_syncs() {
+        let params = ChannelParams::default_sync();
+        let end = SimTime::from_us(50);
+        let run = |hier: bool| {
+            let (ca, cb) = channel_pair(params);
+            let mut ka = Kernel::new("a", end);
+            let mut kb = Kernel::new("b", end);
+            if hier {
+                ka.enable_hier_sync();
+                kb.enable_hier_sync();
+            }
+            let pa = ka.add_port(ca);
+            let pb = kb.add_port(cb);
+            let mut a = Pinger::new(pa, 5, SimTime::from_ns(100));
+            let mut b = Pinger::new(pb, 0, SimTime::from_ns(100));
+            let mut stalls = 0;
+            loop {
+                let ra = ka.step(&mut a, 64);
+                let rb = kb.step(&mut b, 64);
+                if ra == StepOutcome::Finished && rb == StepOutcome::Finished {
+                    break;
+                }
+                if matches!(ra, StepOutcome::Blocked(_)) && matches!(rb, StepOutcome::Blocked(_)) {
+                    stalls += 1;
+                    assert!(stalls < 100_000, "deadlock: both blocked (a@{})", ka.now());
+                } else {
+                    stalls = 0;
+                }
+            }
+            (b.received.clone(), ka.stats().syncs_sent + kb.stats().syncs_sent)
+        };
+        let (flat_rx, flat_syncs) = run(false);
+        let (hier_rx, hier_syncs) = run(true);
+        assert_eq!(flat_rx, hier_rx, "identical deliveries at identical times");
+        assert_eq!(flat_rx.len(), 5);
+        assert!(
+            hier_syncs <= flat_syncs,
+            "hier syncs ({hier_syncs}) must not exceed flat ({flat_syncs})"
+        );
+    }
+
+    /// Satellite regression: adaptive idle-widening composes with aggregate
+    /// domain horizons. A store-and-forward middle kernel (declared
+    /// lookahead 0, both ports in one auto domain) has one hot input and one
+    /// idle output peer; the idle peer's port widens its interval while the
+    /// hot one stays at δ, and the domain's epoch batching must not let the
+    /// idle peer's horizon regress or stall — deliveries stay bit-identical
+    /// to the flat protocol.
+    #[test]
+    fn hier_domain_with_hot_and_idle_port_matches_flat() {
+        struct Fwd {
+            from: PortId,
+            to: PortId,
+        }
+        impl Model for Fwd {
+            fn on_msg(&mut self, k: &mut Kernel, port: PortId, msg: OwnedMsg) {
+                if port == self.from {
+                    k.send(self.to, msg.ty, &msg.data);
+                }
+            }
+            fn sync_lookahead(&self) -> Option<SyncLookahead> {
+                Some(SyncLookahead::ExcludeSelf(SimTime::ZERO))
+            }
+        }
+        let params = ChannelParams::default_sync();
+        let end = SimTime::from_us(20);
+        let run = |hier: bool| {
+            let (cx, sx) = channel_pair(params);
+            let (sy, cy) = channel_pair(params);
+            let mut kx = Kernel::new("x", end);
+            let mut ks = Kernel::new("s", end);
+            let mut ky = Kernel::new("y", end);
+            if hier {
+                kx.enable_hier_sync();
+                ks.enable_hier_sync();
+                ky.enable_hier_sync();
+            }
+            let px = kx.add_port(cx);
+            let s_from = ks.add_port(sx);
+            let s_to = ks.add_port(sy);
+            let py = ky.add_port(cy);
+            let mut x = Pinger::new(px, 20, SimTime::from_ns(100));
+            let mut s = Fwd { from: s_from, to: s_to };
+            let mut y = Pinger::new(py, 0, SimTime::from_ns(100));
+            let mut stalls = 0;
+            loop {
+                let rx = kx.step(&mut x, 64);
+                let rs = ks.step(&mut s, 64);
+                let ry = ky.step(&mut y, 64);
+                if rx == StepOutcome::Finished
+                    && rs == StepOutcome::Finished
+                    && ry == StepOutcome::Finished
+                {
+                    break;
+                }
+                let all_blocked = matches!(rx, StepOutcome::Blocked(_))
+                    && matches!(rs, StepOutcome::Blocked(_))
+                    && matches!(ry, StepOutcome::Blocked(_));
+                if all_blocked {
+                    stalls += 1;
+                    assert!(stalls < 100_000, "deadlock: all blocked (s@{})", ks.now());
+                } else {
+                    stalls = 0;
+                }
+            }
+            (y.received.clone(), ks.stats().syncs_sent)
+        };
+        let (flat_rx, _) = run(false);
+        let (hier_rx, _) = run(true);
+        assert_eq!(flat_rx.len(), 20, "all frames forwarded");
+        assert_eq!(flat_rx, hier_rx, "hot+idle domain delivers identically");
     }
 
     #[test]

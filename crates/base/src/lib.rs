@@ -44,7 +44,7 @@ pub mod trace;
 pub use barrier::{BarrierMember, EpochController};
 pub use channel::{channel_pair, ChannelEnd, ChannelParams};
 pub use event::{EventId, EventQueue};
-pub use kernel::{Kernel, Model, PortId, StepOutcome, WakeHint};
+pub use kernel::{Kernel, Model, PortId, StepOutcome, SyncLookahead, WakeHint};
 pub use log::{intern_tag, EventLog, LogEntry};
 pub use pktbuf::{BufPool, PktBuf, PoolStats, DEFAULT_HEADROOM, SEG_CAPACITY};
 pub use slot::{MsgType, OwnedMsg, MAX_PAYLOAD, MSG_SYNC};

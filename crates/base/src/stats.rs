@@ -36,6 +36,10 @@ pub struct KernelStats {
     /// SYNC messages emitted ahead of schedule by batched emission (subset of
     /// `syncs_sent`).
     pub syncs_coalesced: u64,
+    /// SYNC emissions suppressed by hierarchical sync because their promise
+    /// would not have raised the peer's horizon (never reached the wire; not
+    /// part of `syncs_sent`).
+    pub syncs_suppressed: u64,
     /// Packet-buffer allocations served from the component's freelist arena
     /// (no heap traffic).
     pub pool_hits: u64,
@@ -55,6 +59,7 @@ impl KernelStats {
         self.syncs_received += p.syncs_received;
         self.backpressured += p.backpressured;
         self.syncs_coalesced += p.syncs_coalesced;
+        self.syncs_suppressed += p.syncs_suppressed;
     }
 
     /// Overwrite the pool counters from the component's arena (the arena's
@@ -96,7 +101,9 @@ impl KernelStats {
     pub const WIRE_LEN: usize = 16 * 8;
 
     /// Serialize the counters as 16 little-endian `u64`s (final time in
-    /// picoseconds first, then the counters in declaration order). Used by
+    /// picoseconds first, then the counters; `syncs_suppressed` occupies the
+    /// formerly reserved final slot so the encoding length never changed).
+    /// Used by
     /// distributed runs to ship per-component statistics from worker
     /// processes back to the orchestrator over the control socket.
     pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
@@ -116,7 +123,7 @@ impl KernelStats {
             self.pool_hits,
             self.pool_misses,
             self.pool_fallbacks,
-            0, // reserved
+            self.syncs_suppressed,
         ];
         let mut out = [0u8; Self::WIRE_LEN];
         for (i, f) in fields.iter().enumerate() {
@@ -151,6 +158,7 @@ impl KernelStats {
             pool_hits: f[12],
             pool_misses: f[13],
             pool_fallbacks: f[14],
+            syncs_suppressed: f[15],
         })
     }
 
@@ -173,6 +181,7 @@ impl KernelStats {
             out.pool_hits += s.pool_hits;
             out.pool_misses += s.pool_misses;
             out.pool_fallbacks += s.pool_fallbacks;
+            out.syncs_suppressed += s.syncs_suppressed;
         }
         out
     }
@@ -201,6 +210,7 @@ impl Snapshot for PortStats {
             self.syncs_received,
             self.backpressured,
             self.syncs_coalesced,
+            self.syncs_suppressed,
         ] {
             w.u64(v);
         }
@@ -214,6 +224,7 @@ impl Snapshot for PortStats {
         self.syncs_received = r.u64()?;
         self.backpressured = r.u64()?;
         self.syncs_coalesced = r.u64()?;
+        self.syncs_suppressed = r.u64()?;
         Ok(())
     }
 }
@@ -251,6 +262,7 @@ mod tests {
             syncs_received: 30,
             backpressured: 1,
             syncs_coalesced: 0,
+            syncs_suppressed: 0,
         });
         assert_eq!(s.total_messages(), 80);
         assert!((s.sync_overhead_ratio() - 0.75).abs() < 1e-9);
@@ -280,6 +292,7 @@ mod tests {
             pool_hits: 12,
             pool_misses: 13,
             pool_fallbacks: 14,
+            syncs_suppressed: 15,
         };
         let w = s.to_wire();
         assert_eq!(KernelStats::from_wire(&w), Some(s));

@@ -40,6 +40,10 @@ pub struct PortStats {
     /// kernel was already awake emitting a SYNC on a sibling port (batched
     /// emission; a subset of `syncs_sent`).
     pub syncs_coalesced: u64,
+    /// SYNC emissions that were suppressed entirely because the promise they
+    /// would have carried did not exceed the one already sent (hierarchical
+    /// sync domains only; these never reach the wire).
+    pub syncs_suppressed: u64,
 }
 
 /// A channel endpoint participating in SimBricks synchronization.
@@ -61,9 +65,26 @@ pub struct SyncPort {
     finalized: bool,
     /// Effective synchronization interval. Starts at the configured δ and,
     /// with adaptive batching enabled, widens (doubling per idle SYNC) up to
-    /// the link latency Δ while no data flows, snapping back to δ on the next
-    /// data message.
+    /// [`SyncPort::sync_cap`] while no data flows, snapping back to δ on the
+    /// next data message.
     cur_interval: SimTime,
+    /// Upper bound for adaptive widening of `cur_interval`. Defaults to the
+    /// link latency Δ (the flat-protocol liveness bound); hierarchical sync
+    /// raises it to the static multi-hop path floor of this port, which is a
+    /// safe cadence because widened promises keep peers live in between.
+    sync_cap: SimTime,
+    /// Highest receiver-side timestamp ever sent on this port (data or SYNC).
+    /// Promises must be monotonic, so every emission ratchets through this
+    /// value; hierarchical sync additionally uses it to suppress SYNCs that
+    /// would not raise the peer's horizon.
+    last_promise: SimTime,
+    /// Hierarchical sync domains active on this port's kernel. Under the
+    /// hierarchical protocol a data send does *not* snap `cur_interval` back
+    /// to δ: promises are widened explicitly every domain epoch, so paying
+    /// the doubling ladder again after every data message only multiplies
+    /// SYNC traffic on active paths (configuration, not dynamic state — not
+    /// part of the snapshot).
+    hier: bool,
     stats: PortStats,
 }
 
@@ -71,6 +92,7 @@ impl SyncPort {
     /// Wrap a channel endpoint in the synchronization protocol.
     pub fn new(chan: ChannelEnd) -> Self {
         let cur_interval = chan.params().sync_interval;
+        let sync_cap = chan.latency();
         SyncPort {
             chan,
             in_horizon: SimTime::ZERO,
@@ -79,13 +101,42 @@ impl SyncPort {
             outbox: VecDeque::new(),
             finalized: false,
             cur_interval,
+            sync_cap,
+            last_promise: SimTime::ZERO,
+            hier: false,
             stats: PortStats::default(),
         }
+    }
+
+    /// Switch this port to hierarchical-sync pacing (see the `hier` field).
+    pub fn set_hier(&mut self, hier: bool) {
+        self.hier = hier;
+    }
+
+    /// Raise the adaptive-widening cap from the default Δ to `cap` (clamped
+    /// to at least Δ). Used by hierarchical sync, which computes a static
+    /// multi-hop path floor per port: the peer provably cannot be starved at
+    /// this cadence because every emitted promise covers at least that far
+    /// ahead.
+    pub fn set_sync_cap(&mut self, cap: SimTime) {
+        self.sync_cap = cap.max(self.latency());
+    }
+
+    /// Highest receiver-side timestamp ever emitted on this port (the
+    /// standing promise the peer currently holds from us).
+    pub fn last_promise(&self) -> SimTime {
+        self.last_promise
     }
 
     /// Link latency Δ of this channel.
     pub fn latency(&self) -> SimTime {
         self.chan.latency()
+    }
+
+    /// Process-wide unique id shared with the peer endpoint (see
+    /// [`crate::channel::ChannelEnd::conn_id`]).
+    pub fn conn_id(&self) -> u64 {
+        self.chan.conn_id()
     }
 
     /// Configured (base) synchronization interval δ of this channel.
@@ -174,14 +225,24 @@ impl SyncPort {
 
     /// Send a data message at local time `now`; the receiver will process it
     /// at `now + Δ`. Resets the sync timer (any message doubles as a sync)
-    /// and snaps the adaptive sync interval back to the configured δ: an
-    /// active channel synchronizes at full resolution again.
+    /// and — under the flat protocol — snaps the adaptive sync interval back
+    /// to the configured δ: an active channel synchronizes at full
+    /// resolution again. Hierarchical sync keeps the widened interval (see
+    /// the `hier` field).
     pub fn send_data(&mut self, now: SimTime, ty: MsgType, payload: &[u8]) {
         debug_assert!(ty != MSG_SYNC, "type 0 is reserved for SYNC messages");
         let ts = now.saturating_add(self.latency());
+        debug_assert!(
+            ts >= self.last_promise || !self.sync_enabled(),
+            "data send at {ts} violates standing promise {}",
+            self.last_promise
+        );
+        self.last_promise = self.last_promise.max(ts);
         self.enqueue(ts, ty, payload);
         self.stats.data_sent += 1;
-        self.cur_interval = self.sync_interval();
+        if !self.hier {
+            self.cur_interval = self.sync_interval();
+        }
         self.next_sync_due = now.saturating_add(self.cur_interval);
     }
 
@@ -191,9 +252,17 @@ impl SyncPort {
     pub fn send_data_buf(&mut self, now: SimTime, ty: MsgType, payload: PktBuf) {
         debug_assert!(ty != MSG_SYNC, "type 0 is reserved for SYNC messages");
         let ts = now.saturating_add(self.latency());
+        debug_assert!(
+            ts >= self.last_promise || !self.sync_enabled(),
+            "data send at {ts} violates standing promise {}",
+            self.last_promise
+        );
+        self.last_promise = self.last_promise.max(ts);
         self.enqueue_buf(ts, ty, payload);
         self.stats.data_sent += 1;
-        self.cur_interval = self.sync_interval();
+        if !self.hier {
+            self.cur_interval = self.sync_interval();
+        }
         self.next_sync_due = now.saturating_add(self.cur_interval);
     }
 
@@ -216,20 +285,72 @@ impl SyncPort {
             if now < self.next_sync_due {
                 self.stats.syncs_coalesced += 1;
             }
-            let ts = now.saturating_add(self.latency());
+            // Promises must be monotonic: never regress below an earlier
+            // (possibly widened) promise.
+            let ts = now.saturating_add(self.latency()).max(self.last_promise);
             self.enqueue(ts, MSG_SYNC, &[]);
             self.stats.syncs_sent += 1;
-            // Adaptive widening: a SYNC emitted here means the channel carried
-            // no data for a whole interval, so back off — double the interval,
-            // capped at the link latency Δ (the liveness bound).
-            if self.chan.params().adaptive_sync {
-                self.cur_interval = SimTime::from_ps(
-                    self.cur_interval.as_ps().saturating_mul(2),
-                )
-                .min(self.latency());
-            }
+            self.last_promise = ts;
+            self.widen_interval();
             self.next_sync_due = now.saturating_add(self.cur_interval);
         }
+    }
+
+    /// Adaptive widening: a SYNC emitted from the idle timer means the
+    /// channel carried no data for a whole interval, so back off — double the
+    /// interval, capped at `sync_cap` (Δ under the flat protocol).
+    fn widen_interval(&mut self) {
+        if self.chan.params().adaptive_sync {
+            self.cur_interval =
+                SimTime::from_ps(self.cur_interval.as_ps().saturating_mul(2)).min(self.sync_cap);
+        }
+    }
+
+    /// Hierarchical-sync promise emission at local time `now`: send a SYNC
+    /// carrying the widened receiver-side timestamp `ts` (clamped up to the
+    /// flat `now + Δ` floor) unless it would not raise the peer's horizon
+    /// beyond the standing promise, in which case nothing reaches the wire
+    /// and the attempt is counted as suppressed. Returns true when a SYNC was
+    /// actually sent. `coalesced` marks emissions batched ahead of this
+    /// port's own due time (domain epoch batching).
+    ///
+    /// A successful emission reschedules the port's sync timer to when the
+    /// flat promise would catch up with the widened one (`ts - Δ`), so a
+    /// single SYNC covers a whole idle gap instead of creeping through it at
+    /// δ steps.
+    pub fn send_promise(&mut self, now: SimTime, ts: SimTime, coalesced: bool) -> bool {
+        if !self.sync_enabled() || self.finalized {
+            return false;
+        }
+        let ts = ts.max(now.saturating_add(self.latency()));
+        if ts <= self.last_promise {
+            self.stats.syncs_suppressed += 1;
+            // No gain to promise: push the timer out a full interval so a
+            // stuck horizon is not retried on every advance.
+            self.next_sync_due = now.saturating_add(self.cur_interval);
+            return false;
+        }
+        if coalesced {
+            self.stats.syncs_coalesced += 1;
+        }
+        self.enqueue(ts, MSG_SYNC, &[]);
+        self.stats.syncs_sent += 1;
+        self.last_promise = ts;
+        self.widen_interval();
+        self.next_sync_due = now
+            .saturating_add(self.cur_interval)
+            .max(ts.saturating_sub(self.latency()));
+        true
+    }
+
+    /// Skip a due SYNC whose promise gain is not yet worth a message
+    /// (hierarchical sync): count it as suppressed and push the due timer out
+    /// a full interval so the gain can accumulate. Safe at any cadence up to
+    /// the sync cap — the peer already holds `last_promise`, and a blocked
+    /// fabric falls back to unconditional gain forwarding.
+    pub fn defer_sync(&mut self, now: SimTime) {
+        self.stats.syncs_suppressed += 1;
+        self.next_sync_due = now.saturating_add(self.cur_interval);
     }
 
     /// Half the effective sync interval: the slack the kernel uses to batch
@@ -261,9 +382,10 @@ impl SyncPort {
         if !self.sync_enabled() || self.finalized {
             return;
         }
-        let ts = now.saturating_add(self.latency());
+        let ts = now.saturating_add(self.latency()).max(self.last_promise);
         self.enqueue(ts, MSG_SYNC, &[]);
         self.stats.syncs_sent += 1;
+        self.last_promise = ts;
         self.next_sync_due = self.next_sync_due.max(now.saturating_add(self.cur_interval));
     }
 
@@ -273,6 +395,7 @@ impl SyncPort {
         if self.sync_enabled() && !self.finalized {
             self.enqueue(SimTime::MAX, MSG_SYNC, &[]);
             self.stats.syncs_sent += 1;
+            self.last_promise = SimTime::MAX;
         }
         self.finalized = true;
     }
@@ -375,6 +498,7 @@ impl Snapshot for SyncPort {
         }
         w.bool(self.finalized);
         w.time(self.cur_interval);
+        w.time(self.last_promise);
         self.stats.snapshot(w)
     }
 
@@ -405,6 +529,7 @@ impl Snapshot for SyncPort {
         }
         self.finalized = r.bool()?;
         self.cur_interval = r.time()?;
+        self.last_promise = r.time()?;
         self.stats.restore(r)
     }
 }
@@ -544,6 +669,52 @@ mod tests {
         assert_eq!((m1.ty, m1.data.as_slice()), (1, b"one".as_slice()));
         let m2 = b2.pop_due(SimTime::MAX).unwrap();
         assert_eq!((m2.ty, m2.data.as_slice()), (2, b"two".as_slice()));
+    }
+
+    /// The hierarchical-sync promise ratchet must survive checkpoints: a
+    /// restored port remembers the furthest promise it made and keeps
+    /// suppressing emissions that would not raise the peer's horizon.
+    #[test]
+    fn snapshot_roundtrip_preserves_promise_ratchet() {
+        let (mut a, _b) = pair();
+        assert!(a.send_promise(SimTime::from_ns(100), SimTime::from_us(5), false));
+        assert_eq!(a.last_promise(), SimTime::from_us(5));
+        let mut w = SnapWriter::new();
+        a.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        let (a2, _b2) = channel_pair(ChannelParams::default_sync());
+        let mut a2 = SyncPort::new(a2);
+        a2.restore(&mut SnapReader::new(&buf)).unwrap();
+        assert_eq!(a2.last_promise(), SimTime::from_us(5));
+        assert_eq!(a2.stats(), a.stats());
+        // A promise at or below the restored ratchet is suppressed, exactly
+        // as it would have been without the checkpoint.
+        assert!(!a2.send_promise(SimTime::from_ns(200), SimTime::from_us(5), false));
+        assert_eq!(a2.stats().syncs_suppressed, 1);
+        // A higher promise still goes out.
+        assert!(a2.send_promise(SimTime::from_ns(300), SimTime::from_us(6), false));
+    }
+
+    /// Truncating the port snapshot anywhere (including inside the appended
+    /// `last_promise` field) fails with a clean error, never a panic or a
+    /// silent misparse.
+    #[test]
+    fn truncated_port_snapshot_is_rejected() {
+        let (mut a, _b) = pair();
+        a.send_data(SimTime::from_ns(10), 1, b"x");
+        a.send_promise(SimTime::from_ns(20), SimTime::from_us(2), false);
+        let mut w = SnapWriter::new();
+        a.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        for cut in 0..buf.len() {
+            let (fresh, _peer) = channel_pair(ChannelParams::default_sync());
+            let mut fresh = SyncPort::new(fresh);
+            let err = fresh.restore(&mut SnapReader::new(&buf[..cut]));
+            assert!(
+                matches!(err, Err(SnapError::Truncated) | Err(SnapError::Corrupt(_))),
+                "cut at {cut}: unexpected result {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,16 +8,21 @@
 //!
 //! Usage:
 //!   fig07_local_scaling [--hosts 2,5,10,15,21] [--workers N]
-//!                       [--duration-ms MS] [--json PATH]
+//!                       [--duration-ms MS] [--json PATH] [--hier-sync]
+//!                       [--fat-tree 128,512,1024] [--ft-duration-ms MS]
 //!
 //! `--json PATH` writes the machine-readable baseline consumed by future
 //! regression checks (see `BENCH_fig07.json` at the repository root).
 //! `SIMBRICKS_WORKERS` provides the worker count when `--workers` is absent.
+//! `--hier-sync` reruns every topology with hierarchical sync domains on and
+//! records the SYNC reduction; `--fat-tree` adds the scale-out matrix (k-ary
+//! fat-tree pod hierarchies, flat vs hierarchical sync) whose committed
+//! baseline carries the sublinearity claim.
 
 use simbricks::hostsim::HostKind;
 use simbricks::runner::default_workers;
 use simbricks::{Execution, SimTime};
-use simbricks_bench::udp_scaleup_stats;
+use simbricks_bench::{fat_tree_stats, udp_scaleup_stats, FatTree};
 
 struct Row {
     hosts: usize,
@@ -30,6 +35,19 @@ struct Row {
     pool_hits: u64,
     pool_misses: u64,
     pool_fallbacks: u64,
+    /// Hierarchical-sync rerun of the same topology (`--hier-sync`).
+    hier: Option<(f64, u64, u64)>, // (wall, syncs, suppressed)
+}
+
+struct FtRow {
+    hosts: usize,
+    k: usize,
+    hosts_per_edge: usize,
+    flat_wall: f64,
+    flat_syncs: u64,
+    hier_wall: f64,
+    hier_syncs: u64,
+    hier_suppressed: u64,
 }
 
 fn main() {
@@ -37,6 +55,9 @@ fn main() {
     let mut workers = default_workers();
     let mut duration = SimTime::from_ms(5);
     let mut json_path: Option<String> = None;
+    let mut hier_sync = false;
+    let mut fat_tree: Vec<usize> = Vec::new();
+    let mut ft_duration = SimTime::from_ms(2);
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -71,6 +92,22 @@ fn main() {
                 i += 1;
                 json_path = Some(args[i].clone());
             }
+            "--hier-sync" => {
+                hier_sync = true;
+            }
+            "--fat-tree" => {
+                need_value(&args, i);
+                i += 1;
+                fat_tree = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--fat-tree takes a comma list"))
+                    .collect();
+            }
+            "--ft-duration-ms" => {
+                need_value(&args, i);
+                i += 1;
+                ft_duration = SimTime::from_ms(args[i].parse().expect("--ft-duration-ms number"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -98,6 +135,15 @@ fn main() {
         );
         let seq_syncs = seq_stats.syncs_sent + seq_stats.barrier_waits;
         let sharded_syncs = sharded_stats.syncs_sent + sharded_stats.barrier_waits;
+        let hier = hier_sync.then(|| {
+            let (w, s) = simbricks_bench::udp_scaleup_hier_stats(
+                hosts,
+                HostKind::Gem5Timing,
+                duration,
+                Execution::Sequential,
+            );
+            (w, s.syncs_sent, s.syncs_suppressed)
+        });
         let speedup = if sharded_wall > 0.0 {
             seq_wall / sharded_wall
         } else {
@@ -113,6 +159,13 @@ fn main() {
             sharded_syncs,
             seq_stats.pool_hit_rate() * 100.0,
         );
+        if let Some((hw, hs, hsup)) = hier {
+            let ratio = if seq_syncs > 0 { hs as f64 / seq_syncs as f64 } else { 0.0 };
+            println!(
+                "{:>6} {:>12.2} {:>12} {:>9} {:>14} {:>14}  hier: {:.2}x syncs, {} suppressed",
+                "", hw, "(hier)", "", hs, "", ratio, hsup
+            );
+        }
         rows.push(Row {
             hosts,
             seq_wall,
@@ -122,7 +175,60 @@ fn main() {
             pool_hits: seq_stats.pool_hits,
             pool_misses: seq_stats.pool_misses,
             pool_fallbacks: seq_stats.pool_fallbacks,
+            hier,
         });
+    }
+
+    let mut ft_rows: Vec<FtRow> = Vec::new();
+    if !fat_tree.is_empty() {
+        println!("# Fat-tree scale-out matrix (flat vs hierarchical sync, sequential)");
+        println!(
+            "{:>6} {:>4} {:>6} {:>12} {:>14} {:>12} {:>14} {:>7}",
+            "hosts", "k", "h/edge", "flat[s]", "flat syncs", "hier[s]", "hier syncs", "ratio"
+        );
+        for &n in &fat_tree {
+            let ft = FatTree::for_hosts(n);
+            let (flat_wall, flat_stats) = fat_tree_stats(
+                &ft,
+                HostKind::Gem5Timing,
+                ft_duration,
+                false,
+                Execution::Sequential,
+            );
+            let (hier_wall, hier_stats) = fat_tree_stats(
+                &ft,
+                HostKind::Gem5Timing,
+                ft_duration,
+                true,
+                Execution::Sequential,
+            );
+            let ratio = if flat_stats.syncs_sent > 0 {
+                hier_stats.syncs_sent as f64 / flat_stats.syncs_sent as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:>6} {:>4} {:>6} {:>12.2} {:>14} {:>12.2} {:>14} {:>6.3}x",
+                ft.hosts(),
+                ft.k,
+                ft.hosts_per_edge,
+                flat_wall,
+                flat_stats.syncs_sent,
+                hier_wall,
+                hier_stats.syncs_sent,
+                ratio,
+            );
+            ft_rows.push(FtRow {
+                hosts: ft.hosts(),
+                k: ft.k,
+                hosts_per_edge: ft.hosts_per_edge,
+                flat_wall,
+                flat_syncs: flat_stats.syncs_sent,
+                hier_wall,
+                hier_syncs: hier_stats.syncs_sent,
+                hier_suppressed: hier_stats.syncs_suppressed,
+            });
+        }
     }
 
     if let Some(path) = json_path {
@@ -144,10 +250,17 @@ fn main() {
         );
         out.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
+            let hier_json = match r.hier {
+                Some((hw, hs, hsup)) => format!(
+                    ", \"hier_wall_s\": {hw:.4}, \"hier_syncs\": {hs}, \
+                     \"hier_suppressed\": {hsup}"
+                ),
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "    {{\"hosts\": {}, \"sequential_wall_s\": {:.4}, \"sharded_wall_s\": {:.4}, \
                  \"speedup\": {:.4}, \"sequential_syncs\": {}, \"sharded_syncs\": {}, \
-                 \"pool_hits\": {}, \"pool_misses\": {}, \"pool_fallbacks\": {}}}{}\n",
+                 \"pool_hits\": {}, \"pool_misses\": {}, \"pool_fallbacks\": {}{}}}{}\n",
                 r.hosts,
                 r.seq_wall,
                 r.sharded_wall,
@@ -157,10 +270,41 @@ fn main() {
                 r.pool_hits,
                 r.pool_misses,
                 r.pool_fallbacks,
+                hier_json,
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !ft_rows.is_empty() {
+            out.push_str(",\n");
+            out.push_str(&format!(
+                "  \"fat_tree_virtual_duration_ms\": {},\n",
+                ft_duration.as_ps() / 1_000_000_000
+            ));
+            out.push_str("  \"fat_tree_rows\": [\n");
+            for (i, r) in ft_rows.iter().enumerate() {
+                let ratio =
+                    if r.flat_syncs > 0 { r.hier_syncs as f64 / r.flat_syncs as f64 } else { 0.0 };
+                out.push_str(&format!(
+                    "    {{\"hosts\": {}, \"k\": {}, \"hosts_per_edge\": {}, \
+                     \"flat_wall_s\": {:.4}, \"flat_syncs\": {}, \
+                     \"hier_wall_s\": {:.4}, \"hier_syncs\": {}, \
+                     \"hier_suppressed\": {}, \"sync_ratio\": {:.4}}}{}\n",
+                    r.hosts,
+                    r.k,
+                    r.hosts_per_edge,
+                    r.flat_wall,
+                    r.flat_syncs,
+                    r.hier_wall,
+                    r.hier_syncs,
+                    r.hier_suppressed,
+                    ratio,
+                    if i + 1 == ft_rows.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         std::fs::write(&path, out).expect("write --json file");
         eprintln!("wrote {path}");
     }

@@ -5,7 +5,12 @@
 //!
 //! Usage:
 //!   `fig08_distributed_scaling [--exec sequential|threads|sharded[:N]]
-//!   [--dist N] [--transport tcp|shm|auto] [--json PATH]`
+//!   [--dist N] [--transport tcp|shm|auto] [--hier-sync] [--json PATH]`
+//!
+//! `--hier-sync` reruns every distributed topology with hierarchical sync
+//! domains enabled in all partitions and checks the merged event log is
+//! still bit-identical to the flat in-process baseline (the protocol only
+//! changes SYNC cadence, never data timestamps).
 //!
 //! Without `--dist` the racks run in-process with the selected executor (or
 //! `SIMBRICKS_EXEC`). With `--dist N` each topology additionally runs as a
@@ -29,14 +34,21 @@ use simbricks::runner::dist::{self, DistOptions};
 use simbricks::runner::{Execution, TransportKind};
 use simbricks_bench::dist_scen;
 
-fn scenario(racks: usize, hpr: usize, kind: HostKind, parts: usize, log: bool) -> String {
+fn scenario(
+    racks: usize,
+    hpr: usize,
+    kind: HostKind,
+    parts: usize,
+    log: bool,
+    hier: bool,
+) -> String {
     let kind = match kind {
         HostKind::QemuTiming => "qemu",
         _ => "gem5",
     };
     format!(
-        "racks={racks};hpr={hpr};kind={kind};parts={parts};log={}",
-        log as u8
+        "racks={racks};hpr={hpr};kind={kind};parts={parts};log={};hier={}",
+        log as u8, hier as u8
     )
 }
 
@@ -47,6 +59,11 @@ struct Row {
     /// Per-transport results: (transport, worker wall, orchestrated wall,
     /// log identical to the in-process baseline).
     dist: Vec<(&'static str, f64, f64, bool)>,
+    /// Hierarchical-sync rerun (`--hier-sync`): in-process wall, then the
+    /// same per-transport tuple — every log still compared against the FLAT
+    /// in-process baseline, since hierarchical sync must not change events.
+    hier_inproc_wall: Option<f64>,
+    hier_dist: Vec<(&'static str, f64, f64, bool)>,
 }
 
 fn main() {
@@ -59,6 +76,7 @@ fn main() {
     let mut transport = TransportKind::from_env_or(TransportKind::Auto);
     let mut dist_n: Option<usize> = None;
     let mut json_path: Option<String> = None;
+    let mut hier_sync = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let need_value = |args: &[String], i: usize| {
@@ -90,6 +108,9 @@ fn main() {
                 need_value(&args, i);
                 i += 1;
                 json_path = Some(args[i].clone());
+            }
+            "--hier-sync" => {
+                hier_sync = true;
             }
             "--dist-worker" => {
                 eprintln!("--dist-worker is internal (requires the orchestrator environment)");
@@ -149,7 +170,7 @@ fn main() {
                 let hosts = racks * hpr;
                 for (kname, kind) in [("gem5", HostKind::Gem5Timing), ("qemu", HostKind::QemuTiming)]
                 {
-                    let scen = scenario(racks, hpr, kind, parts, true);
+                    let scen = scenario(racks, hpr, kind, parts, true, false);
                     let local = dist::run_local(&scen, &dist_scen::build_memcache_racks, exec);
                     let lm = local.merged_log();
                     let mut row = Row {
@@ -157,6 +178,8 @@ fn main() {
                         kind: kname,
                         inproc_wall: local.wall_seconds(),
                         dist: Vec::new(),
+                        hier_inproc_wall: None,
+                        hier_dist: Vec::new(),
                     };
                     for (tname, tkind) in &transports {
                         let opts = DistOptions::new(dist_scen::partition_names(parts), scen.clone())
@@ -181,6 +204,44 @@ fn main() {
                     }
                     let ok = row.dist.iter().all(|(_, _, _, id)| *id);
                     println!(" {:>10}", if ok { "yes" } else { "NO" });
+                    if hier_sync {
+                        // Hierarchical-sync rerun of the same topology; every
+                        // event log must stay bit-identical to the FLAT
+                        // in-process baseline (sync cadence is invisible).
+                        let hscen = scenario(racks, hpr, kind, parts, true, true);
+                        let hlocal =
+                            dist::run_local(&hscen, &dist_scen::build_memcache_racks, exec);
+                        let hm = hlocal.merged_log();
+                        let lid = lm.len() == hm.len() && lm.fingerprint() == hm.fingerprint();
+                        all_identical &= lid;
+                        row.hier_inproc_wall = Some(hlocal.wall_seconds());
+                        for (tname, tkind) in &transports {
+                            let opts =
+                                DistOptions::new(dist_scen::partition_names(parts), hscen.clone())
+                                    .with_exec(exec)
+                                    .with_transport(*tkind);
+                            let dres =
+                                dist::run_distributed(&opts, &dist_scen::build_memcache_racks)
+                                    .expect("distributed hier run failed");
+                            let dm = dres.merged_log();
+                            let identical =
+                                lm.len() == dm.len() && lm.fingerprint() == dm.fingerprint();
+                            all_identical &= identical;
+                            row.hier_dist.push((
+                                tname,
+                                dres.max_partition_wall(),
+                                dres.wall.as_secs_f64(),
+                                identical,
+                            ));
+                        }
+                        print!("{:>6} {:>6} {:>14.2}", "+hier", kname, row.hier_inproc_wall.unwrap());
+                        for (_, wall, _, _) in &row.hier_dist {
+                            print!(" {:>11.2}", wall);
+                        }
+                        let ok =
+                            lid && row.hier_dist.iter().all(|(_, _, _, id)| *id);
+                        println!(" {:>10}", if ok { "yes" } else { "NO" });
+                    }
                     rows.push(row);
                 }
             }
@@ -197,7 +258,7 @@ fn main() {
 
 /// One in-process run (no logging) returning wall seconds.
 fn dist_scen_wall(racks: usize, hpr: usize, kind: HostKind, exec: Execution) -> f64 {
-    let scen = scenario(racks, hpr, kind, 1, false);
+    let scen = scenario(racks, hpr, kind, 1, false, false);
     dist::run_local(&scen, &dist_scen::build_memcache_racks, exec).wall_seconds()
 }
 

@@ -394,7 +394,8 @@ pub mod dist_scen {
     /// proxy pair per inter-host link" claim, on loopback).
     ///
     /// Scenario keys: `racks`, `hpr` (hosts per rack), `kind`, `parts`,
-    /// `log` (1 = enable event logging for bit-identity checks).
+    /// `log` (1 = enable event logging for bit-identity checks), `hier`
+    /// (1 = hierarchical sync; changes SYNC traffic only, never the log).
     pub fn build_memcache_racks(scenario: &str, pb: &mut PartitionBuilder) {
         let racks = get_usize(scenario, "racks", 1);
         let hpr = get_usize(scenario, "hpr", 8);
@@ -404,6 +405,9 @@ pub mod dist_scen {
         let mut exp = Experiment::new("memcache-racks", virt + SimTime::from_ms(2));
         if get_usize(scenario, "log", 0) == 1 {
             exp = exp.with_logging();
+        }
+        if get_usize(scenario, "hier", 0) == 1 {
+            exp = exp.with_hier_sync();
         }
         pb.init(exp);
         let eth_params = pb.exp().eth_params();
@@ -469,7 +473,7 @@ pub mod dist_scen {
     /// partition `w{i % parts}`, the switch in `w0`, so every Ethernet link
     /// of a host outside `w0` crosses a process boundary.
     ///
-    /// Scenario keys: `hosts`, `kind`, `parts`, `dur_ms`, `log`.
+    /// Scenario keys: `hosts`, `kind`, `parts`, `dur_ms`, `log`, `hier`.
     pub fn build_udp_scaleup(scenario: &str, pb: &mut PartitionBuilder) {
         let hosts = get_usize(scenario, "hosts", 2);
         let parts = get_usize(scenario, "parts", 1);
@@ -478,6 +482,9 @@ pub mod dist_scen {
         let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
         if get_usize(scenario, "log", 0) == 1 {
             exp = exp.with_logging();
+        }
+        if get_usize(scenario, "hier", 0) == 1 {
+            exp = exp.with_hier_sync();
         }
         pb.init(exp);
         let eth_params = pb.exp().eth_params();
@@ -512,6 +519,177 @@ pub mod dist_scen {
             eth,
         );
     }
+}
+
+/// A k-ary fat-tree pod hierarchy for the sync-protocol scale-out matrix:
+/// `k` pods of `k/2` edge switches with `hosts_per_edge` hosts each, one
+/// aggregation switch per pod, one core switch — `k * k/2 * hosts_per_edge`
+/// hosts total (k=8 ⇒ 128, k=16 with 8 hosts/edge ⇒ 1024).
+///
+/// The generator wires the *active spanning tree* of the fabric (one uplink
+/// per switch): the behavioural switch is a flooding L2 learner, and a full
+/// multipath fat-tree contains loops that would turn its first flood into a
+/// broadcast storm — exactly why real L2 fabrics run STP. The latency
+/// hierarchy is what matters for synchronization: host links are fast
+/// (500 ns class), edge→agg uplinks sit at `edge_up_latency` and agg→core at
+/// `core_up_latency`, giving hierarchical sync distinct latency classes to
+/// form domains over and multi-hop floors to widen through.
+#[derive(Clone, Copy, Debug)]
+pub struct FatTree {
+    /// Pod count (also the core switch's port count). Must be even.
+    pub k: usize,
+    /// Hosts attached to each edge switch.
+    pub hosts_per_edge: usize,
+    /// Latency of edge→aggregation uplinks.
+    pub edge_up_latency: SimTime,
+    /// Latency of aggregation→core uplinks.
+    pub core_up_latency: SimTime,
+}
+
+impl FatTree {
+    /// The canonical spec for a target host count: 128 ⇒ k=8 (4 hosts/edge),
+    /// 512 ⇒ k=8 oversubscribed (16 hosts/edge), 1024 ⇒ k=16 (8 hosts/edge).
+    /// Other counts pick k=8 and scale hosts_per_edge.
+    pub fn for_hosts(hosts: usize) -> FatTree {
+        let (k, hosts_per_edge) = match hosts {
+            1024 => (16, 8),
+            h => (8, (h / 32).max(2)),
+        };
+        FatTree {
+            k,
+            hosts_per_edge,
+            edge_up_latency: SimTime::from_us(2),
+            core_up_latency: SimTime::from_us(4),
+        }
+    }
+
+    /// Edge switches per pod.
+    pub fn edges_per_pod(&self) -> usize {
+        self.k / 2
+    }
+
+    /// Total host count.
+    pub fn hosts(&self) -> usize {
+        self.k * self.edges_per_pod() * self.hosts_per_edge
+    }
+
+    /// Total component count (hosts, NICs, edge/agg/core switches).
+    pub fn components(&self) -> usize {
+        2 * self.hosts() + self.k * self.edges_per_pod() + self.k + 1
+    }
+}
+
+/// Build and run the fat-tree sync workload: in every edge group, host 0
+/// serves UDP and host 1 streams to the same-position server one pod over
+/// (crossing edge→agg→core→agg→edge), while the remaining hosts idle — the
+/// regime where per-link promise volume, not data traffic, dominates the
+/// message count. Returns wall seconds and merged kernel statistics.
+pub fn fat_tree_stats(
+    ft: &FatTree,
+    kind: HostKind,
+    duration: SimTime,
+    hier: bool,
+    exec: Execution,
+) -> (f64, simbricks::base::KernelStats) {
+    assert!(ft.k >= 2 && ft.k.is_multiple_of(2), "fat-tree k must be even");
+    assert!(ft.hosts_per_edge >= 2, "need a server and a client per edge");
+    let epp = ft.edges_per_pod();
+    let total_edges = ft.k * epp;
+    let hpe = ft.hosts_per_edge;
+    let mut exp = Experiment::new("fat-tree", duration + SimTime::from_ms(2));
+    if hier {
+        exp = exp.with_hier_sync();
+    }
+    let eth = exp.eth_params();
+    let per_client_rate = 50_000_000; // 50 Mbit/s per active flow
+    let mut agg_down: Vec<Vec<simbricks::base::ChannelEnd>> = (0..ft.k).map(|_| Vec::new()).collect();
+    for e in 0..total_edges {
+        let pod = e / epp;
+        let mut ports = Vec::new();
+        for h in 0..hpe {
+            let idx = (e * hpe + h) as u32;
+            let cfg = HostConfig::new(kind, idx);
+            let app: Box<dyn simbricks::hostsim::Application> = if h == 0 {
+                Box::new(IperfUdpServer::new(9000))
+            } else if h == 1 {
+                // Stream to the same-position server one pod over.
+                let peer_edge = (e + epp) % total_edges;
+                let server_ip = HostConfig::new(kind, (peer_edge * hpe) as u32).ip;
+                Box::new(IperfUdpClient::new(
+                    SocketAddr::new(server_ip, 9000),
+                    per_client_rate,
+                    800,
+                    duration,
+                ))
+            } else {
+                // Idle host: still a full host+NIC+links, still synchronized.
+                Box::new(IperfUdpServer::new(9001))
+            };
+            let (_h, _n, host_eth) =
+                attach_host_nic(&mut exp, &format!("e{e}h{h}"), cfg, app, false);
+            ports.push(host_eth);
+        }
+        let (up, down) = simbricks::base::channel_pair(eth.with_latency(ft.edge_up_latency));
+        ports.push(up);
+        agg_down[pod].push(down);
+        exp.add(
+            format!("edge{e}"),
+            Box::new(SwitchBm::new(SwitchConfig {
+                ports: hpe + 1,
+                ..Default::default()
+            })),
+            ports,
+        );
+    }
+    let mut core_ports = Vec::new();
+    for (pod, mut ports) in agg_down.into_iter().enumerate() {
+        let (up, down) = simbricks::base::channel_pair(eth.with_latency(ft.core_up_latency));
+        ports.push(up);
+        core_ports.push(down);
+        exp.add(
+            format!("agg{pod}"),
+            Box::new(SwitchBm::new(SwitchConfig {
+                ports: epp + 1,
+                ..Default::default()
+            })),
+            ports,
+        );
+    }
+    exp.add(
+        "core",
+        Box::new(SwitchBm::new(SwitchConfig {
+            ports: ft.k,
+            ..Default::default()
+        })),
+        core_ports,
+    );
+    let r = exp.run(exec);
+    if std::env::var_os("FT_DUMP").is_some() {
+        let mut by_class: std::collections::BTreeMap<&str, (u64, u64, usize)> =
+            std::collections::BTreeMap::new();
+        for (name, s) in r.component_names.iter().zip(&r.stats) {
+            let class = if name.ends_with(".host") {
+                "host"
+            } else if name.ends_with(".nic") {
+                "nic"
+            } else if name.starts_with("edge") {
+                "edge"
+            } else if name.starts_with("agg") {
+                "agg"
+            } else {
+                "core"
+            };
+            let e = by_class.entry(class).or_default();
+            e.0 += s.syncs_sent;
+            e.1 += s.syncs_suppressed;
+            e.2 += 1;
+        }
+        for (class, (sent, sup, n)) in by_class {
+            eprintln!("FT_DUMP {class}: {n} comps, {sent} syncs ({} per comp), {sup} suppressed",
+                sent / n as u64);
+        }
+    }
+    (r.wall_seconds(), r.total_stats())
 }
 
 /// N client hosts plus one server host running rate-limited UDP iperf through
@@ -551,9 +729,34 @@ pub fn udp_scaleup_stats(
     barrier: bool,
     exec: Execution,
 ) -> (f64, simbricks::base::KernelStats) {
+    udp_scaleup_stats_mode(hosts, host_kind, duration, barrier, false, exec)
+}
+
+/// [`udp_scaleup_stats`] with hierarchical sync domains enabled — the
+/// flat-vs-hier comparison the Fig. 7 harness records under `--hier-sync`.
+pub fn udp_scaleup_hier_stats(
+    hosts: usize,
+    host_kind: HostKind,
+    duration: SimTime,
+    exec: Execution,
+) -> (f64, simbricks::base::KernelStats) {
+    udp_scaleup_stats_mode(hosts, host_kind, duration, false, true, exec)
+}
+
+fn udp_scaleup_stats_mode(
+    hosts: usize,
+    host_kind: HostKind,
+    duration: SimTime,
+    barrier: bool,
+    hier: bool,
+    exec: Execution,
+) -> (f64, simbricks::base::KernelStats) {
     let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
     if barrier {
         exp = exp.with_global_barrier();
+    }
+    if hier {
+        exp = exp.with_hier_sync();
     }
     let server_cfg = HostConfig::new(host_kind, 0);
     let server_app = Box::new(IperfUdpServer::new(9000));

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
-use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime};
+use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime, SyncLookahead};
 use simbricks_netstack::{CongestionControl, NetStack, StackConfig};
 use simbricks_pcie::{DevToHost, HostToDev, IntStatus, OutstandingRequests};
 use simbricks_proto::{Ipv4Addr, MacAddr};
@@ -133,6 +133,19 @@ enum Work {
     AppTimer(u64),
     AppStart,
     OsTick,
+    // Deferred PCIe reactions: everything the host emits in response to a
+    // PCIe message is scheduled at least `CostProfile::pcie_reaction` after
+    // the message arrived (root complex + memory controller traversal). The
+    // delay is what makes the host's Chandy–Misra reaction lookahead
+    // declaration sound.
+    /// Driver init + interrupt negotiation after PCI enumeration.
+    DevInit,
+    /// DMA read completion: read guest memory and send the data back.
+    DmaReadReply { req_id: u64, addr: u64, len: usize },
+    /// DMA write completion ack (the posted write itself landed on arrival).
+    DmaWriteReply { req_id: u64 },
+    /// Driver state machine resuming after a completed MMIO read.
+    MmioReaction { purpose: ReadPurpose, value: u64 },
 }
 
 const TOK_WORK: u64 = 1 << 56;
@@ -445,6 +458,47 @@ impl HostModel {
                     self.defer(k, Work::OsTick, at);
                 }
             }
+            Work::DevInit => {
+                // PCI enumeration found the NIC: initialize the driver, tell
+                // the device which interrupt mechanisms are enabled, then
+                // start the application after the boot delay.
+                let ops = self.driver.init(&mut self.mem);
+                let (ty, p) = HostToDev::IntStatus(IntStatus {
+                    legacy: false,
+                    msi: false,
+                    msix: true,
+                })
+                .encode();
+                k.send(self.pcie, ty, &p);
+                self.execute_ops(k, ops);
+                let at = now + self.cfg.boot_delay;
+                self.defer(k, Work::AppStart, at);
+            }
+            Work::DmaReadReply { req_id, addr, len } => {
+                // One write pass: guest memory straight into a pooled
+                // message envelope, no intermediate vector.
+                let (ty, p) = HostToDev::encode_dma_complete_pooled(
+                    k.pool(),
+                    req_id,
+                    self.mem.read(addr, len),
+                );
+                k.send_buf(self.pcie, ty, p);
+            }
+            Work::DmaWriteReply { req_id } => {
+                let (ty, p) = HostToDev::DmaComplete {
+                    req_id,
+                    data: PktBuf::empty(),
+                }
+                .encode();
+                k.send(self.pcie, ty, &p);
+            }
+            Work::MmioReaction { purpose, value } => {
+                // The CPU was stalled waiting for this read: it could not do
+                // anything else in the meantime.
+                self.cpu_busy_until = self.cpu_busy_until.max(now);
+                let outcome = self.driver.on_mmio_read(&mut self.mem, purpose, value);
+                self.handle_outcome(k, outcome);
+            }
         }
     }
 }
@@ -463,42 +517,32 @@ impl Model for HostModel {
         }
     }
 
+    // Every send the host performs is either driven by an already-scheduled
+    // timer or deferred at least `pcie_reaction` past the input that caused
+    // it (see `on_msg` below) — which is exactly the obligation of a
+    // reaction-lookahead declaration, and the PCIe link is the host's only
+    // port.
+    fn sync_lookahead(&self) -> Option<SyncLookahead> {
+        Some(SyncLookahead::Reaction(self.cost.pcie_reaction))
+    }
+
+    // Every PCIe message is acted on `pcie_reaction` after arrival — the
+    // host never emits in the same instant it receives, which both models
+    // the root-complex/memory-side latency and backs the reaction-lookahead
+    // declaration above. Posted DMA writes land in memory immediately; only
+    // the observable response (the completion ack) is deferred.
     fn on_msg(&mut self, k: &mut Kernel, _port: PortId, msg: OwnedMsg) {
+        let react_at = k.now() + self.cost.pcie_reaction;
         match DevToHost::decode_buf(msg.ty, &msg.data) {
             Some(DevToHost::DevInfo(_info)) => {
-                // PCI enumeration found the NIC: initialize the driver, tell
-                // the device which interrupt mechanisms are enabled, then
-                // start the application after the boot delay.
-                let ops = self.driver.init(&mut self.mem);
-                let (ty, p) = HostToDev::IntStatus(IntStatus {
-                    legacy: false,
-                    msi: false,
-                    msix: true,
-                })
-                .encode();
-                k.send(self.pcie, ty, &p);
-                self.execute_ops(k, ops);
-                let at = k.now() + self.cfg.boot_delay;
-                self.defer(k, Work::AppStart, at);
+                self.defer(k, Work::DevInit, react_at);
             }
             Some(DevToHost::DmaRead { req_id, addr, len }) => {
-                // One write pass: guest memory straight into a pooled
-                // message envelope, no intermediate vector.
-                let (ty, p) = HostToDev::encode_dma_complete_pooled(
-                    k.pool(),
-                    req_id,
-                    self.mem.read(addr, len),
-                );
-                k.send_buf(self.pcie, ty, p);
+                self.defer(k, Work::DmaReadReply { req_id, addr, len }, react_at);
             }
             Some(DevToHost::DmaWrite { req_id, addr, data }) => {
                 self.mem.write(addr, &data);
-                let (ty, p) = HostToDev::DmaComplete {
-                    req_id,
-                    data: PktBuf::empty(),
-                }
-                .encode();
-                k.send(self.pcie, ty, &p);
+                self.defer(k, Work::DmaWriteReply { req_id }, react_at);
             }
             Some(DevToHost::Interrupt { .. }) => {
                 self.stats.interrupts += 1;
@@ -506,7 +550,8 @@ impl Model for HostModel {
                 // NAPI-style: only one poll work item outstanding at a time.
                 if !self.irq_work_pending {
                     self.irq_work_pending = true;
-                    let delay = self.cost.irq_overhead + self.jitter();
+                    let delay =
+                        (self.cost.irq_overhead + self.jitter()).max(self.cost.pcie_reaction);
                     let at = k.now() + delay;
                     self.defer(k, Work::Irq, at);
                 }
@@ -515,16 +560,11 @@ impl Model for HostModel {
                 match self.mmio_pending.complete(req_id) {
                     Some(MmioPurpose::Posted) | None => {}
                     Some(MmioPurpose::DriverRead(purpose)) => {
-                        // The CPU was stalled waiting for this read: it could
-                        // not do anything else in the meantime.
-                        let now = k.now();
-                        self.cpu_busy_until = self.cpu_busy_until.max(now);
                         let mut buf = [0u8; 8];
                         let n = data.len().min(8);
                         buf[..n].copy_from_slice(&data[..n]);
                         let value = u64::from_le_bytes(buf);
-                        let outcome = self.driver.on_mmio_read(&mut self.mem, purpose, value);
-                        self.handle_outcome(k, outcome);
+                        self.defer(k, Work::MmioReaction { purpose, value }, react_at);
                     }
                 }
             }
@@ -542,7 +582,13 @@ impl Model for HostModel {
         };
         // A single simulated core: work cannot start while the CPU is busy
         // with earlier work (this is what turns CPU cost into added latency).
-        if self.cpu_busy_until > k.now() {
+        // DMA replies are served by the memory controller, not the core, so
+        // they never queue behind CPU work.
+        let device_side = matches!(
+            work,
+            Work::DmaReadReply { .. } | Work::DmaWriteReply { .. }
+        );
+        if !device_side && self.cpu_busy_until > k.now() {
             let at = self.cpu_busy_until;
             self.works.insert(id, work);
             k.schedule_at(at, TOK_WORK | id);
@@ -597,6 +643,26 @@ impl Model for HostModel {
                 }
                 Work::AppStart => w.u8(3),
                 Work::OsTick => w.u8(4),
+                Work::DevInit => w.u8(5),
+                Work::DmaReadReply { req_id, addr, len } => {
+                    w.u8(6);
+                    w.u64(*req_id);
+                    w.u64(*addr);
+                    w.usize(*len);
+                }
+                Work::DmaWriteReply { req_id } => {
+                    w.u8(7);
+                    w.u64(*req_id);
+                }
+                Work::MmioReaction { purpose, value } => {
+                    w.u8(8);
+                    w.u8(match purpose {
+                        ReadPurpose::RxHead => 0,
+                        ReadPurpose::TxHead => 1,
+                        ReadPurpose::Icr => 2,
+                    });
+                    w.u64(*value);
+                }
             }
         }
         w.u64(self.next_work);
@@ -668,6 +734,26 @@ impl Model for HostModel {
                 2 => Work::AppTimer(r.u64()?),
                 3 => Work::AppStart,
                 4 => Work::OsTick,
+                5 => Work::DevInit,
+                6 => Work::DmaReadReply {
+                    req_id: r.u64()?,
+                    addr: r.u64()?,
+                    len: r.usize()?,
+                },
+                7 => Work::DmaWriteReply { req_id: r.u64()? },
+                8 => Work::MmioReaction {
+                    purpose: match r.u8()? {
+                        0 => ReadPurpose::RxHead,
+                        1 => ReadPurpose::TxHead,
+                        2 => ReadPurpose::Icr,
+                        v => {
+                            return Err(SnapError::Corrupt(format!(
+                                "bad reaction purpose tag {v}"
+                            )))
+                        }
+                    },
+                    value: r.u64()?,
+                },
                 v => return Err(SnapError::Corrupt(format!("bad work tag {v}"))),
             };
             self.works.insert(id, work);

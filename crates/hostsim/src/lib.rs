@@ -65,6 +65,15 @@ pub struct CostProfile {
     /// Maximum deterministic pseudo-random jitter added to interrupt
     /// scheduling (models OS scheduling variability; zero disables it).
     pub sched_jitter_max: SimTime,
+    /// Minimum latency between a PCIe message arriving at the root complex
+    /// and any message the host emits in response: DMA reads traverse the
+    /// root complex and memory controller before completion data heads back,
+    /// DMA writes are posted into write buffers, and a completed MMIO read
+    /// resumes a stalled core before the driver can issue its next access.
+    /// Besides realism, a nonzero reaction latency is what lets the host
+    /// declare Chandy–Misra reaction lookahead on its PCIe port under
+    /// hierarchical sync.
+    pub pcie_reaction: SimTime,
 }
 
 impl CostProfile {
@@ -80,6 +89,7 @@ impl CostProfile {
             app_callback: SimTime::from_ns(900),
             mmio_write: SimTime::from_ns(120),
             sched_jitter_max: SimTime::from_us(6),
+            pcie_reaction: SimTime::from_ns(400),
         }
     }
 
@@ -94,6 +104,7 @@ impl CostProfile {
             app_callback: SimTime::from_ns(400),
             mmio_write: SimTime::from_ns(60),
             sched_jitter_max: SimTime::from_us(2),
+            pcie_reaction: SimTime::from_ns(400),
         }
     }
 
@@ -108,6 +119,7 @@ impl CostProfile {
             app_callback: SimTime::from_ns(5),
             mmio_write: SimTime::from_ns(1),
             sched_jitter_max: SimTime::ZERO,
+            pcie_reaction: SimTime::from_ns(50),
         }
     }
 }

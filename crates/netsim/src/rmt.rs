@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf};
+use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf, SyncLookahead};
 use simbricks_eth::{send_packet, EthPacket};
 use simbricks_proto::{frame_dst, frame_src, MacAddr};
 
@@ -144,6 +144,13 @@ impl RmtPipeline {
 }
 
 impl Model for RmtPipeline {
+    // Forwarding filters the ingress port for unicast and flood alike, and
+    // all emissions happen from the clock timer, never directly from
+    // `on_msg`; an input pending on port p cannot cause a send on p.
+    fn sync_lookahead(&self) -> Option<SyncLookahead> {
+        Some(SyncLookahead::ExcludeSelf(SimTime::ZERO))
+    }
+
     fn on_msg(&mut self, k: &mut Kernel, port: PortId, msg: OwnedMsg) {
         let Some(pkt) = EthPacket::decode_owned(msg) else {
             return;

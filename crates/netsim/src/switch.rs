@@ -10,7 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
-use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime};
+use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime, SyncLookahead};
 use simbricks_eth::{send_packet_buf, serialization_delay, EthPacket};
 use simbricks_proto::{frame_dst, frame_src, Ecn, Ipv4Header, MacAddr, ETH_HEADER_LEN};
 
@@ -232,6 +232,15 @@ impl SwitchBm {
 }
 
 impl Model for SwitchBm {
+    // A store-and-forward switch never emits a frame on the port it arrived
+    // on: unicast output to the ingress port is dropped and floods skip the
+    // ingress port, so an input pending on port p can never cause a send on
+    // p. Declaring zero lookahead lets hierarchical sync widen each port's
+    // promise past its own pending input.
+    fn sync_lookahead(&self) -> Option<SyncLookahead> {
+        Some(SyncLookahead::ExcludeSelf(SimTime::ZERO))
+    }
+
     fn on_msg(&mut self, k: &mut Kernel, port: PortId, msg: OwnedMsg) {
         let Some(pkt) = EthPacket::decode_owned(msg) else {
             return;

@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf};
+use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf, SyncLookahead};
 use simbricks_eth::{send_packet, serialization_delay, EthPacket};
 use simbricks_proto::{
     frame_dst, frame_src, FrameBuilder, MacAddr, ParsedFrame, ParsedL4, UdpHeader,
@@ -207,6 +207,14 @@ impl TofinoSwitch {
 }
 
 impl Model for TofinoSwitch {
+    // Both the default L2 program and the OUM sequencer replicate only to
+    // ports other than the ingress port, and every emission goes through the
+    // pipeline/egress timers, so sends on port p are never caused by inputs
+    // on p. Zero lookahead is therefore safe to declare.
+    fn sync_lookahead(&self) -> Option<SyncLookahead> {
+        Some(SyncLookahead::ExcludeSelf(SimTime::ZERO))
+    }
+
     fn on_msg(&mut self, k: &mut Kernel, port: PortId, msg: OwnedMsg) {
         let Some(pkt) = EthPacket::decode_owned(msg) else {
             return;

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 use simbricks_base::pktbuf::PktBuf;
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
-use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
+use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, SyncLookahead};
 use simbricks_eth::{send_packet_buf, serialization_delay, EthPacket};
 use simbricks_pcie::{DevToHost, DeviceInfo, HostToDev};
 
@@ -554,6 +554,15 @@ impl Model for BehavioralNic {
             TOK_ITR => self.itr.on_timer(k),
             _ => {}
         }
+    }
+
+    // Frames leave the Ethernet port only from the TX-completion timer
+    // (`transmit_ready`), and a received frame is DMAed to the host, never
+    // echoed — so the Ethernet side declares zero lookahead and its promise
+    // widens past its own pending input. The PCIe side stays undeclared: a
+    // doorbell write hairpins into an immediate DMA read on the same link.
+    fn sync_lookahead_on(&self, port: PortId) -> Option<SyncLookahead> {
+        (port == self.eth_port).then_some(SyncLookahead::ExcludeSelf(SimTime::ZERO))
     }
 
     fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   "SBCK"                      4 bytes
-//! version u16 (currently 2)           rejected if unknown
+//! version u16 (currently 3)           rejected if unknown
 //! flags   u16 (reserved, must be 0)
 //! name    u32-prefixed UTF-8          experiment name (validated on restore)
 //! time    u64                         checkpoint virtual time [ps]
@@ -29,9 +29,11 @@ use simbricks_base::SimTime;
 pub const CKPT_MAGIC: [u8; 4] = *b"SBCK";
 /// Format version this build writes and reads. Bumped to 2 when the
 /// pooled-buffer work extended the `KernelStats` snapshot encoding from 13
-/// to 16 `u64`s: v1 files would pass the magic check and then misparse, so
-/// they are rejected cleanly here instead.
-pub const CKPT_VERSION: u16 = 2;
+/// to 16 `u64`s, and to 3 when hierarchical sync extended the per-port sync
+/// state (`last_promise` after the adaptive interval, a seventh `PortStats`
+/// counter): v2 files would pass the magic check and then misparse, so they
+/// are rejected cleanly here instead.
+pub const CKPT_VERSION: u16 = 3;
 
 /// A decoded checkpoint container.
 #[derive(Debug)]
@@ -205,6 +207,20 @@ mod tests {
                     b
                 },
                 check: |e| matches!(e, SnapError::Version { found: 0x7fff, expected: CKPT_VERSION }),
+            },
+            Case {
+                // The previous on-disk format: its per-port sync state lacks
+                // the hierarchical-sync fields, so restoring it would
+                // misparse. It must be rejected by the version gate alone,
+                // before any body parsing happens.
+                name: "version-2 checkpoint from an older build",
+                make: |g| {
+                    let mut b = g.to_vec();
+                    b[4] = 2;
+                    b[5] = 0;
+                    b
+                },
+                check: |e| matches!(e, SnapError::Version { found: 2, expected: CKPT_VERSION }),
             },
             Case {
                 name: "truncated mid-component",

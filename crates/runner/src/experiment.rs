@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{
     BarrierMember, ChannelEnd, ChannelParams, EpochController, EventLog, Kernel, KernelStats,
-    Model, SimTime, StepOutcome,
+    Model, PortId, SimTime, StepOutcome, SyncLookahead,
 };
 
 use crate::checkpoint::CheckpointFile;
@@ -177,6 +177,7 @@ pub struct Experiment {
     pcie_latency: SimTime,
     sync_interval: SimTime,
     adaptive_sync: bool,
+    hier_sync: bool,
     log_enabled: bool,
     external_inputs: bool,
     components: Vec<Component>,
@@ -209,6 +210,7 @@ impl Experiment {
             pcie_latency: SimTime::from_ns(500),
             sync_interval: SimTime::from_ns(500),
             adaptive_sync: true,
+            hier_sync: false,
             log_enabled: false,
             external_inputs: false,
             components: Vec::new(),
@@ -267,6 +269,28 @@ impl Experiment {
     pub fn with_adaptive_sync(mut self, adaptive: bool) -> Self {
         self.adaptive_sync = adaptive;
         self
+    }
+
+    /// Enable hierarchical sync domains (sync-protocol scale-out). Each
+    /// kernel groups its synchronized ports into domains (by latency class
+    /// unless assigned explicitly), maintains one aggregate horizon per
+    /// domain, and emits SYNCs per domain epoch with promises widened
+    /// through the earliest local cause of a future send. At run time the
+    /// channel graph is reconstructed from connection ids and a static
+    /// multi-hop lookahead floor is computed per port (Bellman-Ford-style
+    /// relaxation over declared [`Model::sync_lookahead`] forwarding
+    /// delays), which raises each port's adaptive sync-interval cap beyond
+    /// the per-link Δ. Simulation results are bit-identical to the flat
+    /// protocol; only SYNC volume and cadence change. Ignored for
+    /// unsynchronized and global-barrier experiments.
+    pub fn with_hier_sync(mut self) -> Self {
+        self.hier_sync = true;
+        self
+    }
+
+    /// Whether hierarchical sync domains are enabled.
+    pub fn hier_sync_enabled(&self) -> bool {
+        self.hier_sync
     }
 
     /// Replace the pairwise synchronization with epoch/global-barrier
@@ -531,6 +555,136 @@ impl Experiment {
         Ok(file.encode())
     }
 
+    /// Hierarchical sync setup: reconstruct the channel graph from the
+    /// ports' connection ids, compute each port's static multi-hop lookahead
+    /// floor, and switch every kernel to hierarchical (domain-batched,
+    /// widened-promise) SYNC emission.
+    ///
+    /// The floor `F(c.p)` is a lower bound on how far ahead of its current
+    /// clock component `c` can always promise on port `p`:
+    /// - a model with no declared lookahead may send at any moment, so
+    ///   `F = Δ_p`;
+    /// - a port declaring [`SyncLookahead::ExcludeSelf`]`(l)` only carries
+    ///   sends made in response to a timer or to input on another port, so
+    ///   `F = Δ_p + l + min over other ports q of G(q)`, where `G(q)` is the
+    ///   incoming guarantee of `q`'s link — the peer port's own floor, or
+    ///   `Δ_q` when the peer is outside this process (distributed boundary);
+    /// - a port declaring [`SyncLookahead::Reaction`]`(d)` reacts to input on
+    ///   any port (itself included) no sooner than `d` later, so
+    ///   `F = Δ_p + d + min over all ports q of G(q)`.
+    ///
+    /// The mutually recursive floors are solved by upward Bellman-Ford-style
+    /// relaxation from the safe start `F = Δ`; each port's floor then raises
+    /// its adaptive sync-interval cap, so idle cadence stretches to the
+    /// multi-hop path latency instead of stopping at the per-link Δ. The
+    /// floors only pace SYNC emission — correctness and liveness never
+    /// depend on them (promises are widened dynamically, and blocked kernels
+    /// forward horizon gains unconditionally).
+    fn setup_hier_sync(&mut self) {
+        use std::collections::HashMap;
+        // (component, port) pairs per connection id; a connection with both
+        // ends on local kernels is an internal link, one with a single end
+        // crosses a partition boundary (its far side is a proxy).
+        let mut by_conn: HashMap<u64, Vec<(usize, usize)>> = HashMap::new();
+        for (ci, c) in self.components.iter().enumerate() {
+            for p in 0..c.kernel.num_ports() {
+                let pid = PortId(p);
+                if c.kernel.port_sync_enabled(pid) {
+                    by_conn
+                        .entry(c.kernel.port_conn_id(pid))
+                        .or_default()
+                        .push((ci, p));
+                }
+            }
+        }
+        let mut peer: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        for ends in by_conn.values() {
+            if let [a, b] = ends[..] {
+                peer.insert(a, b);
+                peer.insert(b, a);
+            }
+        }
+        let look: Vec<Vec<Option<SyncLookahead>>> = self
+            .components
+            .iter()
+            .map(|c| {
+                let m = c.model.as_model_ref();
+                (0..c.kernel.num_ports())
+                    .map(|p| m.sync_lookahead_on(PortId(p)))
+                    .collect()
+            })
+            .collect();
+        let delta = |ci: usize, p: usize| self.components[ci].kernel.port_latency(PortId(p));
+        let mut floors: HashMap<(usize, usize), SimTime> = peer
+            .keys()
+            .chain(by_conn.values().flatten().filter(|e| !peer.contains_key(*e)))
+            .map(|&(ci, p)| ((ci, p), delta(ci, p)))
+            .collect();
+        // Upward relaxation; monotone and bounded by the longest simple
+        // path through declaring forwarders, so #components rounds suffice —
+        // a source-free forwarder cycle (which would diverge) is cut off by
+        // the round cap, leaving valid lower bounds.
+        for _ in 0..self.components.len() + 2 {
+            let mut changed = false;
+            for (ci, c) in self.components.iter().enumerate() {
+                if look[ci].iter().all(|l| l.is_none()) {
+                    continue;
+                }
+                let nports = c.kernel.num_ports();
+                // Incoming guarantee per port, min1/min2 for exclude-one.
+                let (mut min1, mut min2, mut arg1) = (SimTime::MAX, SimTime::MAX, usize::MAX);
+                for q in 0..nports {
+                    if !c.kernel.port_sync_enabled(PortId(q)) {
+                        continue;
+                    }
+                    let g = match peer.get(&(ci, q)) {
+                        Some(far) => floors[far],
+                        None => delta(ci, q),
+                    };
+                    if g < min1 {
+                        min2 = min1;
+                        min1 = g;
+                        arg1 = q;
+                    } else if g < min2 {
+                        min2 = g;
+                    }
+                }
+                for (p, &slot) in look[ci].iter().enumerate() {
+                    let Some(la) = slot else { continue };
+                    if !c.kernel.port_sync_enabled(PortId(p)) {
+                        continue;
+                    }
+                    let (l, m) = match la {
+                        SyncLookahead::ExcludeSelf(l) => {
+                            (l, if arg1 == p { min2 } else { min1 })
+                        }
+                        SyncLookahead::Reaction(d) => (d, min1),
+                    };
+                    if m.is_max() {
+                        continue;
+                    }
+                    let f = delta(ci, p).saturating_add(l).saturating_add(m);
+                    let slot = floors.get_mut(&(ci, p)).expect("floor seeded");
+                    if f > *slot {
+                        *slot = f;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (ci, c) in self.components.iter_mut().enumerate() {
+            c.kernel.enable_hier_sync();
+            for p in 0..c.kernel.num_ports() {
+                if let Some(f) = floors.get(&(ci, p)) {
+                    c.kernel.set_port_sync_cap(PortId(p), *f);
+                }
+            }
+        }
+    }
+
     /// Execute the experiment and collect results.
     pub fn run(mut self, mode: Execution) -> RunResult {
         // Global-barrier mode: now that the component count is known, create
@@ -543,6 +697,9 @@ impl Experiment {
                 c.kernel.set_barrier(BarrierMember::new(controller.clone()));
             }
             self.barrier = Some(controller);
+        }
+        if self.hier_sync && self.synchronized && self.barrier.is_none() {
+            self.setup_hier_sync();
         }
 
         let start = Instant::now();

@@ -12,6 +12,7 @@ pub mod checkpoint;
 pub mod dist;
 pub mod executor;
 pub mod experiment;
+pub mod partition;
 pub mod proxy;
 pub mod shm;
 pub mod transport;
@@ -21,6 +22,7 @@ pub use checkpoint::{CheckpointFile, CKPT_MAGIC, CKPT_VERSION};
 pub use dist::{maybe_worker, run_distributed, run_local, DistOptions, DistResult, PartitionBuilder};
 pub use executor::{default_workers, ShardedOptions};
 pub use experiment::{Execution, Experiment, RunResult};
+pub use partition::{PartitionAssignment, PartitionGraph};
 pub use proxy::{
     proxy_channel_over_tcp, proxy_pair, read_handshake, write_handshake, ProxyHandle, ProxyKind,
     ProxyStats,

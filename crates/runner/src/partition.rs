@@ -1,0 +1,274 @@
+//! Automatic latency-aware experiment partitioning.
+//!
+//! Distributed runs (§5.4) and sharded executors split an experiment's
+//! components across partitions. Synchronization cost is dominated by the
+//! links that *cross* partitions: every crossing link needs a proxy pair and
+//! per-link promises, while internal links sync through cheap in-process
+//! channels. The paper places partition cuts on the physical machine
+//! boundaries, which in practice are the highest-latency links of the
+//! topology (rack uplinks, WAN hops).
+//!
+//! This module automates that choice: [`PartitionGraph::partition`] computes
+//! a deterministic K-way split that greedily keeps the *lowest*-latency links
+//! internal (Kruskal-style agglomeration under a balance cap), so the cut
+//! falls on the highest-latency links — a lightweight min-cut heuristic that
+//! is exact on trees with distinct uplink latencies (e.g. the fat-tree
+//! benchmark topologies, where host→ToR links are cheap and core uplinks are
+//! expensive).
+//!
+//! Determinism matters because partition assignment feeds distributed run
+//! setup: the same experiment must map to the same partitions on every
+//! machine. The algorithm uses only stable orderings (edge sort by latency
+//! then endpoint ids, cluster ordering by smallest member id), never hash-map
+//! iteration order.
+
+use simbricks_base::SimTime;
+
+/// An undirected, latency-weighted multigraph over an experiment's
+/// components. Node ids are dense `0..n` component indices.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionGraph {
+    n: usize,
+    edges: Vec<(usize, usize, SimTime)>,
+}
+
+/// Result of a K-way partition: the assignment plus the links it cut.
+#[derive(Clone, Debug)]
+pub struct PartitionAssignment {
+    /// Partition index in `0..k` for each component `0..n`.
+    pub assignment: Vec<usize>,
+    /// Number of links whose endpoints landed in different partitions.
+    pub cut_links: usize,
+    /// Smallest latency among cut links (`SimTime::MAX` when nothing is cut);
+    /// the quality figure of the heuristic — it should be at least as large
+    /// as the latency of every internal link class below it.
+    pub min_cut_latency: SimTime,
+}
+
+/// Union-find over component ids with cluster sizes, used for the
+/// agglomerative merge phase.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the clusters of `a` and `b` unless the union would exceed
+    /// `cap` members. Returns whether a merge happened.
+    fn union_capped(&mut self, a: usize, b: usize, cap: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] + self.size[rb] > cap {
+            return false;
+        }
+        // Attach the higher root under the lower one so representative ids
+        // are deterministic (smallest member id wins).
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+        self.size[lo] += self.size[hi];
+        true
+    }
+}
+
+impl PartitionGraph {
+    /// An empty graph over `n` components and no links.
+    pub fn new(n: usize) -> Self {
+        PartitionGraph { n, edges: Vec::new() }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no components.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add an undirected link of latency `latency` between components `a`
+    /// and `b`. Parallel links and self-loops are allowed (self-loops never
+    /// affect the cut).
+    ///
+    /// # Panics
+    /// If `a` or `b` is out of range.
+    pub fn add_link(&mut self, a: usize, b: usize, latency: SimTime) {
+        assert!(a < self.n && b < self.n, "link endpoint out of range");
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.edges.push((a, b, latency));
+    }
+
+    /// Split the components into `k` balanced partitions, cutting the
+    /// highest-latency links.
+    ///
+    /// Greedy agglomeration: links are visited from lowest to highest
+    /// latency (ties broken by endpoint ids) and their endpoint clusters
+    /// merged whenever the union stays within the balance cap
+    /// `ceil(n / k)`. Remaining clusters are then packed onto the `k`
+    /// partitions largest-first, each going to the least-loaded partition.
+    /// Both phases are fully deterministic.
+    ///
+    /// # Panics
+    /// If `k` is zero.
+    pub fn partition(&self, k: usize) -> PartitionAssignment {
+        assert!(k > 0, "cannot partition into zero partitions");
+        let n = self.n;
+        let cap = n.div_ceil(k.min(n.max(1)).max(1));
+        let mut uf = UnionFind::new(n);
+        let mut order = self.edges.clone();
+        order.sort_unstable_by_key(|&(a, b, lat)| (lat, a, b));
+        for &(a, b, _) in &order {
+            uf.union_capped(a, b, cap);
+        }
+        // Clusters keyed by representative (== smallest member id).
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let r = uf.find(i);
+            members[r].push(i);
+        }
+        let mut clusters: Vec<Vec<usize>> = members.into_iter().filter(|m| !m.is_empty()).collect();
+        // Largest first; ties by smallest member id (already the natural
+        // order of the filter above, made explicit for clarity).
+        clusters.sort_by_key(|m| (std::cmp::Reverse(m.len()), m[0]));
+        let mut load = vec![0usize; k];
+        let mut assignment = vec![0usize; n];
+        for m in &clusters {
+            let target = (0..k).min_by_key(|&p| (load[p], p)).unwrap();
+            load[target] += m.len();
+            for &c in m {
+                assignment[c] = target;
+            }
+        }
+        let mut cut_links = 0usize;
+        let mut min_cut_latency = SimTime::MAX;
+        for &(a, b, lat) in &self.edges {
+            if assignment[a] != assignment[b] {
+                cut_links += 1;
+                min_cut_latency = min_cut_latency.min(lat);
+            }
+        }
+        PartitionAssignment {
+            assignment,
+            cut_links,
+            min_cut_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_ns(v)
+    }
+
+    /// Two racks of three hosts behind ToR switches joined by one slow
+    /// uplink: the cut must land on the uplink.
+    fn two_racks() -> PartitionGraph {
+        // 0,1,2 hosts + 3 ToR | 4,5,6 hosts + 7 ToR; 3--7 uplink.
+        let mut g = PartitionGraph::new(8);
+        for h in 0..3 {
+            g.add_link(h, 3, ns(500));
+        }
+        for h in 4..7 {
+            g.add_link(h, 7, ns(500));
+        }
+        g.add_link(3, 7, ns(4000));
+        g
+    }
+
+    #[test]
+    fn cuts_the_slow_uplink() {
+        let g = two_racks();
+        let r = g.partition(2);
+        assert_eq!(r.cut_links, 1);
+        assert_eq!(r.min_cut_latency, ns(4000));
+        // Each rack stays whole.
+        for h in 0..3 {
+            assert_eq!(r.assignment[h], r.assignment[3]);
+        }
+        for h in 4..7 {
+            assert_eq!(r.assignment[h], r.assignment[7]);
+        }
+        assert_ne!(r.assignment[3], r.assignment[7]);
+    }
+
+    #[test]
+    fn k1_is_trivial_and_uncut() {
+        let g = two_racks();
+        let r = g.partition(1);
+        assert!(r.assignment.iter().all(|&p| p == 0));
+        assert_eq!(r.cut_links, 0);
+        assert_eq!(r.min_cut_latency, SimTime::MAX);
+    }
+
+    #[test]
+    fn balance_cap_prevents_one_giant_partition() {
+        // A chain of 8 equal-latency links: with k=4 every partition must
+        // hold exactly two components.
+        let mut g = PartitionGraph::new(8);
+        for i in 0..7 {
+            g.add_link(i, i + 1, ns(100));
+        }
+        let r = g.partition(4);
+        let mut load = [0usize; 4];
+        for &p in &r.assignment {
+            load[p] += 1;
+        }
+        assert_eq!(load, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_edge_order() {
+        let g = two_racks();
+        let a = g.partition(2).assignment;
+        // Same links inserted in reverse order must give the same split.
+        let mut rev = PartitionGraph::new(8);
+        rev.add_link(7, 3, ns(4000));
+        for h in (4..7).rev() {
+            rev.add_link(7, h, ns(500));
+        }
+        for h in (0..3).rev() {
+            rev.add_link(3, h, ns(500));
+        }
+        assert_eq!(rev.partition(2).assignment, a);
+    }
+
+    #[test]
+    fn more_partitions_than_components() {
+        let mut g = PartitionGraph::new(2);
+        g.add_link(0, 1, ns(10));
+        let r = g.partition(5);
+        assert_eq!(r.assignment.len(), 2);
+        assert_ne!(r.assignment[0], r.assignment[1], "cap of 1 forces a split");
+    }
+
+    #[test]
+    fn isolated_components_spread_evenly() {
+        let g = PartitionGraph::new(6);
+        let r = g.partition(3);
+        let mut load = [0usize; 3];
+        for &p in &r.assignment {
+            load[p] += 1;
+        }
+        assert_eq!(load, [2, 2, 2]);
+    }
+}

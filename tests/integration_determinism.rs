@@ -11,8 +11,11 @@ use simbricks::runner::dist::{self, DistOptions, PartitionBuilder};
 use simbricks::runner::{attach_host_nic, Execution, Experiment, TransportKind};
 use simbricks::SimTime;
 
-fn run_once(mode: Execution) -> (u64, usize) {
+fn run_once(mode: Execution, hier: bool) -> (u64, usize) {
     let mut exp = Experiment::new("determinism", SimTime::from_ms(10)).with_logging();
+    if hier {
+        exp = exp.with_hier_sync();
+    }
     let server_cfg = HostConfig::new(HostKind::Gem5Timing, 0);
     let client_cfg = HostConfig::new(HostKind::Gem5Timing, 1);
     let server_app = Box::new(NetperfServer::new(5201, 5202));
@@ -38,9 +41,9 @@ fn run_once(mode: Execution) -> (u64, usize) {
 
 #[test]
 fn repeated_runs_produce_identical_event_logs() {
-    let (f1, n1) = run_once(Execution::Sequential);
-    let (f2, n2) = run_once(Execution::Sequential);
-    let (f3, n3) = run_once(Execution::Sequential);
+    let (f1, n1) = run_once(Execution::Sequential, false);
+    let (f2, n2) = run_once(Execution::Sequential, false);
+    let (f3, n3) = run_once(Execution::Sequential, false);
     assert!(n1 > 100, "logs actually contain events ({n1})");
     assert_eq!(n1, n2);
     assert_eq!(f1, f2, "run 1 and 2 identical");
@@ -55,14 +58,36 @@ fn repeated_runs_produce_identical_event_logs() {
 /// for any worker count.
 #[test]
 fn sharded_runs_match_sequential_event_logs() {
-    let (f_seq, n_seq) = run_once(Execution::Sequential);
+    let (f_seq, n_seq) = run_once(Execution::Sequential, false);
     assert!(n_seq > 100, "logs actually contain events ({n_seq})");
     for workers in [1usize, 2, 4] {
-        let (f_sh, n_sh) = run_once(Execution::Sharded { workers });
+        let (f_sh, n_sh) = run_once(Execution::Sharded { workers }, false);
         assert_eq!(n_seq, n_sh, "same event count with {workers} workers");
         assert_eq!(
             f_seq, f_sh,
             "sequential and sharded ({workers} workers) logs bit-identical"
+        );
+    }
+}
+
+/// Hierarchical sync domains (topology-aware widened promises, epoch-batched
+/// emission) change only *when* promises travel, never the timestamps or
+/// order of data messages — so every executor running with hierarchical sync
+/// enabled must still reproduce the flat-sync sequential event log bit for
+/// bit.
+#[test]
+fn hier_sync_runs_match_flat_sequential_event_logs() {
+    let (f_flat, n_flat) = run_once(Execution::Sequential, false);
+    assert!(n_flat > 100, "logs actually contain events ({n_flat})");
+    let (f_seq, n_seq) = run_once(Execution::Sequential, true);
+    assert_eq!(n_flat, n_seq, "same event count under hierarchical sync");
+    assert_eq!(f_flat, f_seq, "hier sequential matches flat sequential");
+    for workers in [1usize, 2, 4] {
+        let (f_sh, n_sh) = run_once(Execution::Sharded { workers }, true);
+        assert_eq!(n_flat, n_sh, "same event count, hier sharded {workers} workers");
+        assert_eq!(
+            f_flat, f_sh,
+            "hier sharded ({workers} workers) matches flat sequential"
         );
     }
 }
@@ -79,8 +104,14 @@ fn sharded_runs_match_sequential_event_logs() {
 /// in-process baseline, the orchestrator's discovery pass, and the two
 /// spawned worker processes (which re-enter this test binary through
 /// `dist_worker_entry`).
-fn dist_build(_scenario: &str, pb: &mut PartitionBuilder) {
-    pb.init(Experiment::new("determinism-dist", SimTime::from_ms(6)).with_logging());
+fn dist_build(scenario: &str, pb: &mut PartitionBuilder) {
+    let mut exp = Experiment::new("determinism-dist", SimTime::from_ms(6)).with_logging();
+    // The scenario string travels to every worker process, so flipping the
+    // sync protocol here flips it consistently across all partitions.
+    if scenario == "hier" {
+        exp = exp.with_hier_sync();
+    }
+    pb.init(exp);
     let eth_params = pb.exp().eth_params();
     let server_cfg = HostConfig::new(HostKind::Gem5Timing, 0);
     let client_cfg = HostConfig::new(HostKind::Gem5Timing, 1);
@@ -117,8 +148,8 @@ fn dist_worker_entry() {
 }
 
 /// Options for a 2-worker-process run that re-enters this test binary.
-fn dist_opts() -> DistOptions {
-    DistOptions::new(vec!["p0".into(), "p1".into()], "").with_worker_args(vec![
+fn dist_opts(scenario: &str) -> DistOptions {
+    DistOptions::new(vec!["p0".into(), "p1".into()], scenario).with_worker_args(vec![
         "dist_worker_entry".into(),
         "--exact".into(),
         "--include-ignored".into(),
@@ -166,7 +197,7 @@ fn assert_dist_matches_baseline(
 fn dist_two_partition_run_matches_sequential_event_log() {
     let t = TransportKind::from_env_or(TransportKind::Auto);
     let local = dist::run_local("", &dist_build, Execution::Sequential);
-    assert_dist_matches_baseline(&local, dist_opts().with_transport(t), t.to_arg());
+    assert_dist_matches_baseline(&local, dist_opts("").with_transport(t), t.to_arg());
 }
 
 /// Both concrete transports — loopback TCP proxies and mmap shared-memory
@@ -175,8 +206,30 @@ fn dist_two_partition_run_matches_sequential_event_log() {
 #[test]
 fn dist_tcp_and_shm_transports_both_match_sequential_event_log() {
     let local = dist::run_local("", &dist_build, Execution::Sequential);
-    assert_dist_matches_baseline(&local, dist_opts().with_transport(TransportKind::Tcp), "tcp");
+    assert_dist_matches_baseline(&local, dist_opts("").with_transport(TransportKind::Tcp), "tcp");
     if simbricks::runner::shm_supported() {
-        assert_dist_matches_baseline(&local, dist_opts().with_transport(TransportKind::Shm), "shm");
+        assert_dist_matches_baseline(&local, dist_opts("").with_transport(TransportKind::Shm), "shm");
+    }
+}
+
+/// Distributed workers running the hierarchical sync protocol (the "hier"
+/// scenario flips it on inside every worker's build of the experiment) must
+/// still reproduce the *flat*-sync in-process sequential log bit for bit, on
+/// both transports — the strongest cross-executor statement of the protocol's
+/// result-invariance.
+#[test]
+fn dist_hier_sync_matches_flat_sequential_event_log() {
+    let local = dist::run_local("", &dist_build, Execution::Sequential);
+    assert_dist_matches_baseline(
+        &local,
+        dist_opts("hier").with_transport(TransportKind::Tcp),
+        "hier/tcp",
+    );
+    if simbricks::runner::shm_supported() {
+        assert_dist_matches_baseline(
+            &local,
+            dist_opts("hier").with_transport(TransportKind::Shm),
+            "hier/shm",
+        );
     }
 }
