@@ -2,7 +2,7 @@
 //! (the Fig. 8 scale-out workload), using a compact UDP request/response
 //! protocol: `G<key>` / `S<key>=<value>` requests, `V<value>` / `OK` replies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simbricks_base::snap::{SnapReader, SnapResult, SnapWriter};
 use simbricks_base::SimTime;
@@ -19,7 +19,9 @@ const TOK_RETRY: u64 = 2;
 /// The key-value server.
 pub struct MemcachedServer {
     sock: Option<SocketId>,
-    store: HashMap<Vec<u8>, Vec<u8>>,
+    /// Key-value store. Ordered map: snapshot encoding and any future scan
+    /// iterate in key order structurally — hash order can never leak.
+    store: BTreeMap<Vec<u8>, Vec<u8>>,
     pub requests: u64,
     /// Modelled per-request CPU time (hash lookup, allocation, ...).
     pub service_time: SimTime,
@@ -29,7 +31,7 @@ impl MemcachedServer {
     pub fn new() -> Self {
         MemcachedServer {
             sock: None,
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             requests: 0,
             service_time: SimTime::from_us(2),
         }
@@ -85,12 +87,11 @@ impl Application for MemcachedServer {
         snap_sock(w, self.sock);
         w.u64(self.requests);
         w.time(self.service_time);
-        let mut keys: Vec<&Vec<u8>> = self.store.keys().collect();
-        keys.sort_unstable();
-        w.usize(keys.len());
-        for k in keys {
+        // Ascending key order, straight off the ordered map.
+        w.usize(self.store.len());
+        for (k, v) in &self.store {
             w.bytes(k);
-            w.bytes(&self.store[k]);
+            w.bytes(v);
         }
         Ok(())
     }
@@ -118,7 +119,9 @@ pub struct MemaslapClient {
     duration: SimTime,
     value_size: usize,
     sock: Option<SocketId>,
-    outstanding: HashMap<u64, SimTime>,
+    /// In-flight request id -> issue time. Ordered map: the FIFO reply
+    /// match and the periodic retry sweep iterate in id order structurally.
+    outstanding: BTreeMap<u64, SimTime>,
     next_req: u64,
     started: SimTime,
     stopped: bool,
@@ -139,7 +142,7 @@ impl MemaslapClient {
             duration,
             value_size,
             sock: None,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             next_req: 0,
             started: SimTime::ZERO,
             stopped: false,
@@ -206,10 +209,12 @@ impl Application for MemaslapClient {
         }
         if let SocketEvent::DataAvailable(s) = ev {
             while let Some((_, _reply)) = os.udp_recv_from(s) {
-                // Match the oldest outstanding request (FIFO completion).
-                // Ties broken by request id: hash-map iteration order must
-                // never decide the match, or runs would diverge across
-                // processes and across checkpoint/restore.
+                // Match the oldest outstanding request (FIFO completion),
+                // ties broken by request id. Request ids are issued in time
+                // order, so the id-ordered map makes (time, id) order
+                // structural — iteration order can never decide the match,
+                // which would diverge across processes and across
+                // checkpoint/restore.
                 if let Some((&id, _)) = self.outstanding.iter().min_by_key(|(id, t)| (**t, **id)) {
                     let t0 = self.outstanding.remove(&id).unwrap();
                     self.completed += 1;
@@ -252,13 +257,11 @@ impl Application for MemaslapClient {
 
     fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
         snap_sock(w, self.sock);
-        let mut outstanding: Vec<(u64, SimTime)> =
-            self.outstanding.iter().map(|(id, t)| (*id, *t)).collect();
-        outstanding.sort_unstable_by_key(|(id, _)| *id);
-        w.usize(outstanding.len());
-        for (id, t) in outstanding {
-            w.u64(id);
-            w.time(t);
+        // Ascending id order, straight off the ordered map.
+        w.usize(self.outstanding.len());
+        for (id, t) in &self.outstanding {
+            w.u64(*id);
+            w.time(*t);
         }
         w.u64(self.next_req);
         w.time(self.started);
@@ -282,5 +285,62 @@ impl Application for MemaslapClient {
         self.completed = r.u64()?;
         self.latency_total = r.time()?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> MemaslapClient {
+        MemaslapClient::new(Vec::new(), 8, 64, SimTime::from_ms(1))
+    }
+
+    /// Determinism regression: two clients holding the same in-flight
+    /// request set — reached through different insertion/removal histories —
+    /// must produce byte-identical snapshots and match replies to the same
+    /// request. Under the pre-fix `HashMap` table (with the per-site sort
+    /// removed, as this fix does), the snapshot encodings differ between
+    /// the two instances and this test fails.
+    #[test]
+    fn outstanding_table_is_history_independent() {
+        let mut a = client();
+        let mut b = client();
+        // Same final set {0..24 odd ids at t=id}, different histories.
+        for id in 0..24u64 {
+            a.outstanding.insert(id, SimTime::from_us(id));
+        }
+        for id in (0..24u64).step_by(2) {
+            a.outstanding.remove(&id);
+        }
+        for id in (1..24u32).step_by(2).rev().map(u64::from) {
+            b.outstanding.insert(id, SimTime::from_us(id));
+        }
+        let snap = |c: &MemaslapClient| {
+            let mut w = SnapWriter::new();
+            c.snapshot(&mut w).unwrap();
+            w.into_vec()
+        };
+        assert_eq!(snap(&a), snap(&b), "same set, same snapshot bytes");
+        // The FIFO match is (issue time, id)-deterministic: with id==time
+        // here, both clients would complete request 1 first.
+        let first_a = a.outstanding.iter().min_by_key(|(id, t)| (**t, **id));
+        let first_b = b.outstanding.iter().min_by_key(|(id, t)| (**t, **id));
+        assert_eq!(first_a.map(|(id, _)| *id), Some(1));
+        assert_eq!(first_a.map(|(id, _)| *id), first_b.map(|(id, _)| *id));
+    }
+
+    /// The retry sweep (`on_timer` TOK_RETRY) must keep exactly the young
+    /// requests, independent of iteration order.
+    #[test]
+    fn retry_sweep_is_order_independent() {
+        let mut c = client();
+        for id in [7u64, 3, 15, 1, 12, 5] {
+            c.outstanding.insert(id, SimTime::from_ms(id));
+        }
+        let now = SimTime::from_ms(16);
+        c.outstanding.retain(|_, t0| now - *t0 < SimTime::from_ms(10));
+        let kept: Vec<u64> = c.outstanding.keys().copied().collect();
+        assert_eq!(kept, vec![7, 12, 15], "young requests, ascending id order");
     }
 }

@@ -16,7 +16,7 @@
 //! Client requests complete after a reply from the designated leader replica
 //! plus `f` matching replicas (we simulate 3 replicas, `f = 1`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simbricks_base::SimTime;
 use simbricks_hostsim::{Application, OsServices};
@@ -77,8 +77,10 @@ pub struct Replica {
     /// Per-request execution cost.
     pub exec_cost: SimTime,
     // Multi-Paxos leader state: pending client replies keyed by seq.
+    // Ordered map so any iteration (snapshots, sweeps, diagnostics added
+    // later) observes slots in sequence order, never hash order.
     next_seq: u64,
-    pending: HashMap<u64, (SocketAddr, u64, u64, u32)>,
+    pending: BTreeMap<u64, (SocketAddr, u64, u64, u32)>,
 }
 
 impl Replica {
@@ -96,7 +98,7 @@ impl Replica {
             sequence_gaps: 0,
             exec_cost: SimTime::from_us(3),
             next_seq: 1,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 
@@ -274,8 +276,10 @@ pub struct PaxosClient {
     sock: Option<SocketId>,
     my_ip_key: u64,
     next_req: u64,
-    /// outstanding request id -> (issue time, replies seen, leader replied)
-    outstanding: HashMap<u64, (SimTime, u32, bool)>,
+    /// outstanding request id -> (issue time, replies seen, leader replied).
+    /// Ordered map: the retry sweep iterates in request-id order
+    /// structurally, never in hash order.
+    outstanding: BTreeMap<u64, (SimTime, u32, bool)>,
     pub completed: u64,
     latency_total: SimTime,
     stopped: bool,
@@ -294,7 +298,7 @@ impl PaxosClient {
             sock: None,
             my_ip_key: 0,
             next_req: 1,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             completed: 0,
             latency_total: SimTime::ZERO,
             stopped: false,
@@ -418,6 +422,38 @@ mod tests {
         let m = encode_req(7, 42, 99);
         assert_eq!(decode_req(&m), Some((7, 42, 99)));
         assert!(decode_req(&m[..10]).is_none());
+    }
+
+    /// Determinism regression: the client's stuck-request sweep must keep
+    /// exactly the young requests and leave them observable in request-id
+    /// order, independent of the order they entered the table. Under the
+    /// pre-fix `HashMap` table, iteration order (and thus any future
+    /// order-sensitive use of it) depended on the per-instance hash seed.
+    #[test]
+    fn stuck_request_sweep_is_history_independent() {
+        let mk = || {
+            PaxosClient::new(
+                PaxosMode::MultiPaxos,
+                SocketAddr::new(Ipv4Addr::new(10, 0, 0, 9), PAXOS_LEADER_PORT),
+                4,
+                SimTime::from_ms(1),
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for id in [9u64, 2, 17, 4, 11] {
+            a.outstanding.insert(id, (SimTime::from_ms(id), 0, false));
+        }
+        for id in [4u64, 17, 11, 2, 9] {
+            b.outstanding.insert(id, (SimTime::from_ms(id), 0, false));
+        }
+        let now = SimTime::from_ms(25);
+        for c in [&mut a, &mut b] {
+            c.outstanding.retain(|_, (t0, _, _)| now - *t0 < SimTime::from_ms(20));
+        }
+        let ka: Vec<u64> = a.outstanding.keys().copied().collect();
+        let kb: Vec<u64> = b.outstanding.keys().copied().collect();
+        assert_eq!(ka, vec![9, 11, 17], "young requests, ascending id order");
+        assert_eq!(ka, kb, "insertion history does not leak");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! of queued events — the property that keeps datacenter-scale event rates
 //! (fat-tree fabrics with thousands of timers per kernel) constant-time.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use crate::snap::{SnapReader, SnapResult, SnapWriter};
@@ -100,8 +100,10 @@ pub struct EventQueue<T> {
     /// Number of live (non-cancelled) events.
     live: usize,
     /// Ids cancelled while still queued (removed lazily; empty in the
-    /// never-cancelled steady state).
-    cancelled: HashSet<u64>,
+    /// never-cancelled steady state). Ordered set: only membership is
+    /// queried today, but an ordered container keeps any future iteration
+    /// (e.g. a diagnostic dump) deterministic by construction.
+    cancelled: BTreeSet<u64>,
 }
 
 /// Level whose bit range contains the highest bit where `tick` differs from
@@ -150,7 +152,7 @@ impl<T> EventQueue<T> {
             ready: Vec::new(),
             ready_sorted: true,
             live: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
         }
     }
 
@@ -364,6 +366,9 @@ impl<T> EventQueue<T> {
 /// the in-crate differential tests. Same public surface, same global
 /// sequence source — only the internal data structure differs.
 #[cfg(any(test, feature = "proptest"))]
+// The oracle deliberately uses a hash set: it must not share an ordering bias
+// with the implementation it checks.
+#[allow(clippy::disallowed_types)]
 pub mod oracle {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;

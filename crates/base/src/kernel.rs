@@ -585,11 +585,17 @@ impl Kernel {
             return StepOutcome::Progressed;
         }
         if self.wall_scale.is_some() && self.wall_start.is_none() {
-            self.wall_start = Some(std::time::Instant::now());
+            // Never active in simulation mode.
+            #[allow(clippy::disallowed_methods)]
+            {
+                // det-ok: emulation pacing throttles virtual time against the host clock by definition
+                self.wall_start = Some(std::time::Instant::now());
+            }
         }
         // Emulation mode: how far the wall clock currently allows the virtual
         // clock to advance.
         let wall_limit = match (self.wall_scale, self.wall_start) {
+            // det-ok: wall-pacing limit only gates delivery, never timestamps.
             (Some(scale), Some(t0)) => Some(SimTime::from_ns(
                 (t0.elapsed().as_nanos() as f64 * scale) as u64,
             )),

@@ -48,6 +48,7 @@ pub struct PortStats {
 
 /// A channel endpoint participating in SimBricks synchronization.
 pub struct SyncPort {
+    // snap-skip: transport endpoint; reattached by the executor on restore
     chan: ChannelEnd,
     /// Highest receiver-side timestamp observed on the incoming queue; the
     /// peer promises not to send anything earlier than this.
@@ -72,6 +73,7 @@ pub struct SyncPort {
     /// link latency Δ (the flat-protocol liveness bound); hierarchical sync
     /// raises it to the static multi-hop path floor of this port, which is a
     /// safe cadence because widened promises keep peers live in between.
+    // snap-skip: static per-topology bound, recomputed at setup
     sync_cap: SimTime,
     /// Highest receiver-side timestamp ever sent on this port (data or SYNC).
     /// Promises must be monotonic, so every emission ratchets through this
@@ -84,6 +86,7 @@ pub struct SyncPort {
     /// the doubling ladder again after every data message only multiplies
     /// SYNC traffic on active paths (configuration, not dynamic state — not
     /// part of the snapshot).
+    // snap-skip: protocol configuration, set at setup, never mutated mid-run
     hier: bool,
     stats: PortStats,
 }

@@ -10,6 +10,9 @@
 //!
 //! Usage: hotpath [--msgs N] [--payload BYTES] [--json PATH]
 
+// Benchmarks measure real wall-clock throughput by design.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::time::Instant;
 
 use simbricks::base::{channel_pair, BufPool, ChannelParams, PktBuf, SimTime};

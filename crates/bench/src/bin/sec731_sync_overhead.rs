@@ -1,6 +1,9 @@
 //! §7.3.1: synchronization overhead — a host running `sleep` (low event rate,
 //! sync dominates) vs `dd` (high event rate, sync amortized), standalone vs
 //! connected to a NIC + switch in SimBricks.
+// Benchmarks measure real wall-clock throughput by design.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use simbricks::apps::{DdLoad, SleepLoad};
 use simbricks::hostsim::{HostConfig, HostKind};
 use simbricks::netsim::{SwitchBm, SwitchConfig};

@@ -12,6 +12,9 @@
 //! transport is expected to be >= 2x cheaper per message than tcp — that gap
 //! is why `--transport auto` picks shared memory for co-located partitions.
 
+// Benchmarks measure real wall-clock throughput by design.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::io::{Read, Write};
 use std::time::Instant;
 

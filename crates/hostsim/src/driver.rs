@@ -67,8 +67,10 @@ pub const TSO_SIZE: usize = 8192;
 
 /// A guest driver instance for one NIC.
 pub struct NicDriver {
+    // snap-skip: construction-time config; restore runs on an identically built host
     kind: NicModelKind,
     /// Interface MTU (used to derive the wire MSS programmed for TSO).
+    // snap-skip: construction-time config; restore runs on an identically built host
     mtu: usize,
     tx_base: u64,
     rx_base: u64,
@@ -85,6 +87,7 @@ pub struct NicDriver {
     pub tx_packets: u64,
     pub rx_packets: u64,
     /// Arena receive frames are copied into out of guest memory.
+    // snap-skip: transient buffer arena; contents are never observable across steps
     pool: BufPool,
 }
 

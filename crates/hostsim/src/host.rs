@@ -1,7 +1,7 @@
 //! The host component model: CPU, memory, PCIe adapter, interrupts, OS-lite
 //! kernel, network stack and application runtime in one SimBricks component.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime, SyncLookahead};
@@ -163,7 +163,10 @@ pub struct HostModel {
     cpu_busy_until: SimTime,
     pcie: PortId,
     mmio_pending: OutstandingRequests<MmioPurpose>,
-    works: HashMap<u64, Work>,
+    /// Deferred work items keyed by id. Ordered map: snapshot encoding and
+    /// any future drain iterate in id order structurally, so hash-map
+    /// iteration order can never leak into the event log.
+    works: BTreeMap<u64, Work>,
     next_work: u64,
     stack_timer_at: Option<SimTime>,
     /// NAPI-style interrupt coalescing: while an IRQ work item is pending
@@ -206,7 +209,7 @@ impl HostModel {
             cpu_busy_until: SimTime::ZERO,
             pcie: PortId(0),
             mmio_pending: OutstandingRequests::new(),
-            works: HashMap::new(),
+            works: BTreeMap::new(),
             next_work: 1,
             stack_timer_at: None,
             irq_work_pending: false,
@@ -629,10 +632,9 @@ impl Model for HostModel {
             }
         }
 
-        let mut works: Vec<(&u64, &Work)> = self.works.iter().collect();
-        works.sort_unstable_by_key(|(id, _)| **id);
-        w.usize(works.len());
-        for (id, work) in works {
+        // Ascending id order, straight off the ordered map.
+        w.usize(self.works.len());
+        for (id, work) in &self.works {
             w.u64(*id);
             match work {
                 Work::Irq => w.u8(0),

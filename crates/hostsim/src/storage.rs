@@ -9,7 +9,7 @@
 //! ([`BlockApp`]) against an NVMe queue pair instead of a network stack
 //! against a NIC.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime};
 use simbricks_nvmesim::{
@@ -169,7 +169,9 @@ pub struct StorageHostModel {
     cpu_busy_until: SimTime,
     pcie: PortId,
     mmio_pending: OutstandingRequests<MmioPurpose>,
-    works: HashMap<u64, Work>,
+    /// Deferred work items keyed by id (ordered: iteration can never expose
+    /// hash order — see `crate::host::HostModel::works`).
+    works: BTreeMap<u64, Work>,
     next_work: u64,
     irq_work_pending: bool,
 
@@ -180,7 +182,9 @@ pub struct StorageHostModel {
     data_buf: u64,
     sq_tail: u32,
     cq_head: u32,
-    inflight: HashMap<u64, Inflight>,
+    /// Submitted-but-uncompleted NVMe commands keyed by command id (ordered
+    /// for the same structural-determinism reason as `works`).
+    inflight: BTreeMap<u64, Inflight>,
     next_cmd_id: u64,
     initialized: bool,
 
@@ -205,7 +209,7 @@ impl StorageHostModel {
             cpu_busy_until: SimTime::ZERO,
             pcie: PortId(0),
             mmio_pending: OutstandingRequests::new(),
-            works: HashMap::new(),
+            works: BTreeMap::new(),
             next_work: 1,
             irq_work_pending: false,
             sq_base,
@@ -213,7 +217,7 @@ impl StorageHostModel {
             data_buf,
             sq_tail: 0,
             cq_head: 0,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             next_cmd_id: 1,
             initialized: false,
             stats: StorageHostStats::default(),

@@ -18,7 +18,7 @@
 //!   paper's end-to-end configurations, and also what lets a network be
 //!   decomposed into several cooperating network simulators (§7.3.2).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf};
 use simbricks_eth::{send_packet, serialization_delay, EthPacket};
@@ -120,7 +120,7 @@ pub trait EndpointApp: Send {
 #[allow(clippy::large_enum_variant)]
 enum NodeKind {
     Switch {
-        mac_table: HashMap<MacAddr, usize>,
+        mac_table: BTreeMap<MacAddr, usize>,
     },
     Endpoint {
         stack: NetStack,
@@ -195,7 +195,7 @@ const TOK_APP: u64 = 3 << 56;
 pub struct DesNetwork {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    external_ports: HashMap<usize, NodeId>,
+    external_ports: BTreeMap<usize, NodeId>,
     /// Frames that left a link and are propagating: (arrival time,
     /// destination node, ingress port at the destination, frame).
     pending_deliveries: VecDeque<(SimTime, NodeId, usize, PktBuf)>,
@@ -214,7 +214,7 @@ impl DesNetwork {
         DesNetwork {
             nodes: Vec::new(),
             links: Vec::new(),
-            external_ports: HashMap::new(),
+            external_ports: BTreeMap::new(),
             pending_deliveries: VecDeque::new(),
             stats: DesStats::default(),
             started: false,
@@ -225,7 +225,7 @@ impl DesNetwork {
     pub fn add_switch(&mut self) -> NodeId {
         self.nodes.push(Node {
             kind: NodeKind::Switch {
-                mac_table: HashMap::new(),
+                mac_table: BTreeMap::new(),
             },
             ports: Vec::new(),
         });

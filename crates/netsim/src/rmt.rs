@@ -9,7 +9,7 @@
 //! property that matters for the speed/accuracy trade-off experiments
 //! (Tab. 1/3).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf, SyncLookahead};
 use simbricks_eth::{send_packet, EthPacket};
@@ -48,7 +48,7 @@ struct InFlight {
 pub struct RmtPipeline {
     cfg: RmtConfig,
     cycle_len: SimTime,
-    mac_table: HashMap<MacAddr, usize>,
+    mac_table: BTreeMap<MacAddr, usize>,
     pipeline: VecDeque<InFlight>,
     clock_running: bool,
     pub cycles_simulated: u64,
@@ -63,7 +63,7 @@ impl RmtPipeline {
         RmtPipeline {
             cfg,
             cycle_len,
-            mac_table: HashMap::new(),
+            mac_table: BTreeMap::new(),
             pipeline: VecDeque::new(),
             clock_running: false,
             cycles_simulated: 0,

@@ -7,7 +7,7 @@
 //! an output queue exceeds the marking threshold K — the knob swept by the
 //! dctcp experiment of Fig. 1.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{Kernel, Model, OwnedMsg, PktBuf, PortId, SimTime, SyncLookahead};
@@ -102,7 +102,10 @@ struct MacEntry {
 /// The behavioural switch model.
 pub struct SwitchBm {
     cfg: SwitchConfig,
-    mac_table: HashMap<MacAddr, MacEntry>,
+    /// Learned MAC -> (port, last_seen). Ordered map: eviction scans and
+    /// snapshot encoding iterate in address order structurally, so hash
+    /// order can never pick a victim or reorder a checkpoint.
+    mac_table: BTreeMap<MacAddr, MacEntry>,
     egress: Vec<EgressQueue>,
     stats: SwitchStats,
 }
@@ -113,7 +116,7 @@ impl SwitchBm {
         SwitchBm {
             egress: (0..cfg.ports).map(|_| EgressQueue::new()).collect(),
             cfg,
-            mac_table: HashMap::new(),
+            mac_table: BTreeMap::new(),
             stats: SwitchStats::default(),
         }
     }
@@ -141,8 +144,8 @@ impl SwitchBm {
         }
         if self.mac_table.len() >= self.cfg.mac_table_cap {
             // Prefer dropping already-expired entries; otherwise evict the
-            // stalest one. `min_by_key` over (last_seen, mac) is independent
-            // of hash-map iteration order, keeping runs deterministic.
+            // stalest one. `min_by_key` over (last_seen, mac) plus the
+            // ordered map makes the victim deterministic twice over.
             let victim = self
                 .mac_table
                 .iter()
@@ -298,11 +301,10 @@ impl Model for SwitchBm {
     }
 
     fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
-        // MAC table in canonical (address) order, TTL state included.
-        let mut macs: Vec<(&MacAddr, &MacEntry)> = self.mac_table.iter().collect();
-        macs.sort_unstable_by_key(|(mac, _)| **mac);
-        w.usize(macs.len());
-        for (mac, e) in macs {
+        // MAC table in canonical (address) order — the ordered map's own
+        // iteration order — TTL state included.
+        w.usize(self.mac_table.len());
+        for (mac, e) in &self.mac_table {
             w.raw(mac.as_bytes());
             w.usize(e.port);
             w.time(e.last_seen);

@@ -10,7 +10,7 @@
 //! written into the first eight payload bytes and are then multicast to all
 //! replica ports.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use simbricks_base::{Kernel, Model, OwnedMsg, PortId, SimTime, PktBuf, SyncLookahead};
 use simbricks_eth::{send_packet, serialization_delay, EthPacket};
@@ -72,7 +72,7 @@ struct Egress {
 /// The Tofino-style programmable switch model.
 pub struct TofinoSwitch {
     cfg: TofinoConfig,
-    mac_table: HashMap<MacAddr, usize>,
+    mac_table: BTreeMap<MacAddr, usize>,
     egress: Vec<Egress>,
     /// Packets traversing the pipeline: ready time and (ingress, frame).
     in_pipeline: VecDeque<(SimTime, usize, PktBuf)>,
@@ -95,7 +95,7 @@ impl TofinoSwitch {
                 })
                 .collect(),
             cfg,
-            mac_table: HashMap::new(),
+            mac_table: BTreeMap::new(),
             in_pipeline: VecDeque::new(),
             next_seqno: 1,
             stats: TofinoStats::default(),

@@ -1,6 +1,6 @@
 //! The network stack facade: sockets, ARP, IP demultiplexing, frame I/O.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
 use simbricks_base::{BufPool, PktBuf, SimTime};
@@ -72,30 +72,38 @@ enum Sock {
 
 /// A simulated host network stack (sans-I/O).
 pub struct NetStack {
+    // snap-skip: construction-time config; restore runs on an identically configured stack
     cfg: StackConfig,
     now: SimTime,
-    sockets: HashMap<SocketId, Sock>,
+    // All stack tables are ordered maps: iteration (timer fan-out, stats
+    // aggregation, snapshot encoding) observes sockets and ARP state in key
+    // order structurally, so hash-map iteration order can never decide the
+    // order in which same-deadline connections emit segments — the exact
+    // divergence class a distributed worker or a checkpoint/restore cycle
+    // would otherwise expose.
+    sockets: BTreeMap<SocketId, Sock>,
     /// Established / pending TCP connections indexed by
     /// (local port, remote ip, remote port).
-    tcp_index: HashMap<(u16, Ipv4Addr, u16), SocketId>,
-    listeners: HashMap<u16, SocketId>,
-    udp_ports: HashMap<u16, SocketId>,
+    tcp_index: BTreeMap<(u16, Ipv4Addr, u16), SocketId>,
+    listeners: BTreeMap<u16, SocketId>,
+    udp_ports: BTreeMap<u16, SocketId>,
     next_id: u64,
     next_ephemeral: u16,
-    arp: HashMap<Ipv4Addr, MacAddr>,
-    arp_pending: HashMap<Ipv4Addr, Vec<(IpProto, Ecn, Vec<u8>)>>,
-    arp_last_request: HashMap<Ipv4Addr, SimTime>,
+    arp: BTreeMap<Ipv4Addr, MacAddr>,
+    arp_pending: BTreeMap<Ipv4Addr, Vec<(IpProto, Ecn, Vec<u8>)>>,
+    arp_last_request: BTreeMap<Ipv4Addr, SimTime>,
     /// Outgoing frames, built in place inside pooled buffers.
     out: VecDeque<PktBuf>,
     events: VecDeque<SocketEvent>,
     stats: StackStats,
     /// Passively opened connections whose handshake has not completed yet,
     /// mapped to their listener (to emit `Accepted` instead of `Connected`).
-    pending_accept: HashMap<SocketId, SocketId>,
+    pending_accept: BTreeMap<SocketId, SocketId>,
     /// When true, incoming TCP/UDP checksums are assumed to have been
     /// verified by NIC receive checksum offload.
     pub rx_checksum_offload: bool,
     /// Packet-buffer arena all transmit frames are built in.
+    // snap-skip: transient buffer arena; contents are never observable across steps
     pool: BufPool,
 }
 
@@ -104,19 +112,19 @@ impl NetStack {
         NetStack {
             cfg,
             now: SimTime::ZERO,
-            sockets: HashMap::new(),
-            tcp_index: HashMap::new(),
-            listeners: HashMap::new(),
-            udp_ports: HashMap::new(),
+            sockets: BTreeMap::new(),
+            tcp_index: BTreeMap::new(),
+            listeners: BTreeMap::new(),
+            udp_ports: BTreeMap::new(),
             next_id: 1,
             next_ephemeral: 49152,
-            arp: HashMap::new(),
-            arp_pending: HashMap::new(),
-            arp_last_request: HashMap::new(),
+            arp: BTreeMap::new(),
+            arp_pending: BTreeMap::new(),
+            arp_last_request: BTreeMap::new(),
             out: VecDeque::new(),
             events: VecDeque::new(),
             stats: StackStats::default(),
-            pending_accept: HashMap::new(),
+            pending_accept: BTreeMap::new(),
             rx_checksum_offload: false,
             pool: BufPool::new(),
         }
@@ -390,12 +398,12 @@ impl NetStack {
     pub fn on_timer(&mut self, now: SimTime) {
         self.now = self.now.max(now);
         let now = self.now;
-        // Sorted id order: hash-map iteration order must never decide the
-        // order in which same-deadline connections emit segments — that
-        // would diverge across processes (distributed workers) and across
-        // checkpoint/restore.
-        let mut ids: Vec<SocketId> = self.sockets.keys().copied().collect();
-        ids.sort_unstable();
+        // Ascending id order straight off the ordered socket table: the
+        // order in which same-deadline connections emit segments is fixed by
+        // construction — it must never diverge across processes (distributed
+        // workers) or across checkpoint/restore. (The collect is still
+        // needed: firing timers mutates `sockets`.)
+        let ids: Vec<SocketId> = self.sockets.keys().copied().collect();
         for id in ids {
             let (segs, events, remote_ip) = match self.sockets.get_mut(&id) {
                 Some(Sock::Tcp(c)) => {
@@ -699,13 +707,11 @@ impl Snapshot for NetStack {
             w.u64(v);
         }
 
-        // Sockets in id order (canonical; hash-map order never leaks).
-        let mut ids: Vec<SocketId> = self.sockets.keys().copied().collect();
-        ids.sort_unstable();
-        w.usize(ids.len());
-        for id in &ids {
+        // Sockets in id order (canonical — the ordered map guarantees it).
+        w.usize(self.sockets.len());
+        for (id, sock) in &self.sockets {
             w.u64(id.0);
-            match &self.sockets[id] {
+            match sock {
                 Sock::TcpListener { _port } => {
                     w.u8(0);
                     w.u16(*_port);
@@ -721,37 +727,25 @@ impl Snapshot for NetStack {
             }
         }
 
-        let mut pending: Vec<(u64, u64)> = self
-            .pending_accept
-            .iter()
-            .map(|(s, l)| (s.0, l.0))
-            .collect();
-        pending.sort_unstable();
-        w.usize(pending.len());
-        for (s, l) in pending {
-            w.u64(s);
-            w.u64(l);
+        // The remaining tables encode in ascending key order directly off
+        // their ordered maps. `Ipv4Addr`'s derived `Ord` (big-endian byte
+        // order) matches the `to_u32` order the previous sorted encoding
+        // used, so the bytes are identical.
+        w.usize(self.pending_accept.len());
+        for (s, l) in &self.pending_accept {
+            w.u64(s.0);
+            w.u64(l.0);
         }
 
-        let mut arp: Vec<(u32, MacAddr)> =
-            self.arp.iter().map(|(ip, mac)| (ip.to_u32(), *mac)).collect();
-        arp.sort_unstable_by_key(|(ip, _)| *ip);
-        w.usize(arp.len());
-        for (ip, mac) in arp {
-            w.u32(ip);
+        w.usize(self.arp.len());
+        for (ip, mac) in &self.arp {
+            w.u32(ip.to_u32());
             w.raw(mac.as_bytes());
         }
 
-        type PendingSends = [(IpProto, Ecn, Vec<u8>)];
-        let mut arp_pending: Vec<(u32, &PendingSends)> = self
-            .arp_pending
-            .iter()
-            .map(|(ip, v)| (ip.to_u32(), v.as_slice()))
-            .collect();
-        arp_pending.sort_unstable_by_key(|(ip, _)| *ip);
-        w.usize(arp_pending.len());
-        for (ip, queued) in arp_pending {
-            w.u32(ip);
+        w.usize(self.arp_pending.len());
+        for (ip, queued) in &self.arp_pending {
+            w.u32(ip.to_u32());
             w.usize(queued.len());
             for (proto, ecn, l4) in queued {
                 w.u8(proto.to_u8());
@@ -760,16 +754,10 @@ impl Snapshot for NetStack {
             }
         }
 
-        let mut arp_last: Vec<(u32, SimTime)> = self
-            .arp_last_request
-            .iter()
-            .map(|(ip, t)| (ip.to_u32(), *t))
-            .collect();
-        arp_last.sort_unstable_by_key(|(ip, _)| *ip);
-        w.usize(arp_last.len());
-        for (ip, t) in arp_last {
-            w.u32(ip);
-            w.time(t);
+        w.usize(self.arp_last_request.len());
+        for (ip, t) in &self.arp_last_request {
+            w.u32(ip.to_u32());
+            w.time(*t);
         }
 
         w.usize(self.out.len());
@@ -1041,6 +1029,52 @@ mod tests {
         let mut fresh = NetStack::new(cfg(1, 1));
         for cut in [1usize, buf.len() / 2, buf.len() - 1] {
             assert!(fresh.restore(&mut SnapReader::new(&buf[..cut])).is_err());
+        }
+    }
+
+    /// Determinism regression: when several connections hit the same
+    /// retransmission deadline, the segments they emit must leave the stack
+    /// in ascending socket-id order. Under the pre-fix `HashMap` socket
+    /// table (iterating in hash order, as `on_timer` did before PR 4's
+    /// hand-fix and structurally since this fix), the retransmitted SYNs
+    /// interleave in per-instance hash order and this test fails — the
+    /// event-log divergence the sharded/distributed bit-identity matrix
+    /// would only catch after the fact.
+    #[test]
+    fn same_deadline_timers_fire_in_socket_id_order() {
+        let mut a = NetStack::new(cfg(1, 1));
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        a.add_arp_entry(dst, MacAddr::from_index(2));
+        // 16 connections opened at the same instant: same RTO deadline.
+        for i in 0..16u16 {
+            a.tcp_connect(SimTime::from_us(1), dst, 5000 + i);
+        }
+        // Drain the initial SYNs (they are emitted in call order regardless).
+        let mut initial = Vec::new();
+        while let Some(f) = a.poll_transmit() {
+            initial.push(src_port_of(&f));
+        }
+        assert_eq!(initial.len(), 16);
+        // Fire every expired retransmission timer in one call.
+        a.on_timer(SimTime::from_ms(200));
+        let mut retx = Vec::new();
+        while let Some(f) = a.poll_transmit() {
+            retx.push(src_port_of(&f));
+        }
+        assert_eq!(retx.len(), 16, "every connection retransmitted its SYN");
+        assert_eq!(
+            retx, initial,
+            "retransmissions leave in socket-id order, not hash order"
+        );
+        let mut sorted = retx.clone();
+        sorted.sort_unstable();
+        assert_eq!(retx, sorted, "socket-id order is ascending ephemeral port order");
+    }
+
+    fn src_port_of(frame: &[u8]) -> u16 {
+        match ParsedFrame::parse(frame).unwrap().l4 {
+            ParsedL4::Tcp { header, .. } => header.src_port,
+            other => panic!("expected TCP, got {other:?}"),
         }
     }
 

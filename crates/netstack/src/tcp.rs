@@ -169,9 +169,11 @@ pub struct TcpConn {
     win_end: u32,
     ce_to_echo: bool,
 
-    // RTT estimation / retransmission timer.
-    srtt_ns: f64,
-    rttvar_ns: f64,
+    // RTT estimation / retransmission timer (RFC 6298, integer
+    // picoseconds: float smoothing would make the RTO — virtual time —
+    // depend on platform/optimization-sensitive rounding).
+    srtt_ps: u64,
+    rttvar_ps: u64,
     rto: SimTime,
     rto_backoff: u32,
     rto_deadline: Option<SimTime>,
@@ -237,8 +239,8 @@ impl TcpConn {
             win_bytes_marked: 0,
             win_end: iss,
             ce_to_echo: false,
-            srtt_ns: 0.0,
-            rttvar_ns: 0.0,
+            srtt_ps: 0,
+            rttvar_ps: 0,
             rto: cfg.rto_initial,
             rto_backoff: 1,
             rto_deadline: None,
@@ -695,17 +697,17 @@ impl TcpConn {
     }
 
     fn update_rtt(&mut self, sample: SimTime) {
-        let s = sample.as_ps() as f64 / 1000.0;
-        if self.srtt_ns == 0.0 {
-            self.srtt_ns = s;
-            self.rttvar_ns = s / 2.0;
+        let s = sample.as_ps();
+        if self.srtt_ps == 0 {
+            self.srtt_ps = s;
+            self.rttvar_ps = s / 2;
         } else {
-            let delta = (self.srtt_ns - s).abs();
-            self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * delta;
-            self.srtt_ns = 0.875 * self.srtt_ns + 0.125 * s;
+            // srtt = 7/8 srtt + 1/8 s; rttvar = 3/4 rttvar + 1/4 |srtt - s|.
+            let delta = self.srtt_ps.abs_diff(s);
+            self.rttvar_ps = (3 * self.rttvar_ps + delta) / 4;
+            self.srtt_ps = (7 * self.srtt_ps + s) / 8;
         }
-        let rto_ns = self.srtt_ns + 4.0 * self.rttvar_ns;
-        let rto = SimTime::from_ps((rto_ns * 1000.0) as u64);
+        let rto = SimTime::from_ps(self.srtt_ps + 4 * self.rttvar_ps);
         self.rto = rto.max(self.cfg.rto_min);
     }
 
@@ -967,8 +969,8 @@ impl TcpConn {
         w.u32(self.win_end);
         w.bool(self.ce_to_echo);
 
-        w.f64(self.srtt_ns);
-        w.f64(self.rttvar_ns);
+        w.u64(self.srtt_ps);
+        w.u64(self.rttvar_ps);
         w.time(self.rto);
         w.u32(self.rto_backoff);
         w.opt_time(self.rto_deadline);
@@ -1048,8 +1050,8 @@ impl TcpConn {
         c.win_bytes_marked = r.u64()?;
         c.win_end = r.u32()?;
         c.ce_to_echo = r.bool()?;
-        c.srtt_ns = r.f64()?;
-        c.rttvar_ns = r.f64()?;
+        c.srtt_ps = r.u64()?;
+        c.rttvar_ps = r.u64()?;
         c.rto = r.time()?;
         c.rto_backoff = r.u32()?;
         c.rto_deadline = r.opt_time()?;
@@ -1804,7 +1806,26 @@ mod tests {
         for a in acks {
             c.on_segment(t_ack, Ecn::NotEct, &a.hdr, &[], &mut Vec::new(), &mut Vec::new());
         }
-        assert!(c.srtt_ns > 0.0);
+        assert!(c.srtt_ps > 0);
         assert!(c.rto >= c.cfg.rto_min);
+    }
+
+    /// Determinism regression: the RTT estimator is exact integer
+    /// arithmetic (RFC 6298 in picoseconds). Pinning the values catches any
+    /// reintroduction of float smoothing, whose rounding is
+    /// platform/optimization sensitive and leaks into the RTO — virtual
+    /// time that every executor must agree on bit-for-bit.
+    #[test]
+    fn rtt_estimator_is_exact_integer_arithmetic() {
+        let (mut c, _s) = handshake(TcpConfig::default());
+        assert_eq!(c.srtt_ps, 0, "handshake must not seed the estimator");
+        c.update_rtt(SimTime::from_ms(1));
+        assert_eq!(c.srtt_ps, SimTime::from_ms(1).as_ps());
+        assert_eq!(c.rttvar_ps, SimTime::from_us(500).as_ps());
+        c.update_rtt(SimTime::from_ms(2));
+        // srtt = (7*1ms + 2ms)/8 = 1.125ms; rttvar = (3*0.5ms + 1ms)/4.
+        assert_eq!(c.srtt_ps, 1_125_000_000);
+        assert_eq!(c.rttvar_ps, 625_000_000);
+        assert_eq!(c.rto, SimTime::from_ps(1_125_000_000 + 4 * 625_000_000));
     }
 }

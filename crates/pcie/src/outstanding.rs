@@ -5,13 +5,18 @@
 //! requests with an identifier and match completions back to the request
 //! context stored here.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A table of in-flight requests of type `T` keyed by request id.
+///
+/// Backed by a `BTreeMap` so every iteration — snapshots, drains,
+/// diagnostics — observes requests in ascending id order. Determinism is
+/// structural here, not a per-call-site convention: nothing downstream can
+/// accidentally depend on hash-map iteration order.
 #[derive(Debug)]
 pub struct OutstandingRequests<T> {
     next_id: u64,
-    inflight: HashMap<u64, T>,
+    inflight: BTreeMap<u64, T>,
     /// High-water mark of concurrently outstanding requests.
     max_inflight: usize,
 }
@@ -26,7 +31,7 @@ impl<T> OutstandingRequests<T> {
     pub fn new() -> Self {
         OutstandingRequests {
             next_id: 1,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             max_inflight: 0,
         }
     }
@@ -68,18 +73,22 @@ impl<T> OutstandingRequests<T> {
     // Checkpoint/restore support
     // ------------------------------------------------------------------
 
-    /// All in-flight requests in ascending id order (canonical for
-    /// snapshot encoding — hash-map iteration order never leaks).
+    /// All in-flight requests in ascending id order (canonical for snapshot
+    /// encoding). The order falls out of the ordered backing map — there is
+    /// no sort step left to forget at a new call site.
     pub fn entries(&self) -> Vec<(u64, &T)> {
-        let mut v: Vec<(u64, &T)> = self.inflight.iter().map(|(id, t)| (*id, t)).collect();
-        v.sort_unstable_by_key(|(id, _)| *id);
-        v
+        self.inflight.iter().map(|(id, t)| (*id, t)).collect()
+    }
+
+    /// Iterate in-flight requests in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.inflight.iter().map(|(id, t)| (*id, t))
     }
 
     /// Rebuild a table from snapshot parts: the next id to hand out and the
     /// in-flight (id, context) pairs.
     pub fn restore_parts(next_id: u64, items: Vec<(u64, T)>) -> Self {
-        let inflight: HashMap<u64, T> = items.into_iter().collect();
+        let inflight: BTreeMap<u64, T> = items.into_iter().collect();
         let max_inflight = inflight.len();
         OutstandingRequests {
             next_id,
@@ -131,6 +140,37 @@ mod tests {
         assert_eq!(o.high_water_mark(), 10);
         o.insert(0);
         assert_eq!(o.high_water_mark(), 10);
+    }
+
+    /// Determinism regression: iteration order must be ascending-by-id no
+    /// matter in which order requests were registered and completed. Under
+    /// the pre-fix `HashMap` backing (without a per-site sort), two tables
+    /// holding the same in-flight set after different completion histories
+    /// iterate in unrelated hash orders and this test fails — exactly the
+    /// divergence a snapshot or drain call site would then leak into the
+    /// event log.
+    #[test]
+    fn iteration_order_is_id_order_regardless_of_history() {
+        // Table A: insert 32, complete the even ids.
+        let mut a = OutstandingRequests::new();
+        let ids_a: Vec<u64> = (0..32).map(|i| a.insert(i)).collect();
+        for id in ids_a.iter().step_by(2) {
+            a.complete(*id);
+        }
+        // Table B: reach the same in-flight id set via a different history
+        // (insert 32, complete evens in reverse, then re-check).
+        let mut b = OutstandingRequests::new();
+        let ids_b: Vec<u64> = (0..32).map(|i| b.insert(i)).collect();
+        for id in ids_b.iter().step_by(2).rev() {
+            b.complete(*id);
+        }
+        let order_a: Vec<u64> = a.iter().map(|(id, _)| id).collect();
+        let order_b: Vec<u64> = b.iter().map(|(id, _)| id).collect();
+        assert_eq!(order_a, order_b, "same set, same observable order");
+        let mut sorted = order_a.clone();
+        sorted.sort_unstable();
+        assert_eq!(order_a, sorted, "iteration is ascending by id");
+        assert_eq!(a.entries().len(), 16);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   "SBCK"                      4 bytes
-//! version u16 (currently 3)           rejected if unknown
+//! version u16 (currently 4)           rejected if unknown
 //! flags   u16 (reserved, must be 0)
 //! name    u32-prefixed UTF-8          experiment name (validated on restore)
 //! time    u64                         checkpoint virtual time [ps]
@@ -33,7 +33,9 @@ pub const CKPT_MAGIC: [u8; 4] = *b"SBCK";
 /// state (`last_promise` after the adaptive interval, a seventh `PortStats`
 /// counter): v2 files would pass the magic check and then misparse, so they
 /// are rejected cleanly here instead.
-pub const CKPT_VERSION: u16 = 3;
+// Version 4: TcpConn RTT estimator state is integer picoseconds
+// (u64 srtt/rttvar), replacing the former f64 nanosecond fields.
+pub const CKPT_VERSION: u16 = 4;
 
 /// A decoded checkpoint container.
 #[derive(Debug)]

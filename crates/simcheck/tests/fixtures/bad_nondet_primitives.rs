@@ -1,0 +1,22 @@
+//! Known-bad: ambient randomness and float-derived virtual time (R4).
+//! Not compiled — scanned by simcheck's integration tests.
+
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn hasher() -> std::collections::hash_map::RandomState {
+    RandomState::new()
+}
+
+fn service_delay(load: f64) -> SimTime {
+    // Float rounding differs across platforms/opt levels.
+    SimTime::from_ns((1000.0 * load) as u64)
+}
+
+fn service_delay_multiline(load: f64) -> SimTime {
+    SimTime::from_us(
+        (17.5 * load) as u64,
+    )
+}

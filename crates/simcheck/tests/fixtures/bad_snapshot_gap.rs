@@ -1,0 +1,23 @@
+//! Known-bad: a Snapshot impl that forgets a field (R3).
+//! Not compiled — scanned by simcheck's integration tests.
+
+struct Dev {
+    ring_head: u32,
+    ring_tail: u32,
+    // This one silently escapes the checkpoint:
+    irq_pending: bool,
+}
+
+impl Snapshot for Dev {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u32(self.ring_head);
+        w.u32(self.ring_tail);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.ring_head = r.u32()?;
+        self.ring_tail = r.u32()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,41 @@
+//! Known-bad: every classic hash-iteration shape R1 must catch.
+//! Not compiled — scanned by simcheck's integration tests.
+
+use std::collections::{HashMap, HashSet};
+
+struct Router {
+    routes: HashMap<u32, u32>,
+    peers: HashSet<u64>,
+}
+
+fn broadcast(r: &mut Router) {
+    // for-loop over a hash map: emission order is per-process random.
+    for (dst, hop) in r.routes.iter() {
+        send(*dst, *hop);
+    }
+    // drain: removal order is random too.
+    for p in r.peers.drain() {
+        drop_peer(p);
+    }
+    // retain with an effectful closure observes visit order.
+    r.routes.retain(|k, _| expensive_check(*k));
+    // keys/values iteration.
+    for k in r.routes.keys() {
+        log(*k);
+    }
+}
+
+fn local_temp() {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    for (a, b) in m.iter() {
+        send(*a, *b);
+    }
+}
+
+fn send(_d: u32, _h: u32) {}
+fn drop_peer(_p: u64) {}
+fn expensive_check(_k: u32) -> bool {
+    true
+}
+fn log(_k: u32) {}

@@ -1,0 +1,28 @@
+//! Known-bad: wall-clock reads in simulated code (R2).
+//! Not compiled — scanned by simcheck's integration tests.
+
+use std::time::{Instant, SystemTime};
+
+fn simulate_step() -> u64 {
+    // Host clock leaking into simulated behavior.
+    let t0 = Instant::now();
+    step();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn seed_from_epoch() -> u64 {
+    // SystemTime is even worse: not monotonic.
+    SystemTime::now().elapsed().unwrap().as_nanos() as u64
+}
+
+fn step() {}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: wall-clock in test code is fine (timeouts etc.).
+    #[test]
+    fn timing_guard() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

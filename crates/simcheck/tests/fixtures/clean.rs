@@ -1,0 +1,35 @@
+//! Determinism-clean code: ordered containers, virtual time, full snapshot
+//! coverage. simcheck must report nothing here.
+//! Not compiled — scanned by simcheck's integration tests.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Table {
+    // Hash maps are fine as long as iteration order is never observed.
+    index: HashMap<u64, usize>,
+    rows: BTreeMap<u64, u32>,
+}
+
+fn lookup(t: &Table, k: u64) -> Option<usize> {
+    t.index.get(&k).copied()
+}
+
+fn sweep(t: &mut Table, cutoff: u32) {
+    t.rows.retain(|_, v| *v < cutoff);
+}
+
+struct Counter {
+    value: u64,
+}
+
+impl Snapshot for Counter {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u64(self.value);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.value = r.u64()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,40 @@
+//! Same hazards as the bad_* fixtures, each carrying a waiver — simcheck
+//! must report them as waived (non-blocking).
+//! Not compiled — scanned by simcheck's integration tests.
+
+use std::collections::HashMap;
+
+struct Counters {
+    hits: HashMap<u32, u64>,
+}
+
+fn total(c: &Counters) -> u64 {
+    let mut sum = 0;
+    // det-ok: summation is commutative; order cannot be observed
+    for v in c.hits.values() {
+        sum += v;
+    }
+    sum
+}
+
+fn pace() -> std::time::Instant {
+    std::time::Instant::now() // det-ok: emulation pacing, never in sim mode
+}
+
+struct Cache {
+    entries: u32,
+    // snap-skip: rebuilt lazily from the backing store after restore
+    warm_index: u32,
+}
+
+impl Snapshot for Cache {
+    fn snapshot(&self, w: &mut SnapWriter) -> SnapResult<()> {
+        w.u32(self.entries);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.entries = r.u32()?;
+        Ok(())
+    }
+}
