@@ -6,6 +6,7 @@
 //! (§5.5), which the synchronization layer uses to timestamp outgoing
 //! messages and to decide when SYNC messages must be emitted.
 
+use crate::impair::Impairment;
 use crate::pktbuf::BufPool;
 use crate::slot::{MsgType, OwnedMsg};
 use crate::spsc::{self, Consumer, Producer, SendError, DEFAULT_QUEUE_LEN};
@@ -32,6 +33,11 @@ pub struct ChannelParams {
     /// on idle channels without affecting simulation results (promises are
     /// only ever emitted earlier or at a coarser cadence, never late).
     pub adaptive_sync: bool,
+    /// Deterministic link impairment (loss, jitter, reordering, rate
+    /// variation) applied by the sending endpoint of each direction. Both
+    /// sides of a distributed link must agree on it, exactly like the
+    /// latency — the proxy handshake verifies equality.
+    pub impairment: Impairment,
 }
 
 impl ChannelParams {
@@ -44,6 +50,7 @@ impl ChannelParams {
             sync: true,
             queue_len: DEFAULT_QUEUE_LEN,
             adaptive_sync: true,
+            impairment: Impairment::none(),
         }
     }
 
@@ -89,8 +96,14 @@ impl ChannelParams {
         self
     }
 
+    /// Set the link impairment model (disabled by default).
+    pub fn with_impairment(mut self, impairment: Impairment) -> Self {
+        self.impairment = impairment;
+        self
+    }
+
     /// Size in bytes of the wire encoding produced by [`ChannelParams::to_wire`].
-    pub const WIRE_LEN: usize = 26;
+    pub const WIRE_LEN: usize = 26 + Impairment::WIRE_LEN;
 
     /// Serialize the parameters for transmission between the two halves of a
     /// distributed proxy pair (§5.4): both sides must agree on latency, sync
@@ -98,19 +111,21 @@ impl ChannelParams {
     /// parameters in the handshake frame and the accepting side verifies
     /// them. Layout (little-endian): u64 latency ps, u64 sync interval ps,
     /// u64 queue length, u8 flags (bit 0 = sync, bit 1 = adaptive sync),
-    /// u8 reserved.
+    /// u8 reserved, then the fixed [`Impairment::WIRE_LEN`]-byte impairment
+    /// block (see [`Impairment::to_wire`]).
     pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
         let mut out = [0u8; Self::WIRE_LEN];
         out[0..8].copy_from_slice(&self.latency.as_ps().to_le_bytes());
         out[8..16].copy_from_slice(&self.sync_interval.as_ps().to_le_bytes());
         out[16..24].copy_from_slice(&(self.queue_len as u64).to_le_bytes());
         out[24] = (self.sync as u8) | ((self.adaptive_sync as u8) << 1);
+        out[26..].copy_from_slice(&self.impairment.to_wire());
         out
     }
 
     /// Parse parameters previously encoded with [`ChannelParams::to_wire`].
-    /// Returns `None` if `buf` is shorter than [`ChannelParams::WIRE_LEN`] or
-    /// contains undefined flag bits.
+    /// Returns `None` if `buf` is shorter than [`ChannelParams::WIRE_LEN`],
+    /// contains undefined flag bits, or carries an invalid impairment block.
     pub fn from_wire(buf: &[u8]) -> Option<ChannelParams> {
         if buf.len() < Self::WIRE_LEN {
             return None;
@@ -125,6 +140,7 @@ impl ChannelParams {
             queue_len: u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize,
             sync: flags & 0x01 != 0,
             adaptive_sync: flags & 0x02 != 0,
+            impairment: Impairment::from_wire(&buf[26..])?,
         })
     }
 }
@@ -141,6 +157,7 @@ pub struct ChannelEnd {
     rx: Consumer,
     params: ChannelParams,
     conn_id: u64,
+    dir: u8,
 }
 
 /// Create a connected pair of channel endpoints. Both endpoints share a
@@ -159,12 +176,14 @@ pub fn channel_pair(params: ChannelParams) -> (ChannelEnd, ChannelEnd) {
             rx: cb,
             params,
             conn_id,
+            dir: 0,
         },
         ChannelEnd {
             tx: pb,
             rx: ca,
             params,
             conn_id,
+            dir: 1,
         },
     )
 }
@@ -178,6 +197,23 @@ impl ChannelEnd {
     /// Process-wide unique id shared by both endpoints of this channel.
     pub fn conn_id(&self) -> u64 {
         self.conn_id
+    }
+
+    /// Direction tag: 0 for the `.0` endpoint of [`channel_pair`], 1 for the
+    /// `.1` endpoint. Impairment streams are seeded per direction from this
+    /// tag (never from `conn_id`, whose allocation order depends on the
+    /// process and partitioning), so impaired traffic is bit-identical no
+    /// matter how the experiment is partitioned.
+    pub fn dir(&self) -> u8 {
+        self.dir
+    }
+
+    /// Override the direction tag. Only the distributed runner uses this:
+    /// a cross-partition endpoint is materialized from a fresh local pair,
+    /// so its tag must be set explicitly to the side (`a` = 0, `b` = 1) it
+    /// represents in the logical topology.
+    pub fn set_dir(&mut self, dir: u8) {
+        self.dir = dir;
     }
 
     /// Install the buffer pool received payloads are allocated from (the
@@ -296,6 +332,16 @@ mod tests {
         assert_eq!(ChannelParams::from_wire(&w[..ChannelParams::WIRE_LEN - 1]), None);
         let mut bad = w;
         bad[24] = 0xff;
+        assert_eq!(ChannelParams::from_wire(&bad), None);
+        // Impairment parameters travel too, and invalid blocks are rejected.
+        let imp = crate::impair::Impairment::none()
+            .with_bernoulli_loss(25)
+            .with_jitter(SimTime::from_ns(40))
+            .with_seed(99);
+        let pi = ChannelParams::default_sync().with_impairment(imp);
+        assert_eq!(ChannelParams::from_wire(&pi.to_wire()), Some(pi));
+        let mut bad = pi.to_wire();
+        bad[26] = 0x7f; // unknown loss-model kind
         assert_eq!(ChannelParams::from_wire(&bad), None);
     }
 

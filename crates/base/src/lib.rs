@@ -7,6 +7,8 @@
 //! * [`slot`] — fixed-size message slots with the ownership/type control byte.
 //! * [`spsc`] — single-producer/single-consumer polled message queues (§A.2).
 //! * [`channel`] — bidirectional channels built from two SPSC queues (§5.2).
+//! * [`impair`] — deterministic link impairments (loss, jitter, reordering,
+//!   rate variation) applied by the sending endpoint of a channel.
 //! * [`sync`] — the pairwise synchronization protocol exploiting link
 //!   latency for slack (§5.5).
 //! * [`barrier`] — epoch/global-barrier synchronization, the dist-gem5-style
@@ -30,6 +32,7 @@
 pub mod barrier;
 pub mod channel;
 pub mod event;
+pub mod impair;
 pub mod kernel;
 pub mod log;
 pub mod pktbuf;
@@ -44,6 +47,7 @@ pub mod trace;
 pub use barrier::{BarrierMember, EpochController};
 pub use channel::{channel_pair, ChannelEnd, ChannelParams};
 pub use event::{EventId, EventQueue};
+pub use impair::{fnv1a_str, mix_seed, ImpairState, Impairment, LossModel};
 pub use kernel::{Kernel, Model, PortId, StepOutcome, SyncLookahead, WakeHint};
 pub use log::{intern_tag, EventLog, LogEntry};
 pub use pktbuf::{BufPool, PktBuf, PoolStats, DEFAULT_HEADROOM, SEG_CAPACITY};

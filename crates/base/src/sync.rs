@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use crate::channel::ChannelEnd;
+use crate::impair::ImpairState;
 use crate::pktbuf::PktBuf;
 use crate::slot::{MsgType, OwnedMsg, MSG_SYNC};
 use crate::snap::{SnapError, SnapReader, SnapResult, SnapWriter, Snapshot};
@@ -88,6 +89,11 @@ pub struct SyncPort {
     /// part of the snapshot).
     // snap-skip: protocol configuration, set at setup, never mutated mid-run
     hier: bool,
+    /// Link impairment applied to outgoing data (loss, jitter, reordering,
+    /// rate variation). The PRNG advances only on data sends, so impaired
+    /// traffic is a pure function of the virtual-time send history and stays
+    /// bit-identical across executors and transports.
+    impair: ImpairState,
     stats: PortStats,
 }
 
@@ -96,6 +102,7 @@ impl SyncPort {
     pub fn new(chan: ChannelEnd) -> Self {
         let cur_interval = chan.params().sync_interval;
         let sync_cap = chan.latency();
+        let impair = ImpairState::new(chan.params().impairment, chan.dir());
         SyncPort {
             chan,
             in_horizon: SimTime::ZERO,
@@ -107,6 +114,7 @@ impl SyncPort {
             sync_cap,
             last_promise: SimTime::ZERO,
             hier: false,
+            impair,
             stats: PortStats::default(),
         }
     }
@@ -234,6 +242,15 @@ impl SyncPort {
     /// the `hier` field).
     pub fn send_data(&mut self, now: SimTime, ty: MsgType, payload: &[u8]) {
         debug_assert!(ty != MSG_SYNC, "type 0 is reserved for SYNC messages");
+        if self.impair.active() {
+            let buf = if payload.is_empty() {
+                PktBuf::empty()
+            } else {
+                self.chan.pool().copy_from_slice(payload)
+            };
+            self.send_data_impaired(now, ty, buf);
+            return;
+        }
         let ts = now.saturating_add(self.latency());
         debug_assert!(
             ts >= self.last_promise || !self.sync_enabled(),
@@ -254,6 +271,10 @@ impl SyncPort {
     /// without any copy.
     pub fn send_data_buf(&mut self, now: SimTime, ty: MsgType, payload: PktBuf) {
         debug_assert!(ty != MSG_SYNC, "type 0 is reserved for SYNC messages");
+        if self.impair.active() {
+            self.send_data_impaired(now, ty, payload);
+            return;
+        }
         let ts = now.saturating_add(self.latency());
         debug_assert!(
             ts >= self.last_promise || !self.sync_enabled(),
@@ -267,6 +288,66 @@ impl SyncPort {
             self.cur_interval = self.sync_interval();
         }
         self.next_sync_due = now.saturating_add(self.cur_interval);
+    }
+
+    /// Impaired data send (see [`crate::impair`]). Every decision draws from
+    /// the per-direction seeded stream, which advances only here — never on
+    /// SYNC paths, whose emission timing is executor-dependent — so the
+    /// impaired packet sequence is deterministic.
+    ///
+    /// Wire monotonicity is preserved throughout: impairments only add delay
+    /// (`arrival = now + Δ + extra`), a lost packet is replaced by a SYNC at
+    /// the un-jittered base promise `now + Δ` (a jittered promise could
+    /// overshoot a later packet's arrival), and every emission still ratchets
+    /// through `last_promise`.
+    fn send_data_impaired(&mut self, now: SimTime, ty: MsgType, payload: PktBuf) {
+        let base = now.saturating_add(self.latency());
+        let had_deferred = self.impair.has_deferred();
+        if self.impair.decide_loss() {
+            // Dropped — but the peer still needs liveness: promise the base
+            // arrival time the packet would have had.
+            self.impair.lost += 1;
+            if self.sync_enabled() {
+                let ts = base.max(self.last_promise);
+                self.enqueue(ts, MSG_SYNC, &[]);
+                self.stats.syncs_sent += 1;
+                self.last_promise = ts;
+            }
+        } else {
+            let ts = base
+                .saturating_add(self.impair.extra_delay(base))
+                .max(self.last_promise);
+            if !had_deferred && self.impair.decide_defer() {
+                // Hold this packet back one slot: the next data message
+                // overtakes it. Deliberately does not ratchet last_promise —
+                // the packet has not reached the wire yet.
+                self.impair.defer(ts, ty, payload);
+            } else {
+                self.last_promise = ts;
+                self.enqueue_buf(ts, ty, payload);
+                self.stats.data_sent += 1;
+            }
+        }
+        // Flush a packet deferred on an *earlier* send right behind this one
+        // (that is the reordering): it goes out at its own arrival time,
+        // clamped up to the standing promise.
+        if had_deferred {
+            if let Some((dts, dty, dbuf)) = self.impair.take_deferred() {
+                let ts = dts.max(self.last_promise);
+                self.last_promise = ts;
+                self.enqueue_buf(ts, dty, dbuf);
+                self.stats.data_sent += 1;
+            }
+        }
+        if !self.hier {
+            self.cur_interval = self.sync_interval();
+        }
+        self.next_sync_due = now.saturating_add(self.cur_interval);
+    }
+
+    /// Impairment counters of this port: (lost, delayed, reordered).
+    pub fn impair_counters(&self) -> (u64, u64, u64) {
+        (self.impair.lost, self.impair.delayed, self.impair.reordered)
     }
 
     /// Emit a SYNC message if one is due at local time `now` (§5.5: liveness).
@@ -395,6 +476,13 @@ impl SyncPort {
     /// Send the final "end of time" promise so the peer never waits for this
     /// component again after it finishes.
     pub fn finalize(&mut self) {
+        // A packet still held back for reordering when the simulation ends is
+        // dropped deterministically (it counts as lost): flushing it here
+        // would make delivery depend on *when* finalize runs, which differs
+        // across executors.
+        if self.impair.take_deferred().is_some() {
+            self.impair.lost += 1;
+        }
         if self.sync_enabled() && !self.finalized {
             self.enqueue(SimTime::MAX, MSG_SYNC, &[]);
             self.stats.syncs_sent += 1;
@@ -502,7 +590,8 @@ impl Snapshot for SyncPort {
         w.bool(self.finalized);
         w.time(self.cur_interval);
         w.time(self.last_promise);
-        self.stats.snapshot(w)
+        self.stats.snapshot(w)?;
+        self.impair.snapshot(w)
     }
 
     fn restore(&mut self, r: &mut SnapReader) -> SnapResult<()> {
@@ -533,7 +622,8 @@ impl Snapshot for SyncPort {
         self.finalized = r.bool()?;
         self.cur_interval = r.time()?;
         self.last_promise = r.time()?;
-        self.stats.restore(r)
+        self.stats.restore(r)?;
+        self.impair.restore(r)
     }
 }
 
@@ -740,5 +830,120 @@ mod tests {
         b.poll();
         assert_eq!(b.pop_due(SimTime::MAX).unwrap().ty, 1);
         assert_eq!(b.pop_due(SimTime::MAX).unwrap().ty, 2);
+    }
+
+    use crate::impair::Impairment;
+
+    fn impaired_pair(imp: Impairment) -> (SyncPort, SyncPort) {
+        let params = ChannelParams::default_sync()
+            .with_latency(SimTime::from_ns(500))
+            .with_queue_len(256)
+            .with_impairment(imp);
+        let (a, b) = channel_pair(params);
+        (SyncPort::new(a), SyncPort::new(b))
+    }
+
+    /// Drive `n` sends through an impaired port and return the delivered
+    /// (timestamp, ty) sequence plus the sender's impairment counters.
+    fn run_impaired(imp: Impairment, n: u64) -> (Vec<(SimTime, MsgType)>, (u64, u64, u64)) {
+        let (mut a, mut b) = impaired_pair(imp);
+        for i in 0..n {
+            a.send_data(SimTime::from_ns(i * 100), (1 + (i % 100)) as u8, &[i as u8]);
+            b.poll();
+        }
+        a.finalize();
+        b.poll();
+        let mut out = Vec::new();
+        while let Some(m) = b.pop_due(SimTime::MAX) {
+            out.push((m.timestamp, m.ty));
+        }
+        (out, a.impair_counters())
+    }
+
+    #[test]
+    fn impaired_send_is_deterministic_and_seed_sensitive() {
+        let imp = Impairment::none()
+            .with_bernoulli_loss(100)
+            .with_jitter(SimTime::from_ns(50))
+            .with_reorder(100)
+            .with_seed(7);
+        let (run1, c1) = run_impaired(imp, 200);
+        let (run2, c2) = run_impaired(imp, 200);
+        assert_eq!(run1, run2, "same seed must replay bit-identically");
+        assert_eq!(c1, c2);
+        assert!(c1.0 > 0, "expected some losses at 10%");
+        let (run3, _) = run_impaired(imp.with_seed(8), 200);
+        assert_ne!(run1, run3, "different seed must change the trace");
+    }
+
+    #[test]
+    fn impaired_timestamps_stay_monotonic_and_delayed() {
+        let imp = Impairment::none()
+            .with_bernoulli_loss(150)
+            .with_jitter(SimTime::from_ns(400))
+            .with_reorder(200)
+            .with_seed(3);
+        let (out, counters) = run_impaired(imp, 300);
+        let mut last = SimTime::ZERO;
+        for (ts, _) in &out {
+            assert!(*ts >= last, "wire timestamps must never regress");
+            last = *ts;
+        }
+        let (lost, delayed, reordered) = counters;
+        assert!(lost > 0 && delayed > 0 && reordered > 0);
+        // Every surviving packet arrives (losses may include a deferred one
+        // dropped at finalize).
+        assert_eq!(out.len() as u64, 300 - lost);
+    }
+
+    #[test]
+    fn lost_packet_still_promises_progress() {
+        // Loss rate 100%: nothing is delivered, but the peer's horizon must
+        // still advance via replacement SYNCs.
+        let imp = Impairment::none().with_bernoulli_loss(1000).with_seed(1);
+        let (mut a, mut b) = impaired_pair(imp);
+        a.send_data(SimTime::from_ns(100), 1, &[1]);
+        b.poll();
+        assert!(b.pop_due(SimTime::MAX).is_none());
+        assert_eq!(b.horizon(), SimTime::from_ns(600), "SYNC at un-jittered base");
+        assert_eq!(a.impair_counters().0, 1);
+    }
+
+    #[test]
+    fn deferred_packet_survives_snapshot_restore() {
+        let imp = Impairment::none().with_reorder(1000).with_seed(5);
+        let (mut a, _b) = impaired_pair(imp);
+        // reorder probability 1000‰: the first send is always deferred.
+        a.send_data(SimTime::from_ns(10), 7, &[42]);
+        assert_eq!(a.stats().data_sent, 0, "deferred packet not yet on the wire");
+        let mut w = SnapWriter::new();
+        a.snapshot(&mut w).unwrap();
+        let buf = w.into_vec();
+        let (a2, mut b2) = impaired_pair(imp);
+        let mut a2 = {
+            let mut p = a2;
+            p.restore(&mut SnapReader::new(&buf)).unwrap();
+            p
+        };
+        // The next send flushes the restored deferred packet behind it.
+        a2.send_data(SimTime::from_ns(20), 8, &[43]);
+        b2.poll();
+        let first = b2.pop_due(SimTime::MAX).unwrap();
+        let second = b2.pop_due(SimTime::MAX).unwrap();
+        assert_eq!(first.ty, 8, "current packet overtakes the deferred one");
+        assert_eq!(second.ty, 7, "deferred packet restored across snapshot");
+        assert!(second.timestamp >= first.timestamp);
+    }
+
+    #[test]
+    fn finalize_drops_deferred_deterministically() {
+        let imp = Impairment::none().with_reorder(1000).with_seed(9);
+        let (mut a, mut b) = impaired_pair(imp);
+        a.send_data(SimTime::from_ns(10), 7, &[42]);
+        a.finalize();
+        b.poll();
+        assert!(b.pop_due(SimTime::MAX).is_none(), "deferred packet dropped at end");
+        assert_eq!(a.impair_counters().0, 1, "counted as lost");
+        assert_eq!(b.horizon(), SimTime::MAX);
     }
 }

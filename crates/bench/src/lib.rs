@@ -7,17 +7,225 @@
 //! *shape* of each result (who wins, by what factor, where crossovers fall)
 //! is what EXPERIMENTS.md compares against the paper.
 
-use simbricks::apps::{IperfTcpClient, IperfTcpServer, IperfUdpClient, IperfUdpServer, NetperfClient, NetperfServer};
+use simbricks::apps::{IperfUdpClient, IperfUdpServer, NetperfClient, NetperfServer};
 use simbricks::hostsim::{HostConfig, HostKind, HostModel, NicModelKind};
 use simbricks::netsim::des::{EndpointApp, EndpointCtx};
 use simbricks::netsim::{DesNetwork, LinkParams, QueueDiscipline, SwitchBm, SwitchConfig, TofinoConfig, TofinoSwitch};
 use simbricks::netstack::{CongestionControl, SocketAddr, SocketEvent, SocketId, StackConfig};
 use simbricks::proto::{Ipv4Addr, MacAddr};
-use simbricks::runner::{attach_host_nic, Execution, Experiment};
+use simbricks::runner::{attach_host_nic, Execution, Experiment, PartitionBuilder};
+use simbricks::scenario::Scenario;
 use simbricks::SimTime;
 
 /// Re-export for binaries.
 pub use simbricks;
+
+/// Generators for the declarative TOML documents the bench harnesses run.
+///
+/// Every standard topology is expressed as a scenario document and lowered
+/// through [`simbricks::scenario`] — the generated text is also exactly what
+/// a distributed worker rebuilds its partition from, and what you can dump
+/// into a file and replay with `simbricks-run`.
+pub mod scen {
+    use std::fmt::Write as _;
+
+    use super::{HostKind, SimTime};
+
+    /// Scenario-file spelling of a [`HostKind`].
+    pub fn kind_str(kind: HostKind) -> &'static str {
+        match kind {
+            HostKind::Gem5Timing => "gem5_timing",
+            HostKind::QemuTiming => "qemu_timing",
+            HostKind::QemuKvm => "qemu_kvm",
+        }
+    }
+
+    /// The Fig. 1 end-to-end dctcp document: two client/server pairs on
+    /// separate edge switches joined by one shared bottleneck link, ECN
+    /// marking threshold `k_packets` on both switches.
+    pub fn dctcp_e2e_toml(
+        k_packets: usize,
+        duration: SimTime,
+        host: HostKind,
+        log: bool,
+    ) -> String {
+        let kind = kind_str(host);
+        let mut t = String::new();
+        let _ = write!(
+            t,
+            "[scenario]\nname = \"dctcp-e2e\"\nduration = \"{}ps\"\nend_margin = \"5ms\"\nlog = {log}\n",
+            duration.as_ps()
+        );
+        for pair in 0..2u32 {
+            let port = 5000 + pair;
+            let _ = write!(
+                t,
+                "\n[[host]]\nname = \"s{pair}\"\nkind = \"{kind}\"\ncongestion = \"dctcp\"\n\
+                 mtu = 4000\nindex = {}\n\n[host.app]\ntype = \"iperf_tcp_server\"\nport = {port}\n",
+                pair * 2
+            );
+            let _ = write!(
+                t,
+                "\n[[host]]\nname = \"c{pair}\"\nkind = \"{kind}\"\ncongestion = \"dctcp\"\n\
+                 mtu = 4000\nindex = {}\n\n[host.app]\ntype = \"iperf_tcp_client\"\n\
+                 server = \"s{pair}\"\nport = {port}\n",
+                pair * 2 + 1
+            );
+        }
+        let _ = write!(
+            t,
+            "\n[[switch]]\nname = \"switch-clients\"\necn_k = {k_packets}\n\
+             \n[[switch]]\nname = \"switch-servers\"\necn_k = {k_packets}\n"
+        );
+        // Link order fixes port numbering: servers [s0, s1, uplink], clients
+        // [c0, c1, uplink] — the hand-rolled harness's port layout.
+        for pair in 0..2u32 {
+            let _ = write!(
+                t,
+                "\n[[link]]\nname = \"eth-s{pair}\"\na = \"s{pair}\"\nb = \"switch-servers\"\n\
+                 \n[[link]]\nname = \"eth-c{pair}\"\na = \"c{pair}\"\nb = \"switch-clients\"\n"
+            );
+        }
+        t.push_str("\n[[link]]\nname = \"uplink\"\na = \"switch-clients\"\nb = \"switch-servers\"\n");
+        t
+    }
+
+    /// The §7.6 determinism document: two gem5-like hosts running netperf
+    /// through the behavioural switch, event logging on.
+    pub fn netperf_logged_toml(stream: SimTime, rr: SimTime) -> String {
+        let mut t = String::new();
+        let _ = write!(
+            t,
+            "[scenario]\nname = \"sec76-netperf\"\nduration = \"{}ps\"\nend_margin = \"2ms\"\nlog = true\n",
+            (stream + rr).as_ps()
+        );
+        let _ = write!(
+            t,
+            "\n[[host]]\nname = \"server\"\nkind = \"gem5_timing\"\n\
+             \n[host.app]\ntype = \"netperf_server\"\n\
+             \n[[host]]\nname = \"client\"\nkind = \"gem5_timing\"\n\
+             \n[host.app]\ntype = \"netperf_client\"\nserver = \"server\"\n\
+             stream_duration = \"{}ps\"\nrr_duration = \"{}ps\"\n",
+            stream.as_ps(),
+            rr.as_ps()
+        );
+        t.push_str(
+            "\n[[switch]]\nname = \"switch\"\n\
+             \n[[link]]\nname = \"eth-server\"\na = \"server\"\nb = \"switch\"\n\
+             \n[[link]]\nname = \"eth-client\"\na = \"client\"\nb = \"switch\"\n",
+        );
+        t
+    }
+
+    /// The Fig. 6/7 scale-up document: `hosts` hosts (one UDP server, the
+    /// rest paced UDP clients) behind a single switch in `w0`, host `i`
+    /// assigned to partition `w{i % parts}`.
+    pub fn udp_scaleup_toml(
+        hosts: usize,
+        kind: HostKind,
+        duration: SimTime,
+        parts: usize,
+        log: bool,
+        hier: bool,
+        barrier: bool,
+    ) -> String {
+        let kind = kind_str(kind);
+        let per_client_rate = 1_000_000_000 / (hosts.max(2) as u64 - 1);
+        let mut t = String::new();
+        let _ = write!(
+            t,
+            "[scenario]\nname = \"scaleup\"\nduration = \"{}ps\"\nend_margin = \"2ms\"\n\
+             log = {log}\nhier_sync = {hier}\nglobal_barrier = {barrier}\n",
+            duration.as_ps()
+        );
+        for i in 0..hosts {
+            let part = i % parts;
+            if i == 0 {
+                let _ = write!(
+                    t,
+                    "\n[[host]]\nname = \"server\"\nkind = \"{kind}\"\npartition = \"w0\"\n\
+                     \n[host.app]\ntype = \"iperf_udp_server\"\nport = 9000\n"
+                );
+            } else {
+                let _ = write!(
+                    t,
+                    "\n[[host]]\nname = \"client{i}\"\nkind = \"{kind}\"\npartition = \"w{part}\"\n\
+                     \n[host.app]\ntype = \"iperf_udp_client\"\nserver = \"server\"\nport = 9000\n\
+                     rate = {per_client_rate}\npayload = 800\n"
+                );
+            }
+            let peer = if i == 0 { "server".to_string() } else { format!("client{i}") };
+            let _ = write!(t, "\n[[link]]\nname = \"eth{i}\"\na = \"{peer}\"\nb = \"switch\"\n");
+        }
+        t.push_str("\n[[switch]]\nname = \"switch\"\npartition = \"w0\"\n");
+        t
+    }
+
+    /// The Fig. 8 scale-out document: `racks` racks of `hpr` hosts (first
+    /// half memcached servers, second half memaslap clients fanning out to
+    /// every server) behind per-rack ToR switches and one core switch in
+    /// `w0`; rack `r` lives in partition `w{r % parts}`.
+    pub fn memcache_racks_toml(
+        racks: usize,
+        hpr: usize,
+        kind: HostKind,
+        parts: usize,
+        log: bool,
+        hier: bool,
+    ) -> String {
+        let kind = kind_str(kind);
+        let mut servers = String::new();
+        for r in 0..racks {
+            for h in 0..hpr / 2 {
+                if !servers.is_empty() {
+                    servers.push_str(", ");
+                }
+                let _ = write!(servers, "\"r{r}h{h}\"");
+            }
+        }
+        let mut t = String::new();
+        let _ = write!(
+            t,
+            "[scenario]\nname = \"memcache-racks\"\nduration = \"5ms\"\nend_margin = \"2ms\"\n\
+             log = {log}\nhier_sync = {hier}\n"
+        );
+        for r in 0..racks {
+            let part = r % parts;
+            for h in 0..hpr {
+                let _ = write!(
+                    t,
+                    "\n[[host]]\nname = \"r{r}h{h}\"\nkind = \"{kind}\"\npartition = \"w{part}\"\n"
+                );
+                if h < hpr / 2 {
+                    t.push_str("\n[host.app]\ntype = \"memcached_server\"\n");
+                } else {
+                    let _ = write!(
+                        t,
+                        "\n[host.app]\ntype = \"memaslap_client\"\nservers = [{servers}]\n\
+                         concurrency = 2\nvalue_size = 64\n"
+                    );
+                }
+                let _ = write!(
+                    t,
+                    "\n[[link]]\nname = \"r{r}h{h}-eth\"\na = \"r{r}h{h}\"\nb = \"tor{r}\"\n"
+                );
+            }
+            let _ = write!(t, "\n[[switch]]\nname = \"tor{r}\"\npartition = \"w{part}\"\n");
+            let _ = write!(t, "\n[[link]]\nname = \"up{r}\"\na = \"tor{r}\"\nb = \"core\"\n");
+        }
+        t.push_str("\n[[switch]]\nname = \"core\"\npartition = \"w0\"\n");
+        t
+    }
+}
+
+/// Parse and lower a generated scenario document onto `pb`. Panics on
+/// invalid input — the generators above are the only callers, so a failure
+/// is a bench bug, not user error.
+fn lower_generated(toml: &str, pb: &mut PartitionBuilder) -> simbricks::scenario::Lowered {
+    let spec = Scenario::from_toml_str(toml)
+        .unwrap_or_else(|e| panic!("generated scenario invalid: {e}\n{toml}"));
+    simbricks::scenario::lower(&spec, pb)
+}
 
 /// Result of one netperf-style run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -122,41 +330,16 @@ pub fn dctcp_e2e_build(
     host: HostKind,
     log: bool,
 ) -> (Experiment, Vec<usize>) {
-    let mut exp = Experiment::new("dctcp-e2e", duration + SimTime::from_ms(5));
-    if log {
-        exp = exp.with_logging();
-    }
-    let mut client_eth = Vec::new();
-    let mut server_eth = Vec::new();
-    let mut servers = Vec::new();
-    for pair in 0..2u32 {
-        let server_cfg = HostConfig::new(host, pair * 2)
-            .with_congestion(CongestionControl::Dctcp)
-            .with_mtu(4000);
-        let client_cfg = HostConfig::new(host, pair * 2 + 1)
-            .with_congestion(CongestionControl::Dctcp)
-            .with_mtu(4000);
-        let server_app = Box::new(IperfTcpServer::new(5000 + pair as u16));
-        let client_app = Box::new(IperfTcpClient::new(server_cfg.ip, 5000 + pair as u16, duration));
-        let (s, _, s_eth) = attach_host_nic(&mut exp, &format!("s{pair}"), server_cfg, server_app, false);
-        let (_c, _, c_eth) = attach_host_nic(&mut exp, &format!("c{pair}"), client_cfg, client_app, false);
-        server_eth.push(s_eth);
-        client_eth.push(c_eth);
-        servers.push(s);
-    }
-    // Client-side and server-side switches joined by one 10 G link: the
-    // shared bottleneck where DCTCP marking happens.
-    let (uplink_l, uplink_r) = simbricks::base::channel_pair(exp.eth_params());
-    let sw_cfg = SwitchConfig {
-        ports: 3,
-        ecn_threshold_pkts: Some(k_packets),
-        ..Default::default()
-    };
-    client_eth.push(uplink_l);
-    server_eth.push(uplink_r);
-    exp.add("switch-clients", Box::new(SwitchBm::new(sw_cfg)), client_eth);
-    exp.add("switch-servers", Box::new(SwitchBm::new(sw_cfg)), server_eth);
-    (exp, servers)
+    let toml = scen::dctcp_e2e_toml(k_packets, duration, host, log);
+    let mut pb = PartitionBuilder::new_local();
+    let low = lower_generated(&toml, &mut pb);
+    let servers = low
+        .hosts
+        .iter()
+        .filter(|(name, _)| name.starts_with('s'))
+        .map(|(_, id)| *id)
+        .collect();
+    (pb.into_experiment(), servers)
 }
 
 /// Aggregate goodput (Gbps) reported by the server hosts of a completed
@@ -188,20 +371,10 @@ pub fn dctcp_end_to_end(k_packets: usize, duration: SimTime, host: HostKind) -> 
 /// The standard determinism-check configuration (§7.6): two gem5-like hosts
 /// running netperf through the behavioural switch, with event logging on.
 pub fn netperf_logged_experiment(stream: SimTime, rr: SimTime) -> Experiment {
-    let total = stream + rr + SimTime::from_ms(2);
-    let mut exp = Experiment::new("sec76-netperf", total).with_logging();
-    let server_cfg = HostConfig::new(HostKind::Gem5Timing, 0);
-    let client_cfg = HostConfig::new(HostKind::Gem5Timing, 1);
-    let server_app = Box::new(NetperfServer::new(5201, 5202));
-    let client_app = Box::new(NetperfClient::new(server_cfg.ip, 5201, 5202, stream, rr));
-    let (_s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, false);
-    let (_c, _, c_eth) = attach_host_nic(&mut exp, "client", client_cfg, client_app, false);
-    exp.add(
-        "switch",
-        Box::new(SwitchBm::new(SwitchConfig { ports: 2, ..Default::default() })),
-        vec![s_eth, c_eth],
-    );
-    exp
+    let toml = scen::netperf_logged_toml(stream, rr);
+    let mut pb = PartitionBuilder::new_local();
+    lower_generated(&toml, &mut pb);
+    pb.into_experiment()
 }
 
 /// An iperf-like endpoint running directly inside the DES network simulator —
@@ -347,7 +520,7 @@ pub fn dctcp_network_only(k_packets: usize, duration: SimTime) -> f64 {
 
 /// Distributed-scenario builders (§5.4, Fig. 6/Fig. 8): the same topologies
 /// as the in-process harness helpers, but expressed through a
-/// [`PartitionBuilder`](simbricks::runner::PartitionBuilder) so they can run
+/// [`PartitionBuilder`] so they can run
 /// as true multi-process distributed simulations — one worker OS process per
 /// partition, cross-partition Ethernet links bridged by loopback TCP proxies.
 ///
@@ -397,75 +570,15 @@ pub mod dist_scen {
     /// `log` (1 = enable event logging for bit-identity checks), `hier`
     /// (1 = hierarchical sync; changes SYNC traffic only, never the log).
     pub fn build_memcache_racks(scenario: &str, pb: &mut PartitionBuilder) {
-        let racks = get_usize(scenario, "racks", 1);
-        let hpr = get_usize(scenario, "hpr", 8);
-        let parts = get_usize(scenario, "parts", 1);
-        let kind = get_kind(scenario);
-        let virt = SimTime::from_ms(5);
-        let mut exp = Experiment::new("memcache-racks", virt + SimTime::from_ms(2));
-        if get_usize(scenario, "log", 0) == 1 {
-            exp = exp.with_logging();
-        }
-        if get_usize(scenario, "hier", 0) == 1 {
-            exp = exp.with_hier_sync();
-        }
-        pb.init(exp);
-        let eth_params = pb.exp().eth_params();
-        let part_of = |r: usize| format!("w{}", r % parts);
-        // First half of each rack are servers, second half clients.
-        let mut server_addrs = Vec::new();
-        for r in 0..racks {
-            for h in 0..hpr / 2 {
-                let idx = (r * hpr + h) as u32;
-                server_addrs.push(SocketAddr::new(
-                    HostConfig::new(kind, idx).ip,
-                    simbricks::apps::memcache::MEMCACHE_PORT,
-                ));
-            }
-        }
-        let mut core_ports = Vec::new();
-        for r in 0..racks {
-            let pname = part_of(r);
-            let mut eth = Vec::new();
-            for h in 0..hpr {
-                let idx = (r * hpr + h) as u32;
-                let cfg = HostConfig::new(kind, idx);
-                let is_server = h < hpr / 2;
-                let app: Box<dyn simbricks::hostsim::Application> = if is_server {
-                    Box::new(simbricks::apps::MemcachedServer::new())
-                } else {
-                    Box::new(simbricks::apps::MemaslapClient::new(
-                        server_addrs.clone(),
-                        2,
-                        64,
-                        virt,
-                    ))
-                };
-                let (_h, _n, e) = pb.attach_host_nic(&pname, &format!("r{r}h{h}"), cfg, app, false);
-                eth.push(e);
-            }
-            let (up, down) = pb.channel(&format!("up{r}"), &pname, "w0", eth_params);
-            eth.push(up);
-            pb.add(
-                &pname,
-                format!("tor{r}"),
-                Box::new(SwitchBm::new(SwitchConfig {
-                    ports: hpr + 1,
-                    ..Default::default()
-                })),
-                eth,
-            );
-            core_ports.push(down);
-        }
-        pb.add(
-            "w0",
-            "core",
-            Box::new(SwitchBm::new(SwitchConfig {
-                ports: racks,
-                ..Default::default()
-            })),
-            core_ports,
+        let toml = scen::memcache_racks_toml(
+            get_usize(scenario, "racks", 1),
+            get_usize(scenario, "hpr", 8),
+            get_kind(scenario),
+            get_usize(scenario, "parts", 1),
+            get_usize(scenario, "log", 0) == 1,
+            get_usize(scenario, "hier", 0) == 1,
         );
+        super::lower_generated(&toml, pb);
     }
 
     /// The Fig. 6/7 scale-up topology — N hosts running rate-limited UDP
@@ -475,49 +588,16 @@ pub mod dist_scen {
     ///
     /// Scenario keys: `hosts`, `kind`, `parts`, `dur_ms`, `log`, `hier`.
     pub fn build_udp_scaleup(scenario: &str, pb: &mut PartitionBuilder) {
-        let hosts = get_usize(scenario, "hosts", 2);
-        let parts = get_usize(scenario, "parts", 1);
-        let kind = get_kind(scenario);
-        let duration = SimTime::from_ms(get_usize(scenario, "dur_ms", 5) as u64);
-        let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
-        if get_usize(scenario, "log", 0) == 1 {
-            exp = exp.with_logging();
-        }
-        if get_usize(scenario, "hier", 0) == 1 {
-            exp = exp.with_hier_sync();
-        }
-        pb.init(exp);
-        let eth_params = pb.exp().eth_params();
-        let server_cfg = HostConfig::new(kind, 0);
-        let per_client_rate = 1_000_000_000 / (hosts.max(2) as u64 - 1);
-        let mut eth = Vec::new();
-        for i in 0..hosts {
-            let pname = format!("w{}", i % parts);
-            let cfg = HostConfig::new(kind, i as u32);
-            let app: Box<dyn simbricks::hostsim::Application> = if i == 0 {
-                Box::new(IperfUdpServer::new(9000))
-            } else {
-                Box::new(IperfUdpClient::new(
-                    SocketAddr::new(server_cfg.ip, 9000),
-                    per_client_rate,
-                    800,
-                    duration,
-                ))
-            };
-            let name = if i == 0 { "server".to_string() } else { format!("client{i}") };
-            let (eth_nic, eth_sw) = pb.channel(&format!("eth{i}"), &pname, "w0", eth_params);
-            pb.attach_host_nic_on(&pname, &name, cfg, app, false, eth_nic);
-            eth.push(eth_sw);
-        }
-        pb.add(
-            "w0",
-            "switch",
-            Box::new(SwitchBm::new(SwitchConfig {
-                ports: hosts,
-                ..Default::default()
-            })),
-            eth,
+        let toml = scen::udp_scaleup_toml(
+            get_usize(scenario, "hosts", 2),
+            get_kind(scenario),
+            SimTime::from_ms(get_usize(scenario, "dur_ms", 5) as u64),
+            get_usize(scenario, "parts", 1),
+            get_usize(scenario, "log", 0) == 1,
+            get_usize(scenario, "hier", 0) == 1,
+            false,
         );
+        super::lower_generated(&toml, pb);
     }
 }
 
@@ -751,38 +831,9 @@ fn udp_scaleup_stats_mode(
     hier: bool,
     exec: Execution,
 ) -> (f64, simbricks::base::KernelStats) {
-    let mut exp = Experiment::new("scaleup", duration + SimTime::from_ms(2));
-    if barrier {
-        exp = exp.with_global_barrier();
-    }
-    if hier {
-        exp = exp.with_hier_sync();
-    }
-    let server_cfg = HostConfig::new(host_kind, 0);
-    let server_app = Box::new(IperfUdpServer::new(9000));
-    let mut eth = Vec::new();
-    let (_s, _, s_eth) = attach_host_nic(&mut exp, "server", server_cfg, server_app, false);
-    eth.push(s_eth);
-    let per_client_rate = 1_000_000_000 / (hosts.max(2) as u64 - 1);
-    for i in 1..hosts {
-        let cfg = HostConfig::new(host_kind, i as u32);
-        let app = Box::new(IperfUdpClient::new(
-            SocketAddr::new(server_cfg.ip, 9000),
-            per_client_rate,
-            800,
-            duration,
-        ));
-        let (_c, _, c_eth) = attach_host_nic(&mut exp, &format!("client{i}"), cfg, app, false);
-        eth.push(c_eth);
-    }
-    exp.add(
-        "switch",
-        Box::new(SwitchBm::new(SwitchConfig {
-            ports: hosts,
-            ..Default::default()
-        })),
-        eth,
-    );
-    let r = exp.run(exec);
+    let toml = scen::udp_scaleup_toml(hosts, host_kind, duration, 1, false, hier, barrier);
+    let mut pb = PartitionBuilder::new_local();
+    lower_generated(&toml, &mut pb);
+    let r = pb.into_experiment().run(exec);
     (r.wall_seconds(), r.total_stats())
 }

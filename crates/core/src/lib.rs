@@ -17,6 +17,8 @@
 //!   OS-lite kernel.
 //! * [`apps`] — iperf, netperf, memcached, NOPaxos/Multi-Paxos workloads.
 //! * [`runner`] — experiment orchestration, executors, proxies.
+//! * [`scenario`] — declarative TOML scenarios: topologies, impaired links,
+//!   AQM selection, apps, partitions; one builder for every harness.
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end simulation in a few
 //! dozen lines, and the `simbricks-bench` crate for the harnesses that
@@ -35,6 +37,7 @@ pub use simbricks_nvmesim as nvmesim;
 pub use simbricks_pcie as pcie;
 pub use simbricks_proto as proto;
 pub use simbricks_runner as runner;
+pub use simbricks_scenario as scenario;
 
 pub use simbricks_base::{SimTime, bw};
 pub use simbricks_runner::{Execution, Experiment};

@@ -53,6 +53,22 @@ pub enum QueueDiscipline {
         max_prob_percent: u8,
         capacity_bytes: usize,
     },
+    /// CoDel: drop (or CE-mark, for ECN-capable traffic) at dequeue when the
+    /// head packet's sojourn time stays above `target` for `interval`, then
+    /// repeatedly at `interval / sqrt(n)` (the standard control law).
+    CoDel {
+        target: SimTime,
+        interval: SimTime,
+        capacity_bytes: usize,
+    },
+    /// DualPI2 (L4S): a PI controller yields a base probability `p'`;
+    /// ECT(1) traffic is CE-marked at `2·p'`, classic traffic is marked
+    /// (ECT(0)) or dropped (Not-ECT) at the squared-coupled `p'²`.
+    DualPi2 {
+        target: SimTime,
+        tupdate: SimTime,
+        capacity_bytes: usize,
+    },
 }
 
 impl QueueDiscipline {
@@ -61,13 +77,14 @@ impl QueueDiscipline {
             QueueDiscipline::DropTail { capacity_bytes } => *capacity_bytes,
             QueueDiscipline::EcnThreshold { capacity_bytes, .. } => *capacity_bytes,
             QueueDiscipline::Red { capacity_bytes, .. } => *capacity_bytes,
+            QueueDiscipline::CoDel { capacity_bytes, .. } => *capacity_bytes,
+            QueueDiscipline::DualPi2 { capacity_bytes, .. } => *capacity_bytes,
         }
     }
     fn threshold(&self) -> Option<usize> {
         match self {
-            QueueDiscipline::DropTail { .. } => None,
             QueueDiscipline::EcnThreshold { threshold_pkts, .. } => Some(*threshold_pkts),
-            QueueDiscipline::Red { .. } => None,
+            _ => None,
         }
     }
 }
@@ -140,12 +157,27 @@ struct Node {
 }
 
 struct LinkDir {
-    queue: VecDeque<PktBuf>,
+    /// Queued frames with enqueue time (for sojourn-based disciplines).
+    queue: VecDeque<(SimTime, PktBuf)>,
     queued_bytes: usize,
     busy_until: SimTime,
     departing: bool,
-    /// Deterministic per-direction generator for RED mark/drop decisions.
+    /// Deterministic per-direction generator for RED/DualPI2 decisions.
     red_rng: u64,
+    /// CoDel: when sojourn first exceeded target (ZERO = not above).
+    first_above: SimTime,
+    /// CoDel: next scheduled drop while in the dropping state.
+    drop_next: SimTime,
+    /// CoDel: drops in the current episode (control-law divisor).
+    drop_count: u64,
+    /// CoDel: currently in the dropping state.
+    dropping: bool,
+    /// DualPI2: base probability p' in parts per million.
+    pi_prob_ppm: u64,
+    /// DualPI2: virtual time of the last controller update.
+    pi_last_update: SimTime,
+    /// DualPI2: queue delay at the last update (derivative term).
+    pi_prev_qdelay: SimTime,
 }
 
 impl LinkDir {
@@ -156,15 +188,92 @@ impl LinkDir {
             busy_until: SimTime::ZERO,
             departing: false,
             red_rng: seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            first_above: SimTime::ZERO,
+            drop_next: SimTime::ZERO,
+            drop_count: 0,
+            dropping: false,
+            pi_prob_ppm: 0,
+            pi_last_update: SimTime::ZERO,
+            pi_prev_qdelay: SimTime::ZERO,
         }
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.red_rng ^= self.red_rng >> 12;
+        self.red_rng ^= self.red_rng << 25;
+        self.red_rng ^= self.red_rng >> 27;
+        self.red_rng.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
     /// Next value in [0, 100) from the per-direction xorshift generator.
     fn red_draw(&mut self) -> u64 {
-        self.red_rng ^= self.red_rng >> 12;
-        self.red_rng ^= self.red_rng << 25;
-        self.red_rng ^= self.red_rng >> 27;
-        self.red_rng.wrapping_mul(0x2545F4914F6CDD1D) % 100
+        self.draw() % 100
+    }
+
+    /// Next value in [0, 1_000_000) (parts per million).
+    fn draw_ppm(&mut self) -> u64 {
+        self.draw() % 1_000_000
+    }
+}
+
+/// The CoDel control law applied to the head of a link direction at dequeue
+/// time `start`: non-ECT heads selected for drop are removed (possibly
+/// several, per the sqrt schedule), an ECN-capable head is CE-marked instead
+/// and left queued for transmission. Mirrors the switch implementation.
+fn codel_head(
+    q: &mut LinkDir,
+    start: SimTime,
+    target: SimTime,
+    interval: SimTime,
+    dropped: &mut u64,
+    marked: &mut u64,
+) {
+    loop {
+        let Some((enq, _)) = q.queue.front() else {
+            q.dropping = false;
+            return;
+        };
+        let sojourn = start.saturating_sub(*enq);
+        let ok_to_drop = if sojourn < target {
+            q.first_above = SimTime::ZERO;
+            false
+        } else if q.first_above == SimTime::ZERO {
+            q.first_above = start.saturating_add(interval);
+            false
+        } else {
+            start >= q.first_above
+        };
+        if q.dropping {
+            if !ok_to_drop {
+                q.dropping = false;
+                return;
+            }
+            if start < q.drop_next {
+                return;
+            }
+            q.drop_count += 1;
+            q.drop_next = start
+                .saturating_add(SimTime::from_ps(interval.as_ps() / crate::switch::isqrt(q.drop_count)));
+        } else {
+            if !ok_to_drop {
+                return;
+            }
+            q.dropping = true;
+            q.drop_count = if q.drop_count > 2 { q.drop_count - 2 } else { 1 };
+            q.drop_next = start
+                .saturating_add(SimTime::from_ps(interval.as_ps() / crate::switch::isqrt(q.drop_count)));
+        }
+        let head = &mut q.queue.front_mut().unwrap().1;
+        let is_ect = Ipv4Header::parse(&head[ETH_HEADER_LEN.min(head.len())..])
+            .map(|(h, _, _)| h.ecn.is_ect())
+            .unwrap_or(false);
+        if is_ect && Ipv4Header::set_ecn_in_place(head.make_mut(), ETH_HEADER_LEN, Ecn::Ce) {
+            *marked += 1;
+            return;
+        }
+        let (_, frame) = q.queue.pop_front().unwrap();
+        q.queued_bytes -= frame.len();
+        *dropped += 1;
     }
 }
 
@@ -357,9 +466,56 @@ impl DesNetwork {
                     }
                 }
             }
+            // CoDel acts at dequeue (see schedule_departure).
+            QueueDiscipline::CoDel { .. } => {}
+            QueueDiscipline::DualPi2 { target, tupdate, .. } => {
+                // Lazy PI update, bounded catch-up; queueing delay derived
+                // from the backlog at the link rate.
+                if tupdate > SimTime::ZERO
+                    && k.now() >= q.pi_last_update.saturating_add(tupdate)
+                    && link.params.bandwidth_bps > 0
+                {
+                    let steps =
+                        ((k.now() - q.pi_last_update).as_ps() / tupdate.as_ps()).min(4) as u32;
+                    let qdelay = SimTime::from_ps(
+                        (q.queued_bytes as u128 * 8 * 1_000_000_000_000
+                            / link.params.bandwidth_bps as u128) as u64,
+                    );
+                    for _ in 0..steps {
+                        let err_ns =
+                            qdelay.as_ps() as i64 / 1000 - target.as_ps() as i64 / 1000;
+                        let diff_ns = qdelay.as_ps() as i64 / 1000
+                            - q.pi_prev_qdelay.as_ps() as i64 / 1000;
+                        let delta = err_ns / 16 + diff_ns / 4;
+                        q.pi_prob_ppm =
+                            (q.pi_prob_ppm as i64 + delta).clamp(0, 1_000_000) as u64;
+                        q.pi_prev_qdelay = qdelay;
+                    }
+                    q.pi_last_update = SimTime::from_ps(
+                        q.pi_last_update.as_ps() + steps as u64 * tupdate.as_ps(),
+                    );
+                }
+                let p = q.pi_prob_ppm;
+                let l4s = Ipv4Header::parse(&frame[ETH_HEADER_LEN.min(frame.len())..])
+                    .map(|(h, _, _)| h.ecn == Ecn::Ect1)
+                    .unwrap_or(false);
+                let prob_ppm = if l4s { (2 * p).min(1_000_000) } else { p * p / 1_000_000 };
+                if prob_ppm > 0 && q.draw_ppm() < prob_ppm {
+                    if is_ect
+                        && Ipv4Header::set_ecn_in_place(frame.make_mut(), ETH_HEADER_LEN, Ecn::Ce)
+                    {
+                        self.stats.ecn_marked += 1;
+                        k.log("net_mark", link_idx as u64, q.queue.len() as u64);
+                    } else {
+                        self.stats.dropped += 1;
+                        k.log("net_drop", link_idx as u64, frame.len() as u64);
+                        return;
+                    }
+                }
+            }
         }
         q.queued_bytes += frame.len();
-        q.queue.push_back(frame);
+        q.queue.push_back((k.now(), frame));
         self.schedule_departure(k, link_idx, dir);
     }
 
@@ -370,8 +526,26 @@ impl DesNetwork {
         if q.departing || q.queue.is_empty() {
             return;
         }
-        let len = q.queue.front().unwrap().len();
         let start = now.max(q.busy_until);
+        // CoDel inspects (and may drop or mark) the head at the moment its
+        // transmission would begin.
+        if let QueueDiscipline::CoDel { target, interval, .. } = link.params.queue {
+            let mut codel_dropped = 0u64;
+            let mut codel_marked = 0u64;
+            codel_head(q, start, target, interval, &mut codel_dropped, &mut codel_marked);
+            self.stats.dropped += codel_dropped;
+            self.stats.ecn_marked += codel_marked;
+            for _ in 0..codel_dropped {
+                k.log("net_drop", link_idx as u64, 0);
+            }
+            for _ in 0..codel_marked {
+                k.log("net_mark", link_idx as u64, 0);
+            }
+            if q.queue.is_empty() {
+                return;
+            }
+        }
+        let len = q.queue.front().unwrap().1.len();
         let done = if link.params.bandwidth_bps == 0 {
             start
         } else {
@@ -387,7 +561,7 @@ impl DesNetwork {
             let link = &mut self.links[link_idx];
             let q = &mut link.dirs[dir];
             q.departing = false;
-            let Some(frame) = q.queue.pop_front() else {
+            let Some((_, frame)) = q.queue.pop_front() else {
                 return;
             };
             q.queued_bytes -= frame.len();
@@ -804,6 +978,68 @@ mod tests {
         let s = h.net.stats();
         assert!(s.dropped > 0, "RED early-drops non-ECT traffic");
         assert_eq!(s.ecn_marked, 0);
+    }
+
+    #[test]
+    fn codel_drops_standing_queue_and_marks_ect() {
+        let codel = || LinkParams {
+            bandwidth_bps: simbricks_base::bw::GBPS,
+            delay: SimTime::from_us(1),
+            queue: QueueDiscipline::CoDel {
+                target: SimTime::from_us(10),
+                interval: SimTime::from_us(100),
+                capacity_bytes: 1 << 20,
+            },
+        };
+        // 100 × 1000 B at 1 Gbps = 8 us each: a standing queue of ~800 us,
+        // far beyond target for longer than the interval.
+        let (net, _) = two_port_net(codel());
+        let mut h = Harness::new(net);
+        for _ in 0..100 {
+            h.inject(&udp_frame(Ecn::NotEct, 1000), SimTime::from_us(10));
+        }
+        h.run_until(SimTime::from_ms(10));
+        let s = h.net.stats();
+        assert!(s.dropped > 0, "CoDel must drop a persistent non-ECT queue");
+        assert_eq!(s.dropped + s.forwarded, 100);
+        // The same burst with ECT(0): marked instead of dropped.
+        let (net, _) = two_port_net(codel());
+        let mut h = Harness::new(net);
+        for _ in 0..100 {
+            h.inject(&udp_frame(Ecn::Ect0, 1000), SimTime::from_us(10));
+        }
+        h.run_until(SimTime::from_ms(10));
+        let s = h.net.stats();
+        assert!(s.ecn_marked > 0, "CoDel marks ECT instead of dropping");
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.forwarded, 100);
+    }
+
+    #[test]
+    fn dualpi2_marks_scalable_traffic_under_load() {
+        let (net, _) = two_port_net(LinkParams {
+            bandwidth_bps: simbricks_base::bw::GBPS,
+            delay: SimTime::from_us(1),
+            queue: QueueDiscipline::DualPi2 {
+                target: SimTime::from_us(5),
+                tupdate: SimTime::from_us(20),
+                capacity_bytes: 1 << 20,
+            },
+        });
+        let mut h = Harness::new(net);
+        // Sustained overload: arrivals every 4 us vs 8 us service, so the
+        // backlog grows across many controller periods and p' ramps up.
+        for i in 0..300u64 {
+            h.inject(
+                &udp_frame(Ecn::Ect1, 1000),
+                SimTime::from_us(10) + SimTime::from_us(4 * i),
+            );
+        }
+        h.run_until(SimTime::from_ms(20));
+        let s = h.net.stats();
+        assert!(s.ecn_marked > 0, "L4S queue must CE-mark under load");
+        assert_eq!(s.dropped, 0, "ECT(1) traffic is never dropped by DualPI2");
+        assert_eq!(s.forwarded, 300);
     }
 
     #[test]

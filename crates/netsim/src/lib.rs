@@ -25,5 +25,5 @@ pub mod tofino;
 
 pub use des::{DesNetwork, EndpointApp, LinkParams, NodeId, QueueDiscipline};
 pub use rmt::RmtPipeline;
-pub use switch::{SwitchBm, SwitchConfig};
+pub use switch::{Aqm, SwitchBm, SwitchConfig, SwitchStats};
 pub use tofino::{SequencerConfig, TofinoConfig, TofinoSwitch};

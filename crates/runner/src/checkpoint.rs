@@ -35,7 +35,11 @@ pub const CKPT_MAGIC: [u8; 4] = *b"SBCK";
 /// are rejected cleanly here instead.
 // Version 4: TcpConn RTT estimator state is integer picoseconds
 // (u64 srtt/rttvar), replacing the former f64 nanosecond fields.
-pub const CKPT_VERSION: u16 = 4;
+// Version 5: per-port link-impairment state (PRNG, Gilbert–Elliott chain,
+// reorder holdback slot, counters) appended to the SyncPort snapshot, and
+// per-egress-queue AQM state (enqueue timestamps, CoDel/PI controller
+// variables) appended to the switch snapshot.
+pub const CKPT_VERSION: u16 = 5;
 
 /// A decoded checkpoint container.
 #[derive(Debug)]
@@ -223,6 +227,21 @@ mod tests {
                     b
                 },
                 check: |e| matches!(e, SnapError::Version { found: 2, expected: CKPT_VERSION }),
+            },
+            Case {
+                // The immediately preceding format: a v4 SyncPort snapshot
+                // ends after the stats block, with no impairment state, and a
+                // v4 switch snapshot lacks AQM fields. Those bodies would
+                // misparse under the current decoder, so the version gate
+                // must reject the file outright.
+                name: "version-4 checkpoint from an older build",
+                make: |g| {
+                    let mut b = g.to_vec();
+                    b[4] = 4;
+                    b[5] = 0;
+                    b
+                },
+                check: |e| matches!(e, SnapError::Version { found: 4, expected: CKPT_VERSION }),
             },
             Case {
                 name: "truncated mid-component",

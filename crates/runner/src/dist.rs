@@ -203,6 +203,20 @@ impl PartitionBuilder {
         }
     }
 
+    /// A builder that assembles everything into one local in-process
+    /// experiment (partition names are recorded but every component is
+    /// instantiated). This is what scenario loaders and benches use to run a
+    /// partition-aware build function single-process.
+    pub fn new_local() -> Self {
+        Self::new(BuildMode::Local, None)
+    }
+
+    /// Consume the builder and hand back the assembled [`Experiment`].
+    /// Panics if the build function never called [`PartitionBuilder::init`].
+    pub fn into_experiment(mut self) -> Experiment {
+        self.exp.take().expect("build function must call init()")
+    }
+
     /// Install the experiment this builder assembles into. Must be the first
     /// call the build function makes.
     pub fn init(&mut self, exp: Experiment) {
@@ -310,7 +324,14 @@ impl PartitionBuilder {
     /// transport is negotiated per link and the build never blocks on
     /// connection ordering.
     fn cross_end(&mut self, link: &str, params: ChannelParams, listen: bool) -> ChannelEnd {
-        let (component_end, proxy_local) = channel_pair(params);
+        let (mut component_end, proxy_local) = channel_pair(params);
+        // Impairment streams are seeded by logical link direction. A
+        // cross-partition endpoint comes from a fresh local pair, so its tag
+        // must be forced to the side it plays globally: the listening side is
+        // always the link's `a` endpoint (dir 0), the connecting side `b`
+        // (dir 1). Without this, both partitions would draw dir-0 streams and
+        // a distributed run would diverge from the local one.
+        component_end.set_dir(if listen { 0 } else { 1 });
         let counters = Arc::new(ProxyCounters::default());
         let shutdown = Arc::new(ShutdownSignal::default());
         if listen && self.transport == TransportKind::Shm {

@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 
 use simbricks_base::snap::{SnapError, SnapReader, SnapResult, SnapWriter};
 use simbricks_base::{
-    BarrierMember, ChannelEnd, ChannelParams, EpochController, EventLog, Kernel, KernelStats,
-    Model, PortId, SimTime, StepOutcome, SyncLookahead,
+    BarrierMember, ChannelEnd, ChannelParams, EpochController, EventLog, Impairment, Kernel,
+    KernelStats, Model, PortId, SimTime, StepOutcome, SyncLookahead,
 };
 
 use crate::checkpoint::CheckpointFile;
@@ -325,6 +325,7 @@ impl Experiment {
             sync: self.synchronized && self.barrier.is_none(),
             queue_len: 64,
             adaptive_sync: self.adaptive_sync,
+            impairment: Impairment::none(),
         }
     }
 
@@ -336,6 +337,7 @@ impl Experiment {
             sync: self.synchronized && self.barrier.is_none(),
             queue_len: 64,
             adaptive_sync: self.adaptive_sync,
+            impairment: Impairment::none(),
         }
     }
 

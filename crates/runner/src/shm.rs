@@ -18,8 +18,8 @@
 //! ```text
 //! offset 0    magic "SBSH", version, state, a_closed, b_closed
 //! offset 8    link-name length (u16 LE) + name bytes (max 256)
-//! offset 266  ChannelParams wire encoding (26 bytes)
-//! offset 292  slots per ring (u32 LE), slot stride (u32 LE)
+//! offset 266  ChannelParams wire encoding (67 bytes incl. impairment)
+//! offset 333  slots per ring (u32 LE), slot stride (u32 LE)
 //! offset 4096 ring A→B: slots × stride
 //! ...         ring B→A: slots × stride
 //! ```
@@ -72,8 +72,8 @@ const OFF_B_CLOSED: usize = 7;
 const OFF_NAME_LEN: usize = 8;
 const OFF_NAME: usize = 10;
 const OFF_PARAMS: usize = OFF_NAME + MAX_NAME; // 266
-const OFF_SLOTS: usize = OFF_PARAMS + ChannelParams::WIRE_LEN; // 292
-const OFF_STRIDE: usize = OFF_SLOTS + 4; // 296
+const OFF_SLOTS: usize = OFF_PARAMS + ChannelParams::WIRE_LEN; // 333
+const OFF_STRIDE: usize = OFF_SLOTS + 4; // 337
 
 // Region handshake states.
 const STATE_READY: u8 = 1;

@@ -1,0 +1,547 @@
+//! `simbricks-run` — run a declarative scenario file on any executor.
+//!
+//! ```text
+//! simbricks-run <scenario.toml> [options]
+//!   --validate              parse + validate only (multiple files allowed)
+//!   --exec <mode>           sequential | threads | sharded[:N] | dist
+//!                           (default: the scenario's [run] exec)
+//!   --transport <t>         tcp | shm | auto  (dist only)
+//!   --sweep key=v1,v2,...   sweep a field over values; repeatable flags
+//!                           form a cross product. Keys address sections by
+//!                           path and element name, `*` matches any name:
+//!                             scenario.seed=1,2,3
+//!                             link.*.impairment.loss_permille=0,20
+//!                             switch.sw.aqm.type=red,codel
+//!   --json <path|->         write results as JSON
+//!   --quiet                 suppress per-run text output
+//! ```
+//!
+//! Every run prints (and optionally records) the event-log fingerprint, the
+//! per-host app reports, and per-switch statistics. The same scenario text
+//! is handed verbatim to distributed workers, so `--exec dist` produces
+//! bit-identical simulation results to a local run.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use simbricks_hostsim::HostModel;
+use simbricks_netsim::SwitchBm;
+use simbricks_runner::{
+    maybe_worker, run_distributed, DistOptions, Execution, PartitionBuilder, TransportKind,
+};
+use simbricks_scenario::{build_from_toml, lower, Doc, Scenario, Value};
+
+struct Args {
+    file: Option<String>,
+    validate: Vec<String>,
+    exec: Option<String>,
+    transport: Option<String>,
+    sweeps: Vec<(String, Vec<Value>)>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simbricks-run <scenario.toml> [--exec MODE] [--transport T] \
+         [--sweep key=v1,v2,...]... [--json PATH|-] [--quiet]\n       \
+         simbricks-run --validate <scenario.toml>..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_sweep(arg: &str) -> Result<(String, Vec<Value>), String> {
+    let (key, vals) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--sweep `{arg}` must look like key=v1,v2,..."))?;
+    if key.split('.').count() < 2 {
+        return Err(format!(
+            "--sweep key `{key}` must be a dotted path like scenario.seed or \
+             link.*.impairment.loss_permille"
+        ));
+    }
+    let values: Vec<Value> = vals
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            if let Ok(i) = v.replace('_', "").parse::<i64>() {
+                Value::Int(i)
+            } else if v == "true" || v == "false" {
+                Value::Bool(v == "true")
+            } else {
+                Value::Str(v.to_string())
+            }
+        })
+        .collect();
+    if values.is_empty() {
+        return Err(format!("--sweep `{arg}` has no values"));
+    }
+    Ok((key.to_string(), values))
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: None,
+        validate: Vec::new(),
+        exec: None,
+        transport: None,
+        sweeps: Vec::new(),
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut validating = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--validate" => validating = true,
+            "--exec" => args.exec = Some(it.next().unwrap_or_else(|| usage())),
+            "--transport" => args.transport = Some(it.next().unwrap_or_else(|| usage())),
+            "--sweep" => {
+                let s = it.next().unwrap_or_else(|| usage());
+                match parse_sweep(&s) {
+                    Ok(kv) => args.sweeps.push(kv),
+                    Err(e) => {
+                        eprintln!("simbricks-run: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => {
+                if validating {
+                    args.validate.push(f.to_string());
+                } else if args.file.is_none() {
+                    args.file = Some(f.to_string());
+                } else {
+                    usage();
+                }
+            }
+            _ => usage(),
+        }
+    }
+    if validating && args.file.is_some() {
+        // `--validate` after the file name: treat the file as a target too.
+        args.validate.push(args.file.take().unwrap());
+    }
+    if !validating && args.file.is_none() {
+        usage();
+    }
+    args
+}
+
+// ---------------------------------------------------------------------------
+// Sweep application
+// ---------------------------------------------------------------------------
+
+/// The address of a section: its path with `[[...]]` element names spliced
+/// in, e.g. `[[link]] name="l0"` + `[link.impairment]` → `link.l0.impairment`.
+fn section_addrs(doc: &Doc) -> Vec<Vec<String>> {
+    let mut addrs = Vec::new();
+    let mut last_elem: Vec<String> = Vec::new();
+    for sec in &doc.sections {
+        if sec.is_array {
+            let name = sec
+                .get("name")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            last_elem = vec![sec.path[0].clone(), name];
+            addrs.push(last_elem.clone());
+        } else if sec.path.len() > 1 && last_elem.first() == sec.path.first() {
+            // Sub-table of the most recent array element.
+            let mut a = last_elem.clone();
+            a.extend(sec.path[1..].iter().cloned());
+            addrs.push(a);
+        } else {
+            addrs.push(sec.path.clone());
+        }
+    }
+    addrs
+}
+
+fn addr_matches(addr: &[String], key: &[&str]) -> bool {
+    addr.len() == key.len()
+        && addr
+            .iter()
+            .zip(key)
+            .all(|(a, k)| *k == "*" || a == k)
+}
+
+/// Apply one `key = value` override to every matching section, creating a
+/// missing sub-table (e.g. `[link.impairment]`) right after its parent.
+fn apply_override(doc: &mut Doc, key: &str, value: &Value) -> Result<usize, String> {
+    let segs: Vec<&str> = key.split('.').collect();
+    let (field, sec_key) = segs.split_last().expect("validated non-empty");
+    let addrs = section_addrs(doc);
+    let hits: Vec<usize> = (0..doc.sections.len())
+        .filter(|i| addr_matches(&addrs[*i], sec_key))
+        .collect();
+    if !hits.is_empty() {
+        for i in &hits {
+            doc.sections[*i].set(field, value.clone());
+        }
+        return Ok(hits.len());
+    }
+    // Try to create a missing sub-table under a matching parent.
+    if sec_key.len() >= 2 {
+        let (sub, parent_key) = sec_key.split_last().expect("len >= 2");
+        let parents: Vec<usize> = (0..doc.sections.len())
+            .filter(|i| addr_matches(&addrs[*i], parent_key))
+            .collect();
+        if !parents.is_empty() {
+            // Insert back-to-front so earlier indices stay valid.
+            for &p in parents.iter().rev() {
+                let parent = &doc.sections[p];
+                let mut sec = simbricks_scenario::Section {
+                    path: vec![parent.path[0].clone(), sub.to_string()],
+                    is_array: false,
+                    line: parent.line,
+                    entries: Vec::new(),
+                };
+                sec.set(field, value.clone());
+                doc.sections.insert(p + 1, sec);
+            }
+            return Ok(parents.len());
+        }
+    }
+    Err(format!(
+        "--sweep key `{key}` matches no section in the scenario \
+         (addresses look like scenario.seed, host.<name>.mtu, \
+         link.<name>.impairment.loss_permille; `*` matches any name)"
+    ))
+}
+
+/// Cross-product of all sweep axes: list of (label, override) sets.
+fn sweep_combos(sweeps: &[(String, Vec<Value>)]) -> Vec<Vec<(String, Value)>> {
+    let mut combos: Vec<Vec<(String, Value)>> = vec![Vec::new()];
+    for (key, values) in sweeps {
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for combo in &combos {
+            for v in values {
+                let mut c = combo.clone();
+                c.push((key.clone(), v.clone()));
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+fn value_display(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Array(_) => "[...]".into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON output (hand-rolled; no dependencies)
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct RunRecord {
+    overrides: Vec<(String, Value)>,
+    exec: String,
+    fingerprint: u64,
+    wall_s_milli: u64,
+    hosts: Vec<(String, String)>,
+    switches: Vec<(String, [u64; 4])>,
+}
+
+impl RunRecord {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("    {\n      \"overrides\": {");
+        for (i, (k, v)) in self.overrides.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "\"{}\": \"{}\"",
+                json_escape(k),
+                json_escape(&value_display(v))
+            );
+        }
+        let _ = write!(
+            s,
+            "}},\n      \"exec\": \"{}\",\n      \"fingerprint\": \"{:#018x}\",\n      \
+             \"wall_ms\": {},\n      \"hosts\": {{",
+            json_escape(&self.exec),
+            self.fingerprint,
+            self.wall_s_milli,
+        );
+        for (i, (name, report)) in self.hosts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n        \"{}\": \"{}\"",
+                json_escape(name),
+                json_escape(report)
+            );
+        }
+        s.push_str("\n      },\n      \"switches\": {");
+        for (i, (name, st)) in self.switches.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n        \"{}\": {{\"forwarded\": {}, \"dropped\": {}, \
+                 \"ecn_marked\": {}, \"aqm_dropped\": {}}}",
+                json_escape(name),
+                st[0],
+                st[1],
+                st[2],
+                st[3]
+            );
+        }
+        s.push_str("\n      }\n    }");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Main
+// ---------------------------------------------------------------------------
+
+fn run_one(
+    text: &str,
+    spec: &Scenario,
+    exec_str: &str,
+    transport: &str,
+    overrides: Vec<(String, Value)>,
+    quiet: bool,
+) -> Result<RunRecord, String> {
+    if exec_str == "dist" || exec_str.starts_with("dist:") {
+        let transport = match transport {
+            "tcp" => TransportKind::Tcp,
+            "shm" => TransportKind::Shm,
+            "auto" | "" => TransportKind::Auto,
+            t => return Err(format!("unknown transport `{t}` (use tcp, shm, or auto)")),
+        };
+        let inner = exec_str
+            .strip_prefix("dist:")
+            .map(|s| {
+                Execution::parse(s).ok_or_else(|| format!("bad executor after dist: `{s}`"))
+            })
+            .transpose()?
+            .unwrap_or(Execution::Sequential);
+        let opts = DistOptions {
+            partitions: spec.partitions(),
+            scenario: text.to_string(),
+            exec: inner,
+            transport,
+            worker_args: Vec::new(),
+            checkpoint: None,
+            restore_from: None,
+        };
+        let r = run_distributed(&opts, &build_from_toml).map_err(|e| e.to_string())?;
+        let fp = r.merged_log().fingerprint();
+        if !quiet {
+            println!(
+                "run {:?} exec=dist partitions={} fingerprint={fp:#018x} wall={:.3}s",
+                spec.name,
+                opts.partitions.len(),
+                r.wall.as_secs_f64()
+            );
+        }
+        return Ok(RunRecord {
+            overrides,
+            exec: exec_str.to_string(),
+            fingerprint: fp,
+            wall_s_milli: r.wall.as_millis() as u64,
+            hosts: Vec::new(),
+            switches: Vec::new(),
+        });
+    }
+    let exec = Execution::parse(exec_str)
+        .ok_or_else(|| format!("unknown executor `{exec_str}` (sequential, threads, sharded[:N], dist)"))?;
+    let mut pb = PartitionBuilder::new_local();
+    let low = lower(spec, &mut pb);
+    let r = pb.into_experiment().run(exec);
+    let fp = r.merged_log().fingerprint();
+    let mut hosts = Vec::new();
+    for (name, id) in &low.hosts {
+        let h: &HostModel = r
+            .model(*id)
+            .ok_or_else(|| format!("host {name} has no model in results"))?;
+        hosts.push((name.clone(), h.app_report()));
+    }
+    let mut switches = Vec::new();
+    for (name, id) in &low.switches {
+        let sw: &SwitchBm = r
+            .model(*id)
+            .ok_or_else(|| format!("switch {name} has no model in results"))?;
+        let st = sw.stats();
+        switches.push((
+            name.clone(),
+            [st.forwarded, st.dropped, st.ecn_marked, st.aqm_dropped],
+        ));
+    }
+    if !quiet {
+        let ov: Vec<String> = overrides
+            .iter()
+            .map(|(k, v)| format!("{k}={}", value_display(v)))
+            .collect();
+        println!(
+            "run {:?}{} exec={exec_str} fingerprint={fp:#018x} wall={:.3}s",
+            spec.name,
+            if ov.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", ov.join(" "))
+            },
+            r.wall_seconds()
+        );
+        for (name, report) in &hosts {
+            if !report.is_empty() {
+                println!("  {name}: {report}");
+            }
+        }
+        for (name, st) in &switches {
+            println!(
+                "  {name}: forwarded={} dropped={} ecn_marked={} aqm_dropped={}",
+                st[0], st[1], st[2], st[3]
+            );
+        }
+    }
+    Ok(RunRecord {
+        overrides,
+        exec: exec_str.to_string(),
+        fingerprint: fp,
+        wall_s_milli: (r.wall_seconds() * 1000.0) as u64,
+        hosts,
+        switches,
+    })
+}
+
+fn main() -> ExitCode {
+    // Must run before anything else: dist workers re-exec this binary.
+    maybe_worker(&build_from_toml);
+    let args = parse_args();
+
+    if !args.validate.is_empty() {
+        let mut ok = true;
+        for file in &args.validate {
+            let text = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{file}: cannot read: {e}");
+                    ok = false;
+                    continue;
+                }
+            };
+            match Scenario::from_toml_str(&text) {
+                Ok(s) => {
+                    let hosts = s.hosts_count();
+                    println!(
+                        "{file}: OK ({hosts} hosts, {} switches, {} links, {} partition(s))",
+                        s.nodes.len() - hosts,
+                        s.links.len(),
+                        s.partitions().len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    ok = false;
+                }
+            }
+        }
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let file = args.file.as_deref().expect("checked in parse_args");
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("simbricks-run: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base_doc = match Doc::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("simbricks-run: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut records = Vec::new();
+    let mut scen_name = String::new();
+    for combo in sweep_combos(&args.sweeps) {
+        let mut doc = base_doc.clone();
+        for (key, value) in &combo {
+            if let Err(e) = apply_override(&mut doc, key, value) {
+                eprintln!("simbricks-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let run_text = doc.to_toml_string();
+        let spec = match Scenario::from_toml_str(&run_text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("simbricks-run: {file} (after sweep overrides): {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        scen_name = spec.name.clone();
+        let exec_str = args.exec.clone().unwrap_or_else(|| spec.exec.clone());
+        let transport = args
+            .transport
+            .clone()
+            .unwrap_or_else(|| spec.transport.clone());
+        match run_one(&run_text, &spec, &exec_str, &transport, combo, args.quiet) {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                eprintln!("simbricks-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"scenario\": \"{}\",\n  \"file\": \"{}\",\n  \"runs\": [\n",
+            json_escape(&scen_name),
+            json_escape(file)
+        );
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&r.to_json());
+            out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        if path == "-" {
+            print!("{out}");
+        } else if let Err(e) = std::fs::write(path, out) {
+            eprintln!("simbricks-run: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

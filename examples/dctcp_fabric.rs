@@ -1,59 +1,44 @@
-//! DCTCP on an ECN-marking fabric (the Fig. 1 setup, one point of the sweep).
+//! DCTCP on an ECN-marking fabric (the Fig. 1 setup, one point of the sweep),
+//! loaded from the committed declarative scenario `scenarios/dctcp_fabric.toml`.
 //!
-//! Two client/server pairs share a 10 Gbps bottleneck through the behavioural
-//! switch with a DCTCP marking threshold K; hosts use the detailed
-//! (gem5-like) timing model so host-induced delays are part of the result.
+//! The topology lives entirely in the TOML file; this example only reads it,
+//! optionally overrides the marking threshold K programmatically, lowers it
+//! onto an [`simbricks::runner::Experiment`], and prints the per-flow
+//! goodput reports.
 //!
 //! Run with: `cargo run --release --example dctcp_fabric [K_packets]`
 
-use simbricks::apps::{IperfTcpClient, IperfTcpServer};
-use simbricks::hostsim::{HostConfig, HostKind, HostModel};
-use simbricks::netsim::{SwitchBm, SwitchConfig};
-use simbricks::netstack::CongestionControl;
-use simbricks::runner::{attach_host_nic, Execution, Experiment};
-use simbricks::SimTime;
+use simbricks::hostsim::HostModel;
+use simbricks::runner::{Execution, PartitionBuilder};
+use simbricks::scenario::{lower, Doc, Scenario, Value};
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/dctcp_fabric.toml");
 
 fn main() {
-    let k_thresh: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
-    let mut exp = Experiment::new("dctcp", SimTime::from_ms(40));
-    let mut eth_ports = Vec::new();
-    let mut server_hosts = Vec::new();
-
-    for pair in 0..2u32 {
-        let server_cfg = HostConfig::new(HostKind::Gem5Timing, pair * 2)
-            .with_congestion(CongestionControl::Dctcp)
-            .with_mtu(4000);
-        let client_cfg = HostConfig::new(HostKind::Gem5Timing, pair * 2 + 1)
-            .with_congestion(CongestionControl::Dctcp)
-            .with_mtu(4000);
-        let server_app = Box::new(IperfTcpServer::new(5000 + pair as u16));
-        let client_app = Box::new(IperfTcpClient::new(
-            server_cfg.ip,
-            5000 + pair as u16,
-            SimTime::from_ms(30),
-        ));
-        let (s_host, _, s_eth) =
-            attach_host_nic(&mut exp, &format!("server{pair}"), server_cfg, server_app, false);
-        let (_c_host, _, c_eth) =
-            attach_host_nic(&mut exp, &format!("client{pair}"), client_cfg, client_app, false);
-        eth_ports.push(s_eth);
-        eth_ports.push(c_eth);
-        server_hosts.push(s_host);
+    let text = std::fs::read_to_string(SCENARIO)
+        .unwrap_or_else(|e| panic!("reading {SCENARIO}: {e}"));
+    let mut doc = Doc::parse(&text).expect("scenario file parses");
+    // A command-line K overrides the file's marking threshold — same
+    // mechanism as `simbricks-run --sweep switch.switch.ecn_k=...`.
+    let k_thresh = std::env::args().nth(1).and_then(|a| a.parse::<i64>().ok());
+    if let Some(k) = k_thresh {
+        for sec in &mut doc.sections {
+            if sec.path == ["switch"] {
+                sec.set("ecn_k", Value::Int(k));
+            }
+        }
     }
-    exp.add(
-        "switch",
-        Box::new(SwitchBm::new(SwitchConfig {
-            ports: 4,
-            ecn_threshold_pkts: Some(k_thresh),
-            ..Default::default()
-        })),
-        eth_ports,
-    );
+    let spec = Scenario::from_doc(&doc).expect("scenario file validates");
+    let mut pb = PartitionBuilder::new_local();
+    let lowered = lower(&spec, &mut pb);
+    let result = pb.into_experiment().run(Execution::Sequential);
 
-    let result = exp.run(Execution::Sequential);
-    println!("marking threshold K = {k_thresh} packets");
-    for (i, h) in server_hosts.iter().enumerate() {
-        let host: &HostModel = result.model(*h).unwrap();
-        println!("flow {i}: {}", host.app_report());
+    println!(
+        "marking threshold K = {} packets",
+        k_thresh.unwrap_or(20)
+    );
+    for (name, id) in lowered.hosts.iter().filter(|(n, _)| n.starts_with("server")) {
+        let host: &HostModel = result.model(*id).unwrap();
+        println!("{name}: {}", host.app_report());
     }
 }

@@ -1,54 +1,26 @@
-//! A small memcached rack: two servers and two memaslap-style clients on one
-//! top-of-rack switch (a single rack of the Fig. 8 scale-out configuration).
+//! A small memcached rack — two servers, two memaslap-style clients, one
+//! top-of-rack switch — loaded from the committed declarative scenario
+//! `scenarios/memcache_rack.toml`.
 //!
 //! Run with: `cargo run --release --example memcache_rack`
 
-use simbricks::apps::{MemaslapClient, MemcachedServer};
-use simbricks::apps::memcache::MEMCACHE_PORT;
-use simbricks::hostsim::{HostConfig, HostKind, HostModel};
-use simbricks::netsim::{SwitchBm, SwitchConfig};
-use simbricks::netstack::SocketAddr;
-use simbricks::runner::{attach_host_nic, Execution, Experiment};
-use simbricks::SimTime;
+use simbricks::hostsim::HostModel;
+use simbricks::runner::{Execution, PartitionBuilder};
+use simbricks::scenario::{lower, Scenario};
+
+const SCENARIO: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/memcache_rack.toml");
 
 fn main() {
-    let mut exp = Experiment::new("memcache-rack", SimTime::from_ms(50));
-    let mut eth = Vec::new();
-    let mut clients = Vec::new();
+    let text = std::fs::read_to_string(SCENARIO)
+        .unwrap_or_else(|e| panic!("reading {SCENARIO}: {e}"));
+    let spec = Scenario::from_toml_str(&text).expect("scenario file validates");
+    let mut pb = PartitionBuilder::new_local();
+    let lowered = lower(&spec, &mut pb);
+    let result = pb.into_experiment().run(Execution::Sequential);
 
-    let server_cfgs: Vec<_> = (0..2).map(|i| HostConfig::new(HostKind::QemuTiming, i)).collect();
-    let server_addrs: Vec<SocketAddr> = server_cfgs
-        .iter()
-        .map(|c| SocketAddr::new(c.ip, MEMCACHE_PORT))
-        .collect();
-
-    for (i, cfg) in server_cfgs.iter().enumerate() {
-        let (_h, _n, e) = attach_host_nic(
-            &mut exp,
-            &format!("server{i}"),
-            *cfg,
-            Box::new(MemcachedServer::new()),
-            false,
-        );
-        eth.push(e);
-    }
-    for i in 0..2u32 {
-        let cfg = HostConfig::new(HostKind::QemuTiming, 10 + i);
-        let app = Box::new(MemaslapClient::new(server_addrs.clone(), 4, 64, SimTime::from_ms(40)));
-        let (h, _n, e) = attach_host_nic(&mut exp, &format!("client{i}"), cfg, app, false);
-        eth.push(e);
-        clients.push(h);
-    }
-    exp.add(
-        "tor-switch",
-        Box::new(SwitchBm::new(SwitchConfig { ports: 4, ..Default::default() })),
-        eth,
-    );
-
-    let result = exp.run(Execution::Sequential);
     println!("simulated {} in {:.2?}", result.virtual_time, result.wall);
-    for (i, c) in clients.iter().enumerate() {
-        let host: &HostModel = result.model(*c).unwrap();
-        println!("client {i}: {}", host.app_report());
+    for (name, id) in lowered.hosts.iter().filter(|(n, _)| n.starts_with("client")) {
+        let host: &HostModel = result.model(*id).unwrap();
+        println!("{name}: {}", host.app_report());
     }
 }
