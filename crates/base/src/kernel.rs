@@ -285,6 +285,14 @@ impl Kernel {
         self.log = EventLog::enabled();
     }
 
+    /// Enable event logging in fingerprint-only mode: entries are folded
+    /// into per-epoch FNV accumulators instead of being materialized, so
+    /// memory stays O(run length / epoch) — the mode the replay bisector
+    /// records with.
+    pub fn enable_fingerprint_log(&mut self, epoch: SimTime) {
+        self.log = EventLog::fingerprint_only(epoch);
+    }
+
     /// Install a shared stop flag; the orchestrator uses this to terminate
     /// unsynchronized components that have no natural end.
     pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
@@ -410,9 +418,45 @@ impl Kernel {
         &self.log
     }
 
+    /// Mutable access to the event log (the replay layer uses this to switch
+    /// a restored log's recording mode before stepping on).
+    pub fn event_log_mut(&mut self) -> &mut EventLog {
+        &mut self.log
+    }
+
     /// Take ownership of the event log, leaving an empty one behind.
     pub fn take_event_log(&mut self) -> EventLog {
         std::mem::take(&mut self.log)
+    }
+
+    /// Number of received-but-not-yet-delivered messages queued on the given
+    /// port — the instantaneous link queue depth the replay inspector shows.
+    pub fn port_pending(&self, port: PortId) -> usize {
+        self.ports[port.0].pending_len()
+    }
+
+    /// One-line synchronization diagnostic for `port`: incoming horizon,
+    /// standing outgoing promise, sync timer, earliest pending input, and
+    /// flush/deferral flags. Quiesce-failure and deadlock reports embed this
+    /// so a stuck pairwise wait is attributable without a debugger.
+    pub fn port_sync_describe(&self, port: PortId) -> String {
+        let p = &self.ports[port.0];
+        format!(
+            "horizon={} promised={} sync_due={} pending={} flushed={} raw={} deferred={}",
+            p.horizon(),
+            p.last_promise(),
+            match p.next_sync_due() {
+                Some(t) => t.to_string(),
+                None => "-".into(),
+            },
+            match p.next_pending() {
+                Some(t) => t.to_string(),
+                None => "-".into(),
+            },
+            p.flushed(),
+            p.has_raw_input(),
+            p.has_deferred(),
+        )
     }
 
     /// Whether the component has reached the end of its simulation.

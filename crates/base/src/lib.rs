@@ -227,6 +227,52 @@ mod proptests {
             }
         }
 
+        /// Fingerprint-only logging is exact: for an arbitrary time-sorted
+        /// entry sequence and epoch length, a fingerprint-only log produces
+        /// the same per-epoch FNV fingerprints as a fully materialized log —
+        /// including when the log is converted to fingerprint-only midway,
+        /// folding the already-materialized prefix into the accumulators.
+        /// Each epoch's fingerprint equals [`EventLog::fingerprint`] of that
+        /// epoch's materialized slice.
+        #[test]
+        fn fingerprint_only_matches_materialized(entries in proptest::collection::vec(
+            (0u64..1_000_000, 0usize..4, any::<u64>(), any::<u64>()), 0..200),
+            epoch_ps in 1u64..200_000,
+            split in 0usize..200) {
+            let tags = ["tx", "rx", "irq", "mark"];
+            let mut sorted = entries.clone();
+            sorted.sort_by_key(|(t, _, _, _)| *t);
+            let epoch = SimTime::from_ps(epoch_ps);
+
+            let mut full = EventLog::enabled();
+            let mut fp_only = EventLog::fingerprint_only(epoch);
+            let mut converted = EventLog::enabled();
+            for (i, (t, tag, a, b)) in sorted.iter().enumerate() {
+                if i == split.min(sorted.len()) {
+                    converted.to_fingerprint_only(epoch);
+                }
+                full.record(SimTime::from_ps(*t), tags[*tag], *a, *b);
+                fp_only.record(SimTime::from_ps(*t), tags[*tag], *a, *b);
+                converted.record(SimTime::from_ps(*t), tags[*tag], *a, *b);
+            }
+            let epochs = sorted.last().map_or(1, |(t, _, _, _)| t / epoch_ps + 1) as usize;
+            let want = full.epoch_fingerprints(epoch, epochs).unwrap();
+            prop_assert_eq!(fp_only.epoch_fingerprints(epoch, epochs).unwrap(), want.clone());
+            prop_assert_eq!(converted.epoch_fingerprints(epoch, epochs).unwrap(), want.clone());
+            prop_assert_eq!(fp_only.recorded(), full.recorded());
+
+            // Every epoch fingerprint equals the plain fingerprint of a log
+            // holding exactly that epoch's entries.
+            for (e, fp) in want.iter().enumerate() {
+                let mut slice = EventLog::enabled();
+                for (t, tag, a, b) in sorted.iter().filter(|(t, _, _, _)|
+                    t / epoch_ps == e as u64) {
+                    slice.record(SimTime::from_ps(*t), tags[*tag], *a, *b);
+                }
+                prop_assert_eq!(*fp, slice.fingerprint());
+            }
+        }
+
         /// Sending over a synchronized port always stamps messages with the
         /// configured latency and keeps per-channel timestamps monotonic.
         #[test]

@@ -298,8 +298,10 @@ impl SyncPort {
     /// Wire monotonicity is preserved throughout: impairments only add delay
     /// (`arrival = now + Δ + extra`), a lost packet is replaced by a SYNC at
     /// the un-jittered base promise `now + Δ` (a jittered promise could
-    /// overshoot a later packet's arrival), and every emission still ratchets
-    /// through `last_promise`.
+    /// overshoot a later packet's arrival), a reorder-deferred packet leaves
+    /// the same SYNC in its slot (the send resets the sync timer, so silence
+    /// would strand the peer on a stale horizon and can deadlock the pairwise
+    /// protocol), and every emission still ratchets through `last_promise`.
     fn send_data_impaired(&mut self, now: SimTime, ty: MsgType, payload: PktBuf) {
         let base = now.saturating_add(self.latency());
         let had_deferred = self.impair.has_deferred();
@@ -319,9 +321,22 @@ impl SyncPort {
                 .max(self.last_promise);
             if !had_deferred && self.impair.decide_defer() {
                 // Hold this packet back one slot: the next data message
-                // overtakes it. Deliberately does not ratchet last_promise —
-                // the packet has not reached the wire yet.
+                // overtakes it. last_promise deliberately does not ratchet to
+                // the packet's own (jittered) timestamp — it has not reached
+                // the wire yet — but the peer still needs liveness, exactly
+                // as on the loss path: this send resets the sync timer below,
+                // so without a promise here the peer would hold a stale
+                // horizon for a whole interval and a pairwise wait cycle
+                // could close (both sides blocked with t_sync > bound). The
+                // un-jittered base arrival is honest: the held packet flushes
+                // at `dts.max(last_promise)` with `dts >= base`.
                 self.impair.defer(ts, ty, payload);
+                if self.sync_enabled() {
+                    let pts = base.max(self.last_promise);
+                    self.enqueue(pts, MSG_SYNC, &[]);
+                    self.stats.syncs_sent += 1;
+                    self.last_promise = pts;
+                }
             } else {
                 self.last_promise = ts;
                 self.enqueue_buf(ts, ty, payload);
@@ -348,6 +363,12 @@ impl SyncPort {
     /// Impairment counters of this port: (lost, delayed, reordered).
     pub fn impair_counters(&self) -> (u64, u64, u64) {
         (self.impair.lost, self.impair.delayed, self.impair.reordered)
+    }
+
+    /// True while a packet is held back for reordering, waiting for the next
+    /// data send to overtake it.
+    pub fn has_deferred(&self) -> bool {
+        self.impair.has_deferred()
     }
 
     /// Emit a SYNC message if one is due at local time `now` (§5.5: liveness).
@@ -499,6 +520,12 @@ impl SyncPort {
     /// True if all outgoing messages have reached the shared queue.
     pub fn flushed(&self) -> bool {
         self.outbox.is_empty()
+    }
+
+    /// Number of received data messages polled off the channel but not yet
+    /// delivered to the model — the port's instantaneous queue depth.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     fn enqueue(&mut self, ts: SimTime, ty: MsgType, payload: &[u8]) {
@@ -933,6 +960,30 @@ mod tests {
         assert_eq!(first.ty, 8, "current packet overtakes the deferred one");
         assert_eq!(second.ty, 7, "deferred packet restored across snapshot");
         assert!(second.timestamp >= first.timestamp);
+    }
+
+    #[test]
+    fn deferred_packet_still_promises_progress() {
+        // Reorder probability 1000‰: the first send is always deferred. The
+        // send still resets the sync timer, so it must leave a SYNC at the
+        // un-jittered base arrival — a silent deferral strands the peer on a
+        // stale horizon and can close a pairwise deadlock cycle (both sides
+        // blocked with t_sync > bound). Regression test for a livelock found
+        // by checkpoint-ring recording over a reorder-impaired link.
+        let imp = Impairment::none()
+            .with_reorder(1000)
+            .with_jitter(SimTime::from_ns(200))
+            .with_seed(5);
+        let (mut a, mut b) = impaired_pair(imp);
+        a.send_data(SimTime::from_ns(100), 7, &[42]);
+        b.poll();
+        assert!(b.pop_due(SimTime::MAX).is_none(), "packet held back");
+        assert_eq!(
+            b.horizon(),
+            SimTime::from_ns(600),
+            "deferral must promise the un-jittered base arrival"
+        );
+        assert!(a.last_promise() >= SimTime::from_ns(600));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   "SBCK"                      4 bytes
-//! version u16 (currently 4)           rejected if unknown
+//! version u16 (currently 6)           rejected if unknown
 //! flags   u16 (reserved, must be 0)
 //! name    u32-prefixed UTF-8          experiment name (validated on restore)
 //! time    u64                         checkpoint virtual time [ps]
@@ -39,7 +39,10 @@ pub const CKPT_MAGIC: [u8; 4] = *b"SBCK";
 // reorder holdback slot, counters) appended to the SyncPort snapshot, and
 // per-egress-queue AQM state (enqueue timestamps, CoDel/PI controller
 // variables) appended to the switch snapshot.
-pub const CKPT_VERSION: u16 = 5;
+// Version 6: the EventLog snapshot gained a leading mode tag for the
+// fingerprint-only log (per-epoch FNV accumulators replace materialized
+// entries when active), shifting every field after it.
+pub const CKPT_VERSION: u16 = 6;
 
 /// A decoded checkpoint container.
 #[derive(Debug)]
@@ -138,18 +141,230 @@ impl CheckpointFile {
             .map_err(|e| SnapError::Io(format!("read {}: {e}", path.display())))?;
         Self::decode(&bytes)
     }
+
+    /// Merge per-partition containers (same experiment, same quiesce time)
+    /// into one whole-experiment container whose components follow `order` —
+    /// the global build order recorded at partition discovery. The result is
+    /// byte-identical to what a single-process run of the same experiment
+    /// would have checkpointed, so distributed ring entries restore through
+    /// the ordinary local path.
+    pub fn merge(parts: &[CheckpointFile], order: &[String]) -> SnapResult<CheckpointFile> {
+        let first = parts
+            .first()
+            .ok_or_else(|| SnapError::Corrupt("merge of zero checkpoint parts".into()))?;
+        let mut by_name: std::collections::BTreeMap<&str, &[u8]> = std::collections::BTreeMap::new();
+        for p in parts {
+            if p.name != first.name || p.at != first.at {
+                return Err(SnapError::Corrupt(format!(
+                    "checkpoint parts disagree: ({}, {}) vs ({}, {})",
+                    p.name,
+                    p.at.as_ps(),
+                    first.name,
+                    first.at.as_ps()
+                )));
+            }
+            for (cname, blob) in &p.components {
+                if by_name.insert(cname, blob).is_some() {
+                    return Err(SnapError::Corrupt(format!(
+                        "component {cname} appears in more than one partition"
+                    )));
+                }
+            }
+        }
+        let mut components = Vec::with_capacity(order.len());
+        for name in order {
+            match by_name.remove(name.as_str()) {
+                Some(blob) => components.push((name.clone(), blob.to_vec())),
+                None => {
+                    return Err(SnapError::Corrupt(format!(
+                        "component {name} missing from checkpoint parts"
+                    )))
+                }
+            }
+        }
+        if let Some((extra, _)) = by_name.into_iter().next() {
+            return Err(SnapError::Corrupt(format!(
+                "component {extra} not in the experiment's build order"
+            )));
+        }
+        Ok(CheckpointFile {
+            name: first.name.clone(),
+            at: first.at,
+            components,
+        })
+    }
 }
 
 /// Write an already-encoded checkpoint container to `path` via a temp file
 /// plus rename, so a crash or full disk mid-write never destroys an
-/// existing good checkpoint with a truncated one.
+/// existing good checkpoint with a truncated one. If either step fails, the
+/// temp file is removed — a failed save must not leak `.tmp` litter into
+/// the checkpoint directory.
 pub fn write_blob(path: &Path, bytes: &[u8]) -> SnapResult<()> {
+    write_blob_with(path, bytes, &mut |tmp, bytes| std::fs::write(tmp, bytes))
+}
+
+/// [`write_blob`] with an injectable writer for the temp file, so tests can
+/// simulate a full disk. On writer error *or* rename error the temp file is
+/// deleted before the error propagates.
+pub fn write_blob_with(
+    path: &Path,
+    bytes: &[u8],
+    write: &mut dyn FnMut(&Path, &[u8]) -> std::io::Result<()>,
+) -> SnapResult<()> {
     let tmp = path.with_extension("ckpt.tmp");
-    std::fs::write(&tmp, bytes)
-        .map_err(|e| SnapError::Io(format!("write {}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| SnapError::Io(format!("rename to {}: {e}", path.display())))?;
+    if let Err(e) = write(&tmp, bytes) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SnapError::Io(format!("write {}: {e}", tmp.display())));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SnapError::Io(format!("rename to {}: {e}", path.display())));
+    }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint rings
+// ---------------------------------------------------------------------------
+
+/// Metadata file name inside a checkpoint-ring directory.
+pub const RING_META_FILE: &str = "RING.meta";
+/// Scenario text file name inside a checkpoint-ring directory (written by
+/// the CLI layer; the replay tool rebuilds the experiment from it).
+pub const RING_SCENARIO_FILE: &str = "scenario.toml";
+
+/// Metadata describing a checkpoint-ring directory: a bounded sequence of
+/// SBCK containers `ck-<time_ps>.ckpt` snapshotted every `period` of virtual
+/// time, of which only the newest `keep` survive (0 = keep all).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingMeta {
+    /// Experiment name (validated against the containers on open).
+    pub name: String,
+    /// Virtual time between ring entries.
+    pub period: SimTime,
+    /// Newest entries kept; 0 keeps every entry.
+    pub keep: usize,
+    /// Experiment end time — bounds the epoch count during bisection.
+    pub end: SimTime,
+}
+
+impl RingMeta {
+    /// Write the metadata file into `dir` (line-oriented `key=value` text).
+    pub fn write_to(&self, dir: &Path) -> SnapResult<()> {
+        let text = format!(
+            "simbricks-ring v1\nname={}\nperiod_ps={}\nkeep={}\nend_ps={}\n",
+            self.name,
+            self.period.as_ps(),
+            self.keep,
+            self.end.as_ps()
+        );
+        let path = dir.join(RING_META_FILE);
+        std::fs::write(&path, text)
+            .map_err(|e| SnapError::Io(format!("write {}: {e}", path.display())))
+    }
+
+    /// Read and validate the metadata file from `dir`.
+    pub fn read_from(dir: &Path) -> SnapResult<RingMeta> {
+        let path = dir.join(RING_META_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| SnapError::Io(format!("read {}: {e}", path.display())))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("simbricks-ring v1") {
+            return Err(SnapError::Corrupt(format!(
+                "{}: not a simbricks-ring v1 metadata file",
+                path.display()
+            )));
+        }
+        let mut name = None;
+        let mut period = None;
+        let mut keep = None;
+        let mut end = None;
+        for line in lines {
+            let Some((k, v)) = line.split_once('=') else {
+                continue;
+            };
+            match k {
+                "name" => name = Some(v.to_string()),
+                "period_ps" => period = v.parse::<u64>().ok().map(SimTime::from_ps),
+                "keep" => keep = v.parse::<usize>().ok(),
+                "end_ps" => end = v.parse::<u64>().ok().map(SimTime::from_ps),
+                _ => {}
+            }
+        }
+        match (name, period, keep, end) {
+            (Some(name), Some(period), Some(keep), Some(end)) if period > SimTime::ZERO => {
+                Ok(RingMeta {
+                    name,
+                    period,
+                    keep,
+                    end,
+                })
+            }
+            _ => Err(SnapError::Corrupt(format!(
+                "{}: missing or invalid ring metadata fields",
+                path.display()
+            ))),
+        }
+    }
+}
+
+/// Path of the ring entry checkpointed at virtual time `t`.
+pub fn ring_entry_path(dir: &Path, t: SimTime) -> std::path::PathBuf {
+    dir.join(format!("ck-{:020}.ckpt", t.as_ps()))
+}
+
+/// All ring entries in `dir`, sorted by checkpoint time (directory order is
+/// not deterministic, the explicit sort is what makes replay deterministic).
+pub fn ring_entries(dir: &Path) -> SnapResult<Vec<(SimTime, std::path::PathBuf)>> {
+    let rd = std::fs::read_dir(dir)
+        .map_err(|e| SnapError::Io(format!("read dir {}: {e}", dir.display())))?;
+    let mut out = Vec::new();
+    for ent in rd {
+        let ent = ent.map_err(|e| SnapError::Io(format!("read dir {}: {e}", dir.display())))?;
+        let fname = ent.file_name();
+        let Some(fname) = fname.to_str() else {
+            continue;
+        };
+        if let Some(ps) = fname
+            .strip_prefix("ck-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((SimTime::from_ps(ps), ent.path()));
+        }
+    }
+    out.sort_by_key(|(t, _)| *t);
+    Ok(out)
+}
+
+/// Pure pruning policy: given the (sorted or unsorted) checkpoint times
+/// currently present and the `keep` bound, return the times to delete —
+/// everything but the newest `keep`. `keep == 0` keeps all.
+pub fn ring_prune_plan(times: &[SimTime], keep: usize) -> Vec<SimTime> {
+    if keep == 0 || times.len() <= keep {
+        return Vec::new();
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort();
+    sorted.truncate(times.len() - keep);
+    sorted
+}
+
+/// Apply [`ring_prune_plan`] to the entries on disk, returning the removed
+/// paths.
+pub fn prune_ring(dir: &Path, keep: usize) -> SnapResult<Vec<std::path::PathBuf>> {
+    let entries = ring_entries(dir)?;
+    let times: Vec<SimTime> = entries.iter().map(|(t, _)| *t).collect();
+    let doomed = ring_prune_plan(&times, keep);
+    let mut removed = Vec::new();
+    for t in doomed {
+        let path = ring_entry_path(dir, t);
+        std::fs::remove_file(&path)
+            .map_err(|e| SnapError::Io(format!("remove {}: {e}", path.display())))?;
+        removed.push(path);
+    }
+    Ok(removed)
 }
 
 #[cfg(test)]
@@ -244,6 +459,21 @@ mod tests {
                 check: |e| matches!(e, SnapError::Version { found: 4, expected: CKPT_VERSION }),
             },
             Case {
+                // v5 is the format immediately before the event-log mode tag
+                // was added: a v5 EventLog snapshot starts directly with the
+                // enabled flag, so the current decoder would read its first
+                // byte as a mode tag and misparse. The version gate must
+                // reject it before any body decoding.
+                name: "version-5 checkpoint from an older build",
+                make: |g| {
+                    let mut b = g.to_vec();
+                    b[4] = 5;
+                    b[5] = 0;
+                    b
+                },
+                check: |e| matches!(e, SnapError::Version { found: 5, expected: CKPT_VERSION }),
+            },
+            Case {
                 name: "truncated mid-component",
                 make: |g| g[..g.len() / 2].to_vec(),
                 check: |e| {
@@ -308,5 +538,177 @@ mod tests {
     fn read_from_missing_file_is_io_error() {
         let e = CheckpointFile::read_from(Path::new("/nonexistent/nope.ckpt")).unwrap_err();
         assert!(matches!(e, SnapError::Io(_)));
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sbck-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Regression: a failed save (full disk, permission error) must remove
+    /// the temp file it created — a half-written `.tmp` next to good ring
+    /// entries used to survive the error path.
+    #[test]
+    fn failed_write_cleans_up_temp_file() {
+        let dir = tmpdir("leak");
+        let path = dir.join("state.ckpt");
+
+        // Full-disk-simulating writer: writes a partial prefix, then fails.
+        let mut full_disk = |tmp: &Path, bytes: &[u8]| -> std::io::Result<()> {
+            std::fs::write(tmp, &bytes[..bytes.len() / 2])?;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "no space left on device",
+            ))
+        };
+        let err = write_blob_with(&path, &[7u8; 64], &mut full_disk).unwrap_err();
+        assert!(matches!(err, SnapError::Io(_)), "unexpected error {err:?}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp file leaked on the error path: {leftovers:?}"
+        );
+
+        // Rename failure (target directory vanished) also cleans up.
+        let gone = dir.join("sub").join("state.ckpt");
+        let err = write_blob_with(&gone, &[7u8; 64], &mut |tmp, bytes| {
+            // The temp path is also under the missing dir; write it next to
+            // the test dir instead so only the rename fails.
+            let _ = tmp;
+            std::fs::write(dir.join("sub.ckpt.tmp"), bytes)
+        })
+        .unwrap_err();
+        assert!(matches!(err, SnapError::Io(_)));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_meta_roundtrip_and_rejects_garbage() {
+        let dir = tmpdir("meta");
+        let meta = RingMeta {
+            name: "exp".into(),
+            period: SimTime::from_us(500),
+            keep: 4,
+            end: SimTime::from_ms(6),
+        };
+        meta.write_to(&dir).unwrap();
+        assert_eq!(RingMeta::read_from(&dir).unwrap(), meta);
+
+        std::fs::write(dir.join(RING_META_FILE), "not a ring\n").unwrap();
+        assert!(matches!(
+            RingMeta::read_from(&dir),
+            Err(SnapError::Corrupt(_))
+        ));
+        std::fs::write(dir.join(RING_META_FILE), "simbricks-ring v1\nname=x\n").unwrap();
+        assert!(matches!(
+            RingMeta::read_from(&dir),
+            Err(SnapError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_entries_sorted_and_pruned_to_newest_keep() {
+        let dir = tmpdir("ring");
+        // Write entries out of order; a stray file must be ignored.
+        for ms in [5u64, 1, 3, 2, 4] {
+            std::fs::write(ring_entry_path(&dir, SimTime::from_ms(ms)), b"x").unwrap();
+        }
+        std::fs::write(dir.join("README"), b"not a checkpoint").unwrap();
+        let entries = ring_entries(&dir).unwrap();
+        let times: Vec<u64> = entries.iter().map(|(t, _)| t.as_ps() / 1_000_000_000).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5]);
+
+        let removed = prune_ring(&dir, 2).unwrap();
+        assert_eq!(removed.len(), 3);
+        let left: Vec<u64> = ring_entries(&dir)
+            .unwrap()
+            .iter()
+            .map(|(t, _)| t.as_ps() / 1_000_000_000)
+            .collect();
+        assert_eq!(left, vec![4, 5], "pruning must keep the newest entries");
+
+        // keep == 0 keeps everything.
+        assert!(prune_ring(&dir, 0).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_plan_is_pure_and_keeps_newest() {
+        let t = |ms: u64| SimTime::from_ms(ms);
+        assert!(ring_prune_plan(&[t(1), t(2)], 0).is_empty());
+        assert!(ring_prune_plan(&[t(1), t(2)], 2).is_empty());
+        assert_eq!(ring_prune_plan(&[t(3), t(1), t(2)], 1), vec![t(1), t(2)]);
+        assert_eq!(ring_prune_plan(&[t(3), t(1), t(2)], 2), vec![t(1)]);
+        assert!(ring_prune_plan(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn merge_orders_components_and_rejects_mismatch() {
+        let part = |names: &[&str], at: SimTime| CheckpointFile {
+            name: "exp".into(),
+            at,
+            components: names.iter().map(|n| (n.to_string(), vec![n.len() as u8])).collect(),
+        };
+        let at = SimTime::from_ms(1);
+        let order = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let merged =
+            CheckpointFile::merge(&[part(&["b"], at), part(&["c", "a"], at)], &order).unwrap();
+        let names: Vec<&str> = merged.components.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(merged.at, at);
+
+        // Disagreeing quiesce times.
+        let e = CheckpointFile::merge(&[part(&["a"], at), part(&["b"], SimTime::from_ms(2))], &order)
+            .unwrap_err();
+        assert!(matches!(e, SnapError::Corrupt(_)));
+        // Missing component.
+        let e = CheckpointFile::merge(&[part(&["a", "b"], at)], &order).unwrap_err();
+        assert!(matches!(e, SnapError::Corrupt(_)));
+        // Duplicate component.
+        let e = CheckpointFile::merge(&[part(&["a"], at), part(&["a", "b", "c"], at)], &order)
+            .unwrap_err();
+        assert!(matches!(e, SnapError::Corrupt(_)));
+        // Component not in the build order.
+        let e = CheckpointFile::merge(&[part(&["a", "b", "c", "d"], at)], &order).unwrap_err();
+        assert!(matches!(e, SnapError::Corrupt(_)));
+    }
+}
+
+// Enable with `cargo add --dev proptest@1 -p simbricks-runner` and
+// `--features simbricks-runner/proptest` (the dependency is not vendored in
+// offline build environments; CI adds it on the fly).
+#[cfg(all(test, feature = "proptest"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Ring pruning keeps exactly the newest `keep` checkpoint times for
+        /// any schedule (arbitrary order, duplicates collapsed), and keeps
+        /// everything when `keep == 0`.
+        #[test]
+        fn prune_plan_keeps_newest(times_ps in proptest::collection::btree_set(0u64..1_000_000, 0..64),
+                                   keep in 0usize..16) {
+            let times: Vec<SimTime> = times_ps.iter().map(|&t| SimTime::from_ps(t)).collect();
+            let doomed = ring_prune_plan(&times, keep);
+            let mut survivors: Vec<SimTime> =
+                times.iter().copied().filter(|t| !doomed.contains(t)).collect();
+            survivors.sort();
+            if keep == 0 {
+                prop_assert!(doomed.is_empty());
+            } else {
+                prop_assert_eq!(survivors.len(), times.len().min(keep));
+                // Survivors are exactly the newest `keep` times.
+                let mut sorted = times.clone();
+                sorted.sort();
+                let newest: Vec<SimTime> =
+                    sorted[sorted.len().saturating_sub(keep)..].to_vec();
+                prop_assert_eq!(survivors, newest);
+            }
+        }
     }
 }

@@ -112,12 +112,15 @@ const MSG_READY: u8 = 4;
 const MSG_GO: u8 = 5;
 const MSG_RESULT: u8 = 6;
 const MSG_DONE: u8 = 7;
-/// Orchestrator → worker, after `ADDRS`: checkpoint configuration — the
-/// virtual time to checkpoint at (0 = none) plus, when restoring, the
+/// Orchestrator → worker, after `ADDRS`: checkpoint configuration — a
+/// presence byte and the virtual time to checkpoint at, the checkpoint-ring
+/// period and keep bound (both 0 = no ring) plus, when restoring, the
 /// partition's encoded snapshot container.
 const MSG_CKPT: u8 = 8;
 /// Worker → orchestrator, before `RESULT`: the partition's encoded snapshot
-/// container captured at the configured checkpoint time.
+/// container captured at the configured checkpoint time. With a checkpoint
+/// ring configured, a second `CKPT_SAVE` frame follows carrying the
+/// partition's ring as count-prefixed `(time u64, len u32, blob)` entries.
 const MSG_CKPT_SAVE: u8 = 9;
 
 /// Upper bound on one control frame (results carry whole event logs).
@@ -171,6 +174,10 @@ pub struct PartitionBuilder {
     links: Vec<LinkDecl>,
     next_global: usize,
     local_globals: Vec<usize>,
+    /// Component names in global build order (recorded in every mode; the
+    /// orchestrator needs them to merge per-partition ring checkpoints into
+    /// whole-experiment containers).
+    global_names: Vec<String>,
     listeners: HashMap<String, TcpListener>,
     addr_map: HashMap<String, String>,
     proxies: Vec<ProxyHandle>,
@@ -195,6 +202,7 @@ impl PartitionBuilder {
             links: Vec::new(),
             next_global: 0,
             local_globals: Vec::new(),
+            global_names: Vec::new(),
             listeners: HashMap::new(),
             addr_map: HashMap::new(),
             proxies: Vec::new(),
@@ -261,6 +269,8 @@ impl PartitionBuilder {
     ) -> usize {
         let global = self.next_global;
         self.next_global += 1;
+        let name = name.into();
+        self.global_names.push(name.clone());
         if self.is_local(partition) {
             self.exp().add(name, model, ports);
             self.local_globals.push(global);
@@ -546,6 +556,23 @@ pub struct DistOptions {
     /// Restore every partition from `<dir>/<partition>.ckpt` before the
     /// start barrier; the run then resumes at the checkpoint's virtual time.
     pub restore_from: Option<PathBuf>,
+    /// Checkpoint ring: every worker quiesces at each multiple of the period
+    /// and ships its partition's snapshots to the orchestrator, which merges
+    /// the partitions of each quiesce time into one whole-experiment SBCK
+    /// container `<dir>/ck-<time_ps>.ckpt` (restorable through the ordinary
+    /// local path). Only the newest `keep` entries survive (0 = keep all).
+    pub ring: Option<RingOptions>,
+}
+
+/// Checkpoint-ring configuration for a distributed run.
+#[derive(Clone, Debug)]
+pub struct RingOptions {
+    /// Virtual time between ring entries.
+    pub period: SimTime,
+    /// Newest entries kept (0 = keep all).
+    pub keep: usize,
+    /// Directory the merged whole-experiment containers are written into.
+    pub dir: PathBuf,
 }
 
 impl DistOptions {
@@ -562,6 +589,7 @@ impl DistOptions {
             worker_args: vec!["--dist-worker".into()],
             checkpoint: None,
             restore_from: None,
+            ring: None,
         }
     }
 
@@ -575,6 +603,22 @@ impl DistOptions {
     /// Restore all partitions from the per-partition files in `dir`.
     pub fn with_restore(mut self, dir: impl Into<PathBuf>) -> Self {
         self.restore_from = Some(dir.into());
+        self
+    }
+
+    /// Request a checkpoint ring: merged whole-experiment containers written
+    /// into `dir` at every multiple of `period`, pruned to the newest `keep`.
+    pub fn with_checkpoint_ring(
+        mut self,
+        period: SimTime,
+        keep: usize,
+        dir: impl Into<PathBuf>,
+    ) -> Self {
+        self.ring = Some(RingOptions {
+            period,
+            keep,
+            dir: dir.into(),
+        });
         self
     }
 
@@ -922,6 +966,8 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     let mut d = Dec::new(&ckpt_cfg);
     let has_ckpt = d.take(1)?[0] != 0;
     let ckpt_at = d.u64()?;
+    let ring_period = d.u64()?;
+    let ring_keep = d.u64()? as usize;
     let has_restore = d.take(1)?[0] != 0;
     if has_restore {
         let blob = d.take(ckpt_cfg.len() - d.off)?.to_vec();
@@ -935,6 +981,12 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     if has_ckpt {
         exp.checkpoint_at(SimTime::from_ps(ckpt_at), None);
     }
+    if ring_period != 0 {
+        // Every worker quiesces at the same virtual times (pause promises
+        // keep the partitions in lockstep through the proxies), so each
+        // partition contributes a snapshot for every ring slot.
+        exp.set_checkpoint_ring(SimTime::from_ps(ring_period), ring_keep);
+    }
 
     // Barrier-synchronized start: report readiness, wait for the release.
     write_frame(&mut ctrl, MSG_READY, &[])?;
@@ -945,6 +997,17 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     if has_ckpt {
         let blob = result.checkpoint.as_deref().unwrap_or(&[]);
         write_frame(&mut ctrl, MSG_CKPT_SAVE, blob)?;
+    }
+    if ring_period != 0 {
+        // Ship the partition's ring: count-prefixed (time, blob) entries.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(result.ring.len() as u32).to_le_bytes());
+        for (at, blob) in &result.ring {
+            payload.extend_from_slice(&at.as_ps().to_le_bytes());
+            payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            payload.extend_from_slice(blob);
+        }
+        write_frame(&mut ctrl, MSG_CKPT_SAVE, &payload)?;
     }
     let payload = encode_result(&result, &local_globals);
     write_frame(&mut ctrl, MSG_RESULT, &payload)?;
@@ -1039,6 +1102,7 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
         }
     }
     let expected_components = pb.next_global;
+    let global_names = std::mem::take(&mut pb.global_names);
 
     let (transport, shm_dir) = resolve_run_transport(opts.transport)?;
     let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -1135,11 +1199,27 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
     if let Some((_, dir)) = &opts.checkpoint {
         std::fs::create_dir_all(dir)?;
     }
+    if let Some(ring) = &opts.ring {
+        if ring.period == SimTime::ZERO {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint ring period must be non-zero",
+            ));
+        }
+        std::fs::create_dir_all(&ring.dir)?;
+    }
     for p in &opts.partitions {
         let mut payload = Vec::new();
         payload.push(opts.checkpoint.is_some() as u8);
         let ckpt_at = opts.checkpoint.as_ref().map(|(at, _)| at.as_ps()).unwrap_or(0);
         payload.extend_from_slice(&ckpt_at.to_le_bytes());
+        let (ring_period, ring_keep) = opts
+            .ring
+            .as_ref()
+            .map(|r| (r.period.as_ps(), r.keep as u64))
+            .unwrap_or((0, 0));
+        payload.extend_from_slice(&ring_period.to_le_bytes());
+        payload.extend_from_slice(&ring_keep.to_le_bytes());
         match &opts.restore_from {
             Some(dir) => {
                 let blob = std::fs::read(dir.join(format!("{p}.ckpt")))?;
@@ -1163,6 +1243,9 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
 
     let mut partition_walls = Vec::new();
     let mut all: Vec<(usize, String, KernelStats, EventLog)> = Vec::new();
+    // Per ring slot time: the partitions' containers collected so far.
+    let mut ring_parts: std::collections::BTreeMap<u64, Vec<crate::checkpoint::CheckpointFile>> =
+        std::collections::BTreeMap::new();
     for p in &opts.partitions {
         if let Some((_, dir)) = &opts.checkpoint {
             let blob = expect_frame(conns.get_mut(p).unwrap(), MSG_CKPT_SAVE)?;
@@ -1175,12 +1258,56 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
             crate::checkpoint::write_blob(&dir.join(format!("{p}.ckpt")), &blob)
                 .map_err(|e| io::Error::other(format!("writing checkpoint of {p:?}: {e}")))?;
         }
+        if opts.ring.is_some() {
+            let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_CKPT_SAVE)?;
+            let mut d = Dec::new(&payload);
+            let n = d.u32()? as usize;
+            for _ in 0..n {
+                let at = d.u64()?;
+                let len = d.u32()? as usize;
+                let blob = d.take(len)?;
+                let file = crate::checkpoint::CheckpointFile::decode(blob).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("ring entry of {p:?} at {at}ps: {e}"),
+                    )
+                })?;
+                ring_parts.entry(at).or_default().push(file);
+            }
+        }
         let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_RESULT)?;
         let report = decode_result(&payload)?;
         partition_walls.push(report.wall_seconds);
         all.extend(report.components);
     }
     let wall = start.elapsed();
+
+    // Merge each ring slot's per-partition containers into one
+    // whole-experiment container in global build order — byte-identical to a
+    // single-process checkpoint of the same slot, so the ring restores
+    // through the ordinary local path.
+    if let Some(ring) = &opts.ring {
+        for (at, parts) in &ring_parts {
+            if parts.len() != opts.partitions.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "ring slot at {at}ps has {} partition snapshots, expected {}",
+                        parts.len(),
+                        opts.partitions.len()
+                    ),
+                ));
+            }
+            let merged = crate::checkpoint::CheckpointFile::merge(parts, &global_names)
+                .map_err(|e| io::Error::other(format!("merging ring slot at {at}ps: {e}")))?;
+            let path = crate::checkpoint::ring_entry_path(&ring.dir, SimTime::from_ps(*at));
+            merged
+                .write_to(&path)
+                .map_err(|e| io::Error::other(format!("writing {}: {e}", path.display())))?;
+        }
+        crate::checkpoint::prune_ring(&ring.dir, ring.keep)
+            .map_err(|e| io::Error::other(format!("pruning ring {}: {e}", ring.dir.display())))?;
+    }
 
     // Clean teardown: acknowledge, then reap the worker processes.
     for p in &opts.partitions {

@@ -117,6 +117,12 @@ pub struct RunResult {
     /// the configured path, if any). Distributed workers ship this blob to
     /// the orchestrator over the control socket.
     pub checkpoint: Option<Vec<u8>>,
+    /// Checkpoint-ring entries captured mid-run (quiesce time, encoded
+    /// container), newest last, already pruned to the configured `keep_n`.
+    /// Populated when the experiment was configured with
+    /// [`Experiment::with_checkpoint_ring`]; distributed workers ship these
+    /// to the orchestrator for merging.
+    pub ring: Vec<(SimTime, Vec<u8>)>,
     models: Vec<Box<dyn AnyModel>>,
 }
 
@@ -184,6 +190,14 @@ pub struct Experiment {
     /// Checkpoint request: quiesce at the given virtual time mid-run, encode
     /// every component, optionally write the file, then continue.
     checkpoint: Option<(SimTime, Option<PathBuf>)>,
+    /// Checkpoint-ring request: quiesce at every multiple of the period,
+    /// keeping only the newest `keep_n` entries (0 = keep all).
+    ring: Option<(SimTime, usize)>,
+    /// Directory ring entries are written to as `ck-<time_ps>.ckpt` (when
+    /// set; distributed workers leave it unset and ship blobs instead).
+    ring_dir: Option<PathBuf>,
+    /// Epoch length for fingerprint-only event logging, when enabled.
+    fp_epoch: Option<SimTime>,
     /// Virtual time a restore fast-forwarded this experiment to (reporting).
     restored_at: Option<SimTime>,
     barrier: Option<std::sync::Arc<EpochController>>,
@@ -215,6 +229,9 @@ impl Experiment {
             external_inputs: false,
             components: Vec::new(),
             checkpoint: None,
+            ring: None,
+            ring_dir: None,
+            fp_epoch: None,
             restored_at: None,
             barrier: None,
             stop: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
@@ -235,6 +252,17 @@ impl Experiment {
     /// determinism experiments).
     pub fn with_logging(mut self) -> Self {
         self.log_enabled = true;
+        self
+    }
+
+    /// Enable fingerprint-only event logging on every component: entries
+    /// fold into per-epoch FNV accumulators instead of being materialized,
+    /// so memory stays O(end / epoch) however long the run. The replay
+    /// bisector compares runs through these epoch fingerprints.
+    pub fn with_fingerprint_logging(mut self, epoch: SimTime) -> Self {
+        assert!(epoch > SimTime::ZERO, "fingerprint epoch must be non-zero");
+        self.log_enabled = true;
+        self.fp_epoch = Some(epoch);
         self
     }
 
@@ -362,7 +390,9 @@ impl Experiment {
             // anchoring their virtual clocks to the wall clock (1:1).
             kernel.set_wall_clock(1.0);
         }
-        if self.log_enabled {
+        if let Some(epoch) = self.fp_epoch {
+            kernel.enable_fingerprint_log(epoch);
+        } else if self.log_enabled {
             kernel.enable_log();
         }
         for p in ports {
@@ -403,6 +433,106 @@ impl Experiment {
             self.end
         );
         self.checkpoint = Some((at, path));
+    }
+
+    /// Request a checkpoint ring: quiesce and snapshot at every multiple of
+    /// `period` before the end time, keeping only the newest `keep_n`
+    /// entries (0 = keep all). Each entry is a complete SBCK container; the
+    /// continuation after every quiesce — and any run restored from any
+    /// entry — is bit-identical to an uninterrupted run. Same executor
+    /// constraints as [`Experiment::checkpoint_at`]. Entries land in
+    /// [`RunResult::ring`], and on disk when a directory is set via
+    /// [`Experiment::set_ring_dir`].
+    pub fn with_checkpoint_ring(mut self, period: SimTime, keep_n: usize) -> Self {
+        self.set_checkpoint_ring(period, keep_n);
+        self
+    }
+
+    /// Non-consuming form of [`Experiment::with_checkpoint_ring`] (used when
+    /// the experiment was built by a lowering that already returned it).
+    pub fn set_checkpoint_ring(&mut self, period: SimTime, keep_n: usize) {
+        assert!(period > SimTime::ZERO, "checkpoint ring period must be non-zero");
+        self.ring = Some((period, keep_n));
+    }
+
+    /// Directory ring entries are written to as they are captured (pruned on
+    /// disk to the configured `keep_n` after each write).
+    pub fn set_ring_dir(&mut self, dir: PathBuf) {
+        self.ring_dir = Some(dir);
+    }
+
+    // ------------------------------------------------------------------
+    // Replay inspection (used by `crates/replay` after restore + freeze)
+    // ------------------------------------------------------------------
+
+    /// Component names in build order.
+    pub fn component_names(&self) -> Vec<String> {
+        self.components.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// The kernel of component `idx` (clock, stats, event log, ports).
+    pub fn kernel(&self, idx: usize) -> &Kernel {
+        &self.components[idx].kernel
+    }
+
+    /// Mutable kernel access (the replay layer switches restored event logs
+    /// between recording modes before stepping on).
+    pub fn kernel_mut(&mut self, idx: usize) -> &mut Kernel {
+        &mut self.components[idx].kernel
+    }
+
+    /// Snapshot every component's *model* state (without the kernel record).
+    /// The replay layer compares these across a seek and a fresh paused run:
+    /// model state is simulation-visible and must match bit for bit, while
+    /// kernel sync counters legitimately differ with the pause schedule.
+    pub fn model_states(&self) -> SnapResult<Vec<Vec<u8>>> {
+        let mut out = Vec::with_capacity(self.components.len());
+        for c in &self.components {
+            let mut w = SnapWriter::new();
+            c.model.as_model_ref().snapshot(&mut w)?;
+            out.push(w.into_vec());
+        }
+        Ok(out)
+    }
+
+    /// Convert every component's (restored) event log to fingerprint-only
+    /// mode in place — the prefix entries fold into the per-epoch
+    /// accumulators and are dropped, so stepping on records fingerprints
+    /// only.
+    pub fn convert_logs_fingerprint_only(&mut self, epoch: SimTime) {
+        for c in &mut self.components {
+            c.kernel.event_log_mut().to_fingerprint_only(epoch);
+        }
+        self.fp_epoch = Some(epoch);
+    }
+
+    /// Replace every component's event log with a fresh materialized one,
+    /// discarding any restored prefix. The replay pinpoint pass uses this to
+    /// materialize only the window after a restore point.
+    pub fn reset_logs_materialized(&mut self) {
+        for c in &mut self.components {
+            *c.kernel.event_log_mut() = EventLog::enabled();
+        }
+        self.fp_epoch = None;
+        self.log_enabled = true;
+    }
+
+    /// Quiesce every component at exactly virtual time `at` (which must lie
+    /// at or after the restore point and before the end) and leave the
+    /// experiment frozen there for inspection via [`Experiment::kernel`] /
+    /// [`Experiment::model_states`]. Returns the encoded SBCK container of
+    /// the frozen state. Same executor constraints as a checkpoint — the
+    /// quiesce is cooperative and single-threaded.
+    pub fn freeze_at(&mut self, at: SimTime) -> SnapResult<Vec<u8>> {
+        assert!(
+            at < self.end,
+            "freeze time {at} must lie before the experiment end {}",
+            self.end
+        );
+        if let Some(r) = self.restored_at {
+            assert!(at >= r, "freeze time {at} lies before the restore point {r}");
+        }
+        self.quiesce_and_encode(at)
     }
 
     /// Restore this experiment from a checkpoint file previously written by
@@ -524,7 +654,14 @@ impl Experiment {
                     .components
                     .iter()
                     .filter(|c| !c.kernel.quiesced_at(at))
-                    .map(|c| format!("{}@{}", c.name, c.kernel.now()))
+                    .map(|c| {
+                        let ports: Vec<String> = (0..c.kernel.num_ports())
+                            .map(|i| {
+                                format!("p{i}[{}]", c.kernel.port_sync_describe(PortId(i)))
+                            })
+                            .collect();
+                        format!("{}@{} {}", c.name, c.kernel.now(), ports.join(" "))
+                    })
                     .collect();
                 return Err(SnapError::Io(format!(
                     "experiment failed to quiesce at {at}: {}",
@@ -728,6 +865,57 @@ impl Experiment {
             }
             None => None,
         };
+        // Phase 1b (only with a checkpoint ring): quiesce at every multiple
+        // of the period, encode, optionally write + prune on disk, keep the
+        // newest `keep_n` blobs in memory. Each quiesce is cooperative and
+        // the continuation after it is bit-identical to not pausing at all,
+        // so the tail of this very run doubles as the uninterrupted
+        // baseline.
+        let mut ring_blobs: Vec<(SimTime, Vec<u8>)> = Vec::new();
+        if let Some((period, keep)) = self.ring {
+            assert!(
+                mode != Execution::Threads,
+                "checkpoint rings are supported under the sequential and sharded \
+                 executors (thread-per-component runs cannot be quiesced \
+                 cooperatively); restoring works under every executor"
+            );
+            assert!(
+                checkpoint.is_none(),
+                "checkpoint_at and with_checkpoint_ring cannot be combined"
+            );
+            if let Some(dir) = &self.ring_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    panic!("creating ring directory {}: {e}", dir.display());
+                }
+            }
+            // Resume past slots already covered before a restore point.
+            let start = self.restored_at.unwrap_or(SimTime::ZERO);
+            let mut slot = start.as_ps() / period.as_ps() + 1;
+            loop {
+                let at = SimTime::from_ps(slot.saturating_mul(period.as_ps()));
+                if at >= self.end {
+                    break;
+                }
+                let blob = match self.quiesce_and_encode(at) {
+                    Ok(b) => b,
+                    Err(e) => panic!("ring checkpoint of '{}' at {at} failed: {e}", self.name),
+                };
+                if let Some(dir) = &self.ring_dir {
+                    let path = crate::checkpoint::ring_entry_path(dir, at);
+                    if let Err(e) = crate::checkpoint::write_blob(&path, &blob) {
+                        panic!("writing ring entry {}: {e}", path.display());
+                    }
+                    if let Err(e) = crate::checkpoint::prune_ring(dir, keep) {
+                        panic!("pruning ring {}: {e}", dir.display());
+                    }
+                }
+                ring_blobs.push((at, blob));
+                if keep > 0 && ring_blobs.len() > keep {
+                    ring_blobs.remove(0);
+                }
+                slot += 1;
+            }
+        }
         // Phase 2: run (or continue) under the requested executor.
         match mode {
             Execution::Sequential => self.run_sequential(),
@@ -757,6 +945,7 @@ impl Experiment {
             stats,
             logs,
             checkpoint,
+            ring: ring_blobs,
             models,
         }
     }

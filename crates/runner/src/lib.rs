@@ -28,8 +28,14 @@ pub mod shm;
 pub mod transport;
 
 pub use build::{attach_host_nic, attach_host_nvme, host_component, nic_model, NetworkKind};
-pub use checkpoint::{CheckpointFile, CKPT_MAGIC, CKPT_VERSION};
-pub use dist::{maybe_worker, run_distributed, run_local, DistOptions, DistResult, PartitionBuilder};
+pub use checkpoint::{
+    prune_ring, ring_entries, ring_entry_path, ring_prune_plan, write_blob, CheckpointFile,
+    RingMeta, CKPT_MAGIC, CKPT_VERSION, RING_META_FILE, RING_SCENARIO_FILE,
+};
+pub use dist::{
+    maybe_worker, run_distributed, run_local, DistOptions, DistResult, PartitionBuilder,
+    RingOptions,
+};
 pub use executor::{default_workers, ShardedOptions};
 pub use experiment::{Execution, Experiment, RunResult};
 pub use partition::{PartitionAssignment, PartitionGraph};

@@ -14,6 +14,12 @@
 //!                             switch.sw.aqm.type=red,codel
 //!   --json <path|->         write results as JSON
 //!   --quiet                 suppress per-run text output
+//!   --checkpoint-ring DIR   record a checkpoint ring into DIR while the
+//!                           run progresses (replayable with
+//!                           `simbricks-replay`); forces logging on
+//!   --ring-period DUR       virtual time between ring entries
+//!                           (default: duration / 8)
+//!   --ring-keep N           keep only the newest N entries (default: all)
 //! ```
 //!
 //! Every run prints (and optionally records) the event-log fingerprint, the
@@ -24,12 +30,14 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use simbricks_base::SimTime;
 use simbricks_hostsim::HostModel;
 use simbricks_netsim::SwitchBm;
 use simbricks_runner::{
-    maybe_worker, run_distributed, DistOptions, Execution, PartitionBuilder, TransportKind,
+    maybe_worker, run_distributed, DistOptions, Execution, PartitionBuilder, RingMeta,
+    RingOptions, TransportKind, RING_SCENARIO_FILE,
 };
-use simbricks_scenario::{build_from_toml, lower, Doc, Scenario, Value};
+use simbricks_scenario::{build_from_toml, lower, parse_duration, Doc, Scenario, Value};
 
 struct Args {
     file: Option<String>,
@@ -39,12 +47,23 @@ struct Args {
     sweeps: Vec<(String, Vec<Value>)>,
     json: Option<String>,
     quiet: bool,
+    ring_dir: Option<String>,
+    ring_period: Option<String>,
+    ring_keep: usize,
+}
+
+/// Checkpoint-ring recording request, resolved against the scenario.
+struct RingCli {
+    dir: std::path::PathBuf,
+    period: SimTime,
+    keep: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simbricks-run <scenario.toml> [--exec MODE] [--transport T] \
-         [--sweep key=v1,v2,...]... [--json PATH|-] [--quiet]\n       \
+         [--sweep key=v1,v2,...]... [--json PATH|-] [--quiet] \
+         [--checkpoint-ring DIR [--ring-period DUR] [--ring-keep N]]\n       \
          simbricks-run --validate <scenario.toml>..."
     );
     std::process::exit(2);
@@ -88,6 +107,9 @@ fn parse_args() -> Args {
         sweeps: Vec::new(),
         json: None,
         quiet: false,
+        ring_dir: None,
+        ring_period: None,
+        ring_keep: 0,
     };
     let mut it = std::env::args().skip(1);
     let mut validating = false;
@@ -107,6 +129,15 @@ fn parse_args() -> Args {
                 }
             }
             "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
+            "--checkpoint-ring" => args.ring_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--ring-period" => args.ring_period = Some(it.next().unwrap_or_else(|| usage())),
+            "--ring-keep" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                args.ring_keep = n.parse().unwrap_or_else(|_| {
+                    eprintln!("simbricks-run: --ring-keep `{n}` is not a number");
+                    std::process::exit(2);
+                });
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => {
@@ -328,6 +359,20 @@ impl RunRecord {
 // Main
 // ---------------------------------------------------------------------------
 
+/// Write a recorded ring's sidecar files: metadata plus the exact scenario
+/// text that produced it, so `simbricks-replay` can rebuild the experiment.
+fn write_ring_sidecars(ring: &RingCli, text: &str, spec: &Scenario) -> Result<(), String> {
+    let meta = RingMeta {
+        name: spec.name.clone(),
+        period: ring.period,
+        keep: ring.keep,
+        end: spec.duration.saturating_add(spec.end_margin),
+    };
+    meta.write_to(&ring.dir).map_err(|e| e.to_string())?;
+    let path = ring.dir.join(RING_SCENARIO_FILE);
+    std::fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
 fn run_one(
     text: &str,
     spec: &Scenario,
@@ -335,6 +380,7 @@ fn run_one(
     transport: &str,
     overrides: Vec<(String, Value)>,
     quiet: bool,
+    ring: Option<&RingCli>,
 ) -> Result<RunRecord, String> {
     if exec_str == "dist" || exec_str.starts_with("dist:") {
         let transport = match transport {
@@ -358,8 +404,16 @@ fn run_one(
             worker_args: Vec::new(),
             checkpoint: None,
             restore_from: None,
+            ring: ring.map(|r| RingOptions {
+                period: r.period,
+                keep: r.keep,
+                dir: r.dir.clone(),
+            }),
         };
         let r = run_distributed(&opts, &build_from_toml).map_err(|e| e.to_string())?;
+        if let Some(ring) = ring {
+            write_ring_sidecars(ring, text, spec)?;
+        }
         let fp = r.merged_log().fingerprint();
         if !quiet {
             println!(
@@ -382,7 +436,18 @@ fn run_one(
         .ok_or_else(|| format!("unknown executor `{exec_str}` (sequential, threads, sharded[:N], dist)"))?;
     let mut pb = PartitionBuilder::new_local();
     let low = lower(spec, &mut pb);
-    let r = pb.into_experiment().run(exec);
+    let mut exp = pb.into_experiment();
+    if let Some(ring) = ring {
+        if exec == Execution::Threads {
+            return Err("checkpoint rings need the sequential or sharded executor".into());
+        }
+        exp.set_checkpoint_ring(ring.period, ring.keep);
+        exp.set_ring_dir(ring.dir.clone());
+    }
+    let r = exp.run(exec);
+    if let Some(ring) = ring {
+        write_ring_sidecars(ring, text, spec)?;
+    }
     let fp = r.merged_log().fingerprint();
     let mut hosts = Vec::new();
     for (name, id) in &low.hosts {
@@ -490,12 +555,30 @@ fn main() -> ExitCode {
         }
     };
 
+    let combos = sweep_combos(&args.sweeps);
+    if args.ring_dir.is_some() && combos.len() > 1 {
+        eprintln!(
+            "simbricks-run: --checkpoint-ring records exactly one run; \
+             narrow the --sweep to a single value"
+        );
+        return ExitCode::FAILURE;
+    }
+
     let mut records = Vec::new();
     let mut scen_name = String::new();
-    for combo in sweep_combos(&args.sweeps) {
+    for combo in combos {
         let mut doc = base_doc.clone();
         for (key, value) in &combo {
             if let Err(e) = apply_override(&mut doc, key, value) {
+                eprintln!("simbricks-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.ring_dir.is_some() {
+            // Replay needs the event logs: force logging on (the override
+            // lands in the scenario text stored with the ring, so replays
+            // rebuild the identical experiment).
+            if let Err(e) = apply_override(&mut doc, "scenario.log", &Value::Bool(true)) {
                 eprintln!("simbricks-run: {e}");
                 return ExitCode::FAILURE;
             }
@@ -514,7 +597,36 @@ fn main() -> ExitCode {
             .transport
             .clone()
             .unwrap_or_else(|| spec.transport.clone());
-        match run_one(&run_text, &spec, &exec_str, &transport, combo, args.quiet) {
+        let ring = match &args.ring_dir {
+            None => None,
+            Some(dir) => {
+                let period = match &args.ring_period {
+                    Some(p) => match parse_duration(p) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            eprintln!("simbricks-run: --ring-period: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    // Default: eight entries across the scenario's duration.
+                    None => SimTime::from_ps((spec.duration.as_ps() / 8).max(1)),
+                };
+                Some(RingCli {
+                    dir: std::path::PathBuf::from(dir),
+                    period,
+                    keep: args.ring_keep,
+                })
+            }
+        };
+        match run_one(
+            &run_text,
+            &spec,
+            &exec_str,
+            &transport,
+            combo,
+            args.quiet,
+            ring.as_ref(),
+        ) {
             Ok(rec) => records.push(rec),
             Err(e) => {
                 eprintln!("simbricks-run: {e}");

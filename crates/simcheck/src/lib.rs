@@ -34,7 +34,7 @@ use std::path::{Path, PathBuf};
 /// measurement harness) are exempt by design.
 pub const SIM_PATH_CRATES: &[&str] = &[
     "base", "core", "eth", "pcie", "proto", "netstack", "netsim", "nicsim", "nvmesim", "hostsim",
-    "apps", "scenario",
+    "apps", "scenario", "replay",
 ];
 
 const ITER_METHODS: &[&str] = &[
