@@ -307,22 +307,23 @@ mod tests {
         mem[0x1000..0x1000 + NVME_CMD_SIZE].copy_from_slice(&cmd);
 
         let t0 = SimTime::from_us(1);
-        let mut req = 1u64;
-        for (off, val) in [
+        for (req, (off, val)) in [
             (NVME_REG_SQ_BASE, 0x1000u64),
             (NVME_REG_CQ_BASE, 0x2000),
             (NVME_REG_Q_LEN, 16),
             (NVME_REG_ENABLE, 1),
             (NVME_REG_SQ_TAIL, 1),
-        ] {
+        ]
+        .into_iter()
+        .enumerate()
+        {
             let (ty, p) = HostToDev::MmioWrite {
-                req_id: req,
+                req_id: req as u64 + 1,
                 bar: 0,
                 offset: off,
                 data: val.to_le_bytes().to_vec().into(),
             }
             .encode();
-            req += 1;
             host.send_raw(t0, ty, &p).unwrap();
         }
 

@@ -534,6 +534,76 @@ mod tests {
         }
     }
 
+    /// Fuzz-ish hardening sweep: decode must return `Err` — never panic and
+    /// never silently accept — for *every* truncation length (a torn write
+    /// can stop at any byte) and for a single flipped bit at *every* byte
+    /// position (bit rot anywhere in the blob). Exhaustive rather than
+    /// sampled: the container is small and the sweep is the proof that no
+    /// byte position escapes the magic/version gates or the FNV-1a trailer.
+    #[test]
+    fn every_truncation_and_bit_flip_is_rejected_cleanly() {
+        let good = sample().encode();
+        assert!(CheckpointFile::decode(&good).is_ok());
+        for n in 0..good.len() {
+            assert!(
+                CheckpointFile::decode(&good[..n]).is_err(),
+                "truncation to {n}/{} bytes decoded successfully",
+                good.len()
+            );
+        }
+        for i in 0..good.len() {
+            for bit in 0..8 {
+                let mut b = good.clone();
+                b[i] ^= 1 << bit;
+                assert!(
+                    CheckpointFile::decode(&b).is_err(),
+                    "flip of bit {bit} at byte {i}/{} decoded successfully",
+                    good.len()
+                );
+            }
+        }
+    }
+
+    /// The same classes of damage applied to a checkpoint-ring entry on
+    /// disk: loading must surface a typed error, so ring recovery can reject
+    /// the entry and fall back to an older slot instead of crashing.
+    #[test]
+    fn damaged_ring_entries_on_disk_load_as_errors() {
+        let dir = tmpdir("ring-damage");
+        let at = SimTime::from_ms(2);
+        let path = ring_entry_path(&dir, at);
+        let good = sample().encode();
+
+        write_blob(&path, &good).unwrap();
+        assert!(CheckpointFile::read_from(&path).is_ok());
+
+        // Torn write: half the entry.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(
+            CheckpointFile::read_from(&path),
+            Err(SnapError::Truncated | SnapError::Corrupt(_))
+        ));
+
+        // Bit rot in the middle.
+        let mut rotted = good.clone();
+        let mid = rotted.len() / 2;
+        rotted[mid] ^= 0x10;
+        std::fs::write(&path, &rotted).unwrap();
+        assert!(matches!(
+            CheckpointFile::read_from(&path),
+            Err(SnapError::Corrupt(_))
+        ));
+
+        // Zero-length entry (crash between create and write).
+        std::fs::write(&path, []).unwrap();
+        assert!(matches!(
+            CheckpointFile::read_from(&path),
+            Err(SnapError::Truncated)
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn read_from_missing_file_is_io_error() {
         let e = CheckpointFile::read_from(Path::new("/nonexistent/nope.ckpt")).unwrap_err();

@@ -44,6 +44,35 @@
 //! | `CKPT_SAVE` | worker → orch | partition snapshot captured mid-run       |
 //! | `RESULT` | worker → orch  | wall seconds + per-component stats and logs  |
 //! | `DONE`   | orch → worker  | (empty) all results in, tear down            |
+//! | `HEARTBEAT` | worker → orch | liveness + virtual-time progress (u64 ps) |
+//! | `RING`   | worker → orch  | one ring snapshot (time + blob), streamed    |
+//! | `SEVER`  | orch → worker  | link name whose proxy must be torn down      |
+//!
+//! ## Supervision and recovery
+//!
+//! After `GO` each worker starts a control **pump thread** that sends
+//! `HEARTBEAT` frames on a wall-clock period ([`DistOptions::heartbeat`]) and
+//! watches for orchestrator frames (`SEVER`, `DONE`) and control-channel EOF.
+//! The orchestrator's supervisor loop classifies failures — worker process
+//! exit, heartbeat silence, control EOF, protocol violations — as typed
+//! [`DistError`]s instead of hanging. When a failure is
+//! [`DistError::retryable`] and restarts remain
+//! ([`DistOptions::max_restarts`]), the whole fleet is torn down and
+//! relaunched from the newest checkpoint-ring slot for which every
+//! partition's snapshot was received *and decodes cleanly* (torn or corrupt
+//! blobs are rejected and older slots tried); with no usable slot the run
+//! restarts from virtual time zero. Because §5.5 synchronization makes
+//! results independent of wall time and snapshots carry the event logs, a
+//! recovered run is bit-identical to an undisturbed one — the property
+//! `tests/integration_faults.rs` asserts. A worker whose pump thread sees
+//! control EOF before the run completes exits immediately, so an aborting
+//! orchestrator never leaks orphan workers.
+//!
+//! Deterministic **fault injection** ([`DistOptions::faults`]) drives the
+//! same machinery on purpose: the orchestrator injects each scheduled fault
+//! when the fleet's minimum reported virtual time crosses the fault's
+//! threshold — kill a worker, sever a proxy link, corrupt or truncate the
+//! newest ring entry — so a fault schedule replays identically run over run.
 //!
 //! ## Channel transports
 //!
@@ -68,12 +97,13 @@
 //! barrier of Fig. 6 are process-local), and the build function must be
 //! deterministic — it runs once for discovery and once for instantiation.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use simbricks_base::{channel_pair, ChannelEnd, ChannelParams, EventLog, KernelStats, SimTime};
@@ -118,10 +148,21 @@ const MSG_DONE: u8 = 7;
 /// partition's encoded snapshot container.
 const MSG_CKPT: u8 = 8;
 /// Worker → orchestrator, before `RESULT`: the partition's encoded snapshot
-/// container captured at the configured checkpoint time. With a checkpoint
-/// ring configured, a second `CKPT_SAVE` frame follows carrying the
-/// partition's ring as count-prefixed `(time u64, len u32, blob)` entries.
+/// container captured at the configured checkpoint time.
 const MSG_CKPT_SAVE: u8 = 9;
+/// Worker → orchestrator, periodically after `GO`: liveness beacon carrying
+/// the partition's virtual-time progress (u64 picoseconds). Sent by the
+/// worker's pump thread on a wall-clock period, so it keeps flowing even
+/// while the simulation stalls waiting on peers.
+const MSG_HEARTBEAT: u8 = 10;
+/// Worker → orchestrator, after each ring quiesce: one ring snapshot as
+/// `time u64` + the partition's encoded container. Streamed mid-run (not
+/// batched at the end) so the orchestrator always holds the newest complete
+/// slot when a worker dies.
+const MSG_RING: u8 = 11;
+/// Orchestrator → worker (fault injection): the named cross link's proxy is
+/// torn down by signalling its shutdown handle. Payload: link name (UTF-8).
+const MSG_SEVER: u8 = 12;
 
 /// Upper bound on one control frame (results carry whole event logs).
 const MAX_FRAME: usize = 256 * 1024 * 1024;
@@ -129,12 +170,224 @@ const MAX_FRAME: usize = 256 * 1024 * 1024;
 const CONTROL_TIMEOUT: Duration = Duration::from_secs(600);
 /// How long the orchestrator waits for all workers to connect.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default wall-clock period between worker heartbeats.
+const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(100);
+/// Per-read poll interval used by the supervisor loop and the worker pump
+/// thread (`SO_RCVTIMEO`, so the sockets stay blocking for writes).
+const POLL_TIMEOUT: Duration = Duration::from_millis(2);
+/// Bounded connect retry: attempts and initial backoff (doubles per retry).
+const CONNECT_RETRIES: u32 = 6;
+const CONNECT_BACKOFF: Duration = Duration::from_millis(10);
 
 /// The build function shared by the orchestrator, the workers, and the
 /// in-process baseline: constructs the experiment for `scenario` into the
 /// given [`PartitionBuilder`]. Must be deterministic (it runs more than once)
 /// and must call [`PartitionBuilder::init`] before anything else.
 pub type BuildFn = dyn Fn(&str, &mut PartitionBuilder);
+
+// ---------------------------------------------------------------------------
+// Errors, faults, recovery report
+// ---------------------------------------------------------------------------
+
+/// Typed failure classification for distributed runs. The supervisor loop
+/// produces these instead of hanging or panicking; [`DistError::retryable`]
+/// failures are candidates for checkpoint-ring recovery.
+#[derive(Debug)]
+pub enum DistError {
+    /// Invalid options or a build/options mismatch. Not retryable.
+    Invalid(String),
+    /// Orchestrator-local I/O failure (bind, spawn, checkpoint files, …).
+    /// Not retryable: the environment, not a worker, is broken.
+    Io(String),
+    /// Not all workers connected to the control socket within the deadline.
+    ConnectTimeout {
+        /// Partitions that never connected.
+        missing: Vec<String>,
+    },
+    /// A worker process exited before reporting its result.
+    WorkerExited {
+        /// The dead worker's partition.
+        partition: String,
+        /// Its exit status, as reported by the OS.
+        status: String,
+    },
+    /// A worker's control connection hit EOF or an I/O error mid-run.
+    ControlLost {
+        /// The lost worker's partition.
+        partition: String,
+        /// The underlying I/O error.
+        error: String,
+    },
+    /// No heartbeat from a worker within the tolerance window.
+    HeartbeatTimeout {
+        /// The silent worker's partition.
+        partition: String,
+        /// How long it has been silent.
+        silent: Duration,
+    },
+    /// A worker violated the control protocol.
+    Protocol {
+        /// The offending worker's partition.
+        partition: String,
+        /// What went wrong.
+        error: String,
+    },
+    /// An injected `sever_link` fault tore down the named link; the fleet is
+    /// restarted to re-handshake it. Always retryable.
+    FaultSever {
+        /// The severed link's name.
+        link: String,
+    },
+    /// A retryable failure occurred but the restart budget was spent.
+    RestartsExhausted {
+        /// Restarts performed before giving up.
+        restarts: u32,
+        /// The failure that ended the run.
+        last: Box<DistError>,
+        /// What recovery did manage before giving up.
+        report: RecoveryReport,
+    },
+}
+
+impl DistError {
+    /// Whether checkpoint-ring recovery (or restart-from-zero) can address
+    /// this failure. Environment and configuration errors are final.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            DistError::ConnectTimeout { .. }
+                | DistError::WorkerExited { .. }
+                | DistError::ControlLost { .. }
+                | DistError::HeartbeatTimeout { .. }
+                | DistError::FaultSever { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Invalid(msg) => write!(f, "invalid distributed run: {msg}"),
+            DistError::Io(msg) => write!(f, "distributed run I/O error: {msg}"),
+            DistError::ConnectTimeout { missing } => {
+                write!(f, "workers did not connect: {missing:?}")
+            }
+            DistError::WorkerExited { partition, status } => {
+                write!(f, "worker {partition:?} exited ({status}) before its result")
+            }
+            DistError::ControlLost { partition, error } => {
+                write!(f, "control connection to worker {partition:?} lost: {error}")
+            }
+            DistError::HeartbeatTimeout { partition, silent } => {
+                write!(f, "worker {partition:?} silent for {silent:?} (heartbeat timeout)")
+            }
+            DistError::Protocol { partition, error } => {
+                write!(f, "protocol violation from worker {partition:?}: {error}")
+            }
+            DistError::FaultSever { link } => {
+                write!(f, "injected fault severed link {link:?}")
+            }
+            DistError::RestartsExhausted { restarts, last, .. } => {
+                write!(f, "gave up after {restarts} restart(s); last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<io::Error> for DistError {
+    fn from(e: io::Error) -> Self {
+        DistError::Io(e.to_string())
+    }
+}
+
+/// One scheduled fault in a deterministic injection schedule
+/// ([`DistOptions::faults`]). Faults are injected by the orchestrator when
+/// the fleet's minimum reported virtual time reaches [`FaultSpec::at`], so a
+/// schedule replays identically run over run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Virtual-time threshold: inject once every partition has progressed to
+    /// at least this simulation time.
+    pub at: SimTime,
+    /// What to break.
+    pub kind: FaultKind,
+}
+
+/// The kinds of deterministic faults the orchestrator can inject.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill the named partition's worker process (SIGKILL).
+    KillWorker {
+        /// Partition whose worker dies.
+        partition: String,
+    },
+    /// Tear down the named cross link's proxy on both ends, forcing a fleet
+    /// restart that re-handshakes every link.
+    SeverLink {
+        /// The cross link to sever.
+        link: String,
+    },
+    /// Flip one bit in every partition blob of the newest complete ring slot
+    /// (and the merged on-disk entry), exercising checksum rejection.
+    CorruptCheckpoint,
+    /// Truncate every partition blob of the newest complete ring slot (and
+    /// the merged on-disk entry) to half length, exercising torn-write
+    /// rejection.
+    TruncateCheckpoint,
+}
+
+/// Structured end-of-run recovery report: what was injected, what broke, and
+/// what recovery cost. Attached to every [`DistResult`] (trivial when the run
+/// was undisturbed) and to [`DistError::RestartsExhausted`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Human-readable record of each injected fault, in injection order.
+    pub faults_injected: Vec<String>,
+    /// Fleet restarts performed.
+    pub restarts: u32,
+    /// Per restart: the ring slot restored from (`None` = restart from zero).
+    pub ring_entries_used: Vec<Option<SimTime>>,
+    /// Ring entries rejected as corrupt/torn during recovery or merging.
+    pub rejected_entries: Vec<String>,
+    /// Virtual time re-simulated: the sum over restarts of (progress high
+    /// water at failure − restore point).
+    pub time_lost: SimTime,
+}
+
+impl RecoveryReport {
+    /// `true` when nothing noteworthy happened (no faults, no restarts).
+    pub fn is_trivial(&self) -> bool {
+        self.restarts == 0 && self.faults_injected.is_empty() && self.rejected_entries.is_empty()
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "recovery report:")?;
+        writeln!(f, "  faults injected: {}", self.faults_injected.len())?;
+        for s in &self.faults_injected {
+            writeln!(f, "    - {s}")?;
+        }
+        writeln!(f, "  restarts: {}", self.restarts)?;
+        for (i, used) in self.ring_entries_used.iter().enumerate() {
+            match used {
+                Some(at) => writeln!(
+                    f,
+                    "    restart {}: restored from ring entry at {} ps",
+                    i + 1,
+                    at.as_ps()
+                )?,
+                None => writeln!(f, "    restart {}: no usable ring entry, from zero", i + 1)?,
+            }
+        }
+        for s in &self.rejected_entries {
+            writeln!(f, "  rejected ring entry: {s}")?;
+        }
+        write!(f, "  virtual time re-simulated: {} ps", self.time_lost.as_ps())
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Partition builder
@@ -185,6 +438,16 @@ pub struct PartitionBuilder {
     transport: TransportKind,
     /// Per-run directory for shm region files (worker mode with shm links).
     shm_dir: Option<PathBuf>,
+    /// Cross-link wiring failures collected during a worker build. The build
+    /// function's signature cannot carry a `Result`, so [`cross_end`]
+    /// records failures here (returning a dangling end) and the worker turns
+    /// them into one typed error after the build returns.
+    ///
+    /// [`cross_end`]: PartitionBuilder::cross_end
+    build_errors: Vec<String>,
+    /// Per cross link wired in this worker: the proxy's shutdown handle, so
+    /// an injected `SEVER` can tear one link down by name.
+    link_shutdowns: Vec<(String, Arc<ShutdownSignal>)>,
 }
 
 /// A channel endpoint whose peer is already gone (used as a placeholder for
@@ -208,6 +471,8 @@ impl PartitionBuilder {
             proxies: Vec::new(),
             transport: TransportKind::Tcp,
             shm_dir: None,
+            build_errors: Vec::new(),
+            link_shutdowns: Vec::new(),
         }
     }
 
@@ -222,6 +487,7 @@ impl PartitionBuilder {
     /// Consume the builder and hand back the assembled [`Experiment`].
     /// Panics if the build function never called [`PartitionBuilder::init`].
     pub fn into_experiment(mut self) -> Experiment {
+        // io-ok: API contract (documented panic), not an I/O failure
         self.exp.take().expect("build function must call init()")
     }
 
@@ -235,6 +501,7 @@ impl PartitionBuilder {
     /// The experiment under assembly (for channel parameters etc.).
     /// Panics if [`PartitionBuilder::init`] has not been called.
     pub fn exp(&mut self) -> &mut Experiment {
+        // io-ok: API contract (documented panic), not an I/O failure
         self.exp.as_mut().expect("build function must call init() first")
     }
 
@@ -307,6 +574,7 @@ impl PartitionBuilder {
             BuildMode::Local => channel_pair(params),
             BuildMode::Discover => (dangling(params), dangling(params)),
             BuildMode::Worker => {
+                // io-ok: constructor invariant - worker mode always carries one
                 let local = self.local.clone().expect("worker mode has a partition");
                 if a == b {
                     if a == local {
@@ -344,14 +612,20 @@ impl PartitionBuilder {
         component_end.set_dir(if listen { 0 } else { 1 });
         let counters = Arc::new(ProxyCounters::default());
         let shutdown = Arc::new(ShutdownSignal::default());
+        self.link_shutdowns.push((link.to_string(), shutdown.clone()));
         if listen && self.transport == TransportKind::Shm {
             // Owner side, shared memory: create + publish the region now
             // (header carries the SBPX handshake metadata); the forwarding
             // thread waits for the peer to attach before forwarding.
             let dir = self.shm_dir.clone().unwrap_or_else(std::env::temp_dir);
             let path = shm::region_path(&dir, link);
-            let endpoint = shm::create_region(&path, link, params)
-                .unwrap_or_else(|e| panic!("create shm region for link {link:?}: {e}"));
+            let endpoint = match shm::create_region(&path, link, params) {
+                Ok(ep) => ep,
+                Err(e) => {
+                    self.build_errors.push(format!("create shm region for link {link:?}: {e}"));
+                    return component_end;
+                }
+            };
             let transport =
                 shm::ShmTransport::await_peer(endpoint, Instant::now() + CONNECT_TIMEOUT);
             let thread = spawn_transport_forwarder(
@@ -366,11 +640,13 @@ impl PartitionBuilder {
             return component_end;
         }
         if !listen {
-            let addr = self
-                .addr_map
-                .get(link)
-                .unwrap_or_else(|| panic!("no peer address for link {link:?}"))
-                .clone();
+            let addr = match self.addr_map.get(link) {
+                Some(a) => a.clone(),
+                None => {
+                    self.build_errors.push(format!("no peer address for link {link:?}"));
+                    return component_end;
+                }
+            };
             if let Some(path) = addr.strip_prefix("shm:") {
                 // Owner advertised a shared-memory region: attach lazily (the
                 // owner may not have built it yet) on the forwarding thread.
@@ -391,12 +667,23 @@ impl PartitionBuilder {
                     .push(ProxyHandle::from_parts(ProxyKind::Shm, counters, shutdown, vec![thread]));
                 return component_end;
             }
-            // TCP (scheme-prefixed or legacy bare address).
+            // TCP (scheme-prefixed or legacy bare address). A freshly
+            // advertised listener may not be accepting yet, and transient
+            // refusals happen during fleet restarts — retry with bounded
+            // exponential backoff instead of failing on the first attempt.
             let addr = addr.strip_prefix("tcp:").unwrap_or(&addr).to_string();
-            let mut stream = TcpStream::connect(&addr)
-                .unwrap_or_else(|e| panic!("connect cross link {link:?} at {addr}: {e}"));
-            write_handshake(&mut stream, link, &params)
-                .unwrap_or_else(|e| panic!("handshake on link {link:?}: {e}"));
+            let mut stream = match connect_with_backoff(&addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.build_errors
+                        .push(format!("connect cross link {link:?} at {addr}: {e}"));
+                    return component_end;
+                }
+            };
+            if let Err(e) = write_handshake(&mut stream, link, &params) {
+                self.build_errors.push(format!("handshake on link {link:?}: {e}"));
+                return component_end;
+            }
             stream.set_nodelay(true).ok();
             shutdown.register_stream(&stream);
             let thread = spawn_transport_forwarder(
@@ -411,14 +698,18 @@ impl PartitionBuilder {
             return component_end;
         }
         let thread = {
-            let listener = self
-                .listeners
-                .remove(link)
-                .unwrap_or_else(|| panic!("no pre-bound listener for owned link {link:?}"));
+            let listener = match self.listeners.remove(link) {
+                Some(l) => l,
+                None => {
+                    self.build_errors
+                        .push(format!("no pre-bound listener for owned link {link:?}"));
+                    return component_end;
+                }
+            };
             let link_name = link.to_string();
             let counters = counters.clone();
             let shutdown = shutdown.clone();
-            std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name(format!("dist-{link}"))
                 .spawn(move || {
                     // Poll-accept so a signalled shutdown can interrupt a
@@ -459,8 +750,14 @@ impl PartitionBuilder {
                     stream.set_nodelay(true).ok();
                     crate::proxy::tcp_forward_loop(proxy_local, stream, &counters, &shutdown);
                     shutdown.signal();
-                })
-                .expect("spawn dist proxy thread")
+                }) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.build_errors
+                        .push(format!("spawn proxy thread for link {link:?}: {e}"));
+                    return component_end;
+                }
+            }
         };
         self.proxies
             .push(ProxyHandle::from_parts(ProxyKind::Tcp, counters, shutdown, vec![thread]));
@@ -562,6 +859,16 @@ pub struct DistOptions {
     /// container `<dir>/ck-<time_ps>.ckpt` (restorable through the ordinary
     /// local path). Only the newest `keep` entries survive (0 = keep all).
     pub ring: Option<RingOptions>,
+    /// Deterministic fault schedule injected by the orchestrator (sorted or
+    /// not — each fault fires once when the fleet's minimum virtual time
+    /// reaches its threshold).
+    pub faults: Vec<FaultSpec>,
+    /// How many fleet restarts the supervisor may perform before giving up
+    /// with [`DistError::RestartsExhausted`]. 0 = fail on first crash.
+    pub max_restarts: u32,
+    /// Wall-clock period between worker heartbeats. A worker silent for
+    /// `max(20 × heartbeat, 15 s)` is declared dead.
+    pub heartbeat: Duration,
 }
 
 /// Checkpoint-ring configuration for a distributed run.
@@ -590,6 +897,9 @@ impl DistOptions {
             checkpoint: None,
             restore_from: None,
             ring: None,
+            faults: Vec::new(),
+            max_restarts: 0,
+            heartbeat: DEFAULT_HEARTBEAT,
         }
     }
 
@@ -639,6 +949,24 @@ impl DistOptions {
         self.worker_args = args;
         self
     }
+
+    /// Install a deterministic fault schedule.
+    pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Allow up to `n` fleet restarts for retryable failures.
+    pub fn with_max_restarts(mut self, n: u32) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Set the worker heartbeat period.
+    pub fn with_heartbeat(mut self, period: Duration) -> Self {
+        self.heartbeat = period;
+        self
+    }
 }
 
 /// Results of a completed distributed run, reassembled in the global
@@ -657,6 +985,10 @@ pub struct DistResult {
     pub stats: Vec<KernelStats>,
     /// Per-component event logs, parallel to `component_names`.
     pub logs: Vec<EventLog>,
+    /// What supervision saw: faults injected, restarts performed, ring
+    /// entries used. Trivial ([`RecoveryReport::is_trivial`]) for an
+    /// undisturbed run.
+    pub recovery: RecoveryReport,
 }
 
 impl DistResult {
@@ -687,6 +1019,7 @@ impl DistResult {
 pub fn run_local(scenario: &str, build: &BuildFn, exec: Execution) -> RunResult {
     let mut pb = PartitionBuilder::new(BuildMode::Local, None);
     build(scenario, &mut pb);
+    // io-ok: API contract (documented panic), not an I/O failure
     let exp = pb.exp.take().expect("build function must call init()");
     exp.run(exec)
 }
@@ -754,6 +1087,80 @@ fn expect_frame(s: &mut TcpStream, ty: u8) -> io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Bounded retry-with-exponential-backoff TCP connect: [`CONNECT_RETRIES`]
+/// attempts starting at [`CONNECT_BACKOFF`], doubling per retry. Transient
+/// refusals are normal while a fleet is (re)starting — a listener may be
+/// advertised before its accept loop runs.
+fn connect_with_backoff(addr: &str) -> io::Result<TcpStream> {
+    let mut backoff = CONNECT_BACKOFF;
+    let mut last = None;
+    for attempt in 0..CONNECT_RETRIES {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+        if attempt + 1 < CONNECT_RETRIES {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("connect failed"))) // io-ok: loop ran >= 1 time
+}
+
+/// Incremental reassembly buffer for control frames read from a socket
+/// polled with a short `SO_RCVTIMEO` (partial reads are routine there).
+#[derive(Default)]
+struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop one complete frame if buffered: `(type, payload)`.
+    fn pop(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "control frame length"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let ty = self.buf[4];
+        let payload = self.buf[5..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some((ty, payload)))
+    }
+}
+
+/// One poll-read from a control socket into `fb`. Returns `Ok(true)` on EOF.
+/// The socket stays blocking (writes unaffected); a short read timeout makes
+/// this a bounded poll.
+fn drain_ctrl(s: &mut TcpStream, fb: &mut FrameBuf, scratch: &mut [u8]) -> io::Result<bool> {
+    loop {
+        match s.read(scratch) {
+            Ok(0) => return Ok(true),
+            Ok(n) => {
+                fb.push(&scratch[..n]);
+                // A full scratch buffer usually means more is queued.
+                if n < scratch.len() {
+                    return Ok(false);
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                return Ok(false)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
@@ -780,10 +1187,12 @@ impl<'a> Dec<'a> {
     }
 
     fn u32(&mut self) -> io::Result<u32> {
+        // io-ok: infallible - take(4) returned exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
+        // io-ok: infallible - take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -800,6 +1209,7 @@ impl<'a> Dec<'a> {
 fn intern_tag(tag: &str) -> &'static str {
     use std::sync::{Mutex, OnceLock};
     static TAGS: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    // io-ok: process-global table; poisoned only if a holder already panicked
     let mut tags = TAGS.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap();
     if let Some(t) = tags.iter().find(|t| **t == tag) {
         return t;
@@ -918,7 +1328,9 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
         }
     }
 
-    let mut ctrl = TcpStream::connect(&control_addr)?;
+    // The orchestrator binds its control socket before spawning workers, but
+    // a restarting fleet can race it — bounded backoff instead of one shot.
+    let mut ctrl = connect_with_backoff(&control_addr)?;
     ctrl.set_read_timeout(Some(CONTROL_TIMEOUT))?;
     ctrl.set_nodelay(true)?;
     write_frame(&mut ctrl, MSG_HELLO, partition.as_bytes())?;
@@ -947,7 +1359,13 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     pb.transport = transport;
     pb.shm_dir = Some(shm_dir);
     build(&scenario, &mut pb);
-    let mut exp = pb.exp.take().expect("build function must call init()");
+    if !pb.build_errors.is_empty() {
+        return Err(io::Error::other(format!(
+            "partition {partition:?} build failed: {}",
+            pb.build_errors.join("; ")
+        )));
+    }
+    let mut exp = pb.exp.take().expect("build function must call init()"); // io-ok: API contract
     if !exp.is_synchronized() {
         return Err(io::Error::new(
             io::ErrorKind::Unsupported,
@@ -959,6 +1377,7 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     exp.set_external_inputs();
     let local_globals = std::mem::take(&mut pb.local_globals);
     let proxies = std::mem::take(&mut pb.proxies);
+    let link_shutdowns = std::mem::take(&mut pb.link_shutdowns);
 
     // Checkpoint configuration: the orchestrator tells every worker whether
     // (and when) to quiesce, and hands it its restore snapshot, if any.
@@ -968,6 +1387,10 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     let ckpt_at = d.u64()?;
     let ring_period = d.u64()?;
     let ring_keep = d.u64()? as usize;
+    let heartbeat = match d.u64()? {
+        0 => DEFAULT_HEARTBEAT,
+        ms => Duration::from_millis(ms),
+    };
     let has_restore = d.take(1)?[0] != 0;
     if has_restore {
         let blob = d.take(ckpt_cfg.len() - d.off)?.to_vec();
@@ -992,33 +1415,170 @@ fn run_worker(build: &BuildFn) -> io::Result<()> {
     write_frame(&mut ctrl, MSG_READY, &[])?;
     expect_frame(&mut ctrl, MSG_GO)?;
 
-    let result = exp.run(exec);
-
-    if has_ckpt {
-        let blob = result.checkpoint.as_deref().unwrap_or(&[]);
-        write_frame(&mut ctrl, MSG_CKPT_SAVE, blob)?;
-    }
+    // Post-GO the control channel goes full duplex: a pump thread owns the
+    // read side (heartbeats out, SEVER/DONE in, EOF detection) while the
+    // main thread simulates and later ships results through a shared writer.
+    let writer = Arc::new(Mutex::new(ctrl.try_clone()?));
+    let progress = exp.progress_handle();
+    let run_done = Arc::new(AtomicBool::new(false));
+    let done_acked = Arc::new(AtomicBool::new(false));
+    let ctrl_gone = Arc::new(AtomicBool::new(false));
     if ring_period != 0 {
-        // Ship the partition's ring: count-prefixed (time, blob) entries.
-        let mut payload = Vec::new();
-        payload.extend_from_slice(&(result.ring.len() as u32).to_le_bytes());
-        for (at, blob) in &result.ring {
+        // Stream each ring snapshot to the orchestrator as it is captured,
+        // so the newest complete slot is already there when this worker (or
+        // a peer) dies. Send failures are ignored here: the pump thread
+        // classifies a dead control channel authoritatively.
+        let w = writer.clone();
+        exp.set_ring_sink(Box::new(move |at, blob| {
+            let mut payload = Vec::with_capacity(8 + blob.len());
             payload.extend_from_slice(&at.as_ps().to_le_bytes());
-            payload.extend_from_slice(&(blob.len() as u32).to_le_bytes());
             payload.extend_from_slice(blob);
-        }
-        write_frame(&mut ctrl, MSG_CKPT_SAVE, &payload)?;
+            if let Ok(mut s) = w.lock() {
+                let _ = write_frame(&mut s, MSG_RING, &payload);
+            }
+        }));
     }
-    let payload = encode_result(&result, &local_globals);
-    write_frame(&mut ctrl, MSG_RESULT, &payload)?;
-    // Keep proxies alive until every worker has reported: our forwarders have
-    // flushed everything our components sent, and the orchestrator's DONE
-    // confirms no peer still depends on them.
-    expect_frame(&mut ctrl, MSG_DONE)?;
+    let pump = {
+        let writer = writer.clone();
+        let run_done = run_done.clone();
+        let done_acked = done_acked.clone();
+        let ctrl_gone = ctrl_gone.clone();
+        let reader = ctrl;
+        std::thread::Builder::new()
+            .name("dist-ctrl-pump".into())
+            .spawn(move || {
+                pump_control(
+                    reader,
+                    writer,
+                    progress,
+                    link_shutdowns,
+                    heartbeat,
+                    run_done,
+                    done_acked,
+                    ctrl_gone,
+                )
+            })?
+    };
+
+    let result = exp.run(exec);
+    run_done.store(true, Ordering::SeqCst);
+
+    {
+        let mut w = writer
+            .lock()
+            .map_err(|_| io::Error::other("control writer poisoned"))?;
+        if has_ckpt {
+            let blob = result.checkpoint.as_deref().unwrap_or(&[]);
+            write_frame(&mut w, MSG_CKPT_SAVE, blob)?;
+        }
+        let payload = encode_result(&result, &local_globals);
+        write_frame(&mut w, MSG_RESULT, &payload)?;
+    }
+    // Keep proxies alive until every worker has reported: our forwarders
+    // have flushed everything our components sent, and the orchestrator's
+    // DONE (observed by the pump thread) confirms no peer depends on them.
+    let deadline = Instant::now() + CONTROL_TIMEOUT;
+    while !done_acked.load(Ordering::SeqCst) {
+        if ctrl_gone.load(Ordering::SeqCst) {
+            return Err(io::Error::other("control connection closed before DONE"));
+        }
+        if Instant::now() > deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "timed out waiting for DONE"));
+        }
+        std::thread::sleep(POLL_TIMEOUT);
+    }
     for p in proxies {
         p.shutdown();
     }
+    let _ = pump.join();
     Ok(())
+}
+
+/// The orchestrator is gone (control EOF / write failure mid-run): a worker
+/// must never outlive it, so exit the whole process — this is the orphan
+/// leak fix for self-exec'd workers whose orchestrator aborts.
+fn orphan_exit(msg: &str) -> ! {
+    eprintln!("simbricks dist worker: {msg}; exiting to avoid an orphan process");
+    std::process::exit(3);
+}
+
+/// Worker control pump (post-`GO`): heartbeats out on a wall-clock period —
+/// carrying the partition's virtual-time progress — plus `SEVER`/`DONE`
+/// dispatch in, and EOF detection.
+#[allow(clippy::too_many_arguments)]
+fn pump_control(
+    mut reader: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    progress: Arc<std::sync::atomic::AtomicU64>,
+    link_shutdowns: Vec<(String, Arc<ShutdownSignal>)>,
+    heartbeat: Duration,
+    run_done: Arc<AtomicBool>,
+    done_acked: Arc<AtomicBool>,
+    ctrl_gone: Arc<AtomicBool>,
+) {
+    // SO_RCVTIMEO is shared with the writer clone, but only this thread
+    // reads post-GO, so the short poll timeout is safe.
+    reader.set_read_timeout(Some(POLL_TIMEOUT)).ok();
+    let mut fb = FrameBuf::default();
+    let mut scratch = [0u8; 16 * 1024];
+    let mut last_beat: Option<Instant> = None;
+    loop {
+        let due = match last_beat {
+            Some(t) => t.elapsed() >= heartbeat,
+            None => true,
+        };
+        if due {
+            let payload = progress.load(Ordering::Relaxed).to_le_bytes();
+            let sent = writer
+                .lock()
+                .map(|mut s| write_frame(&mut s, MSG_HEARTBEAT, &payload).is_ok())
+                .unwrap_or(false);
+            if !sent {
+                if !run_done.load(Ordering::SeqCst) {
+                    orphan_exit("control write failed mid-run");
+                }
+                ctrl_gone.store(true, Ordering::SeqCst);
+                return;
+            }
+            last_beat = Some(Instant::now());
+        }
+        let eof = drain_ctrl(&mut reader, &mut fb, &mut scratch).unwrap_or(true);
+        loop {
+            match fb.pop() {
+                Ok(Some((MSG_SEVER, payload))) => {
+                    let link = String::from_utf8_lossy(&payload).into_owned();
+                    for (name, shutdown) in &link_shutdowns {
+                        if *name == link {
+                            shutdown.signal();
+                        }
+                    }
+                    eprintln!("dist worker: severed link {link:?}");
+                }
+                Ok(Some((MSG_DONE, _))) => {
+                    done_acked.store(true, Ordering::SeqCst);
+                    return;
+                }
+                // Unexpected frame types are ignored; the orchestrator is
+                // the protocol authority.
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    if !run_done.load(Ordering::SeqCst) {
+                        orphan_exit("control stream corrupt mid-run");
+                    }
+                    ctrl_gone.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+        if eof {
+            if !run_done.load(Ordering::SeqCst) {
+                orphan_exit("orchestrator closed the control connection mid-run");
+            }
+            ctrl_gone.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1081,33 +1641,221 @@ fn resolve_run_transport(
     }
 }
 
-/// Orchestrate a true multi-process distributed run: spawn one worker process
-/// per partition (self-`exec` of the current binary; workers enter via
-/// [`maybe_worker`]), wire every cross-partition link through loopback TCP
-/// proxies with listen/connect handshaking, release all workers from a start
-/// barrier, collect per-worker statistics and event logs over the control
-/// socket, and tear everything down. Returns the reassembled [`DistResult`].
-pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistResult> {
-    // Local discovery: validate the build function against the options.
+/// What the local discovery pass learned about the build function.
+struct Discovery {
+    links: Vec<LinkDecl>,
+    expected_components: usize,
+    global_names: Vec<String>,
+}
+
+/// One scheduled fault plus its fired flag. The flag survives fleet
+/// restarts, so each fault injects exactly once per run — a restarted fleet
+/// re-simulating past a fault's threshold does not re-trigger it.
+struct FaultState {
+    spec: FaultSpec,
+    fired: bool,
+}
+
+/// Run the discovery build once and validate options against it.
+fn discover(opts: &DistOptions, build: &BuildFn) -> Result<Discovery, DistError> {
     let mut pb = PartitionBuilder::new(BuildMode::Discover, None);
     build(&opts.scenario, &mut pb);
     for l in &pb.links {
         for p in [&l.a, &l.b] {
             if !opts.partitions.contains(p) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("link {:?} references unknown partition {p:?}", l.name),
-                ));
+                return Err(DistError::Invalid(format!(
+                    "link {:?} references unknown partition {p:?}",
+                    l.name
+                )));
             }
         }
     }
-    let expected_components = pb.next_global;
-    let global_names = std::mem::take(&mut pb.global_names);
+    if let Some(ring) = &opts.ring {
+        if ring.period == SimTime::ZERO {
+            return Err(DistError::Invalid("checkpoint ring period must be non-zero".into()));
+        }
+    }
+    for f in &opts.faults {
+        match &f.kind {
+            FaultKind::KillWorker { partition } => {
+                if !opts.partitions.contains(partition) {
+                    return Err(DistError::Invalid(format!(
+                        "kill_worker fault targets unknown partition {partition:?}"
+                    )));
+                }
+            }
+            FaultKind::SeverLink { link } => {
+                if !pb.links.iter().any(|l| l.name == *link) {
+                    return Err(DistError::Invalid(format!(
+                        "sever_link fault targets unknown cross link {link:?}"
+                    )));
+                }
+            }
+            FaultKind::CorruptCheckpoint | FaultKind::TruncateCheckpoint => {
+                if opts.ring.is_none() {
+                    return Err(DistError::Invalid(
+                        "corrupt/truncate_checkpoint faults require a checkpoint ring".into(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(Discovery {
+        links: pb.links,
+        expected_components: pb.next_global,
+        global_names: std::mem::take(&mut pb.global_names),
+    })
+}
 
+/// Raw per-partition ring snapshots, keyed slot time → partition name. This
+/// outlives individual fleet attempts: it is the recovery store.
+type RingStore = BTreeMap<u64, BTreeMap<String, Vec<u8>>>;
+
+/// Pick the newest ring slot for which every partition's snapshot arrived
+/// *and decodes cleanly*. Corrupt or torn slots are recorded in the report
+/// and older slots tried, so an injected `corrupt_checkpoint` degrades
+/// recovery by one period instead of poisoning it.
+fn select_restore(
+    ring_store: &RingStore,
+    partitions: &[String],
+    report: &mut RecoveryReport,
+) -> Option<(u64, HashMap<String, Vec<u8>>)> {
+    for (at, parts) in ring_store.iter().rev() {
+        if !partitions.iter().all(|p| parts.contains_key(p)) {
+            continue;
+        }
+        let mut ok = true;
+        for (p, blob) in parts {
+            if let Err(e) = crate::checkpoint::CheckpointFile::decode(blob) {
+                report
+                    .rejected_entries
+                    .push(format!("slot {at} ps, partition {p:?}: {e}"));
+                ok = false;
+            }
+        }
+        if ok {
+            return Some((*at, parts.iter().map(|(k, v)| (k.clone(), v.clone())).collect()));
+        }
+    }
+    None
+}
+
+fn control_lost(p: &str, e: io::Error) -> DistError {
+    DistError::ControlLost { partition: p.to_string(), error: e.to_string() }
+}
+
+fn conn_of<'a>(
+    conns: &'a mut HashMap<String, TcpStream>,
+    p: &str,
+) -> Result<&'a mut TcpStream, DistError> {
+    conns.get_mut(p).ok_or_else(|| DistError::Protocol {
+        partition: p.to_string(),
+        error: "no control connection".into(),
+    })
+}
+
+/// Orchestrate a true multi-process distributed run: spawn one worker process
+/// per partition (self-`exec` of the current binary; workers enter via
+/// [`maybe_worker`]), wire every cross-partition link through proxies with
+/// listen/connect handshaking, release all workers from a start barrier,
+/// supervise them (heartbeats, crash detection, deterministic fault
+/// injection), and collect per-worker statistics and event logs over the
+/// control socket. On a retryable failure with restarts remaining
+/// ([`DistOptions::max_restarts`]) the fleet is relaunched from the newest
+/// valid checkpoint-ring slot (or from zero without one); §5.5 determinism
+/// makes the recovered result bit-identical to an undisturbed run. Returns
+/// the reassembled [`DistResult`] with its [`RecoveryReport`].
+pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> Result<DistResult, DistError> {
+    let disc = discover(opts, build)?;
+    let mut report = RecoveryReport::default();
+    let mut faults: Vec<FaultState> = opts
+        .faults
+        .iter()
+        .map(|spec| FaultState { spec: spec.clone(), fired: false })
+        .collect();
+    let mut ring_store: RingStore = RingStore::new();
+    let mut restore: Option<(u64, HashMap<String, Vec<u8>>)> = None;
+    let mut restarts: u32 = 0;
+    loop {
+        let mut high_water: u64 = restore.as_ref().map(|(at, _)| *at).unwrap_or(0);
+        let attempt = run_attempt(
+            opts,
+            &disc,
+            restore.as_ref(),
+            &mut faults,
+            &mut ring_store,
+            &mut report,
+            &mut high_water,
+        );
+        match attempt {
+            Ok(mut res) => {
+                res.recovery = report;
+                return Ok(res);
+            }
+            Err(e) if e.retryable() && restarts < opts.max_restarts => {
+                restarts += 1;
+                report.restarts = restarts;
+                restore = select_restore(&ring_store, &opts.partitions, &mut report);
+                let cut = restore.as_ref().map(|(at, _)| *at).unwrap_or(0);
+                report.ring_entries_used.push(restore.as_ref().map(|_| SimTime::from_ps(cut)));
+                report.time_lost =
+                    SimTime::from_ps(report.time_lost.as_ps() + high_water.saturating_sub(cut));
+                // Slots past the restore point will be re-captured (bit-
+                // identically) by the retry; dropping them keeps a later
+                // failure from restoring past its own attempt's progress.
+                ring_store.retain(|at, _| *at <= cut);
+                match &restore {
+                    Some((at, _)) => eprintln!(
+                        "dist: {e}; restarting fleet from ring entry at {at} ps \
+                         (restart {restarts}/{})",
+                        opts.max_restarts
+                    ),
+                    None => eprintln!(
+                        "dist: {e}; no usable ring entry, restarting fleet from zero \
+                         (restart {restarts}/{})",
+                        opts.max_restarts
+                    ),
+                }
+            }
+            Err(e) if e.retryable() => {
+                return Err(DistError::RestartsExhausted {
+                    restarts,
+                    last: Box::new(e),
+                    report,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Per-worker supervision state during one fleet attempt.
+struct WorkerState {
+    fb: FrameBuf,
+    last_seen: Instant,
+    /// Newest virtual-time progress reported (heartbeats / ring frames).
+    virt: u64,
+    ckpt_blob: Option<Vec<u8>>,
+    report: Option<WorkerReport>,
+}
+
+/// One fleet launch: spawn, handshake, supervise to completion or failure.
+/// The caller owns the retry policy; `ring_store` and `faults` persist
+/// across attempts.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    opts: &DistOptions,
+    disc: &Discovery,
+    restore: Option<&(u64, HashMap<String, Vec<u8>>)>,
+    faults: &mut [FaultState],
+    ring_store: &mut RingStore,
+    report: &mut RecoveryReport,
+    high_water: &mut u64,
+) -> Result<DistResult, DistError> {
     let (transport, shm_dir) = resolve_run_transport(opts.transport)?;
-    let listener = TcpListener::bind("127.0.0.1:0")?;
-    let control_addr = listener.local_addr()?;
-    let exe = std::env::current_exe()?;
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(DistError::from)?;
+    let control_addr = listener.local_addr().map_err(DistError::from)?;
+    let exe = std::env::current_exe().map_err(DistError::from)?;
     let mut guard = ChildGuard {
         children: Vec::new(),
         shm_dir: shm_dir.clone(),
@@ -1126,59 +1874,71 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
         if let Some(dir) = &shm_dir {
             cmd.env(ENV_SHM_DIR, dir);
         }
-        let child = cmd.spawn()?;
+        let child = cmd
+            .spawn()
+            .map_err(|e| DistError::Io(format!("spawning worker {p:?}: {e}")))?;
         guard.children.push((p.clone(), child));
     }
 
     // Accept one control connection per worker (with a deadline so a worker
     // that dies before connecting fails the run instead of hanging it).
-    listener.set_nonblocking(true)?;
+    listener.set_nonblocking(true).map_err(DistError::from)?;
     let deadline = Instant::now() + CONNECT_TIMEOUT;
     let mut conns: HashMap<String, TcpStream> = HashMap::new();
     while conns.len() < opts.partitions.len() {
         if Instant::now() > deadline {
-            return Err(io::Error::new(io::ErrorKind::TimedOut, "workers did not connect"));
+            let missing: Vec<String> = opts
+                .partitions
+                .iter()
+                .filter(|p| !conns.contains_key(*p))
+                .cloned()
+                .collect();
+            return Err(DistError::ConnectTimeout { missing });
         }
         for (name, child) in &mut guard.children {
-            if let Some(status) = child.try_wait()? {
-                return Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    format!("worker {name:?} exited early with {status}"),
-                ));
+            if let Some(status) = child.try_wait().map_err(DistError::from)? {
+                return Err(DistError::WorkerExited {
+                    partition: name.clone(),
+                    status: status.to_string(),
+                });
             }
         }
         match listener.accept() {
             Ok((mut s, _)) => {
-                s.set_nonblocking(false)?;
-                s.set_read_timeout(Some(CONTROL_TIMEOUT))?;
-                s.set_nodelay(true)?;
-                let hello = expect_frame(&mut s, MSG_HELLO)?;
-                let partition = String::from_utf8(hello)
-                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad HELLO"))?;
+                s.set_nonblocking(false).map_err(DistError::from)?;
+                s.set_read_timeout(Some(CONTROL_TIMEOUT)).map_err(DistError::from)?;
+                s.set_nodelay(true).map_err(DistError::from)?;
+                let hello = expect_frame(&mut s, MSG_HELLO)
+                    .map_err(|e| control_lost("<handshaking>", e))?;
+                let partition = String::from_utf8(hello).map_err(|_| DistError::Protocol {
+                    partition: "<handshaking>".into(),
+                    error: "non-utf8 HELLO".into(),
+                })?;
                 if !opts.partitions.contains(&partition) {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unknown worker partition {partition:?}"),
-                    ));
+                    return Err(DistError::Protocol {
+                        partition: partition.clone(),
+                        error: "unknown worker partition".into(),
+                    });
                 }
                 conns.insert(partition, s);
             }
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                std::thread::sleep(POLL_TIMEOUT);
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(DistError::from(e)),
         }
     }
 
     // Gather every worker's listener addresses, then broadcast the full map.
     let mut addr_map: Vec<(String, String)> = Vec::new();
     for p in &opts.partitions {
-        let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_LINKS)?;
+        let payload =
+            expect_frame(conn_of(&mut conns, p)?, MSG_LINKS).map_err(|e| control_lost(p, e))?;
         let mut d = Dec::new(&payload);
-        let n = d.u32()? as usize;
+        let n = d.u32().map_err(|e| control_lost(p, e))? as usize;
         for _ in 0..n {
-            let name = d.str()?;
-            let addr = d.str()?;
+            let name = d.str().map_err(|e| control_lost(p, e))?;
+            let addr = d.str().map_err(|e| control_lost(p, e))?;
             addr_map.push((name, addr));
         }
     }
@@ -1189,28 +1949,37 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
         put_str(&mut payload, addr);
     }
     for p in &opts.partitions {
-        write_frame(conns.get_mut(p).unwrap(), MSG_ADDRS, &payload)?;
+        write_frame(conn_of(&mut conns, p)?, MSG_ADDRS, &payload)
+            .map_err(|e| control_lost(p, e))?;
     }
 
     // Checkpoint configuration: an explicit presence byte plus the quiesce
-    // time, then — when restoring — each partition's own snapshot file
-    // shipped over the control socket. The presence byte (not a zero-time
-    // sentinel) keys both sides, so a checkpoint at virtual time 0 works.
+    // time, then — when restoring — each partition's snapshot shipped over
+    // the control socket. Recovery restores (ring blobs held in memory) take
+    // precedence over [`DistOptions::restore_from`]. A one-shot checkpoint
+    // whose time the restore point has already passed is skipped for this
+    // attempt — it was only capturable in the attempt that failed.
     if let Some((_, dir)) = &opts.checkpoint {
-        std::fs::create_dir_all(dir)?;
+        std::fs::create_dir_all(dir).map_err(DistError::from)?;
     }
     if let Some(ring) = &opts.ring {
-        if ring.period == SimTime::ZERO {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "checkpoint ring period must be non-zero",
-            ));
-        }
-        std::fs::create_dir_all(&ring.dir)?;
+        std::fs::create_dir_all(&ring.dir).map_err(DistError::from)?;
     }
+    let restore_at = restore.map(|(at, _)| *at);
+    let expect_ckpt = match (&opts.checkpoint, restore_at) {
+        (Some((at, _)), Some(r)) if r >= at.as_ps() => {
+            eprintln!(
+                "dist: one-shot checkpoint at {} ps predates the restore point ({r} ps); skipped",
+                at.as_ps()
+            );
+            false
+        }
+        (Some(_), _) => true,
+        (None, _) => false,
+    };
     for p in &opts.partitions {
         let mut payload = Vec::new();
-        payload.push(opts.checkpoint.is_some() as u8);
+        payload.push(expect_ckpt as u8);
         let ckpt_at = opts.checkpoint.as_ref().map(|(at, _)| at.as_ps()).unwrap_or(0);
         payload.extend_from_slice(&ckpt_at.to_le_bytes());
         let (ring_period, ring_keep) = opts
@@ -1220,118 +1989,98 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
             .unwrap_or((0, 0));
         payload.extend_from_slice(&ring_period.to_le_bytes());
         payload.extend_from_slice(&ring_keep.to_le_bytes());
-        match &opts.restore_from {
-            Some(dir) => {
-                let blob = std::fs::read(dir.join(format!("{p}.ckpt")))?;
+        payload.extend_from_slice(&(opts.heartbeat.as_millis() as u64).to_le_bytes());
+        let restore_blob = match restore {
+            Some((_, blobs)) => blobs.get(p).cloned(),
+            None => match &opts.restore_from {
+                Some(dir) => Some(
+                    std::fs::read(dir.join(format!("{p}.ckpt"))).map_err(DistError::from)?,
+                ),
+                None => None,
+            },
+        };
+        match restore_blob {
+            Some(blob) => {
                 payload.push(1);
                 payload.extend_from_slice(&blob);
             }
             None => payload.push(0),
         }
-        write_frame(conns.get_mut(p).unwrap(), MSG_CKPT, &payload)?;
+        write_frame(conn_of(&mut conns, p)?, MSG_CKPT, &payload)
+            .map_err(|e| control_lost(p, e))?;
     }
 
     // Barrier-synchronized start: wait until every partition is built and
     // its proxies are wired, then release all workers together.
     for p in &opts.partitions {
-        expect_frame(conns.get_mut(p).unwrap(), MSG_READY)?;
+        expect_frame(conn_of(&mut conns, p)?, MSG_READY).map_err(|e| control_lost(p, e))?;
     }
     let start = Instant::now();
     for p in &opts.partitions {
-        write_frame(conns.get_mut(p).unwrap(), MSG_GO, &[])?;
+        write_frame(conn_of(&mut conns, p)?, MSG_GO, &[]).map_err(|e| control_lost(p, e))?;
     }
 
+    let mut states_done = supervise(
+        opts, disc, &mut conns, &mut guard, faults, ring_store, report, high_water, restore_at,
+    )?;
+
+    // All partitions reported. Persist the one-shot checkpoint blobs, then
+    // acknowledge and reap.
+    let wall = start.elapsed();
     let mut partition_walls = Vec::new();
     let mut all: Vec<(usize, String, KernelStats, EventLog)> = Vec::new();
-    // Per ring slot time: the partitions' containers collected so far.
-    let mut ring_parts: std::collections::BTreeMap<u64, Vec<crate::checkpoint::CheckpointFile>> =
-        std::collections::BTreeMap::new();
     for p in &opts.partitions {
-        if let Some((_, dir)) = &opts.checkpoint {
-            let blob = expect_frame(conns.get_mut(p).unwrap(), MSG_CKPT_SAVE)?;
+        let st = states_done.remove(p).ok_or_else(|| DistError::Protocol {
+            partition: p.clone(),
+            error: "supervision lost its state".into(),
+        })?;
+        if expect_ckpt {
+            let blob = st.ckpt_blob.as_deref().unwrap_or(&[]);
             if blob.is_empty() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("worker {p:?} reported an empty checkpoint"),
-                ));
+                return Err(DistError::Protocol {
+                    partition: p.clone(),
+                    error: "reported an empty checkpoint".into(),
+                });
             }
-            crate::checkpoint::write_blob(&dir.join(format!("{p}.ckpt")), &blob)
-                .map_err(|e| io::Error::other(format!("writing checkpoint of {p:?}: {e}")))?;
-        }
-        if opts.ring.is_some() {
-            let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_CKPT_SAVE)?;
-            let mut d = Dec::new(&payload);
-            let n = d.u32()? as usize;
-            for _ in 0..n {
-                let at = d.u64()?;
-                let len = d.u32()? as usize;
-                let blob = d.take(len)?;
-                let file = crate::checkpoint::CheckpointFile::decode(blob).map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("ring entry of {p:?} at {at}ps: {e}"),
-                    )
-                })?;
-                ring_parts.entry(at).or_default().push(file);
+            if let Some((_, dir)) = &opts.checkpoint {
+                crate::checkpoint::write_blob(&dir.join(format!("{p}.ckpt")), blob)
+                    .map_err(|e| DistError::Io(format!("writing checkpoint of {p:?}: {e}")))?;
             }
         }
-        let payload = expect_frame(conns.get_mut(p).unwrap(), MSG_RESULT)?;
-        let report = decode_result(&payload)?;
-        partition_walls.push(report.wall_seconds);
-        all.extend(report.components);
-    }
-    let wall = start.elapsed();
-
-    // Merge each ring slot's per-partition containers into one
-    // whole-experiment container in global build order — byte-identical to a
-    // single-process checkpoint of the same slot, so the ring restores
-    // through the ordinary local path.
-    if let Some(ring) = &opts.ring {
-        for (at, parts) in &ring_parts {
-            if parts.len() != opts.partitions.len() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "ring slot at {at}ps has {} partition snapshots, expected {}",
-                        parts.len(),
-                        opts.partitions.len()
-                    ),
-                ));
-            }
-            let merged = crate::checkpoint::CheckpointFile::merge(parts, &global_names)
-                .map_err(|e| io::Error::other(format!("merging ring slot at {at}ps: {e}")))?;
-            let path = crate::checkpoint::ring_entry_path(&ring.dir, SimTime::from_ps(*at));
-            merged
-                .write_to(&path)
-                .map_err(|e| io::Error::other(format!("writing {}: {e}", path.display())))?;
-        }
-        crate::checkpoint::prune_ring(&ring.dir, ring.keep)
-            .map_err(|e| io::Error::other(format!("pruning ring {}: {e}", ring.dir.display())))?;
+        let rep = st.report.ok_or_else(|| DistError::Protocol {
+            partition: p.clone(),
+            error: "no result".into(),
+        })?;
+        partition_walls.push(rep.wall_seconds);
+        all.extend(rep.components);
     }
 
     // Clean teardown: acknowledge, then reap the worker processes.
     for p in &opts.partitions {
-        write_frame(conns.get_mut(p).unwrap(), MSG_DONE, &[])?;
+        write_frame(conn_of(&mut conns, p)?, MSG_DONE, &[]).map_err(|e| control_lost(p, e))?;
     }
     for (name, mut child) in guard.disarm() {
-        let status = child.wait()?;
+        let status = child.wait().map_err(DistError::from)?;
         if !status.success() {
-            return Err(io::Error::other(format!("worker {name:?} exited with {status}")));
+            return Err(DistError::Protocol {
+                partition: name,
+                error: format!("exited with {status} after reporting"),
+            });
         }
     }
 
     // Reassemble in global build order so logs and stats line up with the
     // in-process baseline.
     all.sort_by_key(|(global, _, _, _)| *global);
-    if all.len() != expected_components {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
+    if all.len() != disc.expected_components {
+        return Err(DistError::Protocol {
+            partition: "<all>".into(),
+            error: format!(
                 "workers reported {} components, build declares {}",
                 all.len(),
-                expected_components
+                disc.expected_components
             ),
-        ));
+        });
     }
     let mut component_names = Vec::with_capacity(all.len());
     let mut stats = Vec::with_capacity(all.len());
@@ -1348,7 +2097,330 @@ pub fn run_distributed(opts: &DistOptions, build: &BuildFn) -> io::Result<DistRe
         component_names,
         stats,
         logs,
+        recovery: RecoveryReport::default(),
     })
+}
+
+/// Deterministically damage an encoded checkpoint: flip one bit mid-blob
+/// (checksum rejection) or truncate to half length (a torn write).
+fn damage_blob(blob: &mut Vec<u8>, truncate: bool) {
+    if truncate {
+        blob.truncate(blob.len() / 2);
+    } else if !blob.is_empty() {
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x10;
+    }
+}
+
+/// Merge one completed ring slot's per-partition containers into a
+/// whole-experiment container on disk — byte-identical to a single-process
+/// checkpoint of the same slot, so the ring restores through the ordinary
+/// local path. An undecodable part rejects the slot (recorded in the report)
+/// instead of failing the run: recovery applies the same validation to the
+/// in-memory copy and falls back to an older slot.
+fn merge_ring_slot(
+    at: u64,
+    ring_store: &RingStore,
+    opts: &DistOptions,
+    global_names: &[String],
+    report: &mut RecoveryReport,
+) {
+    let ring = match &opts.ring {
+        Some(r) => r,
+        None => return,
+    };
+    let parts = match ring_store.get(&at) {
+        Some(p) => p,
+        None => return,
+    };
+    let mut files = Vec::with_capacity(opts.partitions.len());
+    for p in &opts.partitions {
+        let blob = match parts.get(p) {
+            Some(b) => b,
+            None => return,
+        };
+        match crate::checkpoint::CheckpointFile::decode(blob) {
+            Ok(f) => files.push(f),
+            Err(e) => {
+                report
+                    .rejected_entries
+                    .push(format!("merge slot {at} ps, partition {p:?}: {e}"));
+                return;
+            }
+        }
+    }
+    let merged = match crate::checkpoint::CheckpointFile::merge(&files, global_names) {
+        Ok(m) => m,
+        Err(e) => {
+            report.rejected_entries.push(format!("merge slot {at} ps: {e}"));
+            return;
+        }
+    };
+    let path = crate::checkpoint::ring_entry_path(&ring.dir, SimTime::from_ps(at));
+    if let Err(e) = merged.write_to(&path) {
+        report
+            .rejected_entries
+            .push(format!("write {}: {e}", path.display()));
+        return;
+    }
+    let _ = crate::checkpoint::prune_ring(&ring.dir, ring.keep);
+}
+
+/// The post-`GO` supervisor loop: drain every worker's control socket
+/// (heartbeats, streamed ring snapshots, checkpoint blobs, results), detect
+/// failures (process exit, heartbeat silence, control EOF, protocol
+/// violations) and classify them as typed errors, and inject scheduled
+/// faults when the fleet's minimum virtual time crosses their thresholds.
+/// Returns every partition's final state once all results are in.
+#[allow(clippy::too_many_arguments)]
+fn supervise(
+    opts: &DistOptions,
+    disc: &Discovery,
+    conns: &mut HashMap<String, TcpStream>,
+    guard: &mut ChildGuard,
+    faults: &mut [FaultState],
+    ring_store: &mut RingStore,
+    report: &mut RecoveryReport,
+    high_water: &mut u64,
+    restore_at: Option<u64>,
+) -> Result<HashMap<String, WorkerState>, DistError> {
+    let base = restore_at.unwrap_or(0);
+    for p in &opts.partitions {
+        conn_of(conns, p)?
+            .set_read_timeout(Some(POLL_TIMEOUT))
+            .map_err(DistError::from)?;
+    }
+    let hb_timeout = std::cmp::max(opts.heartbeat.saturating_mul(20), Duration::from_secs(15));
+    let mut states: HashMap<String, WorkerState> = opts
+        .partitions
+        .iter()
+        .map(|p| {
+            (
+                p.clone(),
+                WorkerState {
+                    fb: FrameBuf::default(),
+                    last_seen: Instant::now(),
+                    virt: base,
+                    ckpt_blob: None,
+                    report: None,
+                },
+            )
+        })
+        .collect();
+    let mut scratch = vec![0u8; 256 * 1024];
+    loop {
+        // 1. Drain every control socket; dispatch complete frames. Sockets
+        // of partitions that already reported are still drained (their pump
+        // threads heartbeat until DONE).
+        let mut completed_slots: Vec<u64> = Vec::new();
+        for p in &opts.partitions {
+            let s = conn_of(conns, p)?;
+            let st = match states.get_mut(p) {
+                Some(st) => st,
+                None => continue,
+            };
+            let eof = match drain_ctrl(s, &mut st.fb, &mut scratch) {
+                Ok(eof) => eof,
+                Err(e) => {
+                    if st.report.is_none() {
+                        return Err(control_lost(p, e));
+                    }
+                    false
+                }
+            };
+            loop {
+                match st.fb.pop() {
+                    Ok(Some((MSG_HEARTBEAT, payload))) => {
+                        let mut d = Dec::new(&payload);
+                        st.virt = d.u64().map_err(|e| DistError::Protocol {
+                            partition: p.clone(),
+                            error: format!("bad heartbeat: {e}"),
+                        })?;
+                        st.last_seen = Instant::now();
+                    }
+                    Ok(Some((MSG_RING, payload))) => {
+                        if payload.len() < 8 {
+                            return Err(DistError::Protocol {
+                                partition: p.clone(),
+                                error: "short ring frame".into(),
+                            });
+                        }
+                        let at = u64::from_le_bytes([
+                            payload[0], payload[1], payload[2], payload[3], payload[4],
+                            payload[5], payload[6], payload[7],
+                        ]);
+                        st.last_seen = Instant::now();
+                        st.virt = st.virt.max(at);
+                        let slot = ring_store.entry(at).or_default();
+                        slot.insert(p.clone(), payload[8..].to_vec());
+                        if slot.len() == opts.partitions.len() {
+                            completed_slots.push(at);
+                        }
+                    }
+                    Ok(Some((MSG_CKPT_SAVE, payload))) => {
+                        st.ckpt_blob = Some(payload);
+                        st.last_seen = Instant::now();
+                    }
+                    Ok(Some((MSG_RESULT, payload))) => {
+                        let rep = decode_result(&payload).map_err(|e| DistError::Protocol {
+                            partition: p.clone(),
+                            error: format!("bad result: {e}"),
+                        })?;
+                        st.report = Some(rep);
+                        st.last_seen = Instant::now();
+                    }
+                    Ok(Some((ty, _))) => {
+                        return Err(DistError::Protocol {
+                            partition: p.clone(),
+                            error: format!("unexpected control frame type {ty}"),
+                        });
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        return Err(DistError::Protocol {
+                            partition: p.clone(),
+                            error: e.to_string(),
+                        });
+                    }
+                }
+            }
+            if eof && st.report.is_none() {
+                return Err(DistError::ControlLost {
+                    partition: p.clone(),
+                    error: "control connection EOF".into(),
+                });
+            }
+        }
+
+        // 2. Merge newly completed ring slots into on-disk whole-experiment
+        // containers, and bound the in-memory store like the on-disk ring.
+        for at in completed_slots {
+            merge_ring_slot(at, ring_store, opts, &disc.global_names, report);
+        }
+        if let Some(ring) = &opts.ring {
+            if ring.keep > 0 {
+                let complete: Vec<u64> = ring_store
+                    .iter()
+                    .filter(|(_, parts)| parts.len() == opts.partitions.len())
+                    .map(|(at, _)| *at)
+                    .collect();
+                if complete.len() > ring.keep {
+                    for at in &complete[..complete.len() - ring.keep] {
+                        ring_store.remove(at);
+                    }
+                }
+            }
+        }
+
+        // 3. Liveness: a worker that exited, or fell silent, before its
+        // result is a classified failure, not a hang.
+        for (name, child) in &mut guard.children {
+            let done = states.get(name).map(|s| s.report.is_some()).unwrap_or(false);
+            if done {
+                continue;
+            }
+            if let Some(status) = child.try_wait().map_err(DistError::from)? {
+                return Err(DistError::WorkerExited {
+                    partition: name.clone(),
+                    status: status.to_string(),
+                });
+            }
+            if let Some(st) = states.get(name) {
+                let silent = st.last_seen.elapsed();
+                if silent > hb_timeout {
+                    return Err(DistError::HeartbeatTimeout {
+                        partition: name.clone(),
+                        silent,
+                    });
+                }
+            }
+        }
+
+        // 4. Progress bookkeeping + deterministic fault injection. Faults
+        // trigger on the fleet's *minimum* virtual time so the schedule is
+        // independent of which partition happens to run ahead.
+        let min_virt = states.values().map(|s| s.virt).min().unwrap_or(base);
+        *high_water = (*high_water).max(min_virt);
+        for f in faults.iter_mut() {
+            if f.fired || min_virt < f.spec.at.as_ps() {
+                continue;
+            }
+            f.fired = true;
+            let threshold = f.spec.at.as_ps();
+            match &f.spec.kind {
+                FaultKind::KillWorker { partition } => {
+                    report.faults_injected.push(format!(
+                        "kill_worker {partition:?} at {threshold} ps (fleet at {min_virt} ps)"
+                    ));
+                    for (name, child) in &mut guard.children {
+                        if name == partition {
+                            let _ = child.kill();
+                        }
+                    }
+                }
+                FaultKind::SeverLink { link } => {
+                    report.faults_injected.push(format!(
+                        "sever_link {link:?} at {threshold} ps (fleet at {min_virt} ps)"
+                    ));
+                    let ends: Vec<String> = disc
+                        .links
+                        .iter()
+                        .filter(|l| l.name == *link)
+                        .flat_map(|l| [l.a.clone(), l.b.clone()])
+                        .collect();
+                    for p in &ends {
+                        if let Ok(s) = conn_of(conns, p) {
+                            let _ = write_frame(s, MSG_SEVER, link.as_bytes());
+                        }
+                    }
+                    // Let the workers tear their forwarders down before the
+                    // fleet is reaped, so the failure is attributable to the
+                    // sever rather than a racing teardown.
+                    std::thread::sleep(Duration::from_millis(50));
+                    return Err(DistError::FaultSever { link: link.clone() });
+                }
+                FaultKind::CorruptCheckpoint | FaultKind::TruncateCheckpoint => {
+                    let truncate = matches!(f.spec.kind, FaultKind::TruncateCheckpoint);
+                    let label = if truncate { "truncate_checkpoint" } else { "corrupt_checkpoint" };
+                    let newest = ring_store
+                        .iter()
+                        .rev()
+                        .find(|(_, parts)| parts.len() == opts.partitions.len())
+                        .map(|(at, _)| *at);
+                    match newest {
+                        Some(at) => {
+                            report.faults_injected.push(format!(
+                                "{label} ring slot at {at} ps (injected at {min_virt} ps)"
+                            ));
+                            if let Some(parts) = ring_store.get_mut(&at) {
+                                for blob in parts.values_mut() {
+                                    damage_blob(blob, truncate);
+                                }
+                            }
+                            if let Some(ring) = &opts.ring {
+                                let path = crate::checkpoint::ring_entry_path(
+                                    &ring.dir,
+                                    SimTime::from_ps(at),
+                                );
+                                if let Ok(mut data) = std::fs::read(&path) {
+                                    damage_blob(&mut data, truncate);
+                                    let _ = std::fs::write(&path, &data);
+                                }
+                            }
+                        }
+                        None => report.faults_injected.push(format!(
+                            "{label}: no complete ring slot to damage (fleet at {min_virt} ps)"
+                        )),
+                    }
+                }
+            }
+        }
+
+        // 5. Done when every partition has reported.
+        if states.values().all(|s| s.report.is_some()) {
+            return Ok(states);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1464,9 +2536,158 @@ mod tests {
     fn dist_options_builders() {
         let o = DistOptions::new(vec!["p0".into()], "s")
             .with_exec(Execution::Sharded { workers: 2 })
-            .with_worker_args(vec!["x".into()]);
+            .with_worker_args(vec!["x".into()])
+            .with_max_restarts(3)
+            .with_heartbeat(Duration::from_millis(25))
+            .with_faults(vec![FaultSpec {
+                at: SimTime::from_us(1),
+                kind: FaultKind::KillWorker { partition: "p0".into() },
+            }]);
         assert_eq!(o.exec, Execution::Sharded { workers: 2 });
         assert_eq!(o.worker_args, vec!["x"]);
         assert_eq!(o.scenario, "s");
+        assert_eq!(o.max_restarts, 3);
+        assert_eq!(o.heartbeat, Duration::from_millis(25));
+        assert_eq!(o.faults.len(), 1);
+    }
+
+    #[test]
+    fn dist_error_retryability_classification() {
+        assert!(DistError::WorkerExited { partition: "p".into(), status: "9".into() }.retryable());
+        assert!(DistError::ControlLost { partition: "p".into(), error: "eof".into() }.retryable());
+        assert!(DistError::HeartbeatTimeout {
+            partition: "p".into(),
+            silent: Duration::from_secs(1)
+        }
+        .retryable());
+        assert!(DistError::FaultSever { link: "l".into() }.retryable());
+        assert!(DistError::ConnectTimeout { missing: vec!["p".into()] }.retryable());
+        assert!(!DistError::Invalid("x".into()).retryable());
+        assert!(!DistError::Io("x".into()).retryable());
+        assert!(!DistError::Protocol { partition: "p".into(), error: "x".into() }.retryable());
+        let report = RecoveryReport::default();
+        assert!(!DistError::RestartsExhausted {
+            restarts: 2,
+            last: Box::new(DistError::FaultSever { link: "l".into() }),
+            report,
+        }
+        .retryable());
+    }
+
+    /// A partition-shaped checkpoint container encoded for ring-store tests.
+    fn encoded_part(name: &str, at: SimTime) -> Vec<u8> {
+        use crate::checkpoint::CheckpointFile;
+        CheckpointFile {
+            name: name.to_string(),
+            at,
+            components: Vec::new(),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn select_restore_skips_corrupt_and_incomplete_slots() {
+        let parts = ["p0".to_string(), "p1".to_string()];
+        let mut store = RingStore::new();
+        // Slot 100: complete and valid.
+        for p in &parts {
+            store
+                .entry(100)
+                .or_default()
+                .insert(p.clone(), encoded_part("e", SimTime::from_ps(100)));
+        }
+        // Slot 200: complete but one blob corrupted (bit flip mid-blob).
+        for p in &parts {
+            let mut blob = encoded_part("e", SimTime::from_ps(200));
+            if p == "p1" {
+                damage_blob(&mut blob, false);
+            }
+            store.entry(200).or_default().insert(p.clone(), blob);
+        }
+        // Slot 300: incomplete (p1's snapshot never arrived).
+        store
+            .entry(300)
+            .or_default()
+            .insert("p0".into(), encoded_part("e", SimTime::from_ps(300)));
+
+        let mut report = RecoveryReport::default();
+        let picked = select_restore(&store, &parts, &mut report);
+        let (at, blobs) = picked.expect("slot 100 is usable");
+        assert_eq!(at, 100, "newest *valid and complete* slot wins");
+        assert_eq!(blobs.len(), 2);
+        assert_eq!(report.rejected_entries.len(), 1, "corrupt slot 200 recorded");
+        assert!(report.rejected_entries[0].contains("200"));
+        assert!(!report.is_trivial(), "rejections make the report non-trivial");
+    }
+
+    #[test]
+    fn select_restore_none_when_everything_torn() {
+        let parts = ["p0".to_string()];
+        let mut store = RingStore::new();
+        let mut blob = encoded_part("e", SimTime::from_ps(50));
+        damage_blob(&mut blob, true); // torn write: truncated to half
+        store.entry(50).or_default().insert("p0".into(), blob);
+        let mut report = RecoveryReport::default();
+        assert!(select_restore(&store, &parts, &mut report).is_none());
+        assert_eq!(report.rejected_entries.len(), 1);
+    }
+
+    #[test]
+    fn damage_blob_is_deterministic_and_detected() {
+        use crate::checkpoint::CheckpointFile;
+        let clean = encoded_part("x", SimTime::from_ps(7));
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        damage_blob(&mut a, false);
+        damage_blob(&mut b, false);
+        assert_eq!(a, b, "same fault schedule must damage identically");
+        assert_ne!(a, clean);
+        assert!(CheckpointFile::decode(&a).is_err(), "checksum catches the flip");
+        let mut t = clean.clone();
+        damage_blob(&mut t, true);
+        assert!(CheckpointFile::decode(&t).is_err(), "truncation is rejected");
+    }
+
+    #[test]
+    fn frame_buf_reassembles_partial_and_batched_frames() {
+        let mut wire = Vec::new();
+        for (ty, payload) in [(MSG_HEARTBEAT, &[1u8, 0, 0, 0, 0, 0, 0, 0][..]), (MSG_DONE, &[])] {
+            wire.extend_from_slice(&((payload.len() + 1) as u32).to_le_bytes());
+            wire.push(ty);
+            wire.extend_from_slice(payload);
+        }
+        let mut fb = FrameBuf::default();
+        // Feed one byte at a time: pop must only yield complete frames.
+        let mut got = Vec::new();
+        for b in &wire {
+            fb.push(&[*b]);
+            while let Ok(Some((ty, payload))) = fb.pop() {
+                got.push((ty, payload));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, MSG_HEARTBEAT);
+        assert_eq!(got[0].1, vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(got[1], (MSG_DONE, Vec::new()));
+        // A zero-length frame is a protocol error, not a hang.
+        fb.push(&[0, 0, 0, 0]);
+        assert!(fb.pop().is_err());
+    }
+
+    #[test]
+    fn recovery_report_display_mentions_everything() {
+        let r = RecoveryReport {
+            faults_injected: vec!["kill_worker \"p1\" at 3000000 ps".into()],
+            restarts: 1,
+            ring_entries_used: vec![Some(SimTime::from_ps(2000000))],
+            rejected_entries: vec!["slot 3000000 ps, partition \"p0\": bad checksum".into()],
+            time_lost: SimTime::from_ps(1234),
+        };
+        let s = r.to_string();
+        assert!(s.contains("kill_worker"));
+        assert!(s.contains("restarts: 1"));
+        assert!(s.contains("2000000"));
+        assert!(s.contains("bad checksum") || s.contains("rejected"));
+        assert!(s.contains("1234"));
     }
 }

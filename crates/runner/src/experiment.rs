@@ -174,6 +174,9 @@ impl RunResult {
     }
 }
 
+/// Sink receiving each encoded checkpoint-ring entry: (quiesce time, blob).
+pub type RingSink = Box<dyn FnMut(SimTime, &[u8]) + Send>;
+
 /// An experiment: a set of component simulators wired by channels.
 pub struct Experiment {
     name: String,
@@ -200,6 +203,15 @@ pub struct Experiment {
     fp_epoch: Option<SimTime>,
     /// Virtual time a restore fast-forwarded this experiment to (reporting).
     restored_at: Option<SimTime>,
+    /// Coarse virtual-time progress (picoseconds), updated periodically by
+    /// the sequential executor and the quiesce loop. Distributed workers
+    /// read it from a heartbeat thread, so the orchestrator can trigger
+    /// virtual-time fault schedules and detect stalled partitions.
+    progress: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// Called with each checkpoint-ring entry as soon as it is encoded
+    /// (distributed workers ship entries to the orchestrator mid-run, so a
+    /// later crash can restore from every slot captured before it).
+    ring_sink: Option<RingSink>,
     barrier: Option<std::sync::Arc<EpochController>>,
     /// Shared stop flag. In unsynchronized (emulation) runs there is no common
     /// virtual end time: the run ends when the first component finishes (the
@@ -233,6 +245,8 @@ impl Experiment {
             ring_dir: None,
             fp_epoch: None,
             restored_at: None,
+            progress: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            ring_sink: None,
             barrier: None,
             stop: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
@@ -461,6 +475,25 @@ impl Experiment {
         self.ring_dir = Some(dir);
     }
 
+    /// Handle on the experiment's coarse virtual-time progress counter
+    /// (picoseconds). Updated periodically by the sequential executor and
+    /// the quiesce loop; other threads (a distributed worker's heartbeat
+    /// pump) may read it at any wall-clock moment. Monotone per run; a
+    /// restore resets it to the restore point.
+    pub fn progress_handle(&self) -> std::sync::Arc<std::sync::atomic::AtomicU64> {
+        self.progress.clone()
+    }
+
+    /// Install a sink invoked with every checkpoint-ring entry the moment it
+    /// is encoded — before the run continues past the slot. Distributed
+    /// workers use this to stream their partition's entries to the
+    /// orchestrator, which is what makes mid-run recovery possible: after a
+    /// worker crash the orchestrator already holds every slot captured
+    /// before the failure.
+    pub fn set_ring_sink(&mut self, sink: RingSink) {
+        self.ring_sink = Some(sink);
+    }
+
     // ------------------------------------------------------------------
     // Replay inspection (used by `crates/replay` after restore + freeze)
     // ------------------------------------------------------------------
@@ -597,6 +630,8 @@ impl Experiment {
             }
         }
         self.restored_at = Some(file.at);
+        self.progress
+            .store(file.at.as_ps(), std::sync::atomic::Ordering::Relaxed);
         Ok(file.at)
     }
 
@@ -615,7 +650,19 @@ impl Experiment {
         }
         let deadline = Instant::now() + Duration::from_secs(120);
         let mut idle_rounds: u64 = 0;
+        let mut rounds: u64 = 0;
         loop {
+            if rounds & 0x3f == 0 {
+                let frontier = self
+                    .components
+                    .iter()
+                    .map(|c| c.kernel.now().as_ps())
+                    .min()
+                    .unwrap_or(0);
+                self.progress
+                    .store(frontier, std::sync::atomic::Ordering::Relaxed);
+            }
+            rounds = rounds.wrapping_add(1);
             let mut any_progress = false;
             for c in &mut self.components {
                 match c.kernel.step(c.model.as_model(), 512) {
@@ -909,6 +956,11 @@ impl Experiment {
                         panic!("pruning ring {}: {e}", dir.display());
                     }
                 }
+                self.progress
+                    .store(at.as_ps(), std::sync::atomic::Ordering::Relaxed);
+                if let Some(sink) = &mut self.ring_sink {
+                    sink(at, &blob);
+                }
                 ring_blobs.push((at, blob));
                 if keep > 0 && ring_blobs.len() > keep {
                     ring_blobs.remove(0);
@@ -954,7 +1006,25 @@ impl Experiment {
         let n = self.components.len();
         let mut finished = vec![false; n];
         let mut idle_rounds: u32 = 0;
+        let mut rounds: u32 = 0;
         loop {
+            // Publish coarse virtual-time progress every few rounds: the
+            // minimum unfinished clock is the partition's committed frontier
+            // (everything below it is final), which is what heartbeats
+            // report and fault schedules trigger on.
+            if rounds & 0x3f == 0 {
+                let frontier = self
+                    .components
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !finished[*i])
+                    .map(|(_, c)| c.kernel.now().as_ps())
+                    .min()
+                    .unwrap_or(self.end.as_ps());
+                self.progress
+                    .store(frontier, std::sync::atomic::Ordering::Relaxed);
+            }
+            rounds = rounds.wrapping_add(1);
             let mut all_finished = true;
             let mut any_progress = false;
             for (i, c) in self.components.iter_mut().enumerate() {

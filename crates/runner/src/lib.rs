@@ -33,8 +33,8 @@ pub use checkpoint::{
     RingMeta, CKPT_MAGIC, CKPT_VERSION, RING_META_FILE, RING_SCENARIO_FILE,
 };
 pub use dist::{
-    maybe_worker, run_distributed, run_local, DistOptions, DistResult, PartitionBuilder,
-    RingOptions,
+    maybe_worker, run_distributed, run_local, DistError, DistOptions, DistResult, FaultKind,
+    FaultSpec, PartitionBuilder, RecoveryReport, RingOptions,
 };
 pub use executor::{default_workers, ShardedOptions};
 pub use experiment::{Execution, Experiment, RunResult};

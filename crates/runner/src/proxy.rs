@@ -82,6 +82,7 @@ impl ShutdownSignal {
     /// Keep a clone of `stream` so [`ShutdownSignal::signal`] can close it.
     pub(crate) fn register_stream(&self, stream: &TcpStream) {
         if let Ok(c) = stream.try_clone() {
+            // io-ok: poisoned only if a holder already panicked
             self.streams.lock().unwrap().push(c);
         }
     }
@@ -89,6 +90,7 @@ impl ShutdownSignal {
     /// Raise the flag and close every registered stream.
     pub(crate) fn signal(&self) {
         self.flag.store(true, Ordering::Release);
+        // io-ok: poisoned only if a holder already panicked
         for s in self.streams.lock().unwrap().iter() {
             let _ = s.shutdown(Shutdown::Both);
         }
@@ -276,6 +278,7 @@ pub fn read_handshake(stream: &mut TcpStream) -> io::Result<(String, ChannelPara
     if payload[4] != HANDSHAKE_VERSION {
         return Err(bad("handshake version mismatch"));
     }
+    // io-ok: infallible - the slice is exactly 2 bytes
     let name_len = u16::from_le_bytes(payload[5..7].try_into().unwrap()) as usize;
     if payload.len() != 7 + name_len + ChannelParams::WIRE_LEN {
         return Err(bad("handshake frame length inconsistent"));
@@ -413,6 +416,7 @@ pub(crate) fn spawn_tcp_forwarder(
             tcp_forward_loop(local, stream, &counters, &shutdown);
             shutdown.signal();
         })
+        // io-ok: thread-spawn failure is resource exhaustion, not peer I/O
         .expect("spawn proxy thread")
 }
 
@@ -548,6 +552,7 @@ fn spawn_rdma_forwarders(
                 }
             }
         })
+        // io-ok: thread-spawn failure is resource exhaustion, not peer I/O
         .expect("spawn rdma proxy thread")
 }
 

@@ -378,7 +378,9 @@ fn probe_region(path: &Path) -> io::Result<Option<ShmRegion>> {
     let mut geom = [0u8; 8];
     file.seek(SeekFrom::Start(OFF_SLOTS as u64))?;
     file.read_exact(&mut geom)?;
+    // io-ok: infallible - both slices are exactly 4 bytes
     let slots = u32::from_le_bytes(geom[0..4].try_into().unwrap()) as usize;
+    // io-ok: infallible - both slices are exactly 4 bytes
     let stride = u32::from_le_bytes(geom[4..8].try_into().unwrap()) as usize;
     // The mapping length must come from the header the creator wrote; an
     // inconsistent file (truncated, or not a SimBricks region at all) is an

@@ -20,6 +20,14 @@
 //!   --ring-period DUR       virtual time between ring entries
 //!                           (default: duration / 8)
 //!   --ring-keep N           keep only the newest N entries (default: all)
+//!   --max-restarts N        fleet restarts to attempt on worker failure
+//!                           (dist only; default: the scenario's
+//!                           [faults] max_restarts, else #faults + 1 when
+//!                           the scenario schedules faults, else 0)
+//!   --heartbeat DUR         wall-clock worker heartbeat period (dist only;
+//!                           default: the scenario's [faults] heartbeat,
+//!                           else 100ms)
+//!   --no-faults             ignore the scenario's [[fault]] schedule
 //! ```
 //!
 //! Every run prints (and optionally records) the event-log fingerprint, the
@@ -34,10 +42,10 @@ use simbricks_base::SimTime;
 use simbricks_hostsim::HostModel;
 use simbricks_netsim::SwitchBm;
 use simbricks_runner::{
-    maybe_worker, run_distributed, DistOptions, Execution, PartitionBuilder, RingMeta,
+    maybe_worker, run_distributed, DistError, DistOptions, Execution, PartitionBuilder, RingMeta,
     RingOptions, TransportKind, RING_SCENARIO_FILE,
 };
-use simbricks_scenario::{build_from_toml, lower, parse_duration, Doc, Scenario, Value};
+use simbricks_scenario::{build_from_toml, fault_schedule, lower, parse_duration, Doc, Scenario, Value};
 
 struct Args {
     file: Option<String>,
@@ -50,6 +58,9 @@ struct Args {
     ring_dir: Option<String>,
     ring_period: Option<String>,
     ring_keep: usize,
+    max_restarts: Option<u32>,
+    heartbeat: Option<String>,
+    no_faults: bool,
 }
 
 /// Checkpoint-ring recording request, resolved against the scenario.
@@ -59,11 +70,20 @@ struct RingCli {
     keep: usize,
 }
 
+/// Fault/recovery request from the command line (resolved against the
+/// scenario's `[faults]` section per run).
+struct FaultCli {
+    max_restarts: Option<u32>,
+    heartbeat: Option<std::time::Duration>,
+    no_faults: bool,
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: simbricks-run <scenario.toml> [--exec MODE] [--transport T] \
          [--sweep key=v1,v2,...]... [--json PATH|-] [--quiet] \
-         [--checkpoint-ring DIR [--ring-period DUR] [--ring-keep N]]\n       \
+         [--checkpoint-ring DIR [--ring-period DUR] [--ring-keep N]] \
+         [--max-restarts N] [--heartbeat DUR] [--no-faults]\n       \
          simbricks-run --validate <scenario.toml>..."
     );
     std::process::exit(2);
@@ -110,6 +130,9 @@ fn parse_args() -> Args {
         ring_dir: None,
         ring_period: None,
         ring_keep: 0,
+        max_restarts: None,
+        heartbeat: None,
+        no_faults: false,
     };
     let mut it = std::env::args().skip(1);
     let mut validating = false;
@@ -138,6 +161,15 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--max-restarts" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                args.max_restarts = Some(n.parse().unwrap_or_else(|_| {
+                    eprintln!("simbricks-run: --max-restarts `{n}` is not a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--heartbeat" => args.heartbeat = Some(it.next().unwrap_or_else(|| usage())),
+            "--no-faults" => args.no_faults = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => {
@@ -373,6 +405,7 @@ fn write_ring_sidecars(ring: &RingCli, text: &str, spec: &Scenario) -> Result<()
     std::fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     text: &str,
     spec: &Scenario,
@@ -381,6 +414,7 @@ fn run_one(
     overrides: Vec<(String, Value)>,
     quiet: bool,
     ring: Option<&RingCli>,
+    fault_cli: &FaultCli,
 ) -> Result<RunRecord, String> {
     if exec_str == "dist" || exec_str.starts_with("dist:") {
         let transport = match transport {
@@ -396,6 +430,27 @@ fn run_one(
             })
             .transpose()?
             .unwrap_or(Execution::Sequential);
+        let faults = if fault_cli.no_faults {
+            Vec::new()
+        } else {
+            fault_schedule(spec)
+        };
+        let max_restarts = fault_cli
+            .max_restarts
+            .or_else(|| spec.max_restarts.map(|v| v.min(u32::MAX as u64) as u32))
+            .unwrap_or(if faults.is_empty() {
+                0
+            } else {
+                faults.len() as u32 + 1
+            });
+        let heartbeat = fault_cli
+            .heartbeat
+            .or_else(|| {
+                spec.heartbeat
+                    .map(|t| std::time::Duration::from_nanos(t.as_ps() / 1000))
+            })
+            .unwrap_or(std::time::Duration::from_millis(100))
+            .max(std::time::Duration::from_millis(1));
         let opts = DistOptions {
             partitions: spec.partitions(),
             scenario: text.to_string(),
@@ -409,8 +464,19 @@ fn run_one(
                 keep: r.keep,
                 dir: r.dir.clone(),
             }),
+            faults,
+            max_restarts,
+            heartbeat,
         };
-        let r = run_distributed(&opts, &build_from_toml).map_err(|e| e.to_string())?;
+        let r = match run_distributed(&opts, &build_from_toml) {
+            Ok(r) => r,
+            Err(e) => {
+                if let DistError::RestartsExhausted { report, .. } = &e {
+                    eprintln!("{report}");
+                }
+                return Err(e.to_string());
+            }
+        };
         if let Some(ring) = ring {
             write_ring_sidecars(ring, text, spec)?;
         }
@@ -423,6 +489,9 @@ fn run_one(
                 r.wall.as_secs_f64()
             );
         }
+        if !r.recovery.is_trivial() {
+            println!("{}", r.recovery);
+        }
         return Ok(RunRecord {
             overrides,
             exec: exec_str.to_string(),
@@ -431,6 +500,13 @@ fn run_one(
             hosts: Vec::new(),
             switches: Vec::new(),
         });
+    }
+    if !spec.faults.is_empty() && !fault_cli.no_faults {
+        return Err(format!(
+            "scenario schedules {} [[fault]] declaration(s), but faults are injected by the \
+             dist orchestrator: run with --exec dist or pass --no-faults",
+            spec.faults.len()
+        ));
     }
     let exec = Execution::parse(exec_str)
         .ok_or_else(|| format!("unknown executor `{exec_str}` (sequential, threads, sharded[:N], dist)"))?;
@@ -564,6 +640,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let fault_cli = FaultCli {
+        max_restarts: args.max_restarts,
+        heartbeat: match &args.heartbeat {
+            None => None,
+            Some(h) => match parse_duration(h) {
+                Ok(d) => Some(std::time::Duration::from_nanos(d.as_ps() / 1000)),
+                Err(e) => {
+                    eprintln!("simbricks-run: --heartbeat: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        },
+        no_faults: args.no_faults,
+    };
+
     let mut records = Vec::new();
     let mut scen_name = String::new();
     for combo in combos {
@@ -626,6 +717,7 @@ fn main() -> ExitCode {
             combo,
             args.quiet,
             ring.as_ref(),
+            &fault_cli,
         ) {
             Ok(rec) => records.push(rec),
             Err(e) => {

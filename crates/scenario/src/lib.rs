@@ -28,9 +28,9 @@ pub mod lower;
 pub mod spec;
 pub mod toml;
 
-pub use lower::{build_from_toml, lower, Lowered};
+pub use lower::{build_from_toml, fault_schedule, lower, Lowered};
 pub use spec::{
-    parse_bandwidth, parse_duration, AppSpec, AqmSpec, HostSpec, ImpairmentSpec, LinkSpec, Node,
-    Scenario, ScenarioError, SwitchSpec,
+    parse_bandwidth, parse_duration, AppSpec, AqmSpec, FaultDecl, FaultDeclKind, HostSpec,
+    ImpairmentSpec, LinkSpec, Node, Scenario, ScenarioError, SwitchSpec,
 };
 pub use toml::{Doc, Section, TomlError, Value};

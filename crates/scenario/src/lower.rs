@@ -28,9 +28,9 @@ use simbricks_base::{fnv1a_str, mix_seed, ChannelEnd, ChannelParams, SimTime};
 use simbricks_hostsim::{Application, HostConfig};
 use simbricks_netsim::{SwitchBm, SwitchConfig};
 use simbricks_netstack::SocketAddr;
-use simbricks_runner::{Experiment, PartitionBuilder};
+use simbricks_runner::{Experiment, FaultKind, FaultSpec, PartitionBuilder};
 
-use crate::spec::{AppSpec, LinkSpec, Node, Scenario};
+use crate::spec::{AppSpec, FaultDeclKind, LinkSpec, Node, Scenario};
 
 /// Name → global-component-id map produced by [`lower`], for pulling app
 /// reports and switch stats out of a
@@ -251,6 +251,50 @@ pub fn lower(spec: &Scenario, pb: &mut PartitionBuilder) -> Lowered {
     lowered
 }
 
+/// Lower the scenario's `[[fault]]` declarations onto runner
+/// [`FaultSpec`]s. Omitted targets are resolved deterministically from the
+/// scenario seed mixed with the fault's position (`mix_seed(seed,
+/// fnv1a_str("fault#<i>"))`), so a given scenario file always yields the
+/// same schedule — replays and CI reruns inject identical faults.
+pub fn fault_schedule(spec: &Scenario) -> Vec<FaultSpec> {
+    let partitions = spec.partitions();
+    let cross_links: Vec<&str> = spec
+        .links
+        .iter()
+        .filter(|l| spec.link_crosses_partitions(l))
+        .map(|l| l.name.as_str())
+        .collect();
+    spec.faults
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let pick = |n: usize| {
+                (mix_seed(spec.seed, fnv1a_str(&format!("fault#{i}"))) % n as u64) as usize
+            };
+            let kind = match f.kind {
+                FaultDeclKind::KillWorker => FaultKind::KillWorker {
+                    partition: match &f.partition {
+                        Some(p) => p.clone(),
+                        // validate(): partitions is never empty (>= 1 host).
+                        None => partitions[pick(partitions.len())].clone(),
+                    },
+                },
+                FaultDeclKind::SeverLink => FaultKind::SeverLink {
+                    link: match &f.link {
+                        Some(l) => l.clone(),
+                        // validate(): cross_links is non-empty for untargeted
+                        // sever_link faults.
+                        None => cross_links[pick(cross_links.len())].to_string(),
+                    },
+                },
+                FaultDeclKind::CorruptCheckpoint => FaultKind::CorruptCheckpoint,
+                FaultDeclKind::TruncateCheckpoint => FaultKind::TruncateCheckpoint,
+            };
+            FaultSpec { at: f.at, kind }
+        })
+        .collect()
+}
+
 /// `BuildFn`-shaped entry point: the scenario string **is** the TOML text,
 /// so distributed workers rebuild their partition from the identical
 /// document the orchestrator parsed. Panics with the scenario error message
@@ -332,6 +376,39 @@ b = "c0"
         assert_eq!(a, b, "same scenario must be bit-identical");
         let reseeded = impaired.replace("duration = \"200us\"", "duration = \"200us\"\nseed = 99");
         assert_ne!(a, run(&reseeded), "seed must steer the impairment streams");
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_seed_derived() {
+        let text = BACK_TO_BACK.to_string()
+            + "\n[[fault]]\nat = \"50us\"\nkind = \"kill_worker\"\n\
+               \n[[fault]]\nat = \"80us\"\nkind = \"sever_link\"\nlink = \"wire\"\n";
+        // Put c0 in its own partition so `wire` crosses partitions.
+        let text = text.replace("name = \"c0\"\n", "name = \"c0\"\npartition = \"p1\"\n");
+        let spec = Scenario::from_toml_str(&text).unwrap();
+        let a = fault_schedule(&spec);
+        let b = fault_schedule(&spec);
+        assert_eq!(a, b, "schedule must be a pure function of the file");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].at, SimTime::from_us(50));
+        // Untargeted kill picks a declared partition, seed-derived.
+        match &a[0].kind {
+            FaultKind::KillWorker { partition } => {
+                assert!(spec.partitions().contains(partition));
+            }
+            k => panic!("expected KillWorker, got {k:?}"),
+        }
+        assert_eq!(
+            a[1].kind,
+            FaultKind::SeverLink {
+                link: "wire".into()
+            }
+        );
+        // A different seed may steer untargeted picks; at minimum the
+        // schedule stays well-formed and deterministic per seed.
+        let reseeded = text.replace("duration = \"200us\"", "duration = \"200us\"\nseed = 3");
+        let spec2 = Scenario::from_toml_str(&reseeded).unwrap();
+        assert_eq!(fault_schedule(&spec2), fault_schedule(&spec2));
     }
 
     #[test]

@@ -725,6 +725,77 @@ pub struct LinkSpec {
     pub line: usize,
 }
 
+/// The kinds of deterministic faults a scenario can schedule (`[[fault]]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDeclKind {
+    /// Kill a partition's worker process mid-run.
+    KillWorker,
+    /// Tear down a cross-partition link's proxy.
+    SeverLink,
+    /// Flip a bit in the newest complete checkpoint-ring slot.
+    CorruptCheckpoint,
+    /// Truncate the newest complete checkpoint-ring slot (torn write).
+    TruncateCheckpoint,
+}
+
+/// One scheduled fault (`[[fault]]`): injected by the dist orchestrator when
+/// the fleet's minimum virtual time reaches `at`. Omitted targets (partition
+/// for `kill_worker`, link for `sever_link`) are chosen deterministically
+/// from the scenario seed at lowering time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultDecl {
+    /// Virtual-time threshold.
+    pub at: SimTime,
+    /// What to break.
+    pub kind: FaultDeclKind,
+    /// Target partition (only for `kill_worker`; seed-derived if omitted).
+    pub partition: Option<String>,
+    /// Target cross link (only for `sever_link`; seed-derived if omitted).
+    pub link: Option<String>,
+    /// Header source line.
+    pub line: usize,
+}
+
+impl FaultDecl {
+    fn parse(sec: &Section) -> Result<FaultDecl, ScenarioError> {
+        check_keys(sec, &["at", "kind", "partition", "link"])?;
+        let at = get_duration(sec, "at")?.ok_or_else(|| ScenarioError {
+            line: sec.line,
+            msg: "[[fault]] needs `at` (e.g. at = \"3ms\")".into(),
+        })?;
+        let kind = match req_str(sec, "kind")?.as_str() {
+            "kill_worker" => FaultDeclKind::KillWorker,
+            "sever_link" => FaultDeclKind::SeverLink,
+            "corrupt_checkpoint" => FaultDeclKind::CorruptCheckpoint,
+            "truncate_checkpoint" => FaultDeclKind::TruncateCheckpoint,
+            other => {
+                return err(
+                    sec.line_of("kind"),
+                    format!(
+                        "unknown fault kind `{other}` (known: kill_worker, sever_link, \
+                         corrupt_checkpoint, truncate_checkpoint)"
+                    ),
+                )
+            }
+        };
+        let partition = get_str(sec, "partition")?;
+        let link = get_str(sec, "link")?;
+        if partition.is_some() && kind != FaultDeclKind::KillWorker {
+            return err(sec.line_of("partition"), "`partition` is only valid for kill_worker");
+        }
+        if link.is_some() && kind != FaultDeclKind::SeverLink {
+            return err(sec.line_of("link"), "`link` is only valid for sever_link");
+        }
+        Ok(FaultDecl {
+            at,
+            kind,
+            partition,
+            link,
+            line: sec.line,
+        })
+    }
+}
+
 /// A node in declaration order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Node {
@@ -788,6 +859,12 @@ pub struct Scenario {
     pub nodes: Vec<Node>,
     /// Links in declaration order.
     pub links: Vec<LinkSpec>,
+    /// Scheduled faults in declaration order (`[[fault]]`).
+    pub faults: Vec<FaultDecl>,
+    /// Restart budget for fault recovery (`[faults] max_restarts`).
+    pub max_restarts: Option<u64>,
+    /// Worker heartbeat period override (`[faults] heartbeat`), wall clock.
+    pub heartbeat: Option<SimTime>,
 }
 
 fn parse_host_kind(s: &str, line: usize) -> Result<HostKind, ScenarioError> {
@@ -850,8 +927,10 @@ impl Scenario {
         }
         let mut scenario_sec: Option<&Section> = None;
         let mut run_sec: Option<&Section> = None;
+        let mut faults_sec: Option<&Section> = None;
         let mut nodes: Vec<Node> = Vec::new();
         let mut links: Vec<LinkSpec> = Vec::new();
+        let mut faults: Vec<FaultDecl> = Vec::new();
         // Node indices that received an explicit [host.app] sub-table.
         let mut app_seen: Vec<usize> = Vec::new();
         let mut host_counter: u32 = 0;
@@ -872,6 +951,17 @@ impl Scenario {
                         return err(sec.line, "duplicate [run] section");
                     }
                     run_sec = Some(sec);
+                    last = LastArray::None;
+                }
+                (["faults"], false) => {
+                    if faults_sec.is_some() {
+                        return err(sec.line, "duplicate [faults] section");
+                    }
+                    faults_sec = Some(sec);
+                    last = LastArray::None;
+                }
+                (["fault"], true) => {
+                    faults.push(FaultDecl::parse(sec)?);
                     last = LastArray::None;
                 }
                 (["host"], true) => {
@@ -1028,9 +1118,9 @@ impl Scenario {
                     return err(
                         sec.line,
                         format!(
-                            "unknown section [{}{}{}] (known: [scenario], [run], [[host]], \
-                             [host.app], [[switch]], [switch.aqm], [[link]], [link.impairment], \
-                             [link.aqm])",
+                            "unknown section [{}{}{}] (known: [scenario], [run], [faults], \
+                             [[fault]], [[host]], [host.app], [[switch]], [switch.aqm], \
+                             [[link]], [link.impairment], [link.aqm])",
                             if sec.is_array { "[" } else { "" },
                             sec.path_str(),
                             if sec.is_array { "]" } else { "" },
@@ -1078,6 +1168,13 @@ impl Scenario {
             }
             None => ("sequential".into(), "auto".into()),
         };
+        let (max_restarts, heartbeat) = match faults_sec {
+            Some(f) => {
+                check_keys(f, &["max_restarts", "heartbeat"])?;
+                (get_u64(f, "max_restarts")?, get_duration(f, "heartbeat")?)
+            }
+            None => (None, None),
+        };
         let scen = Scenario {
             name: req_str(ssec, "name")?,
             seed: get_u64(ssec, "seed")?.unwrap_or(1),
@@ -1095,6 +1192,9 @@ impl Scenario {
             transport,
             nodes,
             links,
+            faults,
+            max_restarts,
+            heartbeat,
         };
         scen.validate(&app_seen)?;
         Ok(scen)
@@ -1250,7 +1350,64 @@ impl Scenario {
         if !self.nodes.iter().any(|n| matches!(n, Node::Host(_))) {
             return err(0, "scenario has no hosts");
         }
+        // Fault targets must resolve: kill_worker partitions must be declared
+        // and sever_link links must cross partitions (intra-partition links
+        // have no proxy to tear down).
+        let parts = self.partitions();
+        for f in &self.faults {
+            if let Some(p) = &f.partition {
+                if !parts.iter().any(|q| q == p) {
+                    return err(
+                        f.line,
+                        format!(
+                            "fault targets unknown partition `{p}` (declared: {})",
+                            parts.join(", ")
+                        ),
+                    );
+                }
+            }
+            if let Some(lk) = &f.link {
+                match self.links.iter().find(|l| &l.name == lk) {
+                    None => {
+                        return err(f.line, format!("fault targets unknown link `{lk}`"));
+                    }
+                    Some(l) if !self.link_crosses_partitions(l) => {
+                        return err(
+                            f.line,
+                            format!(
+                                "fault link `{lk}` does not cross partitions: sever_link \
+                                 only applies to cross-partition links"
+                            ),
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+            if matches!(f.kind, FaultDeclKind::SeverLink)
+                && f.link.is_none()
+                && !self.links.iter().any(|l| self.link_crosses_partitions(l))
+            {
+                return err(
+                    f.line,
+                    "sever_link fault but the scenario has no cross-partition links",
+                );
+            }
+        }
         Ok(())
+    }
+
+    /// Whether a link's endpoints live in different partitions.
+    pub fn link_crosses_partitions(&self, l: &LinkSpec) -> bool {
+        let part_of = |name: &str| {
+            self.nodes
+                .iter()
+                .find(|n| n.name() == name)
+                .map(|n| n.partition())
+        };
+        match (part_of(&l.a), part_of(&l.b)) {
+            (Some(pa), Some(pb)) => pa != pb,
+            _ => false,
+        }
     }
 
     fn links_touches_switch(&self, l: &LinkSpec) -> bool {
@@ -1409,5 +1566,91 @@ name = "sw"
 type = "memcached_server"
 "#;
         expect_err(bad, "[host.app] must follow");
+    }
+
+    /// GOOD with the client host moved to partition "p1" (so `l1` crosses
+    /// partitions) plus the given fault TOML appended.
+    fn with_faults(fault_toml: &str) -> String {
+        format!(
+            "{}\n{fault_toml}\n",
+            GOOD.replace("name = \"c0\"\n", "name = \"c0\"\npartition = \"p1\"\n")
+        )
+    }
+
+    #[test]
+    fn faults_parse_with_targets_and_defaults() {
+        let s = Scenario::from_toml_str(&with_faults(
+            "[faults]\nmax_restarts = 3\nheartbeat = \"20ms\"\n\n\
+             [[fault]]\nat = \"500us\"\nkind = \"kill_worker\"\npartition = \"p1\"\n\n\
+             [[fault]]\nat = \"700us\"\nkind = \"sever_link\"\nlink = \"l1\"\n\n\
+             [[fault]]\nat = \"900us\"\nkind = \"corrupt_checkpoint\"\n",
+        ))
+        .unwrap();
+        assert_eq!(s.max_restarts, Some(3));
+        assert_eq!(s.heartbeat, Some(SimTime::from_ms(20)));
+        assert_eq!(s.faults.len(), 3);
+        assert_eq!(s.faults[0].kind, FaultDeclKind::KillWorker);
+        assert_eq!(s.faults[0].at, SimTime::from_us(500));
+        assert_eq!(s.faults[0].partition.as_deref(), Some("p1"));
+        assert_eq!(s.faults[1].kind, FaultDeclKind::SeverLink);
+        assert_eq!(s.faults[1].link.as_deref(), Some("l1"));
+        assert_eq!(s.faults[2].kind, FaultDeclKind::CorruptCheckpoint);
+        assert!(s.faults[2].partition.is_none() && s.faults[2].link.is_none());
+    }
+
+    #[test]
+    fn fault_targets_may_be_omitted() {
+        let s = Scenario::from_toml_str(&with_faults(
+            "[[fault]]\nat = \"1us\"\nkind = \"kill_worker\"\n\n\
+             [[fault]]\nat = \"2us\"\nkind = \"sever_link\"\n",
+        ))
+        .unwrap();
+        assert!(s.faults[0].partition.is_none());
+        assert!(s.faults[1].link.is_none());
+        assert_eq!(s.max_restarts, None);
+        assert_eq!(s.heartbeat, None);
+    }
+
+    #[test]
+    fn fault_validation_errors_are_actionable() {
+        expect_err(
+            &with_faults("[[fault]]\nkind = \"kill_worker\"\n"),
+            "needs `at`",
+        );
+        expect_err(
+            &with_faults("[[fault]]\nat = \"1us\"\nkind = \"set_on_fire\"\n"),
+            "unknown fault kind `set_on_fire`",
+        );
+        expect_err(
+            &with_faults("[[fault]]\nat = \"1us\"\nkind = \"kill_worker\"\npartition = \"p9\"\n"),
+            "unknown partition `p9`",
+        );
+        expect_err(
+            &with_faults("[[fault]]\nat = \"1us\"\nkind = \"sever_link\"\nlink = \"nope\"\n"),
+            "unknown link `nope`",
+        );
+        // l0 is intra-partition (both endpoints default to w0).
+        expect_err(
+            &with_faults("[[fault]]\nat = \"1us\"\nkind = \"sever_link\"\nlink = \"l0\"\n"),
+            "does not cross partitions",
+        );
+        // partition/link keys are kind-specific.
+        expect_err(
+            &with_faults("[[fault]]\nat = \"1us\"\nkind = \"sever_link\"\npartition = \"p1\"\n"),
+            "only valid for kill_worker",
+        );
+        expect_err(
+            &with_faults("[[fault]]\nat = \"1us\"\nkind = \"kill_worker\"\nlink = \"l1\"\n"),
+            "only valid for sever_link",
+        );
+        // sever_link with no cross links at all (plain GOOD, single partition).
+        expect_err(
+            &format!("{GOOD}\n[[fault]]\nat = \"1us\"\nkind = \"sever_link\"\n"),
+            "no cross-partition links",
+        );
+        expect_err(
+            &with_faults("[faults]\nmax_restarts = 1\n\n[faults]\nmax_restarts = 2\n"),
+            "duplicate [faults]",
+        );
     }
 }

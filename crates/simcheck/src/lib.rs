@@ -25,6 +25,11 @@
 //!   `from_entropy`, or a float expression feeding a `SimTime::from_*`
 //!   constructor (floats make timestamps platform/optimization sensitive).
 //!   Waive with `// det-ok: <reason>`.
+//! - **R5 io-panic** — `.unwrap()` / `.expect(...)` / `panic!(...)` in the
+//!   distributed-orchestration I/O files (`runner/src/dist.rs`, `proxy.rs`,
+//!   `shm.rs`). A panic on an I/O path takes down the orchestrator or a
+//!   worker instead of surfacing a typed `DistError` the supervisor can
+//!   classify and recover from. Waive with `// io-ok: <reason>`.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -50,12 +55,22 @@ const ITER_METHODS: &[&str] = &[
     "into_values",
 ];
 
+/// Orchestration I/O files R5 applies to: the distributed-run control plane,
+/// where an un-typed panic means a hung fleet or an orphaned worker instead
+/// of a classified, recoverable `DistError`-shaped failure.
+pub const IO_PANIC_FILES: &[&str] = &[
+    "runner/src/dist.rs",
+    "runner/src/proxy.rs",
+    "runner/src/shm.rs",
+];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     R1UnorderedIter,
     R2WallClock,
     R3SnapshotCoverage,
     R4NondetPrimitive,
+    R5IoPanic,
 }
 
 impl Rule {
@@ -65,6 +80,7 @@ impl Rule {
             Rule::R2WallClock => "R2",
             Rule::R3SnapshotCoverage => "R3",
             Rule::R4NondetPrimitive => "R4",
+            Rule::R5IoPanic => "R5",
         }
     }
 
@@ -74,6 +90,7 @@ impl Rule {
             Rule::R2WallClock => "wall-clock",
             Rule::R3SnapshotCoverage => "snapshot-coverage",
             Rule::R4NondetPrimitive => "nondet-primitive",
+            Rule::R5IoPanic => "io-panic",
         }
     }
 
@@ -134,6 +151,21 @@ impl Rule {
                  and integer arithmetic for time.\n\
                  Waive: `// det-ok: <reason>`."
             }
+            Rule::R5IoPanic => {
+                "R5 io-panic\n\
+                 \n\
+                 .unwrap()/.expect(...)/panic!(...) in the distributed\n\
+                 orchestration I/O files (runner/src/dist.rs, proxy.rs,\n\
+                 shm.rs). Sockets close, peers die, and shm files vanish in\n\
+                 normal operation; a panic on those paths kills the\n\
+                 orchestrator or strands a worker instead of producing a\n\
+                 typed DistError the supervision loop can classify, retry,\n\
+                 and report. #[cfg(test)] code is exempt.\n\
+                 \n\
+                 Fix: return io::Result/DistError and let the supervisor\n\
+                 decide; reserve panics for API-contract violations.\n\
+                 Waive: `// io-ok: <reason>` on the line or the line above."
+            }
         }
     }
 
@@ -143,6 +175,7 @@ impl Rule {
             Rule::R2WallClock,
             Rule::R3SnapshotCoverage,
             Rule::R4NondetPrimitive,
+            Rule::R5IoPanic,
         ]
     }
 
@@ -447,8 +480,56 @@ pub fn scan_source(path: &Path, src: &str) -> Vec<Finding> {
         r4_nondet(path, &lines, &mut out);
     }
     r3_snapshot_coverage(path, &lines, &mut out);
+    if is_io_panic_file(path) {
+        r5_io_panic(path, &lines, &mut out);
+    }
     out.sort_by_key(|f| (f.line, f.rule));
     out
+}
+
+/// Whether R5 applies: the path ends in one of [`IO_PANIC_FILES`] (compared
+/// with `/` separators regardless of platform).
+fn is_io_panic_file(path: &Path) -> bool {
+    let p: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    IO_PANIC_FILES.iter().any(|f| {
+        let suffix: Vec<&str> = f.split('/').collect();
+        p.len() >= suffix.len() && p[p.len() - suffix.len()..] == suffix[..]
+    })
+}
+
+fn r5_io_panic(path: &Path, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let toks = tokens(&l.code);
+        let mut what: Option<&str> = None;
+        for w in toks.windows(3) {
+            if w[0] == "." && w[2] == "(" && (w[1] == "unwrap" || w[1] == "expect") {
+                what = Some(if w[1] == "unwrap" { ".unwrap()" } else { ".expect(...)" });
+                break;
+            }
+            if w[0] == "panic" && w[1] == "!" && w[2] == "(" {
+                what = Some("panic!(...)");
+                break;
+            }
+        }
+        if let Some(what) = what {
+            out.push(Finding {
+                rule: Rule::R5IoPanic,
+                file: path.to_path_buf(),
+                line: idx + 1,
+                message: format!(
+                    "`{what}` on a distributed-orchestration I/O path; return a typed error \
+                     the supervisor can classify and recover from"
+                ),
+                waiver: waiver_on(lines, idx, "io-ok"),
+            });
+        }
+    }
 }
 
 fn r1_unordered_iter(path: &Path, lines: &[Line], out: &mut Vec<Finding>) {
@@ -1011,6 +1092,29 @@ mod tests {
         let f = scan_source(Path::new("crates/base/src/x.rs"), src);
         let r4: Vec<_> = f.iter().filter(|f| f.rule == Rule::R4NondetPrimitive).collect();
         assert_eq!(r4.len(), 2, "{r4:?}");
+    }
+
+    #[test]
+    fn r5_fires_only_in_io_files_and_respects_waiver() {
+        let src = "fn f(s: TcpStream) {\n\
+                   let n = s.read(&mut b).unwrap();\n\
+                   // io-ok: API contract, not an I/O failure\n\
+                   let e = exp.take().expect(\"init() must run first\");\n\
+                   if n == 0 { panic!(\"eof\"); }\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { x.unwrap(); }\n\
+                   }\n";
+        let f = scan_source(Path::new("crates/runner/src/dist.rs"), src);
+        let r5: Vec<_> = f.iter().filter(|f| f.rule == Rule::R5IoPanic).collect();
+        assert_eq!(r5.len(), 3, "{r5:?}");
+        assert!(!r5[0].waived() && r5[0].line == 2, "unwrap flagged");
+        assert!(r5[1].waived() && r5[1].line == 4, "waived expect");
+        assert!(!r5[2].waived() && r5[2].line == 5, "panic! flagged");
+        // Same source in a non-I/O runner file: R5 does not apply.
+        let elsewhere = scan_source(Path::new("crates/runner/src/experiment.rs"), src);
+        assert!(elsewhere.iter().all(|f| f.rule != Rule::R5IoPanic));
     }
 
     #[test]

@@ -17,12 +17,13 @@ fn usage() -> &'static str {
      \n\
      options:\n\
        --json           machine-readable findings on stdout\n\
-       --explain RULE   print the rationale for a rule (R1..R4) and exit\n\
+       --explain RULE   print the rationale for a rule (R1..R5) and exit\n\
        --help           this text\n\
      \n\
      rules: R1 unordered-iteration, R2 wall-clock, R3 snapshot-coverage,\n\
-            R4 nondet-primitive\n\
-     waivers: `// det-ok: <reason>` (R1/R2/R4), `// snap-skip: <reason>` (R3)"
+            R4 nondet-primitive, R5 io-panic\n\
+     waivers: `// det-ok: <reason>` (R1/R2/R4), `// snap-skip: <reason>` (R3),\n\
+              `// io-ok: <reason>` (R5)"
 }
 
 fn main() -> ExitCode {
@@ -34,11 +35,11 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--explain" => {
                 let Some(id) = args.next() else {
-                    eprintln!("--explain needs a rule id (R1..R4)");
+                    eprintln!("--explain needs a rule id (R1..R5)");
                     return ExitCode::from(2);
                 };
                 let Some(rule) = Rule::from_id(&id) else {
-                    eprintln!("unknown rule `{id}`; known: R1, R2, R3, R4");
+                    eprintln!("unknown rule `{id}`; known: R1, R2, R3, R4, R5");
                     return ExitCode::from(2);
                 };
                 println!("{}", rule.explain());
